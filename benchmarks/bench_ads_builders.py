@@ -1,0 +1,106 @@
+"""ADS construction benchmarks (Section 3 / Appendix B.2).
+
+Times the three builders on the same workloads, verifies they emit
+identical sketch sets, and reports the work counters (relaxations,
+insertions, evictions) behind the O(km log n) analysis, plus the churn
+saved by the (1+eps)-approximate LOCALUPDATES variant.
+"""
+
+import math
+
+import pytest
+
+from conftest import write_output
+from repro.ads import BuildStats, build_ads_set
+from repro.eval.reporting import render_table
+from repro.graph import barabasi_albert_graph, random_geometric_graph
+from repro.rand.hashing import HashFamily
+
+UNWEIGHTED = barabasi_albert_graph(400, 3, seed=2)
+WEIGHTED = random_geometric_graph(250, 0.15, seed=3)
+FAMILY = HashFamily(77)
+K = 8
+
+
+@pytest.mark.parametrize("method", ["pruned_dijkstra", "dp", "local_updates"])
+def test_build_unweighted(benchmark, method):
+    stats = BuildStats()
+    ads_set = benchmark(
+        build_ads_set, UNWEIGHTED, K, family=FAMILY, method=method,
+        stats=stats,
+    )
+    assert len(ads_set) == UNWEIGHTED.num_nodes
+    bound = 16 * K * UNWEIGHTED.num_edges * math.log(UNWEIGHTED.num_nodes)
+    assert stats.relaxations < bound
+
+
+@pytest.mark.parametrize("method", ["pruned_dijkstra", "local_updates"])
+def test_build_weighted(benchmark, method):
+    ads_set = benchmark(
+        build_ads_set, WEIGHTED, K, family=FAMILY, method=method
+    )
+    assert len(ads_set) == WEIGHTED.num_nodes
+
+
+def test_builders_identical_and_work_profile(benchmark):
+    def run():
+        profiles = {}
+        outputs = {}
+        for method in ("pruned_dijkstra", "dp", "local_updates"):
+            stats = BuildStats()
+            outputs[method] = build_ads_set(
+                UNWEIGHTED, K, family=FAMILY, method=method, stats=stats
+            )
+            profiles[method] = stats
+        return profiles, outputs
+
+    profiles, outputs = benchmark.pedantic(run, rounds=1, iterations=1)
+    reference = outputs["pruned_dijkstra"]
+    for method in ("dp", "local_updates"):
+        for v in UNWEIGHTED.nodes():
+            assert [
+                (e.node, e.distance) for e in outputs[method][v].entries
+            ] == [(e.node, e.distance) for e in reference[v].entries]
+    text = render_table(
+        f"ADS builder work profile (BA graph n={UNWEIGHTED.num_nodes}, "
+        f"m={UNWEIGHTED.num_edges}, k={K}); identical outputs verified",
+        "metric",
+        ["relaxations", "insertions", "evictions"],
+        {
+            method: [
+                profiles[method].relaxations,
+                profiles[method].insertions,
+                profiles[method].evictions,
+            ]
+            for method in profiles
+        },
+        precision=0,
+    )
+    write_output("table_builders_profile.txt", text)
+
+
+def test_approximate_ads_reduces_churn(benchmark):
+    def run():
+        rows = []
+        for eps in (0.0, 0.25, 1.0):
+            stats = BuildStats()
+            build_ads_set(
+                WEIGHTED, K, family=FAMILY, method="local_updates",
+                epsilon=eps, stats=stats,
+            )
+            rows.append((eps, stats.insertions, stats.evictions))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = render_table(
+        "(1+eps)-approximate LOCALUPDATES churn (Section 3)",
+        "eps",
+        [r[0] for r in rows],
+        {
+            "insertions": [r[1] for r in rows],
+            "evictions": [r[2] for r in rows],
+        },
+        precision=0,
+    )
+    write_output("table_approximate_churn.txt", text)
+    assert rows[-1][1] <= rows[0][1]  # churn shrinks with eps

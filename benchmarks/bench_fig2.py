@@ -1,0 +1,69 @@
+"""Figure 2: NRMSE and MRE of neighborhood-cardinality estimators.
+
+Regenerates all six panels (NRMSE and MRE for k in {5, 10, 50}) at a
+scaled-down run count, checks the paper's qualitative shape claims, and
+persists the series.  Paper parameters: runs = {1000, 500, 250},
+max n = {10^4, 10^4, 5*10^4}.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import scaled_runs, write_output
+from repro.eval.fig2 import Fig2Config, run_figure2
+from repro.eval.reporting import render_table
+
+PANELS = {
+    5: dict(paper_runs=1000, max_n=10_000),
+    10: dict(paper_runs=500, max_n=10_000),
+    50: dict(paper_runs=250, max_n=50_000),
+}
+
+
+def _run_panel(k: int):
+    spec = PANELS[k]
+    config = Fig2Config(
+        k=k,
+        runs=scaled_runs(spec["paper_runs"]),
+        max_n=spec["max_n"],
+        seed=k,
+    )
+    return run_figure2(config)
+
+
+def _check_and_write(result) -> None:
+    k = result.config.k
+    cp = result.checkpoints
+    for metric_name, series in (("nrmse", result.nrmse), ("mre", result.mre)):
+        text = render_table(
+            f"Figure 2 ({metric_name.upper()}), k={k}, "
+            f"runs={result.config.runs}, max_n={result.config.max_n}",
+            "size",
+            cp,
+            {name: series[name] for name in series},
+            notes=(
+                f"reference lines: basic CV {result.references['basic_cv_ub']:.4f}, "
+                f"HIP CV {result.references['hip_cv_ub']:.4f}, "
+                f"basic MRE {result.references['basic_mre_ub']:.4f}, "
+                f"HIP MRE {result.references['hip_mre_ref']:.4f}"
+            ),
+        )
+        write_output(f"fig2_k{k}_{metric_name}.txt", text)
+
+    # Shape assertions (the reproduction criteria from DESIGN.md).
+    large = [j for j, c in enumerate(cp) if c >= 50 * k]
+    hip = np.mean([result.nrmse["bottomk_hip"][j] for j in large])
+    basic = np.mean([result.nrmse["bottomk_basic"][j] for j in large])
+    perm = np.mean([result.nrmse["permutation"][j] for j in large])
+    assert hip < basic, "HIP must beat the basic estimator at large n"
+    assert perm <= hip * 1.15, "permutation must track or beat HIP"
+    below_k = [j for j, c in enumerate(cp) if c < k]
+    assert all(
+        result.nrmse["bottomk_basic"][j] == 0.0 for j in below_k
+    ), "bottom-k basic must be exact below k"
+
+
+@pytest.mark.parametrize("k", sorted(PANELS))
+def test_fig2_panel(benchmark, k):
+    result = benchmark.pedantic(_run_panel, args=(k,), rounds=1, iterations=1)
+    _check_and_write(result)

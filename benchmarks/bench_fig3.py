@@ -1,0 +1,62 @@
+"""Figure 3: HIP vs HyperLogLog distinct counting on the same sketch.
+
+Regenerates all six panels (NRMSE and MRE for k in {16, 32, 64}) with
+5-bit registers.  Paper parameters: runs = {5000, 5000, 2000},
+max cardinality 10^6; scaled via REPRO_BENCH_SCALE / REPRO_BENCH_MAXN_FIG3.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import fig3_max_n, scaled_runs, write_output
+from repro.eval.fig3 import Fig3Config, run_figure3
+from repro.eval.reporting import render_table
+
+PANELS = {16: 5000, 32: 5000, 64: 2000}
+
+
+def _run_panel(k: int):
+    config = Fig3Config(
+        k=k,
+        runs=scaled_runs(PANELS[k]),
+        max_n=fig3_max_n(),
+        seed=k,
+    )
+    return run_figure3(config)
+
+
+def _check_and_write(result) -> None:
+    k = result.config.k
+    cp = result.checkpoints
+    for metric_name, series in (("nrmse", result.nrmse), ("mre", result.mre)):
+        text = render_table(
+            f"Figure 3 ({metric_name.upper()}), k={k}, "
+            f"runs={result.config.runs}, max_n={result.config.max_n}, "
+            "5-bit registers",
+            "card",
+            cp,
+            {name: series[name] for name in series},
+            notes=(
+                "references: HIP base-2 CV "
+                f"{result.references['hip_base2_cv']:.4f}, "
+                f"HLL 1.08/sqrt(k) = {result.references['hll_reference']:.4f}"
+            ),
+        )
+        write_output(f"fig3_k{k}_{metric_name}.txt", text)
+
+    large = [j for j, c in enumerate(cp) if c >= result.config.max_n // 20]
+    hip = np.mean([result.nrmse["hip"][j] for j in large])
+    hll = np.mean([result.nrmse["hll"][j] for j in large])
+    assert hip < hll, "HIP must beat bias-corrected HLL at large n"
+    assert hip == pytest.approx(
+        result.references["hip_base2_cv"], rel=0.35
+    ), "HIP error must track the analytic sqrt((1+b)/(4(k-1))) line"
+    small = [j for j, c in enumerate(cp) if c <= 3]
+    raw_small = np.mean([result.nrmse["hll_raw"][j] for j in small])
+    assert raw_small > 3 * hip, "raw HLL must show its small-n blowup"
+
+
+@pytest.mark.parametrize("k", sorted(PANELS))
+def test_fig3_panel(benchmark, k):
+    result = benchmark.pedantic(_run_panel, args=(k,), rounds=1, iterations=1)
+    _check_and_write(result)

@@ -1,0 +1,82 @@
+"""Micro-benchmarks: sketch update throughput and estimator evaluation.
+
+Appendix B.2 discusses per-relaxation costs of the flavors; these benches
+measure the analogous stream-update costs of our implementations, the
+extra cost HIP adds to a HyperLogLog pipeline (one counter bump per
+register change -- asymptotically negligible), and per-query estimator
+latency on a built ADS.
+"""
+
+import pytest
+
+from repro.ads import build_ads_set
+from repro.counters import HipDistinctCounter
+from repro.estimators.statistics import exponential_decay_kernel
+from repro.graph import barabasi_albert_graph
+from repro.rand.hashing import HashFamily
+from repro.sketches import (
+    BottomKSketch,
+    HyperLogLog,
+    KMinsSketch,
+    KPartitionSketch,
+)
+
+N_STREAM = 20_000
+
+
+@pytest.mark.parametrize(
+    "flavor,factory",
+    [
+        ("bottomk", lambda fam: BottomKSketch(32, fam)),
+        ("kmins", lambda fam: KMinsSketch(32, fam)),
+        ("kpartition", lambda fam: KPartitionSketch(32, fam)),
+        ("hll", lambda fam: HyperLogLog(32, fam)),
+    ],
+)
+def test_sketch_update_throughput(benchmark, flavor, factory):
+    family = HashFamily(5)
+
+    def run():
+        sketch = factory(family)
+        sketch.update(range(N_STREAM))
+        return sketch
+
+    sketch = benchmark(run)
+    assert sketch.cardinality() > 0
+
+
+def test_hll_with_hip_overhead(benchmark):
+    """HIP adds one O(k) probability computation per register change;
+    register changes are O(k log n), so the overhead is tiny."""
+    family = HashFamily(6)
+
+    def run():
+        counter = HipDistinctCounter(HyperLogLog(32, family))
+        counter.update(range(N_STREAM))
+        return counter
+
+    counter = benchmark(run)
+    assert counter.estimate() == pytest.approx(N_STREAM, rel=0.5)
+
+
+GRAPH = barabasi_albert_graph(300, 3, seed=4)
+ADS_SET = build_ads_set(GRAPH, 16, family=HashFamily(9))
+
+
+def test_query_cardinality(benchmark):
+    ads = ADS_SET[7]
+    value = benchmark(ads.cardinality_at, 2.0)
+    assert value > 0
+
+
+def test_query_decay_centrality(benchmark):
+    ads = ADS_SET[7]
+    kernel = exponential_decay_kernel()
+    value = benchmark(ads.centrality, kernel)
+    assert value > 0
+
+
+def test_query_neighborhood_function(benchmark):
+    ads = ADS_SET[7]
+    series = benchmark(ads.neighborhood_function)
+    assert series[-1][1] > 0

@@ -1,0 +1,46 @@
+"""Shared configuration for the benchmark suite.
+
+Every bench regenerates one of the paper's figures or quantitative claims
+(see DESIGN.md's per-experiment index) and both prints and persists the
+series under ``benchmarks/out/``.
+
+Scaling: the paper's exact run counts would take tens of minutes in pure
+Python, so each bench runs a scaled-down sweep by default.  Set the
+environment variable ``REPRO_BENCH_SCALE`` (default 0.1) to scale run
+counts toward the paper's, and ``REPRO_BENCH_MAXN_FIG3`` (default 100000)
+for Figure 3's maximum cardinality (paper: 1000000).  EXPERIMENTS.md
+records the parameters actually used for the committed results.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+def scaled_runs(paper_runs: int, minimum: int = 30) -> int:
+    return max(minimum, int(round(paper_runs * bench_scale())))
+
+
+def fig3_max_n() -> int:
+    return int(os.environ.get("REPRO_BENCH_MAXN_FIG3", "100000"))
+
+
+def write_output(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/out/ and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / name).write_text(text, encoding="utf-8")
+    print(f"\n{text}")
+
+
+@pytest.fixture
+def out_writer():
+    return write_output

@@ -1,0 +1,66 @@
+"""Approximate distinct counting: HIP vs HyperLogLog on the same sketch.
+
+Section 6 of the paper: maintain the standard HyperLogLog register array
+over a stream, but *also* keep a running HIP count that is bumped by an
+inverse-probability weight whenever a register changes.  Same memory
+(plus one counter), same single pass -- noticeably lower error, no
+bias-correction patches.
+
+This example streams a heavy-tailed (Zipf) workload with many repeats,
+tracks both estimators at checkpoints, and reports their errors.  It also
+shows the fully-compressed variant where the HIP count itself lives in a
+Morris approximate counter (Section 7).
+
+Run:  python examples/distinct_counting.py
+"""
+
+from repro import HashFamily, HipDistinctCounter, HyperLogLog
+from repro.streams import zipf_stream
+
+
+def main() -> None:
+    n_distinct = 200_000
+    length = 400_000
+    k = 64  # registers, 5 bits each
+    print(
+        f"stream: {length} entries over {n_distinct} distinct elements "
+        f"(Zipf repeats)\nsketch: {k} five-bit registers "
+        f"({k * 5 / 8:.0f} bytes)\n"
+    )
+
+    stream = zipf_stream(n_distinct, length, seed=3)
+    counter = HipDistinctCounter(HyperLogLog(k, HashFamily(17)))
+
+    seen = set()
+    checkpoints = {1_000, 10_000, 50_000, 100_000, 200_000, 400_000}
+    print(f"{'entries':>9} {'distinct':>9} {'HIP':>10} {'HLL':>10} "
+          f"{'HIP err':>9} {'HLL err':>9}")
+    for position, element in enumerate(stream, start=1):
+        counter.add(element)
+        seen.add(element)
+        if position in checkpoints:
+            truth = len(seen)
+            hip = counter.estimate()
+            hll = counter.sketch.estimate()
+            print(
+                f"{position:>9} {truth:>9} {hip:>10.0f} {hll:>10.0f} "
+                f"{hip / truth - 1:>+9.2%} {hll / truth - 1:>+9.2%}"
+            )
+
+    # --- fully compressed: HIP count in a Morris approximate counter ----
+    print("\nwith the count itself stored approximately "
+          "(Morris counter, base 1 + 1/k):")
+    compact = HipDistinctCounter(
+        HyperLogLog(k, HashFamily(17)),
+        approximate_counter_base=1.0 + 1.0 / k,
+    )
+    compact.update(zipf_stream(n_distinct, length, seed=3))
+    truth = n_distinct
+    print(
+        f"  estimate {compact.estimate():.0f}  truth {truth}  "
+        f"error {compact.estimate() / truth - 1:+.2%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

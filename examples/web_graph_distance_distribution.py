@@ -1,0 +1,60 @@
+"""Distance distribution of a directed "Web graph" via hyperANF + HIP.
+
+ANF/hyperANF (Appendix B.1) estimate the neighborhood function of every
+node simultaneously with per-round sketch unions; the paper's proposal is
+to read the estimates through HIP instead of the HLL estimator -- same
+computation, better accuracy.  This example runs both on a directed
+random graph, reports the estimated number of reachable pairs per radius
+against exact values, and derives the effective diameter.
+
+Run:  python examples/web_graph_distance_distribution.py
+"""
+
+from repro import HashFamily
+from repro.centrality import HyperANF
+from repro.graph import gnp_random_graph
+from repro.graph.properties import distance_distribution
+
+
+def main() -> None:
+    graph = gnp_random_graph(600, 0.008, seed=15, directed=True)
+    print(f"graph: {graph}")
+
+    exact = dict(distance_distribution(graph))
+    total_pairs = max(exact.values())
+
+    anf = HyperANF(graph, k=64, family=HashFamily(31))
+    print(f"\n{'radius':>7} {'HIP pairs':>12} {'HLL pairs':>12} "
+          f"{'exact':>9} {'HIP err':>9} {'HLL err':>9}")
+    radius = 0
+    while anf.advance() and radius < 12:
+        radius += 1
+        hip = anf.total_pairs("hip")
+        basic = anf.total_pairs("basic")
+        true = exact.get(float(radius))
+        if true is None:
+            continue
+        print(
+            f"{radius:>7} {hip:>12.0f} {basic:>12.0f} {true:>9} "
+            f"{hip / true - 1:>+9.1%} {basic / true - 1:>+9.1%}"
+        )
+
+    # Effective diameter: smallest d covering 90% of connected pairs.
+    target = 0.9 * total_pairs
+    estimate_d = None
+    anf2 = HyperANF(graph, k=64, family=HashFamily(31))
+    radius = 0
+    while anf2.advance() and radius < 40:
+        radius += 1
+        if anf2.total_pairs("hip") >= target and estimate_d is None:
+            estimate_d = radius
+            break
+    exact_d = next(d for d, c in sorted(exact.items()) if c >= target)
+    print(
+        f"\neffective diameter (90%): estimated {estimate_d}, "
+        f"exact {exact_d:.0f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

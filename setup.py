@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml; this file exists only so that
+``pip install -e . --no-use-pep517`` (legacy develop mode) works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""adsketch: All-Distances Sketches with HIP estimators.
+
+A complete, from-scratch reproduction of
+
+    Edith Cohen, "All-Distances Sketches, Revisited: HIP Estimators for
+    Massive Graphs Analysis", PODS 2014 (arXiv:1306.3284).
+
+Quickstart
+----------
+>>> from repro import build_ads_set, HashFamily
+>>> from repro.graph import barabasi_albert_graph
+>>> graph = barabasi_albert_graph(500, 3, seed=1)
+>>> ads = build_ads_set(graph, k=16, family=HashFamily(7))
+>>> round(ads[0].reachable_count() / graph.num_nodes, 1)  # ~1.0
+1.0
+
+Subpackages
+-----------
+``repro.graph``       graph substrate, generators, exact ground truth
+``repro.rand``        hashing and rank assignments
+``repro.sketches``    MinHash sketches (3 flavors) and HyperLogLog
+``repro.ads``         All-Distances Sketches: containers and builders
+``repro.estimators``  basic / HIP / permutation / size estimators, bounds
+``repro.counters``    Morris counters and the streaming HIP counter
+``repro.centrality``  closeness centralities and neighborhood functions
+``repro.streams``     stream workload generators
+``repro.eval``        the simulation harness behind the paper's figures
+"""
+
+from repro.ads import (
+    BottomKADS,
+    BuildStats,
+    FirstOccurrenceStreamADS,
+    KMinsADS,
+    KPartitionADS,
+    RecentOccurrenceStreamADS,
+    build_ads_set,
+)
+from repro.counters import HipDistinctCounter, MorrisCounter, algorithm3_counter
+from repro.graph import Graph
+from repro.rand import HashFamily
+from repro.sketches import (
+    BottomKSketch,
+    HyperLogLog,
+    KMinsSketch,
+    KPartitionSketch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "HashFamily",
+    "build_ads_set",
+    "BuildStats",
+    "BottomKADS",
+    "KMinsADS",
+    "KPartitionADS",
+    "FirstOccurrenceStreamADS",
+    "RecentOccurrenceStreamADS",
+    "BottomKSketch",
+    "KMinsSketch",
+    "KPartitionSketch",
+    "HyperLogLog",
+    "MorrisCounter",
+    "HipDistinctCounter",
+    "algorithm3_counter",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Small shared helpers used across subpackages."""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import ParameterError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ParameterError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ParameterError(message)
+
+
+def harmonic_number(n: int) -> float:
+    """Return the n-th harmonic number H_n = sum_{j=1}^{n} 1/j.
+
+    Uses the exact sum for small ``n`` and the asymptotic expansion
+    ``ln n + gamma + 1/(2n) - 1/(12 n^2)`` for large ``n`` (error < 1e-12
+    already for n around 100, far below any tolerance used in this library).
+    """
+    require(n >= 0, f"harmonic_number requires n >= 0, got {n}")
+    if n == 0:
+        return 0.0
+    if n < 256:
+        return sum(1.0 / j for j in range(1, n + 1))
+    euler_gamma = 0.57721566490153286060651209008240243
+    return math.log(n) + euler_gamma + 1.0 / (2 * n) - 1.0 / (12 * n * n)
+
+
+def kth_smallest(values: Iterable[float], k: int, sup: float = 1.0) -> float:
+    """Return the k-th smallest value, or *sup* if fewer than ``k`` values.
+
+    This is the paper's ``kth_r(N)`` operator (Section 2): when ``|N| < k``
+    the result is the supremum of the rank range (1 for uniform ranks,
+    ``math.inf`` for exponential ranks).
+    """
+    require(k >= 1, f"kth_smallest requires k >= 1, got {k}")
+    smallest = heapq.nsmallest(k, values)
+    if len(smallest) < k:
+        return sup
+    return smallest[-1]
+
+
+def is_sorted(seq: Sequence[float]) -> bool:
+    """Return True when *seq* is non-decreasing."""
+    return all(seq[i] <= seq[i + 1] for i in range(len(seq) - 1))
+
+
+def log_spaced_checkpoints(max_value: int, per_decade: int = 10) -> list[int]:
+    """Return sorted unique integers log-spaced in [1, max_value].
+
+    Used by the evaluation harness to pick the cardinalities at which
+    estimates are recorded (the paper's figures use log-scaled x axes).
+    """
+    require(max_value >= 1, f"max_value must be >= 1, got {max_value}")
+    require(per_decade >= 1, f"per_decade must be >= 1, got {per_decade}")
+    points: set[int] = {1, max_value}
+    decades = math.log10(max_value)
+    total = max(2, int(round(decades * per_decade)))
+    for i in range(total + 1):
+        value = int(round(10 ** (i * decades / total)))
+        points.add(min(max(value, 1), max_value))
+    return sorted(points)

@@ -1,0 +1,193 @@
+"""All-Distances Sketches: containers, builders, stream variants.
+
+The main entry point is :func:`build_ads_set`, which builds the ADS of
+every node of a graph in any flavor ('bottomk', 'kmins', 'kpartition')
+with any construction method ('pruned_dijkstra', 'dp', 'local_updates'),
+in either direction ('forward' = distances from the node, 'backward' =
+distances to the node), optionally (1+eps)-approximate, optionally with
+Section-9 node weights.
+
+All methods produce *identical* sketches for the same inputs (they share
+the rank assignment and the Appendix-B.3 tie-broken scan order); they
+differ only in work profile, which :class:`BuildStats` exposes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from repro._util import require
+from repro.ads.base import BaseADS, BottomKADS, KMinsADS, KPartitionADS
+from repro.ads.dynamic_programming import dp_core
+from repro.ads.entry import AdsEntry
+from repro.ads.local_updates import local_updates_core
+from repro.ads.no_tiebreak import NoTiebreakADS, build_no_tiebreak_ads
+from repro.ads.pruned_dijkstra import BuildStats, pruned_dijkstra_core
+from repro.ads.streaming import (
+    FirstOccurrenceStreamADS,
+    RecentOccurrenceStreamADS,
+)
+from repro.ads.weighted import WeightedBottomKADS, exponential_rank_assignment
+from repro.errors import ParameterError
+from repro.graph.digraph import Graph, Node
+from repro.rand.hashing import HashFamily
+from repro.rand.ranks import ExponentialRanks
+
+__all__ = [
+    "AdsEntry",
+    "BaseADS",
+    "BottomKADS",
+    "KMinsADS",
+    "KPartitionADS",
+    "WeightedBottomKADS",
+    "NoTiebreakADS",
+    "build_no_tiebreak_ads",
+    "BuildStats",
+    "build_ads_set",
+    "FirstOccurrenceStreamADS",
+    "RecentOccurrenceStreamADS",
+    "exponential_rank_assignment",
+]
+
+_CORES = {
+    "pruned_dijkstra": pruned_dijkstra_core,
+    "dp": dp_core,
+    "local_updates": local_updates_core,
+}
+
+
+def build_ads_set(
+    graph: Graph,
+    k: int,
+    family: Optional[HashFamily] = None,
+    flavor: str = "bottomk",
+    method: str = "auto",
+    direction: str = "forward",
+    epsilon: float = 0.0,
+    node_weights: Optional[Callable[[Hashable], float]] = None,
+    seed: int = 0,
+    stats: Optional[BuildStats] = None,
+) -> Dict[Node, BaseADS]:
+    """Build the ADS of every node of *graph*.
+
+    Parameters
+    ----------
+    graph:
+        Directed or undirected, weighted or unweighted graph.
+    k:
+        Sketch parameter (expected ADS size is about k(1 + ln n - ln k),
+        Lemma 2.2).
+    family:
+        Hash family for ranks/buckets/tiebreaks; defaults to
+        ``HashFamily(seed)``.  Sketch sets built with the same family are
+        coordinated across graphs and runs.
+    flavor:
+        'bottomk' (default), 'kmins', or 'kpartition'.
+    method:
+        'pruned_dijkstra' (any graph), 'dp' (unweighted only),
+        'local_updates' (any graph, required for epsilon > 0), or 'auto'
+        (= 'dp' on unweighted graphs, 'pruned_dijkstra' otherwise).
+    direction:
+        'forward' sketches distances *from* each node; 'backward'
+        sketches distances *to* each node (runs on the transpose).
+    epsilon:
+        (1+eps)-approximate construction (LOCALUPDATES only; Section 3).
+    node_weights:
+        Section 9 beta: builds with Exp(beta) ranks and returns
+        :class:`WeightedBottomKADS` objects (flavor must be 'bottomk').
+    stats:
+        Optional :class:`BuildStats` to receive work counters.
+
+    Returns a dict mapping each node to its ADS object.
+    """
+    require(k >= 1, f"k must be >= 1, got {k}")
+    if family is None:
+        family = HashFamily(seed)
+    if direction not in ("forward", "backward"):
+        raise ParameterError(f"unknown direction {direction!r}")
+    if direction == "backward":
+        graph = graph.transpose()
+    if method == "auto":
+        method = "dp" if not graph.is_weighted() and epsilon == 0.0 else (
+            "local_updates" if epsilon > 0.0 else "pruned_dijkstra"
+        )
+    if method not in _CORES:
+        raise ParameterError(
+            f"unknown method {method!r}; expected one of {sorted(_CORES)}"
+        )
+    if epsilon > 0.0 and method != "local_updates":
+        raise ParameterError(
+            "epsilon > 0 requires method='local_updates' (Section 3)"
+        )
+    if stats is None:
+        stats = BuildStats()
+    core = _CORES[method]
+    kwargs = {"epsilon": epsilon} if method == "local_updates" else {}
+    tiebreak_of = family.tiebreak
+    nodes = graph.nodes()
+
+    if node_weights is not None:
+        if flavor != "bottomk":
+            raise ParameterError(
+                "node_weights (Section 9) is implemented for the bottom-k "
+                "flavor"
+            )
+        rank_map = ExponentialRanks(family, weight=node_weights)
+        entries = core(
+            graph, nodes, k, rank_map.rank, tiebreak_of, stats, **kwargs
+        )
+        return {
+            v: WeightedBottomKADS(v, k, entry_list, family, node_weights)
+            for v, entry_list in entries.items()
+        }
+
+    if flavor == "bottomk":
+        entries = core(
+            graph, nodes, k, lambda u: family.rank(u, 0), tiebreak_of,
+            stats, **kwargs,
+        )
+        return {
+            v: BottomKADS(v, k, entry_list, family)
+            for v, entry_list in entries.items()
+        }
+
+    if flavor == "kmins":
+        merged: Dict[Node, list] = {v: [] for v in nodes}
+        for h in range(k):
+            run = core(
+                graph, nodes, 1,
+                lambda u, _h=h: family.rank(u, _h), tiebreak_of,
+                stats, permutation=h, **kwargs,
+            )
+            for v, entry_list in run.items():
+                merged[v].extend(entry_list)
+        return {
+            v: KMinsADS(v, k, entry_list, family)
+            for v, entry_list in merged.items()
+        }
+
+    if flavor == "kpartition":
+        merged = {v: [] for v in nodes}
+        buckets: Dict[int, list] = {h: [] for h in range(k)}
+        for u in nodes:
+            buckets[family.bucket(u, k)].append(u)
+        for h in range(k):
+            if not buckets[h]:
+                continue
+            run = core(
+                graph, buckets[h], 1,
+                lambda u: family.rank(u, 0), tiebreak_of,
+                stats, bucket=h, **kwargs,
+            )
+            for v, entry_list in run.items():
+                merged[v].extend(entry_list)
+        return {
+            v: KPartitionADS(v, k, entry_list, family)
+            for v, entry_list in merged.items()
+        }
+
+    raise ParameterError(
+        f"unknown flavor {flavor!r}; expected 'bottomk', 'kmins', or "
+        "'kpartition'"
+    )

@@ -1,0 +1,324 @@
+"""ADS container classes: bottom-k, k-mins, k-partition.
+
+Each class stores the source node, the parameter k, and the entries in
+scan order, and exposes the full estimator surface of the paper:
+
+* ``minhash_at(d)`` -- the MinHash sketch of N_d(source) (Section 2);
+* ``basic_cardinality_at(d)`` -- Section 4 estimators on that sketch;
+* ``hip_weights()`` / ``cardinality_at(d)`` -- HIP (Section 5);
+* ``size_cardinality_at(d)`` -- the ADS-size estimator (Section 8);
+* ``q_statistic`` / ``centrality`` -- Q_g and C_{alpha,beta} (Eqs. 1-3);
+* ``neighborhood_function()`` -- the estimated distance distribution.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+from repro._util import require
+from repro.errors import EstimatorError
+from repro.ads.entry import AdsEntry
+from repro.estimators.basic import (
+    bottom_k_cardinality,
+    k_mins_cardinality,
+    k_partition_cardinality,
+)
+from repro.estimators.hip import (
+    bottom_k_adjusted_weights,
+    k_mins_adjusted_weights,
+    k_partition_adjusted_weights,
+)
+from repro.estimators.naive import naive_q_statistic
+from repro.estimators.size import size_cardinality_estimate
+from repro.estimators.statistics import (
+    closeness_centrality_estimate,
+    q_statistic_estimate,
+)
+from repro.rand.hashing import HashFamily
+
+
+class BaseADS:
+    """Shared plumbing for the three ADS flavors."""
+
+    flavor = "abstract"
+
+    def __init__(
+        self,
+        source: Hashable,
+        k: int,
+        entries: Sequence[AdsEntry],
+        family: HashFamily,
+        rank_sup: float = 1.0,
+    ):
+        require(k >= 1, f"k must be >= 1, got {k}")
+        self.source = source
+        self.k = int(k)
+        self.family = family
+        self.rank_sup = float(rank_sup)
+        self.entries: List[AdsEntry] = sorted(entries)
+        self._distances = [e.distance for e in self.entries]
+        self._hip_weights: Optional[List[float]] = None
+        if not self.entries or self.entries[0].node != source:
+            raise EstimatorError(
+                f"ADS of {source!r} must start with the source at distance 0"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return any(e.node == node for e in self.entries)
+
+    def nodes(self) -> List[Hashable]:
+        return [e.node for e in self.entries]
+
+    def distances(self) -> List[float]:
+        return list(self._distances)
+
+    def size_at(self, d: float = math.inf) -> int:
+        """Number of entries within distance d (distinct nodes for
+        bottom-k / k-partition; k-mins overrides to deduplicate)."""
+        return bisect.bisect_right(self._distances, d)
+
+    # ------------------------------------------------------------------
+    # HIP estimation (flavor subclasses provide _compute_hip_weights)
+    # ------------------------------------------------------------------
+    def hip_weights(self) -> List[float]:
+        """Adjusted weight a_{source,j} for each entry, in scan order."""
+        if self._hip_weights is None:
+            self._hip_weights = self._compute_hip_weights()
+        return self._hip_weights
+
+    def _compute_hip_weights(self) -> List[float]:
+        raise NotImplementedError
+
+    def cardinality_at(self, d: float = math.inf) -> float:
+        """HIP estimate of n_d(source) -- sum of adjusted weights within d
+        (Section 5).  Exact whenever n_d <= k."""
+        weights = self.hip_weights()
+        cutoff = self.size_at(d)
+        return sum(weights[:cutoff])
+
+    def reachable_count(self) -> float:
+        """HIP estimate of the number of reachable nodes (alpha = 1)."""
+        return self.cardinality_at(math.inf)
+
+    def neighborhood_function(self) -> List[Tuple[float, float]]:
+        """Estimated cumulative distance distribution of the source:
+        ``(distance, n_distance-hat)`` at each distinct entry distance."""
+        weights = self.hip_weights()
+        result: List[Tuple[float, float]] = []
+        running = 0.0
+        for entry, weight in zip(self.entries, weights):
+            running += weight
+            if result and result[-1][0] == entry.distance:
+                result[-1] = (entry.distance, running)
+            else:
+                result.append((entry.distance, running))
+        return result
+
+    def q_statistic(
+        self,
+        g: Callable[[Hashable, float], float],
+        include_source: bool = True,
+    ) -> float:
+        """HIP estimate of Q_g(source) = sum_j g(j, d_ij)  (Equation 5)."""
+        return q_statistic_estimate(
+            self.nodes(), self._distances, self.hip_weights(), g,
+            include_source=include_source,
+        )
+
+    def centrality(
+        self,
+        alpha: Optional[Callable[[float], float]] = None,
+        beta: Optional[Callable[[Hashable], float]] = None,
+    ) -> float:
+        """HIP estimate of C_{alpha,beta}(source)  (Equation 3); with the
+        default alpha=None this is the sum of distances (inverse classic
+        closeness)."""
+        return closeness_centrality_estimate(
+            self.nodes(), self._distances, self.hip_weights(),
+            alpha=alpha, beta=beta,
+        )
+
+    def naive_q_statistic(
+        self,
+        g: Callable[[Hashable, float], float],
+        include_source: bool = True,
+    ) -> float:
+        """The introduction's baseline: reachable-set MinHash sample mean
+        times estimated reachable count.  For variance comparisons."""
+        triples = [(e.rank, e.node, e.distance) for e in self.entries]
+        return naive_q_statistic(
+            triples, self.k, g, include_source=include_source
+        )
+
+    # ------------------------------------------------------------------
+    # Size-only estimation (Section 8)
+    # ------------------------------------------------------------------
+    def size_cardinality_at(self, d: float = math.inf) -> float:
+        """Cardinality estimate using only the entry count (Lemma 8.1)."""
+        return size_cardinality_estimate(self.size_at(d), self.k)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(source={self.source!r}, k={self.k}, "
+            f"entries={len(self.entries)})"
+        )
+
+
+class BottomKADS(BaseADS):
+    """Bottom-k flavor: entry iff rank among k smallest of closer nodes
+    (Equation 4)."""
+
+    flavor = "bottomk"
+
+    def _compute_hip_weights(self) -> List[float]:
+        return bottom_k_adjusted_weights(
+            [e.rank for e in self.entries], self.k
+        )
+
+    def minhash_at(self, d: float = math.inf) -> List[Tuple[float, Hashable]]:
+        """The bottom-k MinHash sketch of N_d(source): the k smallest
+        (rank, node) pairs among entries within d (Section 2)."""
+        cutoff = self.size_at(d)
+        pairs = sorted(
+            (e.rank, e.node) for e in self.entries[:cutoff]
+        )
+        return pairs[: self.k]
+
+    def basic_cardinality_at(self, d: float = math.inf) -> float:
+        """Basic bottom-k estimate on the extracted sketch (Section 4.2)."""
+        sketch = self.minhash_at(d)
+        tau = sketch[-1][0] if len(sketch) >= self.k else self.rank_sup
+        return bottom_k_cardinality(
+            len(sketch), tau, self.k, sup=self.rank_sup
+        )
+
+
+class KMinsADS(BaseADS):
+    """k-mins flavor: k independent bottom-1 sketches (Section 2).
+
+    Entries carry their ``permutation`` index; one node may appear in
+    several permutations (at the same distance).  The *merged* view used
+    for HIP deduplicates nodes and attaches the full rank vector.
+    """
+
+    flavor = "kmins"
+
+    def __init__(self, source, k, entries, family, rank_sup=1.0):
+        super().__init__(source, k, entries, family, rank_sup)
+        # Merged scan order: distinct nodes by (distance, tiebreak).
+        seen = set()
+        merged: List[AdsEntry] = []
+        for e in self.entries:
+            if e.node in seen:
+                continue
+            seen.add(e.node)
+            merged.append(e)
+        self._merged = merged
+        self._merged_distances = [e.distance for e in merged]
+
+    def merged_entries(self) -> List[AdsEntry]:
+        """Distinct nodes of the union of the k bottom-1 sketches."""
+        return list(self._merged)
+
+    def size_at(self, d: float = math.inf) -> int:
+        """Distinct nodes within d (not raw per-permutation entries)."""
+        return bisect.bisect_right(self._merged_distances, d)
+
+    def _rank_vector(self, node: Hashable) -> List[float]:
+        return [self.family.rank(node, h) for h in range(self.k)]
+
+    def _compute_hip_weights(self) -> List[float]:
+        vectors = [self._rank_vector(e.node) for e in self._merged]
+        return k_mins_adjusted_weights(vectors, self.k)
+
+    # HIP helpers operate on the merged view, so rebind the accessors.
+    def nodes(self) -> List[Hashable]:
+        return [e.node for e in self._merged]
+
+    def distances(self) -> List[float]:
+        return list(self._merged_distances)
+
+    def cardinality_at(self, d: float = math.inf) -> float:
+        weights = self.hip_weights()
+        cutoff = self.size_at(d)
+        return sum(weights[:cutoff])
+
+    def neighborhood_function(self) -> List[Tuple[float, float]]:
+        weights = self.hip_weights()
+        result: List[Tuple[float, float]] = []
+        running = 0.0
+        for entry, weight in zip(self._merged, weights):
+            running += weight
+            if result and result[-1][0] == entry.distance:
+                result[-1] = (entry.distance, running)
+            else:
+                result.append((entry.distance, running))
+        return result
+
+    def q_statistic(self, g, include_source: bool = True) -> float:
+        return q_statistic_estimate(
+            self.nodes(), self._merged_distances, self.hip_weights(), g,
+            include_source=include_source,
+        )
+
+    def centrality(self, alpha=None, beta=None) -> float:
+        return closeness_centrality_estimate(
+            self.nodes(), self._merged_distances, self.hip_weights(),
+            alpha=alpha, beta=beta,
+        )
+
+    def minhash_at(self, d: float = math.inf) -> List[float]:
+        """The k-mins MinHash sketch of N_d(source): per-permutation
+        minimum rank within distance d (1.0 when the permutation's
+        bottom-1 ADS has no entry that close)."""
+        minima = [1.0] * self.k
+        for e in self.entries:
+            if e.distance > d:
+                break
+            h = e.permutation
+            if e.rank < minima[h]:
+                minima[h] = e.rank
+        return minima
+
+    def basic_cardinality_at(self, d: float = math.inf) -> float:
+        """Basic k-mins estimate (Section 4.1) on the extracted sketch."""
+        return k_mins_cardinality(self.minhash_at(d))
+
+
+class KPartitionADS(BaseADS):
+    """k-partition flavor: per-bucket bottom-1 competition (Section 2)."""
+
+    flavor = "kpartition"
+
+    def _compute_hip_weights(self) -> List[float]:
+        return k_partition_adjusted_weights(
+            [(e.bucket, e.rank) for e in self.entries], self.k
+        )
+
+    def minhash_at(
+        self, d: float = math.inf
+    ) -> Tuple[List[float], List[Optional[Hashable]]]:
+        """The k-partition MinHash sketch of N_d(source): per-bucket
+        minimum rank and the achieving node (None for empty buckets)."""
+        minima = [1.0] * self.k
+        argmin: List[Optional[Hashable]] = [None] * self.k
+        for e in self.entries:
+            if e.distance > d:
+                break
+            if e.rank < minima[e.bucket] or argmin[e.bucket] is None:
+                minima[e.bucket] = e.rank
+                argmin[e.bucket] = e.node
+        return minima, argmin
+
+    def basic_cardinality_at(self, d: float = math.inf) -> float:
+        """Basic k-partition estimate (Section 4.3)."""
+        minima, argmin = self.minhash_at(d)
+        return k_partition_cardinality(minima, argmin)

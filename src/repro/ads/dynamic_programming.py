@@ -1,0 +1,98 @@
+"""DP ADS builder: node-centric Bellman-Ford rounds (unweighted graphs).
+
+Section 3's second meta-approach (k-mins in ANF [41], k-partition in
+hyperANF [6], here for all flavors).  Round t relaxes every edge (v, u)
+whose sink ADS(u) changed in round t-1; candidates arrive in strictly
+increasing hop distance, and within a round in tiebreak order (Appendix
+B.3), so -- exactly like PRUNEDDIJKSTRA -- every inserted entry is final.
+The two builders provably produce identical ADS sets; the tests assert it.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.ads.entry import AdsEntry
+from repro.ads.pruned_dijkstra import BuildStats
+from repro.errors import GraphError
+from repro.graph.digraph import Graph, Node
+
+
+def dp_core(
+    graph: Graph,
+    candidates: Sequence[Node],
+    k: int,
+    rank_of: Callable[[Node], float],
+    tiebreak_of: Callable[[Node], int],
+    stats: BuildStats,
+    bucket: int = None,
+    permutation: int = None,
+) -> Dict[Node, List[AdsEntry]]:
+    """One bottom-k competition among *candidates* via synchronous rounds.
+
+    Requires an unweighted graph (every edge weight 1); rounds equal hop
+    distances.  Forward ADS: ADS(v) absorbs entries from ADS(u) for every
+    edge (v, u), i.e. propagation runs along in-edges of the changed node.
+    """
+    if graph.is_weighted():
+        raise GraphError(
+            "the DP builder requires an unweighted graph; use "
+            "method='pruned_dijkstra' or 'local_updates' for weighted graphs"
+        )
+    entries: Dict[Node, List[AdsEntry]] = {v: [] for v in graph.nodes()}
+    rank_lists: Dict[Node, List[float]] = {v: [] for v in graph.nodes()}
+    members: Dict[Node, set] = {v: set() for v in graph.nodes()}
+    candidate_set = set(candidates)
+
+    frontier: Dict[Node, List[Tuple[Node, float, int]]] = {}
+    for s in graph.nodes():
+        if s not in candidate_set:
+            continue
+        r_s, tb_s = rank_of(s), tiebreak_of(s)
+        entries[s].append(
+            AdsEntry(
+                node=s, distance=0.0, rank=r_s, tiebreak=tb_s,
+                bucket=bucket, permutation=permutation,
+            )
+        )
+        insort(rank_lists[s], r_s)
+        members[s].add(s)
+        frontier[s] = [(s, r_s, tb_s)]
+        stats.insertions += 1
+
+    t = 0
+    while frontier:
+        t += 1
+        stats.rounds = max(stats.rounds, t)
+        # Gather proposals: entries added at u in the previous round are
+        # candidates at hop distance t for every in-neighbor v of u.
+        proposals: Dict[Node, Dict[Node, Tuple[float, int]]] = {}
+        for u, added in frontier.items():
+            for v, _ in graph.in_neighbors(u):
+                stats.relaxations += 1
+                bucket_v = proposals.setdefault(v, {})
+                for x, r_x, tb_x in added:
+                    if x not in members[v]:
+                        bucket_v[x] = (r_x, tb_x)
+        frontier = {}
+        for v, cand in proposals.items():
+            ranks = rank_lists[v]
+            # Appendix B.3: same-distance candidates enter in tiebreak
+            # order, each competing against everything already inserted.
+            for x, (r_x, tb_x) in sorted(
+                cand.items(), key=lambda item: item[1][1]
+            ):
+                if len(ranks) >= k and r_x >= ranks[k - 1]:
+                    continue
+                insort(ranks, r_x)
+                members[v].add(x)
+                entries[v].append(
+                    AdsEntry(
+                        node=x, distance=float(t), rank=r_x, tiebreak=tb_x,
+                        bucket=bucket, permutation=permutation,
+                    )
+                )
+                stats.insertions += 1
+                frontier.setdefault(v, []).append((x, r_x, tb_x))
+    return entries

@@ -1,0 +1,40 @@
+"""The ADS entry record and the scan total order.
+
+An All-Distances Sketch is a set of (node, distance) pairs with the rank
+that earned the node its place (Section 2).  The paper's definitions
+assume unique distances; following Appendix B.3 we realise that as a total
+order on ``(distance, tiebreak(node))`` where the tiebreak hash is
+independent of ranks.  Every builder and every estimator in this library
+uses this same order, which is why independently built sketches are
+bit-identical and HIP weights are well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class AdsEntry:
+    """One sketch entry: *node* is at *distance* from the ADS source.
+
+    ``bucket`` is set for k-partition entries; ``permutation`` for k-mins
+    entries (which of the k independent bottom-1 sketches the entry
+    belongs to).  ``tiebreak`` is the Appendix-B.3 symmetry-breaking hash.
+    """
+
+    node: Hashable
+    distance: float
+    rank: float
+    tiebreak: int = 0
+    bucket: Optional[int] = None
+    permutation: Optional[int] = None
+
+    @property
+    def key(self) -> Tuple[float, int]:
+        """The scan total order: nearer first, hash-tiebroken."""
+        return (self.distance, self.tiebreak)
+
+    def __lt__(self, other: "AdsEntry") -> bool:
+        return self.key < other.key

@@ -1,0 +1,169 @@
+"""LOCALUPDATES (Algorithm 2): node-centric ADS construction for weighted
+graphs, plus the (1+eps)-approximate variant.
+
+Unlike PRUNEDDIJKSTRA and DP, messages here carry *path* lengths that may
+exceed the true distance, so an accepted entry can later be superseded
+(shorter path found) or evicted (smaller-rank closer entries arrived) --
+the "Clean-up" phase of Algorithm 2.  The overhead is the churn; Section 3
+bounds it by settling for a (1+eps)-approximate ADS, which only accepts an
+entry if it beats the k-th rank among entries within distance
+``a * (1+eps)`` (a strictly harder test that suppresses marginal churn).
+
+With eps = 0 the final state equals the exact ADS (the tests assert
+equality with PRUNEDDIJKSTRA's output); with eps > 0 the result is a
+subset of the exact ADS satisfying the (1+eps)-approximation guarantee
+
+    v not in ADS(u)  =>  r(v) > k-th smallest rank among all *nodes*
+                         within distance (1+eps) d_uv of u,
+
+i.e. an excluded node is beaten by k smaller-rank nodes at most (1+eps)
+further out.  (The paper states the threshold over sketch entries; in the
+asynchronous message-passing realisation an excluded node's blockers can
+themselves be superseded later, so the provable -- and tested -- form
+quantifies over nodes.  Every blocker is a real node whose message
+distance upper-bounds its true distance, which is what the proof uses.)
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import deque
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro._util import require
+from repro.ads.entry import AdsEntry
+from repro.ads.pruned_dijkstra import BuildStats
+from repro.graph.digraph import Graph, Node
+
+Key = Tuple[float, int]  # (distance, tiebreak)
+
+
+class _NodeState:
+    """Per-node sketch state: parallel sorted arrays keyed by (d, tb)."""
+
+    __slots__ = ("keys", "nodes", "ranks", "held")
+
+    def __init__(self) -> None:
+        self.keys: List[Key] = []
+        self.nodes: List[Node] = []
+        self.ranks: List[float] = []
+        self.held: Dict[Node, float] = {}  # node -> current distance
+
+    def insert(self, key: Key, node: Node, rank: float) -> None:
+        index = bisect_left(self.keys, key)
+        self.keys.insert(index, key)
+        self.nodes.insert(index, node)
+        self.ranks.insert(index, rank)
+        self.held[node] = key[0]
+
+    def remove_at(self, index: int) -> None:
+        del self.held[self.nodes[index]]
+        del self.keys[index]
+        del self.nodes[index]
+        del self.ranks[index]
+
+    def remove_node(self, node: Node, key: Key) -> None:
+        index = bisect_left(self.keys, key)
+        while self.nodes[index] != node:
+            index += 1
+        self.remove_at(index)
+
+
+def local_updates_core(
+    graph: Graph,
+    candidates: Sequence[Node],
+    k: int,
+    rank_of: Callable[[Node], float],
+    tiebreak_of: Callable[[Node], int],
+    stats: BuildStats,
+    epsilon: float = 0.0,
+    bucket: int = None,
+    permutation: int = None,
+) -> Dict[Node, List[AdsEntry]]:
+    """One bottom-k competition among *candidates*, message-passing style.
+
+    Forward ADS: an update of ADS(v) is sent to every in-neighbor w of v
+    with the edge weight added (the paper's Algorithm 2 phrased on the
+    transpose; see DESIGN.md).
+    """
+    require(epsilon >= 0.0, f"epsilon must be >= 0, got {epsilon}")
+    state: Dict[Node, _NodeState] = {v: _NodeState() for v in graph.nodes()}
+    queue: deque = deque()
+
+    def send_updates(v: Node, x: Node, r_x: float, tb_x: int, d: float) -> None:
+        for w, weight in graph.in_neighbors(v):
+            queue.append((w, x, r_x, tb_x, d + weight))
+            stats.relaxations += 1
+
+    def kth_competitor_rank(
+        st: _NodeState, d: float, tb: int, exclude: int = -1
+    ) -> float:
+        """k-th smallest rank among the competitors of a candidate at
+        (d, tb): strictly-closer entries when exact (eps=0), entries
+        within d(1+eps) when approximate.  ``exclude`` skips one index
+        (used when re-validating an entry against its own sketch)."""
+        if epsilon == 0.0:
+            limit = bisect_left(st.keys, (d, tb))
+            competitors = st.ranks[:limit]
+            if 0 <= exclude < limit:
+                competitors = (
+                    st.ranks[:exclude] + st.ranks[exclude + 1: limit]
+                )
+        else:
+            limit = bisect_right(st.keys, (d * (1.0 + epsilon), float("inf")))
+            competitors = [
+                st.ranks[i] for i in range(limit) if i != exclude
+            ]
+        if len(competitors) < k:
+            return float("inf")
+        return sorted(competitors)[k - 1]
+
+    def cleanup(v: Node, inserted_key: Key) -> None:
+        """Algorithm 2 clean-up: re-validate every entry farther than the
+        newly inserted one, in increasing distance, evicting entries whose
+        rank no longer beats their k-th competitor rank."""
+        st = state[v]
+        index = bisect_right(st.keys, inserted_key)
+        while index < len(st.keys):
+            d, tb = st.keys[index]
+            if st.ranks[index] < kth_competitor_rank(st, d, tb, exclude=index):
+                index += 1
+            else:
+                st.remove_at(index)
+                stats.evictions += 1
+
+    # Initialization: every candidate source holds itself at distance 0.
+    for s in candidates:
+        r_s, tb_s = rank_of(s), tiebreak_of(s)
+        state[s].insert((0.0, tb_s), s, r_s)
+        stats.insertions += 1
+        send_updates(s, s, r_s, tb_s, 0.0)
+
+    # Asynchronous fixed point.
+    while queue:
+        v, x, r_x, tb_x, d = queue.popleft()
+        st = state[v]
+        existing = st.held.get(x)
+        if existing is not None and existing <= d:
+            continue  # we already hold x at least as close
+        if r_x >= kth_competitor_rank(st, d, tb_x):
+            continue  # fails the (possibly approximate) insertion test
+        if existing is not None:
+            st.remove_node(x, (existing, tb_x))
+            stats.evictions += 1
+        st.insert((d, tb_x), x, r_x)
+        stats.insertions += 1
+        cleanup(v, (d, tb_x))
+        send_updates(v, x, r_x, tb_x, d)
+
+    # Materialise entries.
+    entries: Dict[Node, List[AdsEntry]] = {}
+    for v, st in state.items():
+        entries[v] = [
+            AdsEntry(
+                node=node, distance=key[0], rank=rank, tiebreak=key[1],
+                bucket=bucket, permutation=permutation,
+            )
+            for key, node, rank in zip(st.keys, st.nodes, st.ranks)
+        ]
+    return entries

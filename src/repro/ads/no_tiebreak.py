@@ -1,0 +1,126 @@
+"""ADS without tie breaking (Appendix A).
+
+When many node pairs share a distance (e.g. small-diameter unweighted
+graphs), the strict per-node tie-broken ADS stores up to k entries per
+*node prefix*, while the modified definition stores at most k entries per
+*distinct distance*:
+
+    u in ADS(v)  <=>  r(u) < k-th smallest rank among {w : d_vw <= d_vu}.
+
+The matching HIP probabilities condition on all other nodes' ranks: an
+entry u qualifies for a (positive) adjusted weight only when its rank is
+among the k-1 smallest at its distance ball, and its threshold is the
+k-th smallest rank among the *other* nodes in that ball -- an entry that
+holds exactly the k-th smallest rank is present in the sketch but "not
+considered sampled" (weight 0).  The resulting estimator has CV at most
+1/sqrt(k-2), the basic bottom-k bound.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro._util import kth_smallest, require
+from repro.graph.digraph import Graph, Node
+from repro.graph.traversal import single_source_distances
+from repro.rand.hashing import HashFamily
+from repro.rand.ranks import RankAssignment, UniformRanks
+
+
+class NoTiebreakADS:
+    """The Appendix-A bottom-k ADS of one source node.
+
+    Entries are (node, distance, rank) with at most k entries per distinct
+    distance value; ``hip_weights`` implements the modified conditioned
+    probabilities.
+    """
+
+    def __init__(
+        self,
+        source: Hashable,
+        k: int,
+        entries: List[Tuple[Hashable, float, float]],
+    ):
+        require(k >= 1, f"k must be >= 1, got {k}")
+        self.source = source
+        self.k = int(k)
+        # Sort by (distance, rank): scan order within a distance class is
+        # irrelevant to the definition; rank order is convenient.
+        self.entries = sorted(entries, key=lambda e: (e[1], e[2]))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def hip_weights(self) -> List[float]:
+        """Adjusted weights under the modified HIP probabilities."""
+        weights: List[float] = []
+        # Group scan: for each entry, competitors are all *other* entries
+        # with distance <= its own (within the ball).
+        ranks_so_far: List[float] = []  # ranks of all entries with d < current
+        index = 0
+        entries = self.entries
+        while index < len(entries):
+            # Collect the whole distance class.
+            d = entries[index][1]
+            group = []
+            while index < len(entries) and entries[index][1] == d:
+                group.append(entries[index])
+                index += 1
+            ball = ranks_so_far + [rank for _, _, rank in group]
+            # tau is the k-th smallest rank of the whole ball.  For an
+            # entry u among the k-1 smallest, removing u makes tau the
+            # (k-1)-th smallest of the *others* -- exactly the Appendix-A
+            # conditioned threshold; the entry holding the k-th smallest
+            # rank itself fails `rank < tau` and gets weight 0.
+            tau = kth_smallest(ball, self.k, sup=1.0)
+            for node, _, rank in group:
+                if rank < tau:
+                    weights.append(1.0 / tau)
+                else:
+                    weights.append(0.0)  # holds the k-th rank: not sampled
+            ranks_so_far = ball
+        return weights
+
+    def cardinality_at(self, d: float = math.inf) -> float:
+        weights = self.hip_weights()
+        return sum(
+            w for (_, dist, _), w in zip(self.entries, weights) if dist <= d
+        )
+
+
+def build_no_tiebreak_ads(
+    graph: Graph,
+    k: int,
+    family: HashFamily,
+    ranks: Optional[RankAssignment] = None,
+) -> Dict[Node, NoTiebreakADS]:
+    """Build the Appendix-A ADS for every node by direct definition
+    (single-source scans; O(n(m + n log n)) -- this variant is provided
+    for completeness and validated at moderate sizes)."""
+    rank_map = ranks if ranks is not None else UniformRanks(family)
+    result: Dict[Node, NoTiebreakADS] = {}
+    for source in graph.nodes():
+        dist = single_source_distances(graph, source)
+        by_distance: Dict[float, List[Tuple[Hashable, float, float]]] = (
+            defaultdict(list)
+        )
+        for node, d in dist.items():
+            by_distance[d].append((node, d, rank_map.rank(node)))
+        entries: List[Tuple[Hashable, float, float]] = []
+        ranks_so_far: List[float] = []
+        for d in sorted(by_distance):
+            group = by_distance[d]
+            ball_ranks = ranks_so_far + [r for _, _, r in group]
+            threshold = kth_smallest(ball_ranks, k, sup=1.0)
+            for node, dd, r in group:
+                # Included iff among the k smallest ranks of the ball
+                # (r == threshold exactly when the node holds the k-th
+                # smallest rank itself; Appendix A keeps it in the sketch
+                # but gives it adjusted weight 0).
+                if r <= threshold:
+                    entries.append((node, dd, r))
+            ranks_so_far = ball_ranks
+        result[source] = NoTiebreakADS(source, k, entries)
+    return result

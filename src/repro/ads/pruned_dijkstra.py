@@ -1,0 +1,95 @@
+"""PRUNEDDIJKSTRA (Algorithm 1): ADS sets via rank-ordered pruned scans.
+
+Process nodes u by increasing rank; run Dijkstra from u on the transpose
+graph; at each scanned node v, insert (r(u), d_vu) into ADS(v) unless k
+strictly-closer entries already exist -- in which case prune the search at
+v.  Because ranks arrive in increasing order, every inserted entry is
+final, and pruning is sound: if k closer smaller-rank nodes block u at v,
+they also block u at every node whose shortest path to u passes through v.
+
+Works on weighted and unweighted, directed and undirected graphs, and for
+all three flavors (k-mins and k-partition reduce to bottom-1 runs,
+Section 3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, insort
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.ads.entry import AdsEntry
+from repro.graph.digraph import Graph, Node
+
+
+class BuildStats:
+    """Work counters exposed by every builder (Appendix B.2 benchmarks)."""
+
+    def __init__(self) -> None:
+        self.relaxations = 0  # heap pushes / edge relaxations
+        self.insertions = 0   # entries added to some ADS
+        self.evictions = 0    # entries later removed (LocalUpdates only)
+        self.rounds = 0       # synchronous rounds (DP / LocalUpdates)
+
+    def __repr__(self) -> str:
+        return (
+            f"BuildStats(relaxations={self.relaxations}, "
+            f"insertions={self.insertions}, evictions={self.evictions}, "
+            f"rounds={self.rounds})"
+        )
+
+
+def pruned_dijkstra_core(
+    graph: Graph,
+    candidates: Sequence[Node],
+    k: int,
+    rank_of: Callable[[Node], float],
+    tiebreak_of: Callable[[Node], int],
+    stats: BuildStats,
+    bucket: int = None,
+    permutation: int = None,
+) -> Dict[Node, List[AdsEntry]]:
+    """One bottom-k competition among *candidates*, inserting into the
+    ADS of every node of *graph* (forward ADS: distances measured from the
+    ADS owner to the candidate).
+
+    *candidates* is the set of nodes allowed to appear as entries: all
+    nodes for bottom-k / k-mins runs, one bucket's members for
+    k-partition runs.
+    """
+    transpose = graph.transpose()
+    entries: Dict[Node, List[AdsEntry]] = {v: [] for v in graph.nodes()}
+    keys: Dict[Node, List[Tuple[float, int]]] = {v: [] for v in graph.nodes()}
+    order = sorted(candidates, key=rank_of)
+    for u in order:
+        r_u = rank_of(u)
+        tb_u = tiebreak_of(u)
+        visited = set()
+        heap: List[Tuple[float, int, Node]] = [(0.0, tiebreak_of(u), u)]
+        while heap:
+            d, _, v = heapq.heappop(heap)
+            if v in visited:
+                continue
+            visited.add(v)
+            key = (d, tb_u)
+            key_list = keys[v]
+            position = bisect_left(key_list, key)
+            if position >= k:
+                continue  # prune: u cannot enter ADS(v) nor any ADS behind v
+            insort(key_list, key)
+            entries[v].append(
+                AdsEntry(
+                    node=u,
+                    distance=d,
+                    rank=r_u,
+                    tiebreak=tb_u,
+                    bucket=bucket,
+                    permutation=permutation,
+                )
+            )
+            stats.insertions += 1
+            for w, weight in transpose.out_neighbors(v):
+                stats.relaxations += 1
+                if w not in visited:
+                    heapq.heappush(heap, (d + weight, tiebreak_of(w), w))
+    return entries

@@ -1,0 +1,188 @@
+"""ADS over data streams (Section 3.1).
+
+A stream of (element, time) entries admits two distance notions:
+
+* elapsed time from the stream start to the element's *first* occurrence
+  (:class:`FirstOccurrenceStreamADS`) -- elements are inserted in
+  increasing distance, so maintenance is exactly a bottom-k sketch whose
+  update history is recorded;
+* elapsed time from the element's *most recent* occurrence back from a
+  horizon T (:class:`RecentOccurrenceStreamADS`) -- the newest entry is
+  always nearest, so every arrival inserts and may evict older entries
+  (the time-decaying setting of [18]).
+
+Both produce entry sequences on which the standard HIP machinery applies
+(with elapsed time playing the role of distance), which is how Section 6
+turns any MinHash sketch into a distinct counter.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Hashable, List, Optional, Tuple
+
+from repro._util import require
+from repro.errors import ParameterError
+from repro.estimators.hip import bottom_k_adjusted_weights, hip_cardinality
+from repro.rand.hashing import HashFamily
+from repro.rand.ranks import RankAssignment, UniformRanks
+
+
+class FirstOccurrenceStreamADS:
+    """Bottom-k ADS w.r.t. time of first occurrence (Section 3.1, case i).
+
+    Equivalent to maintaining a bottom-k MinHash sketch of the distinct
+    prefix and recording every modification: the recorded (element, time,
+    rank) triples *are* the ADS entries, already in scan order.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        family: HashFamily,
+        ranks: Optional[RankAssignment] = None,
+    ):
+        require(k >= 1, f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.family = family
+        self.ranks = ranks if ranks is not None else UniformRanks(family)
+        self._heap: List[float] = []  # max-heap (negated) of k smallest ranks
+        self._members: set = set()
+        self.entries: List[Tuple[Hashable, float, float]] = []  # (elem, t, rank)
+        self._last_time = -math.inf
+
+    def add(self, element: Hashable, time: float) -> bool:
+        """Process a stream entry (element, time); True if inserted."""
+        if time < self._last_time:
+            raise ParameterError(
+                f"stream times must be non-decreasing; got {time} after "
+                f"{self._last_time}"
+            )
+        self._last_time = time
+        if element in self._members:
+            return False
+        r = self.ranks.rank(element)
+        if len(self._heap) >= self.k and r >= -self._heap[0]:
+            return False
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, -r)
+        else:
+            heapq.heapreplace(self._heap, -r)
+        self._members.add(element)
+        self.entries.append((element, time, r))
+        return True
+
+    # -- estimation -----------------------------------------------------
+    def hip_weights(self) -> List[float]:
+        return bottom_k_adjusted_weights(
+            [rank for _, _, rank in self.entries], self.k
+        )
+
+    def distinct_count(self, up_to_time: float = math.inf) -> float:
+        """HIP estimate of the number of distinct elements whose first
+        occurrence is at time <= up_to_time."""
+        return hip_cardinality(
+            self.hip_weights(),
+            [t for _, t, _ in self.entries],
+            up_to_time,
+        )
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+class RecentOccurrenceStreamADS:
+    """Bottom-k ADS w.r.t. recency: distance of an element is T - t_last
+    (Section 3.1, case ii).
+
+    The newest arrival is always the nearest entry, so it is always
+    inserted; older entries whose rank is no longer among the k smallest
+    seen while scanning outward are cleaned up.  Supports time-decaying
+    statistics: ``decayed_sum(alpha, now)`` estimates
+    ``sum over distinct elements of alpha(now - t_last)``.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        family: HashFamily,
+        horizon: float,
+        ranks: Optional[RankAssignment] = None,
+    ):
+        require(k >= 1, f"k must be >= 1, got {k}")
+        self.k = int(k)
+        self.family = family
+        self.horizon = float(horizon)
+        self.ranks = ranks if ranks is not None else UniformRanks(family)
+        # Entries sorted by increasing distance T - t (newest first).
+        self.entries: List[Tuple[float, Hashable, float]] = []  # (T-t, elem, rank)
+        self._last_time = -math.inf
+
+    def add(self, element: Hashable, time: float) -> bool:
+        """Process (element, time); always inserts, may evict others."""
+        if time < self._last_time:
+            raise ParameterError(
+                f"stream times must be non-decreasing; got {time} after "
+                f"{self._last_time}"
+            )
+        if time >= self.horizon:
+            raise ParameterError(
+                f"time {time} is not before the horizon {self.horizon}"
+            )
+        self._last_time = time
+        distance = self.horizon - time
+        r = self.ranks.rank(element)
+        # Remove a previous occurrence of the element, if present.
+        self.entries = [e for e in self.entries if e[1] != element]
+        self.entries.insert(0, (distance, element, r))
+        self._cleanup()
+        return True
+
+    def _cleanup(self) -> None:
+        """Keep an entry only while its rank is among the k smallest
+        scanned so far (increasing distance) -- the bottom-k ADS rule for
+        decreasing-distance insertion order."""
+        kept: List[Tuple[float, Hashable, float]] = []
+        heap: List[float] = []  # max-heap (negated) of k smallest ranks
+        for distance, element, rank in sorted(self.entries):
+            if len(heap) < self.k:
+                heapq.heappush(heap, -rank)
+                kept.append((distance, element, rank))
+            elif rank < -heap[0]:
+                heapq.heapreplace(heap, -rank)
+                kept.append((distance, element, rank))
+        self.entries = kept
+
+    # -- estimation -----------------------------------------------------
+    def hip_weights(self) -> List[float]:
+        return bottom_k_adjusted_weights(
+            [rank for _, _, rank in sorted(self.entries)], self.k
+        )
+
+    def distinct_count_within(self, window: float, now: float) -> float:
+        """HIP estimate of the number of distinct elements seen in the
+        last *window* time units before *now*."""
+        weights = self.hip_weights()
+        ordered = sorted(self.entries)
+        total = 0.0
+        for (distance, _, _), weight in zip(ordered, weights):
+            recency = distance - (self.horizon - now)
+            if 0.0 <= recency <= window:
+                total += weight
+        return total
+
+    def decayed_sum(self, alpha, now: float) -> float:
+        """HIP estimate of sum over distinct elements of alpha(age) where
+        age = now - (time of most recent occurrence)."""
+        weights = self.hip_weights()
+        ordered = sorted(self.entries)
+        total = 0.0
+        for (distance, _, _), weight in zip(ordered, weights):
+            age = distance - (self.horizon - now)
+            if age >= 0.0:
+                total += weight * float(alpha(age))
+        return total
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,66 @@
+"""Non-uniform node weights (Section 9).
+
+To estimate *weighted* neighborhood sizes ``n_d(v) = sum_{d_vj <= d}
+beta(j)`` with the uniform-case CV guarantees, ranks are drawn
+exponentially with rate beta(j) (heavier nodes get smaller ranks, hence
+higher inclusion probability).  The ADS definitions and builders are
+unchanged -- only the rank assignment differs -- and HIP generalises: when
+node j enters ADS(v) past threshold tau, its conditioned inclusion
+probability is ``P[Exp(beta_j) < tau] = 1 - exp(-beta_j tau)``, and its
+adjusted weight for the *weighted* statistic is ``beta_j`` over that.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Hashable, List
+
+from repro._util import require
+from repro.ads.base import BottomKADS
+from repro.estimators.hip import bottom_k_adjusted_weights
+from repro.rand.hashing import HashFamily
+from repro.rand.ranks import ExponentialRanks
+
+
+class WeightedBottomKADS(BottomKADS):
+    """Bottom-k ADS built with Exp(beta) ranks (rank_sup = inf).
+
+    ``hip_weights()`` returns unbiased estimates of each entry's
+    *presence* (expectation 1); ``weighted_cardinality_at`` multiplies by
+    beta to estimate neighborhood weight.
+    """
+
+    flavor = "bottomk-weighted"
+
+    def __init__(self, source, k, entries, family, beta):
+        super().__init__(source, k, entries, family, rank_sup=math.inf)
+        self.beta = beta
+
+    def _compute_hip_weights(self) -> List[float]:
+        betas = [float(self.beta(e.node)) for e in self.entries]
+
+        def inclusion(tau: float, index: int) -> float:
+            return -math.expm1(-betas[index] * tau)
+
+        return bottom_k_adjusted_weights(
+            [e.rank for e in self.entries],
+            self.k,
+            inclusion_probability=inclusion,
+        )
+
+    def weighted_cardinality_at(self, d: float = math.inf) -> float:
+        """HIP estimate of sum of beta(j) over nodes within distance d."""
+        weights = self.hip_weights()
+        cutoff = self.size_at(d)
+        total = 0.0
+        for entry, weight in zip(self.entries[:cutoff], weights[:cutoff]):
+            total += weight * float(self.beta(entry.node))
+        return total
+
+
+def exponential_rank_assignment(
+    family: HashFamily, beta: Callable[[Hashable], float]
+) -> ExponentialRanks:
+    """The Section-9 rank map: r(i) = -ln(1 - u_i) / beta(i)."""
+    require(beta is not None, "beta must be provided")
+    return ExponentialRanks(family, weight=beta)

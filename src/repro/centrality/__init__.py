@@ -1,0 +1,34 @@
+"""Graph analytics built on ADS sketches: centralities and neighborhood
+functions (the applications of Sections 1 and Appendix B.1)."""
+
+from repro.centrality.closeness import (
+    all_closeness_centralities,
+    closeness_centrality,
+    harmonic_centrality,
+    top_k_central_nodes,
+)
+from repro.centrality.neighborhood import (
+    HyperANF,
+    effective_diameter_estimate,
+    graph_neighborhood_function,
+    node_neighborhood_function,
+)
+from repro.centrality.similarity import (
+    closeness_similarity,
+    most_similar_nodes,
+    neighborhood_jaccard,
+)
+
+__all__ = [
+    "closeness_centrality",
+    "harmonic_centrality",
+    "all_closeness_centralities",
+    "top_k_central_nodes",
+    "node_neighborhood_function",
+    "graph_neighborhood_function",
+    "effective_diameter_estimate",
+    "HyperANF",
+    "neighborhood_jaccard",
+    "closeness_similarity",
+    "most_similar_nodes",
+]

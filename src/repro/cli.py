@@ -1,0 +1,212 @@
+"""Command-line interface: sketch graphs and query them from the shell.
+
+    python -m repro sketch GRAPH.txt --k 16 --out sketches.txt
+    python -m repro centrality GRAPH.txt --k 16 --top 10 --kind harmonic
+    python -m repro neighborhood GRAPH.txt --node 5 --k 16
+    python -m repro distinct-count < one_element_per_line.txt
+    python -m repro figures fig2 --k 10 --runs 100 --max-n 4000
+
+The CLI is a thin veneer over the library; every command prints plain
+text so results can be piped into standard tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.ads import build_ads_set
+from repro.centrality import (
+    all_closeness_centralities,
+    top_k_central_nodes,
+)
+from repro.counters import HipDistinctCounter
+from repro.estimators.statistics import (
+    exponential_decay_kernel,
+    harmonic_kernel,
+)
+from repro.graph.io import read_edge_list
+from repro.rand.hashing import HashFamily
+from repro.sketches import HyperLogLog
+
+
+def _add_common_graph_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("graph", help="edge-list file (u v [weight] per line)")
+    parser.add_argument("--k", type=int, default=16, help="sketch size")
+    parser.add_argument("--seed", type=int, default=0, help="hash seed")
+    parser.add_argument(
+        "--directed",
+        action="store_true",
+        help="force directed interpretation of the edge list",
+    )
+    parser.add_argument(
+        "--int-nodes",
+        action="store_true",
+        help="parse node tokens as integers",
+    )
+
+
+def _load(args) -> tuple:
+    node_type = int if args.int_nodes else str
+    graph = read_edge_list(
+        args.graph,
+        directed=True if args.directed else None,
+        node_type=node_type,
+    )
+    family = HashFamily(args.seed)
+    return graph, family
+
+
+def cmd_sketch(args) -> int:
+    graph, family = _load(args)
+    ads_set = build_ads_set(graph, args.k, family=family)
+    out = open(args.out, "w") if args.out else sys.stdout
+    try:
+        for node, ads in ads_set.items():
+            entries = " ".join(
+                f"{e.node}:{e.distance:g}:{e.rank:.6g}" for e in ads.entries
+            )
+            print(f"{node}\t{entries}", file=out)
+    finally:
+        if args.out:
+            out.close()
+    sizes = [len(ads) for ads in ads_set.values()]
+    print(
+        f"# {len(ads_set)} sketches, mean size {sum(sizes) / len(sizes):.1f}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_centrality(args) -> int:
+    graph, family = _load(args)
+    ads_set = build_ads_set(graph, args.k, family=family)
+    if args.kind == "classic":
+        values = all_closeness_centralities(ads_set, classic=True)
+    elif args.kind == "harmonic":
+        values = all_closeness_centralities(ads_set, alpha=harmonic_kernel())
+    elif args.kind == "decay":
+        values = all_closeness_centralities(
+            ads_set, alpha=exponential_decay_kernel(args.half_life)
+        )
+    else:  # sum of distances
+        values = all_closeness_centralities(ads_set)
+    for node, value in top_k_central_nodes(values, args.top):
+        print(f"{node}\t{value:.6g}")
+    return 0
+
+
+def cmd_neighborhood(args) -> int:
+    graph, family = _load(args)
+    node = int(args.node) if args.int_nodes else args.node
+    ads_set = build_ads_set(graph, args.k, family=family)
+    if node not in ads_set:
+        print(f"node {node!r} not in graph", file=sys.stderr)
+        return 1
+    for distance, estimate in ads_set[node].neighborhood_function():
+        print(f"{distance:g}\t{estimate:.2f}")
+    return 0
+
+
+def cmd_distinct_count(args) -> int:
+    counter = HipDistinctCounter(
+        HyperLogLog(args.k, HashFamily(args.seed), args.register_bits)
+    )
+    stream = args.input if args.input else sys.stdin
+    handle = open(stream) if isinstance(stream, str) else stream
+    try:
+        for line in handle:
+            element = line.strip()
+            if element:
+                counter.add(element)
+    finally:
+        if isinstance(stream, str):
+            handle.close()
+    print(f"hip\t{counter.estimate():.1f}")
+    print(f"hll\t{counter.sketch.estimate():.1f}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.eval.fig2 import Fig2Config, run_figure2
+    from repro.eval.fig3 import Fig3Config, run_figure3
+    from repro.eval.reporting import render_table
+
+    if args.figure == "fig2":
+        result = run_figure2(
+            Fig2Config(k=args.k, runs=args.runs, max_n=args.max_n)
+        )
+    else:
+        result = run_figure3(
+            Fig3Config(k=args.k, runs=args.runs, max_n=args.max_n)
+        )
+    print(
+        render_table(
+            f"{args.figure} k={args.k} runs={args.runs} max_n={args.max_n}",
+            "size",
+            result.checkpoints,
+            result.nrmse,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="All-Distances Sketches with HIP estimators (CLI)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("sketch", help="build and dump the ADS of every node")
+    _add_common_graph_args(p)
+    p.add_argument("--out", help="output file (default: stdout)")
+    p.set_defaults(func=cmd_sketch)
+
+    p = sub.add_parser("centrality", help="rank nodes by estimated centrality")
+    _add_common_graph_args(p)
+    p.add_argument(
+        "--kind",
+        choices=["classic", "harmonic", "decay", "distsum"],
+        default="classic",
+    )
+    p.add_argument("--half-life", type=float, default=1.0)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_centrality)
+
+    p = sub.add_parser(
+        "neighborhood", help="estimated distance distribution of one node"
+    )
+    _add_common_graph_args(p)
+    p.add_argument("--node", required=True)
+    p.set_defaults(func=cmd_neighborhood)
+
+    p = sub.add_parser(
+        "distinct-count",
+        help="HIP + HLL distinct count of newline-separated elements",
+    )
+    p.add_argument("--k", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--register-bits", type=int, default=5)
+    p.add_argument("--input", help="file to read (default: stdin)")
+    p.set_defaults(func=cmd_distinct_count)
+
+    p = sub.add_parser("figures", help="regenerate a paper figure panel")
+    p.add_argument("figure", choices=["fig2", "fig3"])
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--runs", type=int, default=100)
+    p.add_argument("--max-n", type=int, default=10_000)
+    p.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

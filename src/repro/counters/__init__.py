@@ -1,0 +1,17 @@
+"""Approximate counters (Section 7) and the HIP distinct counter (Section 6).
+
+:class:`~repro.counters.morris.MorrisCounter` is the classic O(log log n)-
+bit approximate counter of Morris/Flajolet, extended -- as Section 7 of the
+paper does -- to arbitrary positive weighted increments and counter merges
+via inverse-probability estimation.
+
+:class:`~repro.counters.hip_distinct.HipDistinctCounter` is the paper's
+streaming distinct counter: any MinHash sketch plus a running sum of HIP
+adjusted weights, updated only when the sketch itself updates.  With a
+HyperLogLog sketch it is exactly Algorithm 3.
+"""
+
+from repro.counters.hip_distinct import HipDistinctCounter, algorithm3_counter
+from repro.counters.morris import MorrisCounter
+
+__all__ = ["MorrisCounter", "HipDistinctCounter", "algorithm3_counter"]

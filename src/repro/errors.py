@@ -1,0 +1,17 @@
+"""Exception types shared across the library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An argument is outside its documented domain (e.g. k < 1, b <= 1)."""
+
+
+class GraphError(ReproError, ValueError):
+    """A graph operation received an invalid node, edge, or weight."""
+
+
+class EstimatorError(ReproError, ValueError):
+    """An estimator was applied to a sketch it cannot handle."""

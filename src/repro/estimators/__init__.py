@@ -1,0 +1,75 @@
+"""Cardinality and statistics estimators (Sections 4, 5, 8 of the paper).
+
+* :mod:`repro.estimators.basic` -- the classic per-flavor MinHash
+  cardinality estimators (Section 4); UMVUE-optimal for their inputs.
+* :mod:`repro.estimators.hip` -- Historic Inverse Probability adjusted
+  weights for all three ADS flavors (Section 5); halves the variance.
+* :mod:`repro.estimators.permutation` -- the permutation estimator
+  (Section 5.4), superior when cardinality is a good fraction of n.
+* :mod:`repro.estimators.size` -- the unbiased estimator that uses only
+  the ADS size (Section 8).
+* :mod:`repro.estimators.statistics` -- HIP estimation of Q_g and
+  C_{alpha,beta} (Equations 1-3, 5) with the standard decay kernels.
+* :mod:`repro.estimators.naive` -- the reachable-set MinHash baseline the
+  introduction compares HIP against.
+* :mod:`repro.estimators.bounds` -- every closed-form CV / MRE / size
+  expression the paper states, used as test oracles and figure overlays.
+"""
+
+from repro.estimators.basic import (
+    bottom_k_cardinality,
+    k_mins_cardinality,
+    k_partition_cardinality,
+)
+from repro.estimators.bounds import (
+    basic_cv_upper_bound,
+    basic_mre_kmins,
+    expected_ads_size_bottomk,
+    expected_ads_size_kpartition,
+    hip_base_b_cv,
+    hip_cv_upper_bound,
+    hip_cv_lower_bound,
+    hip_mre_reference,
+)
+from repro.estimators.hip import (
+    bottom_k_adjusted_weights,
+    hip_cardinality,
+    hip_statistic,
+    k_mins_adjusted_weights,
+    k_partition_adjusted_weights,
+)
+from repro.estimators.permutation import PermutationCardinalityEstimator
+from repro.estimators.size import size_cardinality_estimate
+from repro.estimators.statistics import (
+    closeness_centrality_estimate,
+    exponential_decay_kernel,
+    harmonic_kernel,
+    neighborhood_kernel,
+    q_statistic_estimate,
+)
+
+__all__ = [
+    "k_mins_cardinality",
+    "bottom_k_cardinality",
+    "k_partition_cardinality",
+    "bottom_k_adjusted_weights",
+    "k_mins_adjusted_weights",
+    "k_partition_adjusted_weights",
+    "hip_cardinality",
+    "hip_statistic",
+    "PermutationCardinalityEstimator",
+    "size_cardinality_estimate",
+    "q_statistic_estimate",
+    "closeness_centrality_estimate",
+    "neighborhood_kernel",
+    "exponential_decay_kernel",
+    "harmonic_kernel",
+    "basic_cv_upper_bound",
+    "hip_cv_upper_bound",
+    "hip_cv_lower_bound",
+    "hip_base_b_cv",
+    "basic_mre_kmins",
+    "hip_mre_reference",
+    "expected_ads_size_bottomk",
+    "expected_ads_size_kpartition",
+]

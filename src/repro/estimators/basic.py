@@ -1,0 +1,101 @@
+"""Basic MinHash cardinality estimators (Section 4).
+
+"Basic" is the paper's name for estimators applied to the MinHash sketch
+alone (as opposed to HIP, which uses the whole ADS / update history).  By
+the Lehmann-Scheffe argument of Section 4 these are the unique minimum-
+variance unbiased estimators of their inputs -- HIP beats them only by
+consuming *more* information, not by better arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Optional, Sequence
+
+from repro._util import require
+from repro.errors import EstimatorError
+
+
+def k_mins_cardinality(minima: Sequence[float]) -> float:
+    """(k-1) / sum_h -ln(1 - x_h)  over the k permutation minima.
+
+    Unbiased for k > 1 with CV = 1/sqrt(k-2) (Section 4.1).  Minima equal
+    to 1 denote untouched permutations (empty set contributes infinity to
+    the denominator, so an all-empty sketch estimates 0).
+    """
+    k = len(minima)
+    require(k >= 2, f"the k-mins estimator requires k >= 2, got k={k}")
+    total = 0.0
+    for x in minima:
+        if not 0.0 <= x <= 1.0:
+            raise EstimatorError(f"k-mins minima must lie in [0,1], got {x}")
+        if x >= 1.0:
+            return 0.0  # an untouched permutation => empty set
+        total += -math.log1p(-x)
+    if total == 0.0:
+        raise EstimatorError("all permutation minima are exactly 0")
+    return (k - 1) / total
+
+
+def bottom_k_cardinality(
+    size: int, tau: float, k: int, sup: float = 1.0
+) -> float:
+    """The conditional inverse-probability bottom-k estimate (Section 4.2).
+
+    Parameters
+    ----------
+    size:
+        Number of elements currently in the sketch.
+    tau:
+        kth smallest rank (``sup`` when fewer than k elements were seen).
+    k:
+        Sketch size parameter.
+    sup:
+        Supremum of the rank range: 1 for uniform ranks, ``inf`` for
+        exponential ranks (Section 9); selects the inclusion-probability
+        formula ``tau`` vs ``1 - exp(-tau)``.
+
+    When the sketch holds fewer than k elements the estimate is *exact*
+    (= size); otherwise it is ``(k-1) / P[rank < tau]``.
+    """
+    require(k >= 1, f"k must be >= 1, got {k}")
+    require(size >= 0, f"size must be >= 0, got {size}")
+    if size < k:
+        return float(size)
+    if sup == 1.0:
+        require(0.0 < tau <= 1.0, f"uniform tau must be in (0,1], got {tau}")
+        inclusion = tau
+    elif math.isinf(sup):
+        require(tau > 0.0, f"exponential tau must be positive, got {tau}")
+        inclusion = -math.expm1(-tau)
+    else:
+        raise EstimatorError(f"unsupported rank supremum {sup!r}")
+    return (k - 1) / inclusion
+
+
+def k_partition_cardinality(
+    minima: Sequence[float], argmin: Sequence[Optional[Hashable]]
+) -> float:
+    """k'(k'-1) / sum over nonempty buckets of -ln(1 - x)  (Section 4.3).
+
+    k' is the number of nonempty buckets; conditioning on k' and treating
+    buckets as equal n/k' shares reduces to a k'-mins estimate scaled by
+    k'.  When k' <= 1 the estimate is the number of nonempty buckets
+    itself (the paper notes the estimator is 0 at k'=1 before this floor;
+    returning k' in {0,1} keeps tiny-set estimates sane and only affects
+    cardinalities <= 1 in expectation).
+    """
+    require(len(minima) == len(argmin), "minima/argmin length mismatch")
+    k_prime = sum(1 for item in argmin if item is not None)
+    if k_prime <= 1:
+        return float(k_prime)
+    total = 0.0
+    for x, item in zip(minima, argmin):
+        if item is None:
+            continue
+        if not 0.0 < x < 1.0:
+            raise EstimatorError(f"nonempty bucket minimum must be in (0,1), got {x}")
+        total += -math.log1p(-x)
+    if total == 0.0:
+        raise EstimatorError("all bucket minima are exactly 0")
+    return k_prime * (k_prime - 1) / total

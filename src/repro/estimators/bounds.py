@@ -1,0 +1,149 @@
+"""Closed-form variance / error / size expressions stated in the paper.
+
+These are the oracle values the figures overlay and the tests compare
+simulations against:
+
+* Section 4.1: basic k-mins CV ``1/sqrt(k-2)`` and its exact MRE.
+* Theorem 5.1: HIP CV upper bound ``1/sqrt(2(k-1))`` (exact finite-n form).
+* Theorem 5.2: HIP CV lower bound ``1/sqrt(2k)``.
+* Section 5.6: base-b HIP CV ``sqrt((1+b)/(4(k-1)))``.
+* Lemma 2.2: expected ADS sizes.
+* Section 6: the HLL reference constant 1.08/sqrt(k).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._util import harmonic_number, require
+
+
+def basic_cv_upper_bound(k: int) -> float:
+    """CV of the basic k-mins estimator, 1/sqrt(k-2); also an upper bound
+    for the basic bottom-k estimator (Lemma 4.3).  Requires k > 2."""
+    require(k > 2, f"basic CV bound needs k > 2 (variance unbounded), got {k}")
+    return 1.0 / math.sqrt(k - 2)
+
+
+def basic_cv_lower_bound(k: int) -> float:
+    """Cramer-Rao bound for any unbiased k-mins estimator (Lemma 4.1)."""
+    require(k >= 1, f"k must be >= 1, got {k}")
+    return 1.0 / math.sqrt(k)
+
+
+def hip_cv_upper_bound(k: int) -> float:
+    """First-order CV bound of the bottom-k HIP estimator, 1/sqrt(2(k-1))
+    (Theorem 5.1).  Requires k > 1."""
+    require(k > 1, f"HIP CV bound needs k > 1, got {k}")
+    return 1.0 / math.sqrt(2.0 * (k - 1))
+
+
+def hip_cv_finite_n(n: int, k: int) -> float:
+    """Theorem 5.1's exact finite-n bound
+    sqrt(1 - (n + k(k-1))/n^2) / sqrt(2(k-1)); zero when n <= k."""
+    require(k > 1, f"HIP CV bound needs k > 1, got {k}")
+    require(n >= 1, f"n must be >= 1, got {n}")
+    if n <= k:
+        return 0.0
+    inner = 1.0 - (n + k * (k - 1)) / float(n * n)
+    return math.sqrt(max(inner, 0.0)) / math.sqrt(2.0 * (k - 1))
+
+
+def hip_cv_lower_bound(k: int) -> float:
+    """Asymptotic lower bound 1/sqrt(2k) for any unbiased nonnegative
+    linear estimator on the ADS (Theorem 5.2)."""
+    require(k >= 1, f"k must be >= 1, got {k}")
+    return 1.0 / math.sqrt(2.0 * k)
+
+
+def hip_base_b_cv(k: int, b: float) -> float:
+    """Section 5.6 / Section 6: CV of HIP with base-b rounded ranks,
+    sqrt((1+b) / (4(k-1))).  At b=2 this is ~0.866/sqrt(k)."""
+    require(k > 1, f"k must be > 1, got {k}")
+    require(b > 1.0, f"base must be > 1, got {b}")
+    return math.sqrt((1.0 + b) / (4.0 * (k - 1)))
+
+
+def hll_nrmse_reference(k: int, constant: float = 1.08) -> float:
+    """The paper's quoted HyperLogLog NRMSE, ~1.08/sqrt(k) (Section 6)."""
+    require(k >= 1, f"k must be >= 1, got {k}")
+    return constant / math.sqrt(k)
+
+
+def basic_mre_kmins(k: int) -> float:
+    """Exact MRE of the basic k-mins estimator (Section 4.1):
+    2 (k-1)^{k-2} / ((k-2)! e^{k-1}).  Computed in log space."""
+    require(k > 2, f"MRE formula needs k > 2, got {k}")
+    log_value = (
+        math.log(2.0)
+        + (k - 2) * math.log(k - 1)
+        - math.lgamma(k - 1)
+        - (k - 1)
+    )
+    return math.exp(log_value)
+
+
+def basic_mre_kmins_approx(k: int) -> float:
+    """First-order approximation sqrt(2/(pi (k-2))) of the MRE above."""
+    require(k > 2, f"MRE approximation needs k > 2, got {k}")
+    return math.sqrt(2.0 / (math.pi * (k - 2)))
+
+
+def hip_mre_reference(k: int) -> float:
+    """The reference MRE for HIP shown in Figure 2, sqrt(1/(pi (k-1)))."""
+    require(k > 1, f"k must be > 1, got {k}")
+    return math.sqrt(1.0 / (math.pi * (k - 1)))
+
+
+def expected_ads_size_bottomk(n: int, k: int) -> float:
+    """Lemma 2.2: E|ADS| = sum_i min(1, k/i) = k + k (H_n - H_k) for a
+    node with n reachable nodes (n itself counted)."""
+    require(n >= 0, f"n must be >= 0, got {n}")
+    require(k >= 1, f"k must be >= 1, got {k}")
+    if n <= k:
+        return float(n)
+    return k + k * (harmonic_number(n) - harmonic_number(k))
+
+
+def expected_ads_size_kpartition(n: int, k: int) -> float:
+    """Lemma 2.2's k-partition size, computed exactly.
+
+    The paper states E|ADS| ~= k H_{n/k} assuming buckets hold n/k nodes
+    each; the exact value is ``k * E[H_X]`` with X ~ Binomial(n, 1/k)
+    (a bucket of X nodes contributes H_X prefix-minimum records).  The
+    two agree for n >> k; the exact form also covers the sparse regime
+    n ~ k where many buckets are empty.
+    """
+    require(n >= 0, f"n must be >= 0, got {n}")
+    require(k >= 1, f"k must be >= 1, got {k}")
+    if n <= 0:
+        return 0.0
+    if k == 1:
+        return harmonic_number(n)
+    p = 1.0 / k
+    mean = n * p
+    sd = math.sqrt(n * p * (1.0 - p))
+    lo = max(1, int(mean - 12.0 * sd) - 1)  # H_0 = 0: skip x = 0
+    hi = min(n, int(mean + 12.0 * sd) + 2)
+    log_p = math.log(p)
+    log_q = math.log1p(-p)
+    total = 0.0
+    for x in range(lo, hi + 1):
+        log_pmf = (
+            math.lgamma(n + 1)
+            - math.lgamma(x + 1)
+            - math.lgamma(n - x + 1)
+            + x * log_p
+            + (n - x) * log_q
+        )
+        total += math.exp(log_pmf) * harmonic_number(x)
+    return k * total
+
+
+def expected_ads_size_kpartition_approx(n: int, k: int) -> float:
+    """The paper's stated approximation k H_{n/k} (valid for n >> k)."""
+    require(n >= 0, f"n must be >= 0, got {n}")
+    require(k >= 1, f"k must be >= 1, got {k}")
+    if n <= 0:
+        return 0.0
+    return k * harmonic_number(max(1, round(n / k)))

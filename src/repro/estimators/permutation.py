@@ -1,0 +1,117 @@
+"""The permutation cardinality estimator (Section 5.4).
+
+A HIP variant for bottom-k sketches whose ranks are a strict random
+permutation of [n] (n = domain size, known).  Sampling ranks *without*
+replacement is more informative than i.i.d. uniform ranks once the
+estimated cardinality is a good fraction of n: the paper observes parity
+with plain HIP below 0.2 n and significant gains above.
+
+Operation (stream view, elements arriving by increasing distance / first
+occurrence): maintain the bottom-k of permutation ranks and a running
+estimate ``s_hat``.  The first k distinct elements each add weight 1
+(estimate exact).  Later, when an element's rank beats the current kth
+smallest rank mu, the expected number of distinct arrivals since the
+previous update is ``(n - s + 1)/(mu - k + 1)``; plugging the unbiased
+``s_hat`` for the unknown s gives the update weight.  Once the sketch
+holds exactly the ranks {1..k} no further update can occur and queries
+apply the saturation correction ``s_hat (k+1)/k - 1``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, List, Optional, Set
+
+from repro._util import require
+from repro.errors import EstimatorError
+from repro.rand.ranks import PermutationRanks
+
+
+class PermutationCardinalityEstimator:
+    """Streaming estimator over a known domain of size n.
+
+    Parameters
+    ----------
+    k:
+        Sketch size.
+    ranks:
+        A :class:`~repro.rand.ranks.PermutationRanks` over the full domain,
+        or None to supply integer ranks directly to :meth:`add_rank`.
+    n:
+        Domain size; inferred from *ranks* when omitted.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        ranks: Optional[PermutationRanks] = None,
+        n: Optional[int] = None,
+    ):
+        require(k >= 1, f"k must be >= 1, got {k}")
+        if ranks is None and n is None:
+            raise EstimatorError("either ranks or n must be provided")
+        self.k = int(k)
+        self.ranks = ranks
+        self.n = int(n if n is not None else ranks.n)
+        require(self.n >= 1, f"domain size must be >= 1, got {self.n}")
+        self._heap: List[int] = []  # max-heap (negated) of k smallest ranks
+        self._members: Set[int] = set()
+        self._estimate = 0.0
+
+    # ------------------------------------------------------------------
+    def add(self, item: Hashable) -> bool:
+        """Process a stream element through the permutation rank map."""
+        if self.ranks is None:
+            raise EstimatorError(
+                "this estimator was built without a rank map; use add_rank"
+            )
+        return self.add_rank(int(self.ranks.rank(item)))
+
+    def add_rank(self, sigma: int) -> bool:
+        """Process an element with permutation rank *sigma* in [1, n].
+
+        Returns True when the sketch (and the estimate) was updated.
+        Repeats are harmless: a rank already in the sketch is skipped, and
+        an evicted element's rank can never re-enter (it exceeds mu).
+        """
+        require(1 <= sigma <= self.n, f"rank {sigma} outside [1, {self.n}]")
+        if sigma in self._members:
+            return False
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, -sigma)
+            self._members.add(sigma)
+            self._estimate += 1.0
+            return True
+        mu = -self._heap[0]
+        if sigma >= mu:
+            return False
+        # Weight of the gap since the previous update (Section 5.4),
+        # computed with the *pre-update* mu and estimate.
+        weight = (self.n - self._estimate + 1.0) / (mu - self.k + 1.0)
+        self._estimate += weight
+        evicted = -heapq.heapreplace(self._heap, -sigma)
+        self._members.discard(evicted)
+        self._members.add(sigma)
+        return True
+
+    def update(self, items) -> int:
+        return sum(1 for item in items if self.add(item))
+
+    # ------------------------------------------------------------------
+    @property
+    def saturated(self) -> bool:
+        """True when the sketch holds exactly the ranks {1..k}."""
+        return len(self._heap) == self.k and -self._heap[0] == self.k
+
+    def estimate(self) -> float:
+        """Current cardinality estimate, with the saturation correction
+        ``s_hat (k+1)/k - 1`` applied when the sketch is saturated."""
+        if self.saturated:
+            return self._estimate * (self.k + 1.0) / self.k - 1.0
+        return self._estimate
+
+    def __repr__(self) -> str:
+        return (
+            f"PermutationCardinalityEstimator(k={self.k}, n={self.n}, "
+            f"estimate={self.estimate():.4g})"
+        )

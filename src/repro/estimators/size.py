@@ -1,0 +1,76 @@
+"""Cardinality estimation from the ADS size alone (Section 8).
+
+The number of ADS entries within distance d is itself informative: entry i
+(by Dijkstra rank) is present with probability min(1, k/i).  Lemma 8.1
+derives the *unique* unbiased estimator that uses only this count:
+
+    E_s = s                          for s <= k
+    E_s = k (1 + 1/k)^(s-k+1) - 1    for s > k
+
+Weaker than HIP (it ignores the rank values) but applicable when only the
+number of sketch modifications is observable -- e.g. watching an opaque
+streaming counter being updated.
+
+The closed form at k=1 gives 2^s - 1 (the text's "simply 2^s" drops the
+-1); :func:`size_estimates_by_recurrence` reproduces Lemma 8.1's defining
+recurrence exactly, and the tests verify the closed form against it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro._util import require
+
+
+def size_cardinality_estimate(s: int, k: int) -> float:
+    """Lemma 8.1's closed form, unbiased over the ADS-size distribution."""
+    require(s >= 0, f"size must be >= 0, got {s}")
+    require(k >= 1, f"k must be >= 1, got {k}")
+    if s <= k:
+        return float(s)
+    return k * (1.0 + 1.0 / k) ** (s - k + 1) - 1.0
+
+
+def ads_size_distribution(n: int, k: int) -> List[float]:
+    """P[|ADS| = i] for a neighborhood of n nodes: the C_{i,n} table of
+    Lemma 8.1, computed by its defining recurrence.
+
+    Returns a list of length n+1 (index = size).  Used as a test oracle:
+    the estimator must satisfy sum_i C_{i,n} E_i = n for every n.
+    """
+    require(n >= 0, f"n must be >= 0, got {n}")
+    require(k >= 1, f"k must be >= 1, got {k}")
+    # previous[i] = C_{i, ell} for the current prefix length ell.
+    previous = [0.0] * (n + 1)
+    previous[0] = 1.0  # C_{0,0} = 1: empty prefix, empty sketch
+    for ell in range(1, n + 1):
+        current = [0.0] * (n + 1)
+        p_include = min(1.0, k / ell)
+        for i in range(0, ell + 1):
+            stay = previous[i] * (1.0 - p_include) if i <= ell - 1 else 0.0
+            grow = previous[i - 1] * p_include if i >= 1 else 0.0
+            current[i] = stay + grow
+        previous = current
+    return previous
+
+
+def size_estimates_by_recurrence(k: int, s_max: int) -> List[float]:
+    """Solve recurrence (9) of Section 8 for E_k..E_{s_max}.
+
+    Returns a list indexed by s (entries below k are the exact values s).
+    The closed form must match this list; the tests assert it does.
+    """
+    require(k >= 1, f"k must be >= 1, got {k}")
+    require(s_max >= k, f"s_max must be >= k, got {s_max} < {k}")
+    estimates = [float(s) for s in range(s_max + 1)]
+    for s in range(k + 1, s_max + 1):
+        # Distribution of the ADS size after s elements: C_{i,s}.
+        distribution = ads_size_distribution(s, k)
+        acc = sum(
+            estimates[i] * distribution[i] for i in range(k, s)
+        )
+        if distribution[s] <= 0.0:
+            raise ZeroDivisionError("degenerate size distribution")
+        estimates[s] = (s - acc) / distribution[s]
+    return estimates

@@ -1,0 +1,39 @@
+"""Evaluation harness: the simulations behind the paper's figures.
+
+Section 5.5 observes that the estimators' error at cardinality n does not
+depend on graph structure -- only on the ranks of the first n scanned
+nodes -- so Figures 2 and 3 are stream simulations.  This subpackage
+contains faithful reimplementations of those simulations with two layers:
+
+* reference implementations that drive the actual library objects
+  (sketches, counters, estimators) element by element;
+* vectorised fast paths (numpy prefix-min / event-compression tricks)
+  used for the large sweeps, asserted equal to the reference layer in
+  the test suite.
+"""
+
+from repro.eval.fig2 import Fig2Config, run_figure2
+from repro.eval.fig3 import Fig3Config, run_figure3
+from repro.eval.metrics import error_summary, mean_relative_error, nrmse
+from repro.eval.reporting import render_table
+from repro.eval.tables import (
+    ads_size_table,
+    baseb_variance_table,
+    distinct_counter_constants_table,
+    morris_counter_table,
+)
+
+__all__ = [
+    "nrmse",
+    "mean_relative_error",
+    "error_summary",
+    "Fig2Config",
+    "run_figure2",
+    "Fig3Config",
+    "run_figure3",
+    "render_table",
+    "ads_size_table",
+    "distinct_counter_constants_table",
+    "baseb_variance_table",
+    "morris_counter_table",
+]

@@ -1,0 +1,243 @@
+"""Figure 2: NRMSE and MRE of neighborhood-cardinality estimators.
+
+The paper's panels (k in {5, 10, 50}) compare, as a function of the
+estimated cardinality, the basic estimators of all three flavors against
+the bottom-k HIP estimator and the permutation estimator, with the
+analytic reference lines 1/sqrt(k-2) and 1/sqrt(2(k-1)).
+
+Per Section 5.5 the simulation is graph-free: present n distinct elements
+in arrival order and estimate the prefix cardinality at log-spaced
+checkpoints.  The per-run estimators here are numpy fast paths
+(prefix-minima and event compression); tests assert they agree with the
+library's object-level implementations element for element.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import log_spaced_checkpoints, require
+from repro.estimators.bounds import (
+    basic_cv_upper_bound,
+    basic_mre_kmins_approx,
+    hip_cv_upper_bound,
+    hip_mre_reference,
+)
+from repro.estimators.permutation import PermutationCardinalityEstimator
+
+ALL_ESTIMATORS = (
+    "kmins_basic",
+    "kpartition_basic",
+    "bottomk_basic",
+    "bottomk_hip",
+    "permutation",
+)
+
+
+@dataclass
+class Fig2Config:
+    """One panel of Figure 2."""
+
+    k: int
+    runs: int
+    max_n: int
+    seed: int = 0
+    checkpoints_per_decade: int = 8
+    estimators: Tuple[str, ...] = ALL_ESTIMATORS
+
+    def __post_init__(self) -> None:
+        require(self.k >= 3, f"Figure 2 needs k >= 3, got {self.k}")
+        require(self.runs >= 1, "runs must be >= 1")
+        require(self.max_n >= self.k, "max_n must be >= k")
+        unknown = set(self.estimators) - set(ALL_ESTIMATORS)
+        require(not unknown, f"unknown estimators: {sorted(unknown)}")
+
+
+#: The paper's exact panel parameters.
+PAPER_FIG2_PANELS = (
+    Fig2Config(k=5, runs=1000, max_n=10_000),
+    Fig2Config(k=10, runs=500, max_n=10_000),
+    Fig2Config(k=50, runs=250, max_n=50_000),
+)
+
+
+@dataclass
+class Fig2Result:
+    config: Fig2Config
+    checkpoints: List[int]
+    nrmse: Dict[str, List[float]]
+    mre: Dict[str, List[float]]
+    references: Dict[str, float] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Per-run estimate series (one value per checkpoint)
+# ----------------------------------------------------------------------
+def kmins_estimates(
+    rank_matrix: np.ndarray, checkpoints: Sequence[int]
+) -> np.ndarray:
+    """Basic k-mins estimates at each checkpoint.
+
+    *rank_matrix* has shape (n, k): element i's rank in permutation h.
+    """
+    k = rank_matrix.shape[1]
+    prefix_min = np.minimum.accumulate(rank_matrix, axis=0)
+    out = np.empty(len(checkpoints))
+    for j, c in enumerate(checkpoints):
+        x = prefix_min[c - 1]
+        out[j] = (k - 1) / float(np.sum(-np.log1p(-x)))
+    return out
+
+
+def kpartition_estimates(
+    ranks: np.ndarray,
+    buckets: np.ndarray,
+    k: int,
+    checkpoints: Sequence[int],
+) -> np.ndarray:
+    """Basic k-partition estimates at each checkpoint (Section 4.3)."""
+    positions: List[np.ndarray] = []
+    running_minima: List[np.ndarray] = []
+    for h in range(k):
+        idx = np.flatnonzero(buckets == h)
+        positions.append(idx)
+        running_minima.append(
+            np.minimum.accumulate(ranks[idx]) if idx.size else np.empty(0)
+        )
+    out = np.empty(len(checkpoints))
+    for j, c in enumerate(checkpoints):
+        total = 0.0
+        k_prime = 0
+        for h in range(k):
+            pos = np.searchsorted(positions[h], c, side="left") - 1
+            if pos >= 0:
+                k_prime += 1
+                total += -math.log1p(-float(running_minima[h][pos]))
+        if k_prime <= 1 or total <= 0.0:
+            out[j] = float(k_prime)
+        else:
+            out[j] = k_prime * (k_prime - 1) / total
+    return out
+
+
+def bottomk_basic_estimates(
+    ranks: np.ndarray, k: int, checkpoints: Sequence[int]
+) -> np.ndarray:
+    """Basic bottom-k estimates at each checkpoint (exact below k)."""
+    out = np.empty(len(checkpoints))
+    for j, c in enumerate(checkpoints):
+        if c < k:
+            out[j] = float(c)
+        else:
+            tau = float(np.partition(ranks[:c], k - 1)[k - 1])
+            out[j] = (k - 1) / tau
+    return out
+
+
+def bottomk_hip_estimates(
+    ranks: np.ndarray, k: int, checkpoints: Sequence[int]
+) -> np.ndarray:
+    """Bottom-k HIP estimates at each checkpoint (event replay)."""
+    values = ranks.tolist()
+    heap: List[float] = []  # max-heap (negated) of the k smallest ranks
+    estimate = 0.0
+    out = np.empty(len(checkpoints))
+    cp_index = 0
+    total_cp = len(checkpoints)
+    for i, r in enumerate(values, start=1):
+        if len(heap) < k:
+            estimate += 1.0
+            heapq.heappush(heap, -r)
+        else:
+            tau = -heap[0]
+            if r < tau:
+                estimate += 1.0 / tau
+                heapq.heapreplace(heap, -r)
+        while cp_index < total_cp and checkpoints[cp_index] == i:
+            out[cp_index] = estimate
+            cp_index += 1
+    return out
+
+
+def permutation_estimates(
+    sigma: np.ndarray, k: int, n: int, checkpoints: Sequence[int]
+) -> np.ndarray:
+    """Permutation-estimator values at each checkpoint (Section 5.4)."""
+    estimator = PermutationCardinalityEstimator(k, n=n)
+    out = np.empty(len(checkpoints))
+    cp_index = 0
+    total_cp = len(checkpoints)
+    for i, rank in enumerate(sigma.tolist(), start=1):
+        estimator.add_rank(int(rank))
+        while cp_index < total_cp and checkpoints[cp_index] == i:
+            out[cp_index] = estimator.estimate()
+            cp_index += 1
+    return out
+
+
+# ----------------------------------------------------------------------
+# Panel runner
+# ----------------------------------------------------------------------
+def run_figure2(config: Fig2Config) -> Fig2Result:
+    """Run one panel: all configured estimators, all runs, all checkpoints."""
+    checkpoints = log_spaced_checkpoints(
+        config.max_n, config.checkpoints_per_decade
+    )
+    names = list(config.estimators)
+    sq_err = {name: np.zeros(len(checkpoints)) for name in names}
+    abs_err = {name: np.zeros(len(checkpoints)) for name in names}
+
+    truth = np.array(checkpoints, dtype=float)
+    for run in range(config.runs):
+        rng = np.random.RandomState(config.seed + 1_000_003 * run)
+        estimates: Dict[str, np.ndarray] = {}
+        if "kmins_basic" in names:
+            matrix = rng.random_sample((config.max_n, config.k))
+            estimates["kmins_basic"] = kmins_estimates(matrix, checkpoints)
+        if {"kpartition_basic", "bottomk_basic", "bottomk_hip"} & set(names):
+            ranks = rng.random_sample(config.max_n)
+            if "kpartition_basic" in names:
+                buckets = rng.randint(0, config.k, size=config.max_n)
+                estimates["kpartition_basic"] = kpartition_estimates(
+                    ranks, buckets, config.k, checkpoints
+                )
+            if "bottomk_basic" in names:
+                estimates["bottomk_basic"] = bottomk_basic_estimates(
+                    ranks, config.k, checkpoints
+                )
+            if "bottomk_hip" in names:
+                estimates["bottomk_hip"] = bottomk_hip_estimates(
+                    ranks, config.k, checkpoints
+                )
+        if "permutation" in names:
+            sigma = rng.permutation(config.max_n) + 1
+            estimates["permutation"] = permutation_estimates(
+                sigma, config.k, config.max_n, checkpoints
+            )
+        for name in names:
+            relative = estimates[name] / truth - 1.0
+            sq_err[name] += relative**2
+            abs_err[name] += np.abs(relative)
+
+    nrmse = {
+        name: list(np.sqrt(sq_err[name] / config.runs)) for name in names
+    }
+    mre = {name: list(abs_err[name] / config.runs) for name in names}
+    references = {
+        "basic_cv_ub": basic_cv_upper_bound(config.k),
+        "hip_cv_ub": hip_cv_upper_bound(config.k),
+        "basic_mre_ub": basic_mre_kmins_approx(config.k),
+        "hip_mre_ref": hip_mre_reference(config.k),
+    }
+    return Fig2Result(
+        config=config,
+        checkpoints=list(checkpoints),
+        nrmse=nrmse,
+        mre=mre,
+        references=references,
+    )

@@ -1,0 +1,184 @@
+"""Figure 3: HIP vs HyperLogLog distinct counting on the same sketch.
+
+Panels k in {16, 32, 64}, 5-bit saturating base-2 registers, cardinalities
+up to 10^6: the raw HLL estimator, the bias-corrected HLL estimator (with
+the small-range linear-counting patch), and the HIP estimator running on
+the identical register array, plus the analytic HIP line
+sqrt((b+1)/(4(k-1))).
+
+The fast path compresses each run to its O(k log n) register-update
+events: all three estimators' inputs (sum of 2^-M over all registers, the
+zero-register count, and the non-saturated threshold sum) change only at
+events, so a run over 10^6 elements costs one numpy pass plus a few
+hundred Python steps.  Tests assert exact agreement with the object-level
+HyperLogLog / HipDistinctCounter implementations fed the same values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro._util import log_spaced_checkpoints, require
+from repro.estimators.bounds import hip_base_b_cv
+from repro.sketches.hll import hll_alpha
+
+ALL_SERIES = ("hll_raw", "hll", "hip")
+
+
+@dataclass
+class Fig3Config:
+    """One panel of Figure 3."""
+
+    k: int
+    runs: int
+    max_n: int
+    register_bits: int = 5
+    seed: int = 0
+    checkpoints_per_decade: int = 6
+
+    def __post_init__(self) -> None:
+        require(self.k >= 2, f"k must be >= 2, got {self.k}")
+        require(self.runs >= 1, "runs must be >= 1")
+        require(self.max_n >= 1, "max_n must be >= 1")
+        require(self.register_bits >= 1, "register_bits must be >= 1")
+
+
+#: The paper's exact panel parameters.
+PAPER_FIG3_PANELS = (
+    Fig3Config(k=16, runs=5000, max_n=1_000_000),
+    Fig3Config(k=32, runs=5000, max_n=1_000_000),
+    Fig3Config(k=64, runs=2000, max_n=1_000_000),
+)
+
+
+@dataclass
+class Fig3Result:
+    config: Fig3Config
+    checkpoints: List[int]
+    nrmse: Dict[str, List[float]]
+    mre: Dict[str, List[float]]
+    references: Dict[str, float] = field(default_factory=dict)
+
+
+def registers_from_uniform(u: np.ndarray, max_register: int) -> np.ndarray:
+    """h = min(max_register, ceil(-log2 u)) -- Algorithm 3's hash step."""
+    h = np.ceil(-np.log2(u)).astype(np.int64)
+    np.clip(h, 1, max_register, out=h)
+    return h
+
+
+def simulate_run(
+    h_values: np.ndarray,
+    buckets: np.ndarray,
+    k: int,
+    max_register: int,
+    checkpoints: Sequence[int],
+) -> Dict[str, np.ndarray]:
+    """One stream replayed through all three estimators.
+
+    *h_values* and *buckets* are per-element register values and bucket
+    indices (this explicit-input form is what the tests drive with
+    hash-family data to prove equality with the sketch objects).
+
+    Returns arrays of estimates per checkpoint for 'hll_raw', 'hll', 'hip'.
+    """
+    n = len(h_values)
+    alpha = hll_alpha(k)
+    # Event extraction: per bucket, strictly-increasing running maxima.
+    events: List[Tuple[int, int, int, int]] = []  # (position, bucket, old, new)
+    for bucket in range(k):
+        idx = np.flatnonzero(buckets == bucket)
+        if idx.size == 0:
+            continue
+        values = h_values[idx]
+        running = np.maximum.accumulate(values)
+        previous = np.concatenate(([0], running[:-1]))
+        hits = np.flatnonzero(values > previous)
+        for j in hits:
+            events.append(
+                (int(idx[j]), bucket, int(previous[j]), int(values[j]))
+            )
+    events.sort()
+
+    # Replay: maintain sum_full = sum over ALL registers of 2^-M (HLL raw),
+    # zeros = #untouched registers (HLL small-range), and sum_live = sum
+    # over non-saturated registers of 2^-M (the HIP update probability
+    # times k).  All change only at events.
+    sum_full = float(k)
+    sum_live = float(k)
+    zeros = k
+    hip_count = 0.0
+    out = {name: np.empty(len(checkpoints)) for name in ALL_SERIES}
+    cp_index = 0
+    total_cp = len(checkpoints)
+
+    def record_until(position: int) -> None:
+        """Emit estimates for all checkpoints strictly before *position*."""
+        nonlocal cp_index
+        while cp_index < total_cp and checkpoints[cp_index] <= position:
+            raw = alpha * k * k / sum_full
+            corrected = raw
+            if raw <= 2.5 * k and zeros > 0:
+                corrected = k * math.log(k / zeros)
+            out["hll_raw"][cp_index] = raw
+            out["hll"][cp_index] = corrected
+            out["hip"][cp_index] = hip_count
+            cp_index += 1
+
+    for position, bucket, old, new in events:
+        record_until(position)  # checkpoints before this element arrives
+        if sum_live > 0.0:
+            hip_count += k / sum_live
+        sum_full += 2.0 ** (-new) - 2.0 ** (-old)
+        if old == 0:
+            zeros -= 1
+        sum_live += (2.0 ** (-new) if new < max_register else 0.0) - (
+            2.0 ** (-old)
+        )
+    record_until(n)
+    return out
+
+
+def run_figure3(config: Fig3Config) -> Fig3Result:
+    """Run one panel: all runs, all checkpoints, all three estimators."""
+    checkpoints = log_spaced_checkpoints(
+        config.max_n, config.checkpoints_per_decade
+    )
+    max_register = (1 << config.register_bits) - 1
+    sq_err = {name: np.zeros(len(checkpoints)) for name in ALL_SERIES}
+    abs_err = {name: np.zeros(len(checkpoints)) for name in ALL_SERIES}
+    truth = np.array(checkpoints, dtype=float)
+    for run in range(config.runs):
+        rng = np.random.RandomState(config.seed + 999_983 * run)
+        u = rng.random_sample(config.max_n)
+        np.clip(u, 1e-300, None, out=u)
+        h_values = registers_from_uniform(u, max_register)
+        buckets = rng.randint(0, config.k, size=config.max_n)
+        estimates = simulate_run(
+            h_values, buckets, config.k, max_register, checkpoints
+        )
+        for name in ALL_SERIES:
+            relative = estimates[name] / truth - 1.0
+            sq_err[name] += relative**2
+            abs_err[name] += np.abs(relative)
+    nrmse = {
+        name: list(np.sqrt(sq_err[name] / config.runs))
+        for name in ALL_SERIES
+    }
+    mre = {name: list(abs_err[name] / config.runs) for name in ALL_SERIES}
+    references = {
+        "hip_base2_cv": hip_base_b_cv(config.k, 2.0),
+        "hll_reference": 1.08 / math.sqrt(config.k),
+        "hip_large_n": math.sqrt(3.0 / (4.0 * config.k)),
+    }
+    return Fig3Result(
+        config=config,
+        checkpoints=list(checkpoints),
+        nrmse=nrmse,
+        mre=mre,
+        references=references,
+    )

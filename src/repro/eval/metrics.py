@@ -1,0 +1,48 @@
+"""Empirical error metrics used throughout the evaluation.
+
+The paper reports the Normalized Root Mean Square Error (NRMSE), which
+equals the CV for unbiased estimators, and the Mean Relative Error (MRE),
+``E|n - n_hat| / n`` (Section 5.5).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.errors import ParameterError
+
+
+def _check(estimates: Sequence[float], truth: float) -> None:
+    if truth <= 0:
+        raise ParameterError(f"truth must be positive, got {truth}")
+    if not estimates:
+        raise ParameterError("estimates must be non-empty")
+
+
+def nrmse(estimates: Sequence[float], truth: float) -> float:
+    """sqrt(E[(n_hat - n)^2]) / n."""
+    _check(estimates, truth)
+    mean_square = sum((e - truth) ** 2 for e in estimates) / len(estimates)
+    return math.sqrt(mean_square) / truth
+
+
+def mean_relative_error(estimates: Sequence[float], truth: float) -> float:
+    """E[|n_hat - n|] / n."""
+    _check(estimates, truth)
+    return sum(abs(e - truth) for e in estimates) / (len(estimates) * truth)
+
+
+def relative_bias(estimates: Sequence[float], truth: float) -> float:
+    """(E[n_hat] - n) / n; ~0 for unbiased estimators."""
+    _check(estimates, truth)
+    return sum(estimates) / len(estimates) / truth - 1.0
+
+
+def error_summary(estimates: Sequence[float], truth: float) -> Dict[str, float]:
+    """All three metrics in one dict (keys: nrmse, mre, bias)."""
+    return {
+        "nrmse": nrmse(estimates, truth),
+        "mre": mean_relative_error(estimates, truth),
+        "bias": relative_bias(estimates, truth),
+    }

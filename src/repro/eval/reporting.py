@@ -1,0 +1,42 @@
+"""Plain-text rendering of figure/table series (no plotting dependency).
+
+Every bench prints its series through :func:`render_table`, producing the
+same rows the paper plots; EXPERIMENTS.md embeds these tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+
+def render_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    columns: Dict[str, Sequence[float]],
+    precision: int = 4,
+    notes: Optional[str] = None,
+) -> str:
+    """Render aligned columns: one row per x value, one column per series."""
+    names = list(columns)
+    for name in names:
+        if len(columns[name]) != len(x_values):
+            raise ValueError(
+                f"column {name!r} has {len(columns[name])} values for "
+                f"{len(x_values)} x points"
+            )
+    width = max(12, precision + 6)
+    header_cells = [f"{x_label:>10}"] + [f"{n:>{width}}" for n in names]
+    lines = [title, "-" * len(title), "".join(header_cells)]
+    for i, x in enumerate(x_values):
+        cells = [f"{x:>10}"]
+        for name in names:
+            value = columns[name][i]
+            if value is None:
+                cells.append(f"{'-':>{width}}")
+            else:
+                cells.append(f"{value:>{width}.{precision}f}")
+        lines.append("".join(cells))
+    if notes:
+        lines.append(notes)
+    return "\n".join(lines) + "\n"

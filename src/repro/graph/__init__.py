@@ -1,0 +1,72 @@
+"""Graph substrate: adjacency-list graphs, traversal, exact ground truth.
+
+The paper's sketches summarise the shortest-path distance relation of a
+graph; this subpackage supplies that substrate from scratch -- a compact
+adjacency-list :class:`~repro.graph.digraph.Graph`, BFS / Dijkstra /
+Bellman-Ford traversals, exact distance-based statistics used as ground
+truth in tests and benchmarks, seeded random-graph generators for
+workloads, and edge-list IO.
+"""
+
+from repro.graph.digraph import Graph
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    figure1_graph,
+    figure1_ranks,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    random_geometric_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.properties import (
+    closeness_centrality_exact,
+    distance_distribution,
+    exact_neighborhood_function,
+    effective_diameter,
+    graph_diameter,
+    harmonic_centrality_exact,
+    neighborhood_cardinality,
+    reachable_set,
+)
+from repro.graph.traversal import (
+    bellman_ford_distances,
+    bfs_distances,
+    dijkstra_distances,
+    dijkstra_order,
+    single_source_distances,
+)
+
+__all__ = [
+    "Graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "grid_graph",
+    "gnp_random_graph",
+    "barabasi_albert_graph",
+    "random_geometric_graph",
+    "random_tree",
+    "figure1_graph",
+    "figure1_ranks",
+    "read_edge_list",
+    "write_edge_list",
+    "bfs_distances",
+    "dijkstra_distances",
+    "bellman_ford_distances",
+    "single_source_distances",
+    "dijkstra_order",
+    "exact_neighborhood_function",
+    "neighborhood_cardinality",
+    "distance_distribution",
+    "reachable_set",
+    "graph_diameter",
+    "effective_diameter",
+    "closeness_centrality_exact",
+    "harmonic_centrality_exact",
+]

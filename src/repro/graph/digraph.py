@@ -1,0 +1,190 @@
+"""A compact adjacency-list graph supporting the paper's requirements.
+
+The paper considers "directed or undirected, weighted or unweighted graphs"
+(Section 2).  This class covers all four combinations with one
+representation: per-node dictionaries of successor -> weight, plus (for
+directed graphs) predecessor dictionaries so that the transpose view needed
+by PRUNEDDIJKSTRA (Algorithm 1 runs Dijkstra "on G^T") is O(1) to obtain.
+Nodes are arbitrary hashable objects; edge weights are positive floats.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Tuple
+
+from repro.errors import GraphError
+
+Node = Hashable
+Edge = Tuple[Node, Node, float]
+
+
+class Graph:
+    """Adjacency-list graph (directed or undirected, weighted or not).
+
+    Parallel edges are not stored: re-adding an existing edge keeps the
+    *smaller* weight, which preserves all shortest-path distances and is
+    the behaviour every algorithm in this library expects.
+
+    Examples
+    --------
+    >>> g = Graph(directed=True)
+    >>> g.add_edge("a", "b", 8.0)
+    >>> g.add_edge("a", "c", 9.0)
+    >>> sorted(g.out_neighbors("a"))
+    [('b', 8.0), ('c', 9.0)]
+    """
+
+    __slots__ = ("directed", "_succ", "_pred", "_num_edges")
+
+    def __init__(self, directed: bool = False):
+        self.directed = bool(directed)
+        self._succ: Dict[Node, Dict[Node, float]] = {}
+        # For undirected graphs _pred is the same dict object as _succ.
+        self._pred: Dict[Node, Dict[Node, float]] = (
+            {} if self.directed else self._succ
+        )
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, u: Node) -> None:
+        """Ensure node *u* exists (isolated nodes are allowed)."""
+        if u not in self._succ:
+            self._succ[u] = {}
+            if self.directed:
+                self._pred[u] = {}
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Add edge u -> v (both directions when undirected).
+
+        Self-loops are rejected: they never change a distance and would
+        only distort degree-based workload statistics.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on node {u!r} is not allowed")
+        w = float(weight)
+        if not w > 0.0:
+            raise GraphError(f"edge weight must be positive, got {weight}")
+        self.add_node(u)
+        self.add_node(v)
+        existing = self._succ[u].get(v)
+        if existing is None:
+            self._num_edges += 1
+        elif existing <= w:
+            return
+        self._succ[u][v] = w
+        if self.directed:
+            self._pred[v][u] = w
+        else:
+            self._succ[v][u] = w
+
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Tuple], directed: bool = False
+    ) -> "Graph":
+        """Build a graph from ``(u, v)`` or ``(u, v, weight)`` tuples."""
+        graph = cls(directed=directed)
+        for edge in edges:
+            if len(edge) == 2:
+                graph.add_edge(edge[0], edge[1])
+            elif len(edge) == 3:
+                graph.add_edge(edge[0], edge[1], edge[2])
+            else:
+                raise GraphError(f"edge tuple must have 2 or 3 fields: {edge!r}")
+        return graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def nodes(self) -> List[Node]:
+        """All nodes, in insertion order."""
+        return list(self._succ)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate ``(u, v, weight)``; each undirected edge appears once."""
+        seen = set()
+        for u, nbrs in self._succ.items():
+            for v, w in nbrs.items():
+                if not self.directed:
+                    key = (u, v) if repr(u) <= repr(v) else (v, u)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                yield (u, v, w)
+
+    def has_node(self, u: Node) -> bool:
+        return u in self._succ
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._succ and v in self._succ[u]
+
+    def edge_weight(self, u: Node, v: Node) -> float:
+        try:
+            return self._succ[u][v]
+        except KeyError:
+            raise GraphError(f"no edge {u!r} -> {v!r}")
+
+    def out_neighbors(self, u: Node) -> List[Tuple[Node, float]]:
+        """Successors of *u* as ``(node, weight)`` pairs."""
+        self._require_node(u)
+        return list(self._succ[u].items())
+
+    def in_neighbors(self, u: Node) -> List[Tuple[Node, float]]:
+        """Predecessors of *u* as ``(node, weight)`` pairs."""
+        self._require_node(u)
+        return list(self._pred[u].items())
+
+    def out_degree(self, u: Node) -> int:
+        self._require_node(u)
+        return len(self._succ[u])
+
+    def in_degree(self, u: Node) -> int:
+        self._require_node(u)
+        return len(self._pred[u])
+
+    def is_weighted(self) -> bool:
+        """True when any edge weight differs from 1 (selects Dijkstra/BFS)."""
+        return any(w != 1.0 for _, _, w in self.edges())
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def transpose(self) -> "Graph":
+        """Return G^T (an undirected graph is its own transpose, copied)."""
+        result = Graph(directed=self.directed)
+        for u in self._succ:
+            result.add_node(u)
+        for u, v, w in self.edges():
+            if self.directed:
+                result.add_edge(v, u, w)
+            else:
+                result.add_edge(u, v, w)
+        return result
+
+    def copy(self) -> "Graph":
+        result = Graph(directed=self.directed)
+        for u in self._succ:
+            result.add_node(u)
+        for u, v, w in self.edges():
+            result.add_edge(u, v, w)
+        return result
+
+    def _require_node(self, u: Node) -> None:
+        if u not in self._succ:
+            raise GraphError(f"node {u!r} is not in the graph")
+
+    def __contains__(self, u: Node) -> bool:
+        return u in self._succ
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return f"Graph({kind}, n={self.num_nodes}, m={self.num_edges})"

@@ -1,0 +1,224 @@
+"""Seeded graph generators used as evaluation workloads.
+
+The paper's own figures are graph-independent stream simulations
+(Section 5.5), but the library's examples, tests and ablation benchmarks
+exercise ADS construction and centrality estimation on real graph shapes:
+social-like (Barabasi-Albert), random (Erdos-Renyi / geometric), and
+structured (paths, grids, trees).  ``figure1_graph`` reconstructs the
+paper's worked example exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict
+
+from repro._util import require
+from repro.graph.digraph import Graph
+
+
+def path_graph(n: int, directed: bool = False) -> Graph:
+    """0 - 1 - ... - (n-1) with unit weights."""
+    require(n >= 1, f"path_graph requires n >= 1, got {n}")
+    graph = Graph(directed=directed)
+    graph.add_node(0)
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+def cycle_graph(n: int, directed: bool = False) -> Graph:
+    """A simple cycle on n >= 3 nodes."""
+    require(n >= 3, f"cycle_graph requires n >= 3, got {n}")
+    graph = Graph(directed=directed)
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n)
+    return graph
+
+
+def star_graph(n: int) -> Graph:
+    """A hub (node 0) joined to n-1 leaves."""
+    require(n >= 2, f"star_graph requires n >= 2, got {n}")
+    graph = Graph(directed=False)
+    for i in range(1, n):
+        graph.add_edge(0, i)
+    return graph
+
+
+def complete_graph(n: int) -> Graph:
+    """All pairs joined with unit weights."""
+    require(n >= 1, f"complete_graph requires n >= 1, got {n}")
+    graph = Graph(directed=False)
+    graph.add_node(0)
+    for i in range(n):
+        for j in range(i + 1, n):
+            graph.add_edge(i, j)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """rows x cols lattice; node ids are (row, col) tuples."""
+    require(rows >= 1 and cols >= 1, "grid dimensions must be >= 1")
+    graph = Graph(directed=False)
+    graph.add_node((0, 0))
+    for r in range(rows):
+        for c in range(cols):
+            if r + 1 < rows:
+                graph.add_edge((r, c), (r + 1, c))
+            if c + 1 < cols:
+                graph.add_edge((r, c), (r, c + 1))
+    return graph
+
+
+def gnp_random_graph(
+    n: int, p: float, seed: int = 0, directed: bool = False
+) -> Graph:
+    """Erdos-Renyi G(n, p) with a seeded RNG.
+
+    Uses the geometric skipping method, so the cost is O(n + m) rather
+    than O(n^2) -- the library must be able to generate sparse graphs with
+    many nodes cheaply.
+    """
+    require(n >= 1, f"gnp_random_graph requires n >= 1, got {n}")
+    require(0.0 <= p <= 1.0, f"p must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    graph = Graph(directed=directed)
+    for i in range(n):
+        graph.add_node(i)
+    if p == 0.0:
+        return graph
+    if p == 1.0:
+        for i in range(n):
+            for j in range(n):
+                if i != j and (directed or i < j):
+                    graph.add_edge(i, j)
+        return graph
+    log_q = math.log(1.0 - p)
+    # Iterate over the implicit list of candidate pairs, skipping
+    # geometrically distributed gaps between successes.
+    total = n * (n - 1) if directed else n * (n - 1) // 2
+    index = -1
+    while True:
+        gap = int(math.floor(math.log(1.0 - rng.random()) / log_q))
+        index += gap + 1
+        if index >= total:
+            break
+        if directed:
+            u, v = divmod(index, n - 1)
+            if v >= u:
+                v += 1
+        else:
+            # Invert the row-major upper-triangle enumeration.
+            u = int((2 * n - 1 - math.sqrt((2 * n - 1) ** 2 - 8 * index)) // 2)
+            offset = index - u * (2 * n - u - 1) // 2
+            v = u + 1 + offset
+        graph.add_edge(u, v)
+    return graph
+
+
+def barabasi_albert_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """Preferential-attachment graph: each new node attaches to m targets.
+
+    The canonical "social/Web graph" stand-in: heavy-tailed degrees and a
+    small diameter, which is the regime where ADS-based estimation shines.
+    """
+    require(m >= 1, f"barabasi_albert_graph requires m >= 1, got {m}")
+    require(n > m, f"barabasi_albert_graph requires n > m, got n={n}, m={m}")
+    rng = random.Random(seed)
+    graph = Graph(directed=False)
+    # Seed with a complete graph on m+1 nodes so every node (including
+    # the initial ones) ends with degree >= m.
+    repeated: list = []
+    for i in range(m + 1):
+        for j in range(i + 1, m + 1):
+            graph.add_edge(i, j)
+            repeated.extend((i, j))
+    for new_node in range(m + 1, n):
+        targets = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for t in targets:
+            graph.add_edge(new_node, t)
+            repeated.extend((new_node, t))
+    return graph
+
+
+def random_geometric_graph(n: int, radius: float, seed: int = 0) -> Graph:
+    """Points in the unit square, joined when within *radius*; edge weight
+    is the Euclidean distance (a natural weighted-graph workload)."""
+    require(n >= 1, f"random_geometric_graph requires n >= 1, got {n}")
+    require(radius > 0.0, f"radius must be positive, got {radius}")
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    graph = Graph(directed=False)
+    for i in range(n):
+        graph.add_node(i)
+    for i in range(n):
+        xi, yi = points[i]
+        for j in range(i + 1, n):
+            xj, yj = points[j]
+            d = math.hypot(xi - xj, yi - yj)
+            if d <= radius and d > 0.0:
+                graph.add_edge(i, j, d)
+    return graph
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """Uniform random recursive tree on n nodes (node i attaches to a
+    uniform earlier node)."""
+    require(n >= 1, f"random_tree requires n >= 1, got {n}")
+    rng = random.Random(seed)
+    graph = Graph(directed=False)
+    graph.add_node(0)
+    for i in range(1, n):
+        graph.add_edge(i, rng.randrange(i))
+    return graph
+
+
+def figure1_graph() -> Graph:
+    """The paper's Figure 1 example: an 8-node weighted digraph.
+
+    The figure itself is not machine-readable, so the edge set is
+    reconstructed to satisfy *every* distance stated in Example 2.1:
+
+    * forward from a: a,b,c,d,e,f,g,h at (0, 8, 9, 18, 19, 20, 21, 26);
+    * reverse to b:   b,a,g,c,h,d,e,f at (0, 8, 18, 30, 31, 39, 40, 41).
+
+    ``tests/test_paper_example.py`` verifies both distance profiles and
+    reproduces the ADS contents stated in the example.
+    """
+    edges = [
+        ("a", "b", 8.0),
+        ("a", "c", 9.0),
+        ("c", "d", 9.0),
+        ("c", "e", 10.0),
+        ("c", "f", 11.0),
+        ("c", "g", 12.0),
+        ("d", "h", 8.0),
+        ("e", "h", 9.0),
+        ("f", "h", 10.0),
+        ("g", "a", 10.0),
+        ("h", "g", 13.0),
+    ]
+    return Graph.from_edges(edges, directed=True)
+
+
+def figure1_ranks() -> Dict[str, float]:
+    """Rank values consistent with Example 2.1 and Figure 1's multiset.
+
+    Figure 1 lists the rank multiset {0.1 ... 0.8}; the per-node assignment
+    below is the unique-up-to-slack solution of the constraints implied by
+    the ADS contents in Example 2.1 (e.g. r(h) < r(d) < r(f) < r(c) <
+    r(a) < r(b), r(e) > r(c), r(g) > r(a)).
+    """
+    return {
+        "a": 0.5,
+        "b": 0.7,
+        "c": 0.4,
+        "d": 0.2,
+        "e": 0.6,
+        "f": 0.3,
+        "g": 0.8,
+        "h": 0.1,
+    }

@@ -1,0 +1,128 @@
+"""Exact distance-based graph statistics (the paper's ground truths).
+
+Everything the sketches *estimate* is computed here *exactly* with
+repeated single-source shortest-path scans: neighborhood cardinalities
+n_d(v), the graph distance distribution, closeness and harmonic
+centralities, diameters.  Cost is O(n (m + n log n)), fine for the test
+and benchmark graph sizes, and exactly the cost the paper's sketches are
+designed to avoid at scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graph.digraph import Graph, Node
+from repro.graph.traversal import single_source_distances
+
+
+def reachable_set(graph: Graph, source: Node) -> Set[Node]:
+    """All nodes reachable from *source* (including itself)."""
+    return set(single_source_distances(graph, source))
+
+
+def neighborhood_cardinality(graph: Graph, source: Node, d: float) -> int:
+    """Exact n_d(source): number of nodes within distance *d* (inclusive)."""
+    dist = single_source_distances(graph, source)
+    return sum(1 for value in dist.values() if value <= d)
+
+
+def exact_neighborhood_function(
+    graph: Graph, source: Node
+) -> List[Tuple[float, int]]:
+    """The full distance distribution of *source*.
+
+    Returns sorted ``(distance, cumulative_count)`` pairs: for each distinct
+    distance d the number of nodes with distance <= d.  This is the exact
+    object ADS cardinality estimators approximate.
+    """
+    dist = sorted(single_source_distances(graph, source).values())
+    result: List[Tuple[float, int]] = []
+    for i, d in enumerate(dist, start=1):
+        if result and result[-1][0] == d:
+            result[-1] = (d, i)
+        else:
+            result.append((d, i))
+    return result
+
+
+def distance_distribution(graph: Graph) -> List[Tuple[float, int]]:
+    """Whole-graph distance distribution: pairs (d, #ordered pairs <= d).
+
+    The "distance distribution of the whole graph" from the introduction:
+    the number of ordered pairs (i, j), i != j, with d_ij <= d.  Computed
+    by n single-source scans.
+    """
+    counts: Dict[float, int] = {}
+    for source in graph.nodes():
+        for target, d in single_source_distances(graph, source).items():
+            if target != source:
+                counts[d] = counts.get(d, 0) + 1
+    result: List[Tuple[float, int]] = []
+    running = 0
+    for d in sorted(counts):
+        running += counts[d]
+        result.append((d, running))
+    return result
+
+
+def graph_diameter(graph: Graph) -> float:
+    """Largest finite pairwise distance (0 for a single node)."""
+    best = 0.0
+    for source in graph.nodes():
+        dist = single_source_distances(graph, source)
+        if dist:
+            best = max(best, max(dist.values()))
+    return best
+
+
+def effective_diameter(graph: Graph, quantile: float = 0.9) -> float:
+    """Smallest d such that >= quantile of connected ordered pairs have
+    d_ij <= d.  The classic ANF summary statistic."""
+    if not 0.0 < quantile <= 1.0:
+        raise GraphError(f"quantile must be in (0, 1], got {quantile}")
+    distribution = distance_distribution(graph)
+    if not distribution:
+        return 0.0
+    total = distribution[-1][1]
+    threshold = quantile * total
+    for d, cumulative in distribution:
+        if cumulative >= threshold:
+            return d
+    return distribution[-1][0]
+
+
+def closeness_centrality_exact(
+    graph: Graph,
+    source: Node,
+    alpha: Optional[Callable[[float], float]] = None,
+    beta: Optional[Callable[[Node], float]] = None,
+) -> float:
+    """Exact C_{alpha,beta}(source) = sum_j alpha(d_sj) beta(j)  (Eq. 2).
+
+    Defaults: alpha = identity-on-distance is *not* the default -- with no
+    arguments this returns the classic sum of distances (the inverse of
+    closeness centrality, Q_g with g = d).  Pass ``alpha`` for distance
+    decay and ``beta`` for node weights/filters.  The source itself is
+    excluded, matching the convention d > 0 contributions only when alpha
+    is a decay kernel.
+    """
+    dist = single_source_distances(graph, source)
+    total = 0.0
+    for node, d in dist.items():
+        if node == source:
+            continue
+        weight = 1.0 if beta is None else float(beta(node))
+        if alpha is None:
+            total += d * weight
+        else:
+            total += float(alpha(d)) * weight
+    return total
+
+
+def harmonic_centrality_exact(graph: Graph, source: Node) -> float:
+    """Exact harmonic centrality sum_{j != source} 1/d_sj  ([40],[7])."""
+    return closeness_centrality_exact(
+        graph, source, alpha=lambda d: 1.0 / d if d > 0 else 0.0
+    )

@@ -1,0 +1,123 @@
+"""Single-source shortest path computations (BFS, Dijkstra, Bellman-Ford).
+
+These are the exact-computation workhorses: ground truth for every
+estimator test, and the scan engine inside the PRUNEDDIJKSTRA ADS builder.
+``dijkstra_order`` additionally yields nodes in the paper's *Dijkstra rank*
+order pi_vi (Section 2): position in the nearest-neighbor list of the
+source, with ties broken by a caller-supplied key exactly as Appendix B.3
+prescribes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import GraphError
+from repro.graph.digraph import Graph, Node
+
+
+def bfs_distances(graph: Graph, source: Node) -> Dict[Node, float]:
+    """Hop distances from *source*, ignoring edge weights."""
+    if not graph.has_node(source):
+        raise GraphError(f"source {source!r} is not in the graph")
+    dist: Dict[Node, float] = {source: 0.0}
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v, _ in graph.out_neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1.0
+                queue.append(v)
+    return dist
+
+
+def dijkstra_distances(graph: Graph, source: Node) -> Dict[Node, float]:
+    """Weighted distances from *source* (non-negative weights)."""
+    return dict(dijkstra_order(graph, source))
+
+
+def dijkstra_order(
+    graph: Graph,
+    source: Node,
+    tiebreak: Optional[Callable[[Node], object]] = None,
+) -> Iterator[Tuple[Node, float]]:
+    """Yield ``(node, distance)`` in non-decreasing distance from *source*.
+
+    When *tiebreak* is given, equal-distance nodes are yielded in
+    increasing ``tiebreak(node)`` order, making the scan order a total
+    order -- this realises the paper's "unique distances" assumption
+    (Section 2, Appendix B.3) and is shared by all ADS builders so that
+    they produce identical sketches.
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"source {source!r} is not in the graph")
+    if tiebreak is None:
+        def tiebreak(node):  # insertion-order-independent default
+            return repr(node)
+    dist: Dict[Node, float] = {}
+    heap: List[Tuple[float, object, Node]] = [(0.0, tiebreak(source), source)]
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in dist:
+            continue
+        dist[u] = d
+        yield (u, d)
+        for v, w in graph.out_neighbors(u):
+            if v not in dist:
+                heapq.heappush(heap, (d + w, tiebreak(v), v))
+
+
+def bellman_ford_distances(
+    graph: Graph, source: Node, max_rounds: Optional[int] = None
+) -> Dict[Node, float]:
+    """Distances via synchronous Bellman-Ford rounds.
+
+    Provided as an independent oracle for cross-checking Dijkstra and as
+    the conceptual skeleton of the DP ADS builder (Section 3).  Rounds are
+    bounded by ``n - 1`` (or *max_rounds*); all weights must be positive so
+    negative cycles cannot occur.
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"source {source!r} is not in the graph")
+    dist: Dict[Node, float] = {source: 0.0}
+    frontier = {source}
+    rounds = graph.num_nodes - 1 if max_rounds is None else max_rounds
+    for _ in range(max(rounds, 0)):
+        updates: Dict[Node, float] = {}
+        for u in frontier:
+            du = dist[u]
+            for v, w in graph.out_neighbors(u):
+                candidate = du + w
+                if candidate < dist.get(v, float("inf")) and candidate < updates.get(
+                    v, float("inf")
+                ):
+                    updates[v] = candidate
+        if not updates:
+            break
+        dist.update(updates)
+        frontier = set(updates)
+    return dist
+
+
+def single_source_distances(graph: Graph, source: Node) -> Dict[Node, float]:
+    """BFS for unweighted graphs, Dijkstra otherwise."""
+    if graph.is_weighted():
+        return dijkstra_distances(graph, source)
+    return bfs_distances(graph, source)
+
+
+def dijkstra_ranks(
+    graph: Graph,
+    source: Node,
+    tiebreak: Optional[Callable[[Node], object]] = None,
+) -> Dict[Node, int]:
+    """The paper's pi_{source,j}: 1-based position of j in the sorted
+    nearest-neighbor list of *source* (Section 2)."""
+    ranks: Dict[Node, int] = {}
+    for position, (node, _) in enumerate(
+        dijkstra_order(graph, source, tiebreak), start=1
+    ):
+        ranks[node] = position
+    return ranks

@@ -1,0 +1,41 @@
+"""Randomization substrate: deterministic hashing and rank assignments.
+
+Every sketch in this library (MinHash sketches, All-Distances Sketches,
+HyperLogLog registers) is *coordinated*: sketches of different sets or of
+different graph nodes are derived from the same random permutation(s) of the
+item domain (Section 2 of the paper).  A permutation is realised as a
+:class:`~repro.rand.ranks.RankAssignment` that maps every item to a
+reproducible pseudo-random rank.  All randomness flows through the seeded
+hash functions in :mod:`repro.rand.hashing`, so results are reproducible
+across processes and platforms.
+"""
+
+from repro.rand.hashing import (
+    HashFamily,
+    bucket_of,
+    hash64,
+    unit_interval_hash,
+)
+from repro.rand.ranks import (
+    BaseBRanks,
+    ExponentialRanks,
+    PermutationRanks,
+    RankAssignment,
+    UniformRanks,
+    discretize_rank,
+    rounded_rank_value,
+)
+
+__all__ = [
+    "HashFamily",
+    "bucket_of",
+    "hash64",
+    "unit_interval_hash",
+    "RankAssignment",
+    "UniformRanks",
+    "ExponentialRanks",
+    "BaseBRanks",
+    "PermutationRanks",
+    "discretize_rank",
+    "rounded_rank_value",
+]

@@ -1,0 +1,118 @@
+"""Deterministic, seedable hash functions.
+
+The paper assumes "random hash functions" supplying each node a rank
+``r(j) ~ U[0,1]`` and (for k-partition sketches) a uniform bucket
+``BUCKET(j) ~ U[1..k]`` (Section 2).  We realise them with the splitmix64
+finalizer, a well-mixed 64-bit permutation that passes standard avalanche
+tests, keyed by a user seed.  Integer items are hashed directly; other
+hashable items are first reduced to 64 bits with BLAKE2b (stdlib), which is
+stable across processes, unlike Python's built-in ``hash``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable
+
+from repro._util import require
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(x: int) -> int:
+    """One round of the splitmix64 finalizer (a bijection on 64-bit ints)."""
+    x = (x + _GOLDEN_GAMMA) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _item_to_int(item: Hashable) -> int:
+    """Reduce an arbitrary hashable item to a stable 64-bit integer."""
+    if isinstance(item, bool):
+        return int(item)
+    if isinstance(item, int):
+        return item & _MASK64
+    if isinstance(item, bytes):
+        payload = item
+    elif isinstance(item, str):
+        payload = item.encode("utf-8")
+    else:
+        payload = repr(item).encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def hash64(item: Hashable, seed: int = 0) -> int:
+    """Return a uniform pseudo-random 64-bit integer for (*item*, *seed*).
+
+    Different seeds give (empirically) independent hash functions, which is
+    how the library realises the k independent permutations of a k-mins
+    sketch and the independent bucket mapping of a k-partition sketch.
+    """
+    x = _item_to_int(item)
+    return _splitmix64(x ^ _splitmix64(seed & _MASK64))
+
+
+def unit_interval_hash(item: Hashable, seed: int = 0) -> float:
+    """Return a pseudo-random float in the open interval (0, 1).
+
+    The value ``(h + 0.5) / 2**64`` can never be exactly 0 or 1, which the
+    rank algebra relies on (a rank of exactly 1 is reserved for the
+    supremum ``kth_r`` of an undersized set, and ``-log(r)`` must be
+    finite).
+    """
+    return (hash64(item, seed) + 0.5) / 2.0**64
+
+
+def bucket_of(item: Hashable, k: int, seed: int = 0) -> int:
+    """Return a uniform bucket index in ``[0, k)`` for *item*.
+
+    The bucket hash is salted differently from the rank hash so that an
+    item's bucket and rank are independent.
+    """
+    require(k >= 1, f"bucket_of requires k >= 1, got {k}")
+    return hash64(item, seed ^ 0x5BF03635) % k
+
+
+class HashFamily:
+    """A seeded family of independent hash functions over one item domain.
+
+    Instances are cheap value objects; two families with the same seed
+    produce identical hashes, which is what makes sketches *coordinated*.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  All member functions are derived from it.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def rank(self, item: Hashable, index: int = 0) -> float:
+        """Uniform (0,1) rank of *item* under permutation number *index*."""
+        return unit_interval_hash(item, self.seed ^ (index * 0x9E3779B9))
+
+    def bucket(self, item: Hashable, k: int) -> int:
+        """Uniform bucket in ``[0, k)`` for *item* (independent of ranks)."""
+        return bucket_of(item, k, self.seed)
+
+    def tiebreak(self, item: Hashable) -> int:
+        """A 64-bit value used only to break distance ties (Appendix B.3).
+
+        Salted so it is independent of both ranks and buckets; estimator
+        unbiasedness requires the tie-break order to carry no information
+        about ranks.
+        """
+        return hash64(item, self.seed ^ 0x7F4A7C15)
+
+    def __repr__(self) -> str:
+        return f"HashFamily(seed={self.seed})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, HashFamily) and other.seed == self.seed
+
+    def __hash__(self) -> int:
+        return hash(("HashFamily", self.seed))

@@ -1,0 +1,205 @@
+"""Rank assignments: the random permutations underlying every sketch.
+
+Section 2 of the paper specifies a permutation of the item domain by random
+rank values ``r(j) ~ U[0,1]``.  This module provides that assignment plus
+the three variants the paper uses:
+
+* :class:`UniformRanks` -- full-precision uniform ranks (Sections 2-5).
+* :class:`ExponentialRanks` -- ranks ``-ln(1-u)/beta(j)`` for non-uniform
+  node weights beta (Section 9); also the analytic device used throughout
+  Section 4 (uniform ranks with beta = 1 transformed monotonically).
+* :class:`BaseBRanks` -- rounded ranks ``b**-h`` with integer register
+  ``h = ceil(-log_b r)`` (Sections 2 "Base-b ranks", 4.4, 5.6); base 2 with
+  saturation is exactly the HyperLogLog register content.
+* :class:`PermutationRanks` -- a strict permutation of ``[n]`` used by the
+  permutation cardinality estimator (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Hashable, Iterable, Optional
+
+from repro._util import require
+from repro.rand.hashing import HashFamily
+
+
+def discretize_rank(r: float, b: float) -> int:
+    """Return the base-*b* register ``h = ceil(-log_b r)`` for rank *r*.
+
+    The rounded rank value is ``b**-h`` which is the largest power of
+    ``1/b`` that is <= ... strictly below r's bracket; the paper stores only
+    the integer ``h``.  For ``r`` in (0,1) and ``b > 1`` the result is >= 1,
+    so an all-zero register array means "no item seen yet".
+    """
+    require(0.0 < r < 1.0, f"rank must be in (0,1), got {r}")
+    require(b > 1.0, f"base must be > 1, got {b}")
+    h = math.ceil(-math.log(r) / math.log(b))
+    # Restore the bracket invariant b**-h <= r < b**-(h-1) against
+    # floating error when r sits on (or numerically near) a power of 1/b.
+    if r < b ** (-h):
+        h += 1
+    elif r >= b ** (-(h - 1)):
+        h -= 1
+    return max(h, 1)
+
+
+def rounded_rank_value(h: int, b: float) -> float:
+    """Return the rounded rank ``b**-h`` encoded by register value *h*."""
+    require(h >= 0, f"register must be >= 0, got {h}")
+    require(b > 1.0, f"base must be > 1, got {b}")
+    return float(b) ** (-h)
+
+
+class RankAssignment:
+    """A mapping from items to pseudo-random ranks (one random permutation).
+
+    Subclasses implement :meth:`rank`.  ``sup`` is the supremum of the rank
+    range, returned by ``kth_r`` on undersized sets (Section 2): 1 for
+    uniform and base-b ranks, infinity for exponential ranks, ``n + 1`` for
+    permutation ranks.
+    """
+
+    sup: float = 1.0
+
+    def rank(self, item: Hashable) -> float:
+        raise NotImplementedError
+
+    def __call__(self, item: Hashable) -> float:
+        return self.rank(item)
+
+
+class UniformRanks(RankAssignment):
+    """Full-precision uniform (0,1) ranks from a seeded hash family.
+
+    Parameters
+    ----------
+    family:
+        The shared :class:`HashFamily`; sketches built from the same family
+        (and *index*) are coordinated.
+    index:
+        Which of the family's independent permutations to use.  A k-mins
+        sketch uses indices ``0..k-1``.
+    """
+
+    sup = 1.0
+
+    def __init__(self, family: HashFamily, index: int = 0):
+        self.family = family
+        self.index = int(index)
+
+    def rank(self, item: Hashable) -> float:
+        return self.family.rank(item, self.index)
+
+    def __repr__(self) -> str:
+        return f"UniformRanks(seed={self.family.seed}, index={self.index})"
+
+
+class ExponentialRanks(RankAssignment):
+    """Exponentially distributed ranks with per-item rate ``beta(item)``.
+
+    Section 9: drawing ``r(i) ~ Exp(beta(i))`` (equivalently
+    ``-ln(1 - u)/beta(i)`` for uniform u) makes heavier items likelier to
+    enter sketches, so estimators of neighborhood *weight* retain the
+    uniform-case CV guarantees.  With ``beta = 1`` this is the monotone
+    transform used in all the paper's variance analysis.
+    """
+
+    sup = math.inf
+
+    def __init__(
+        self,
+        family: HashFamily,
+        weight: Optional[Callable[[Hashable], float]] = None,
+        index: int = 0,
+    ):
+        self.family = family
+        self.weight = weight
+        self.index = int(index)
+
+    def rank(self, item: Hashable) -> float:
+        u = self.family.rank(item, self.index)
+        beta = 1.0 if self.weight is None else float(self.weight(item))
+        require(beta > 0.0, f"item weight must be positive, got {beta}")
+        return -math.log1p(-u) / beta
+
+    def __repr__(self) -> str:
+        return f"ExponentialRanks(seed={self.family.seed}, index={self.index})"
+
+
+class BaseBRanks(RankAssignment):
+    """Rounded base-*b* ranks ``b**-h`` with optional register saturation.
+
+    ``max_register`` models fixed-width registers: HyperLogLog uses base 2
+    with 5-bit registers, so ``max_register = 31`` (Section 6, Algorithm 3).
+    A saturated register can no longer grow, which the HIP distinct counter
+    accounts for by assigning saturated buckets update probability 0.
+    """
+
+    sup = 1.0
+
+    def __init__(
+        self,
+        family: HashFamily,
+        b: float = 2.0,
+        index: int = 0,
+        max_register: Optional[int] = None,
+    ):
+        require(b > 1.0, f"base must be > 1, got {b}")
+        if max_register is not None:
+            require(max_register >= 1, "max_register must be >= 1")
+        self.family = family
+        self.b = float(b)
+        self.index = int(index)
+        self.max_register = max_register
+
+    def register(self, item: Hashable) -> int:
+        """Integer register value ``min(max_register, ceil(-log_b r))``."""
+        h = discretize_rank(self.family.rank(item, self.index), self.b)
+        if self.max_register is not None:
+            h = min(h, self.max_register)
+        return h
+
+    def rank(self, item: Hashable) -> float:
+        return rounded_rank_value(self.register(item), self.b)
+
+    def __repr__(self) -> str:
+        return (
+            f"BaseBRanks(seed={self.family.seed}, b={self.b}, "
+            f"index={self.index}, max_register={self.max_register})"
+        )
+
+
+class PermutationRanks(RankAssignment):
+    """A strict uniform permutation of a finite item domain.
+
+    Ranks are the integers ``1..n``.  Section 5.4's permutation estimator
+    needs these: it exploits the fact that ranks are sampled *without*
+    replacement from ``[n]``, which carries strictly more information than
+    i.i.d. uniform ranks when the estimated cardinality is a good fraction
+    of n.
+    """
+
+    def __init__(self, items: Iterable[Hashable], seed: int = 0):
+        ordered = list(items)
+        require(len(ordered) >= 1, "permutation domain must be non-empty")
+        require(
+            len(set(ordered)) == len(ordered),
+            "permutation domain must not contain duplicates",
+        )
+        rng = random.Random(seed)
+        positions = list(range(1, len(ordered) + 1))
+        rng.shuffle(positions)
+        self._position = dict(zip(ordered, positions))
+        self.n = len(ordered)
+        self.sup = float(self.n + 1)
+
+    def rank(self, item: Hashable) -> float:
+        try:
+            return float(self._position[item])
+        except KeyError:
+            raise KeyError(f"item {item!r} is not in the permutation domain")
+
+    def __repr__(self) -> str:
+        return f"PermutationRanks(n={self.n})"

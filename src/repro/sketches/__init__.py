@@ -1,0 +1,37 @@
+"""MinHash sketches in the paper's three flavors, plus HyperLogLog.
+
+Section 2: a MinHash sketch summarises a subset N of a domain using random
+ranks.  The three flavors trade off information and update cost:
+
+* :class:`~repro.sketches.kmins.KMinsSketch` -- k independent permutations,
+  keep the minimum of each (sampling *with* replacement).
+* :class:`~repro.sketches.bottomk.BottomKSketch` -- one permutation, keep
+  the k smallest (sampling *without* replacement; most informative).
+* :class:`~repro.sketches.kpartition.KPartitionSketch` -- hash items into k
+  buckets, keep each bucket's minimum (HyperLogLog's layout).
+
+All sketches built from the same :class:`~repro.rand.hashing.HashFamily`
+are *coordinated*: overlapping sets produce overlapping samples, enabling
+merging (union sketches) and Jaccard similarity estimation.
+
+:class:`~repro.sketches.hll.HyperLogLog` is the k-partition sketch with
+base-2 rounded ranks and the Flajolet et al. 2007 estimator -- the baseline
+the paper's HIP distinct counter beats in Section 6.
+"""
+
+from repro.sketches.base import MinHashSketch
+from repro.sketches.bottomk import BottomKSketch
+from repro.sketches.hll import HyperLogLog
+from repro.sketches.kmins import KMinsSketch
+from repro.sketches.kpartition import KPartitionSketch
+from repro.sketches.similarity import jaccard_estimate, union_size_estimate
+
+__all__ = [
+    "MinHashSketch",
+    "KMinsSketch",
+    "BottomKSketch",
+    "KPartitionSketch",
+    "HyperLogLog",
+    "jaccard_estimate",
+    "union_size_estimate",
+]

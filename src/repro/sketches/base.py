@@ -1,0 +1,77 @@
+"""The common MinHash sketch interface.
+
+Beyond the obvious ``add``/``merge``, every flavor exposes
+:meth:`MinHashSketch.update_probability` -- the probability that the *next
+previously-unseen* element would modify the sketch, conditioned on the
+current sketch content.  This is exactly the HIP probability of Section 5
+specialised to streams ordered by first occurrence (Section 6), and it is
+what powers the streaming HIP distinct counter: the counter adds
+``1 / update_probability()`` whenever an insertion actually happens.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro._util import require
+from repro.errors import EstimatorError
+from repro.rand.hashing import HashFamily
+
+
+class MinHashSketch:
+    """Abstract MinHash sketch over one hash family.
+
+    Subclasses must implement :meth:`add`, :meth:`merge`,
+    :meth:`update_probability`, :meth:`copy`, and :meth:`cardinality`.
+    """
+
+    def __init__(self, k: int, family: HashFamily):
+        require(k >= 1, f"sketch size k must be >= 1, got {k}")
+        self.k = int(k)
+        self.family = family
+
+    # -- mutation -------------------------------------------------------
+    def add(self, item: Hashable) -> bool:
+        """Insert *item*; return True when the sketch content changed.
+
+        Re-adding an element already reflected in the sketch is always a
+        no-op (repeats in a stream cannot bias distinct-counting).
+        """
+        raise NotImplementedError
+
+    def update(self, items) -> int:
+        """Add every element of *items*; return the number of changes."""
+        return sum(1 for item in items if self.add(item))
+
+    def merge(self, other: "MinHashSketch") -> None:
+        """In-place union: afterwards this sketch equals the sketch of the
+        union of both underlying sets (requires same family/flavor/k)."""
+        raise NotImplementedError
+
+    # -- estimation hooks ----------------------------------------------
+    def update_probability(self) -> float:
+        """P[next unseen element modifies the sketch | current content]."""
+        raise NotImplementedError
+
+    def cardinality(self) -> float:
+        """The flavor's *basic* cardinality estimate (Section 4)."""
+        raise NotImplementedError
+
+    # -- misc -----------------------------------------------------------
+    def copy(self) -> "MinHashSketch":
+        raise NotImplementedError
+
+    def _check_mergeable(self, other: "MinHashSketch") -> None:
+        if type(self) is not type(other):
+            raise EstimatorError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if self.k != other.k:
+            raise EstimatorError(
+                f"cannot merge sketches with k={self.k} and k={other.k}"
+            )
+        if self.family != other.family:
+            raise EstimatorError(
+                "cannot merge sketches built from different hash families; "
+                "coordination requires identical seeds"
+            )

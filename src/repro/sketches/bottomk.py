@@ -1,0 +1,140 @@
+"""Bottom-k MinHash sketch: the k smallest ranks in one permutation.
+
+Also known as KMV, coordinated order samples, or CRC (Section 2).  This is
+the most informative flavor for a given k (Section 4.2) and the flavor on
+which the paper develops HIP in full detail.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.rand.hashing import HashFamily
+from repro.rand.ranks import RankAssignment, UniformRanks
+from repro.sketches.base import MinHashSketch
+
+
+class BottomKSketch(MinHashSketch):
+    """Keep the k items of smallest rank (sampling without replacement).
+
+    Parameters
+    ----------
+    k:
+        Sketch size.
+    family:
+        Shared hash family (coordination).
+    ranks:
+        Optional rank assignment; defaults to full-precision uniform ranks.
+        Pass :class:`~repro.rand.ranks.BaseBRanks` for rounded ranks or
+        :class:`~repro.rand.ranks.ExponentialRanks` for weighted items
+        (Section 9).  Ties under rounded ranks never update the sketch
+        (strict comparison), matching Section 4.4.
+
+    Examples
+    --------
+    >>> from repro.rand.hashing import HashFamily
+    >>> sketch = BottomKSketch(3, HashFamily(7))
+    >>> sketch.update(range(100))
+    ... # doctest: +SKIP
+    >>> len(sketch.entries()) <= 3
+    True
+    """
+
+    def __init__(
+        self,
+        k: int,
+        family: HashFamily,
+        ranks: Optional[RankAssignment] = None,
+    ):
+        super().__init__(k, family)
+        self.ranks = ranks if ranks is not None else UniformRanks(family)
+        # Max-heap of (-rank, item) so the largest retained rank is on top.
+        self._heap: List[Tuple[float, Hashable]] = []
+        self._members: Dict[Hashable, float] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, item: Hashable) -> bool:
+        if item in self._members:
+            return False
+        r = self.ranks.rank(item)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-r, item))
+            self._members[item] = r
+            return True
+        largest = -self._heap[0][0]
+        if r >= largest:
+            return False
+        _, evicted = heapq.heapreplace(self._heap, (-r, item))
+        del self._members[evicted]
+        self._members[item] = r
+        return True
+
+    def merge(self, other: "MinHashSketch") -> None:
+        self._check_mergeable(other)
+        for rank, item in other.entries():
+            if item in self._members:
+                continue
+            if len(self._heap) < self.k:
+                heapq.heappush(self._heap, (-rank, item))
+                self._members[item] = rank
+            elif rank < -self._heap[0][0]:
+                _, evicted = heapq.heapreplace(self._heap, (-rank, item))
+                del self._members[evicted]
+                self._members[item] = rank
+
+    # ------------------------------------------------------------------
+    def entries(self) -> List[Tuple[float, Hashable]]:
+        """Sorted ``(rank, item)`` pairs, smallest rank first."""
+        return sorted((r, item) for item, r in self._members.items())
+
+    def items(self) -> List[Hashable]:
+        """The sampled items, in increasing rank order."""
+        return [item for _, item in self.entries()]
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def kth_rank(self) -> float:
+        """tau_k = kth smallest rank seen, or the rank supremum if fewer
+        than k elements have been seen (the paper's kth_r operator)."""
+        if len(self._heap) < self.k:
+            return self.ranks.sup
+        return -self._heap[0][0]
+
+    # ------------------------------------------------------------------
+    def update_probability(self) -> float:
+        """P[a new element's rank < tau_k].
+
+        For uniform (and rounded base-b) ranks this is tau_k itself; for
+        other assignments subclasses of RankAssignment would need a CDF,
+        so we restrict to rank ranges with sup == 1 here.
+        """
+        tau = self.kth_rank
+        if self.ranks.sup == 1.0:
+            return min(tau, 1.0)
+        raise NotImplementedError(
+            "update_probability requires ranks with range (0,1); "
+            "got a rank assignment with sup=%r" % self.ranks.sup
+        )
+
+    def cardinality(self) -> float:
+        """Basic bottom-k estimate (Section 4.2), exact below k."""
+        from repro.estimators.basic import bottom_k_cardinality
+
+        return bottom_k_cardinality(
+            len(self._members), self.kth_rank, self.k, sup=self.ranks.sup
+        )
+
+    def copy(self) -> "BottomKSketch":
+        clone = BottomKSketch(self.k, self.family, self.ranks)
+        clone._heap = list(self._heap)
+        clone._members = dict(self._members)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"BottomKSketch(k={self.k}, size={len(self._members)})"

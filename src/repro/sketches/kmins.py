@@ -1,0 +1,67 @@
+"""k-mins MinHash sketch: the minimum rank under k independent permutations.
+
+The oldest flavor ([29], [11]); corresponds to sampling k times *with*
+replacement.  Cheap to update (k comparisons) but less informative than
+bottom-k for small sets (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro.rand.hashing import HashFamily
+from repro.sketches.base import MinHashSketch
+
+
+class KMinsSketch(MinHashSketch):
+    """Keep ``min rank`` under each of k independent permutations.
+
+    Permutation h uses the family's rank index h, so two KMinsSketch
+    instances over the same family are coordinated permutation-by-
+    permutation.
+    """
+
+    def __init__(self, k: int, family: HashFamily):
+        super().__init__(k, family)
+        self.minima: List[float] = [1.0] * self.k
+        self.argmin: List[Optional[Hashable]] = [None] * self.k
+
+    def add(self, item: Hashable) -> bool:
+        changed = False
+        for h in range(self.k):
+            r = self.family.rank(item, h)
+            if r < self.minima[h]:
+                self.minima[h] = r
+                self.argmin[h] = item
+                changed = True
+        return changed
+
+    def merge(self, other: "MinHashSketch") -> None:
+        self._check_mergeable(other)
+        for h in range(self.k):
+            if other.minima[h] < self.minima[h]:
+                self.minima[h] = other.minima[h]
+                self.argmin[h] = other.argmin[h]
+
+    def update_probability(self) -> float:
+        """P[new element beats at least one minimum] = 1 - prod(1 - x_h)
+        (Equation 7 specialised to the stream setting)."""
+        p_none = 1.0
+        for x in self.minima:
+            p_none *= 1.0 - x
+        return 1.0 - p_none
+
+    def cardinality(self) -> float:
+        """Basic k-mins estimate (k-1) / sum(-ln(1-x))  (Section 4.1)."""
+        from repro.estimators.basic import k_mins_cardinality
+
+        return k_mins_cardinality(self.minima)
+
+    def copy(self) -> "KMinsSketch":
+        clone = KMinsSketch(self.k, self.family)
+        clone.minima = list(self.minima)
+        clone.argmin = list(self.argmin)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"KMinsSketch(k={self.k})"

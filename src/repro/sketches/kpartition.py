@@ -1,0 +1,155 @@
+"""k-partition MinHash sketch: one minimum per random bucket.
+
+Items are hashed uniformly into k buckets and the sketch keeps each
+bucket's minimum rank (Section 2).  With base-2 rounded ranks and
+saturating registers this *is* the HyperLogLog sketch layout; the flavor's
+HIP probability (Equation 8) is the average of per-bucket thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro._util import require
+from repro.rand.hashing import HashFamily
+from repro.rand.ranks import BaseBRanks
+from repro.sketches.base import MinHashSketch
+
+
+class KPartitionSketch(MinHashSketch):
+    """Bucketed minima, optionally with base-b rounded saturating registers.
+
+    Parameters
+    ----------
+    k:
+        Number of buckets.
+    family:
+        Shared hash family (bucket hash and rank hash are independent).
+    base:
+        When given (b > 1), ranks are rounded to ``b**-h`` and the integer
+        registers ``h`` are exposed via :attr:`registers` -- with
+        ``base=2`` and ``max_register=31`` this is exactly the
+        HyperLogLog/Algorithm-3 sketch.
+    max_register:
+        Saturation bound for rounded registers (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        family: HashFamily,
+        base: Optional[float] = None,
+        max_register: Optional[int] = None,
+    ):
+        super().__init__(k, family)
+        if base is not None:
+            require(base > 1.0, f"base must be > 1, got {base}")
+        if max_register is not None:
+            require(base is not None, "max_register requires a base")
+        self.base = base
+        self.max_register = max_register
+        self._rounder = (
+            BaseBRanks(family, base, max_register=max_register)
+            if base is not None
+            else None
+        )
+        self.minima: List[float] = [1.0] * self.k
+        self.argmin: List[Optional[Hashable]] = [None] * self.k
+        # Integer registers are maintained only in rounded mode.
+        self.registers: Optional[List[int]] = (
+            [0] * self.k if base is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    def _rank_of(self, item: Hashable) -> float:
+        if self._rounder is not None:
+            return self._rounder.rank(item)
+        return self.family.rank(item)
+
+    def bucket(self, item: Hashable) -> int:
+        return self.family.bucket(item, self.k)
+
+    def add(self, item: Hashable) -> bool:
+        h = self.bucket(item)
+        if self.registers is not None:
+            reg = self._rounder.register(item)
+            if reg <= self.registers[h]:
+                return False
+            self.registers[h] = reg
+            self.minima[h] = self.base ** (-reg)
+            self.argmin[h] = item
+            return True
+        r = self.family.rank(item)
+        if r >= self.minima[h]:
+            return False
+        self.minima[h] = r
+        self.argmin[h] = item
+        return True
+
+    def merge(self, other: "MinHashSketch") -> None:
+        self._check_mergeable(other)
+        if (self.base, self.max_register) != (other.base, other.max_register):
+            from repro.errors import EstimatorError
+
+            raise EstimatorError("cannot merge k-partition sketches with "
+                                 "different base/max_register settings")
+        for h in range(self.k):
+            if other.minima[h] < self.minima[h]:
+                self.minima[h] = other.minima[h]
+                self.argmin[h] = other.argmin[h]
+                if self.registers is not None:
+                    self.registers[h] = other.registers[h]
+
+    # ------------------------------------------------------------------
+    def nonempty_buckets(self) -> int:
+        """k' of Section 4.3: buckets whose minimum has been set."""
+        return sum(1 for item in self.argmin if item is not None)
+
+    def saturated_buckets(self) -> int:
+        """Buckets whose register hit max_register (can never update)."""
+        if self.registers is None or self.max_register is None:
+            return 0
+        return sum(1 for reg in self.registers if reg >= self.max_register)
+
+    def update_probability(self) -> float:
+        """(1/k) * sum over buckets of the update threshold (Equation 8).
+
+        An untouched bucket contributes 1 (any rank updates it); a
+        saturated register contributes 0 (it can never grow) -- this is
+        how the HIP estimate "gracefully degrades" under saturation
+        (Section 6).
+        """
+        total = 0.0
+        for h in range(self.k):
+            if self.argmin[h] is None:
+                total += 1.0
+            elif (
+                self.max_register is not None
+                and self.registers[h] >= self.max_register
+            ):
+                total += 0.0
+            else:
+                total += self.minima[h]
+        return total / self.k
+
+    def cardinality(self) -> float:
+        """Basic k-partition estimate (Section 4.3)."""
+        from repro.estimators.basic import k_partition_cardinality
+
+        return k_partition_cardinality(self.minima, self.argmin)
+
+    def copy(self) -> "KPartitionSketch":
+        clone = KPartitionSketch(
+            self.k, self.family, base=self.base, max_register=self.max_register
+        )
+        clone.minima = list(self.minima)
+        clone.argmin = list(self.argmin)
+        if self.registers is not None:
+            clone.registers = list(self.registers)
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"KPartitionSketch(k={self.k}, base={self.base}, "
+            f"nonempty={self.nonempty_buckets()})"
+        )

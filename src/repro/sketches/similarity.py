@@ -1,0 +1,56 @@
+"""Similarity and union estimation from coordinated bottom-k sketches.
+
+Coordination (Section 2) means sketches of different sets are samples from
+the *same* permutation, so the k smallest ranks of a union are computable
+from the two sketches alone.  This enables the classic MinHash Jaccard
+estimator [11], [10] and union-cardinality estimation -- applications the
+paper lists as motivations for keeping coordination.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import EstimatorError
+from repro.sketches.bottomk import BottomKSketch
+
+
+def _union_bottom_k(
+    a: BottomKSketch, b: BottomKSketch
+) -> Tuple[list, float]:
+    """The k smallest (rank, item) pairs of the union, plus tau_k."""
+    if a.k != b.k:
+        raise EstimatorError(f"sketches must share k; got {a.k} and {b.k}")
+    if a.family != b.family:
+        raise EstimatorError("similarity requires coordinated sketches "
+                             "(same hash family)")
+    merged: dict = {}
+    for rank, item in a.entries():
+        merged[item] = rank
+    for rank, item in b.entries():
+        merged[item] = rank
+    union = sorted((rank, item) for item, rank in merged.items())[: a.k]
+    tau = union[-1][0] if len(union) == a.k else a.ranks.sup
+    return union, tau
+
+
+def jaccard_estimate(a: BottomKSketch, b: BottomKSketch) -> float:
+    """Estimate |A intersect B| / |A union B|.
+
+    Counts how many of the k smallest union ranks belong to both sketches;
+    this is an unbiased estimator of the Jaccard coefficient because the
+    bottom-k of the union is a uniform without-replacement sample of it.
+    """
+    union, _ = _union_bottom_k(a, b)
+    if not union:
+        return 0.0
+    in_both = sum(1 for _, item in union if item in a and item in b)
+    return in_both / len(union)
+
+
+def union_size_estimate(a: BottomKSketch, b: BottomKSketch) -> float:
+    """Basic bottom-k cardinality estimate of |A union B|."""
+    from repro.estimators.basic import bottom_k_cardinality
+
+    union, tau = _union_bottom_k(a, b)
+    return bottom_k_cardinality(len(union), tau, a.k, sup=a.ranks.sup)

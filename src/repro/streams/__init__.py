@@ -1,0 +1,21 @@
+"""Data-stream substrate (Sections 3.1 and 6 of the paper).
+
+Streams are sequences of ``(element, time)`` entries.  This subpackage
+generates the workloads used by the streaming-ADS algorithms and the
+distinct-counting evaluation: pure distinct streams, streams with repeats
+(uniform or Zipf-distributed re-occurrence), and timestamped entry streams.
+"""
+
+from repro.streams.generators import (
+    distinct_stream,
+    shuffled_distinct_stream,
+    timestamped,
+    zipf_stream,
+)
+
+__all__ = [
+    "distinct_stream",
+    "shuffled_distinct_stream",
+    "timestamped",
+    "zipf_stream",
+]

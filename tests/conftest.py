@@ -1,0 +1,77 @@
+"""Shared fixtures: small graphs, hash families, and a fixed-rank family
+that lets the paper's worked example drive the public builder API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    barabasi_albert_graph,
+    figure1_graph,
+    figure1_ranks,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    random_geometric_graph,
+)
+from repro.rand.hashing import HashFamily
+
+
+class FixedRankFamily(HashFamily):
+    """A hash family whose index-0 ranks are prescribed per node.
+
+    Tiebreaks and buckets fall back to the hash; used to reproduce
+    Example 2.1 exactly through ``build_ads_set``.
+    """
+
+    def __init__(self, rank_map, seed: int = 0):
+        super().__init__(seed)
+        self.rank_map = dict(rank_map)
+
+    def rank(self, item, index: int = 0) -> float:
+        if index == 0 and item in self.rank_map:
+            return self.rank_map[item]
+        return super().rank(item, index)
+
+
+@pytest.fixture
+def family():
+    return HashFamily(20_240_614)
+
+
+@pytest.fixture
+def figure1():
+    return figure1_graph()
+
+
+@pytest.fixture
+def figure1_family():
+    return FixedRankFamily(figure1_ranks(), seed=3)
+
+
+@pytest.fixture
+def small_digraph():
+    """120-node sparse random digraph (unweighted)."""
+    return gnp_random_graph(120, 0.04, seed=2, directed=True)
+
+
+@pytest.fixture
+def small_weighted():
+    """80-node weighted geometric graph (undirected)."""
+    return random_geometric_graph(80, 0.25, seed=3)
+
+
+@pytest.fixture
+def ba_graph():
+    """300-node preferential-attachment graph."""
+    return barabasi_albert_graph(300, 3, seed=5)
+
+
+@pytest.fixture
+def line():
+    return path_graph(30)
+
+
+@pytest.fixture
+def grid():
+    return grid_graph(6, 6)

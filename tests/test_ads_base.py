@@ -1,0 +1,190 @@
+"""Tests for the ADS container classes and their estimator surface."""
+
+import math
+
+import pytest
+
+from repro.ads import build_ads_set
+from repro.errors import EstimatorError
+from repro.graph import barabasi_albert_graph, gnp_random_graph, path_graph
+from repro.graph.properties import (
+    closeness_centrality_exact,
+    exact_neighborhood_function,
+    neighborhood_cardinality,
+    reachable_set,
+)
+from repro.rand.hashing import HashFamily
+from repro.sketches import BottomKSketch
+
+
+class TestBottomKADS:
+    def test_hip_exact_below_k(self, ba_graph, family):
+        ads_set = build_ads_set(ba_graph, 16, family=family)
+        for v in list(ba_graph.nodes())[:25]:
+            true = neighborhood_cardinality(ba_graph, v, 1.0)
+            if true <= 16:
+                assert ads_set[v].cardinality_at(1.0) == pytest.approx(true)
+
+    def test_minhash_extraction_matches_direct_sketch(self, family):
+        """The MinHash sketch extracted from the ADS at distance d must
+        equal the sketch built directly from N_d(v) (Section 2)."""
+        graph = gnp_random_graph(100, 0.05, seed=8)
+        k = 5
+        ads_set = build_ads_set(graph, k, family=family)
+        from repro.graph.traversal import bfs_distances
+
+        for v in list(graph.nodes())[:10]:
+            dist = bfs_distances(graph, v)
+            for d in (1.0, 2.0, 3.0):
+                direct = BottomKSketch(k, family)
+                direct.update([u for u, du in dist.items() if du <= d])
+                assert ads_set[v].minhash_at(d) == direct.entries()
+
+    def test_reachable_count(self, family):
+        graph = gnp_random_graph(200, 0.03, seed=3)
+        ads_set = build_ads_set(graph, 24, family=family)
+        v = list(graph.nodes())[0]
+        true = len(reachable_set(graph, v))
+        assert ads_set[v].reachable_count() == pytest.approx(true, rel=0.35)
+
+    def test_neighborhood_function_monotone(self, ba_graph, family):
+        ads_set = build_ads_set(ba_graph, 8, family=family)
+        nf = ads_set[0].neighborhood_function()
+        values = [value for _, value in nf]
+        assert values == sorted(values)
+        distances = [d for d, _ in nf]
+        assert distances == sorted(set(distances))
+
+    def test_size_at_counts_entries(self, line, family):
+        ads_set = build_ads_set(line, 2, family=family)
+        ads = ads_set[0]
+        assert ads.size_at(0.0) == 1
+        assert ads.size_at(math.inf) == len(ads)
+
+    def test_basic_vs_hip_consistency(self, ba_graph, family):
+        ads_set = build_ads_set(ba_graph, 16, family=family)
+        v = list(ba_graph.nodes())[3]
+        true = neighborhood_cardinality(ba_graph, v, 2.0)
+        hip = ads_set[v].cardinality_at(2.0)
+        basic = ads_set[v].basic_cardinality_at(2.0)
+        assert hip == pytest.approx(true, rel=0.6)
+        assert basic == pytest.approx(true, rel=0.6)
+
+    def test_size_cardinality_estimator(self, family):
+        graph = path_graph(300, directed=True)
+        ads_set = build_ads_set(graph, 4, family=family)
+        estimate = ads_set[0].size_cardinality_at(math.inf)
+        assert estimate > 10  # wildly noisy, but positive and finite
+        assert math.isfinite(estimate)
+
+    def test_q_statistic_and_centrality(self, ba_graph, family):
+        ads_set = build_ads_set(ba_graph, 16, family=family)
+        v = list(ba_graph.nodes())[0]
+        exact = closeness_centrality_exact(ba_graph, v)
+        estimate = ads_set[v].centrality()
+        assert estimate == pytest.approx(exact, rel=0.5)
+
+    def test_contains_and_nodes(self, line, family):
+        ads_set = build_ads_set(line, 2, family=family)
+        ads = ads_set[5]
+        assert 5 in ads
+        assert ads.nodes()[0] == 5
+
+    def test_requires_source_entry(self, family):
+        from repro.ads.base import BottomKADS
+
+        with pytest.raises(EstimatorError):
+            BottomKADS("s", 2, [], family)
+
+
+class TestKMinsADS:
+    def test_merged_entries_deduplicate(self, small_digraph, family):
+        ads_set = build_ads_set(
+            small_digraph, 4, family=family, flavor="kmins"
+        )
+        for v in list(small_digraph.nodes())[:10]:
+            merged = ads_set[v].merged_entries()
+            nodes = [e.node for e in merged]
+            assert len(nodes) == len(set(nodes))
+            # raw entries may repeat nodes across permutations
+            assert len(ads_set[v].entries) >= len(merged)
+
+    def test_minhash_extraction(self, family):
+        graph = gnp_random_graph(80, 0.06, seed=4)
+        k = 4
+        ads_set = build_ads_set(graph, k, family=family, flavor="kmins")
+        from repro.graph.traversal import bfs_distances
+
+        v = list(graph.nodes())[0]
+        dist = bfs_distances(graph, v)
+        for d in (1.0, 2.0):
+            expected = [
+                min(
+                    (family.rank(u, h) for u, du in dist.items() if du <= d),
+                    default=1.0,
+                )
+                for h in range(k)
+            ]
+            assert ads_set[v].minhash_at(d) == pytest.approx(expected)
+
+    def test_hip_cardinality_reasonable(self, ba_graph, family):
+        ads_set = build_ads_set(ba_graph, 16, family=family, flavor="kmins")
+        v = list(ba_graph.nodes())[1]
+        true = neighborhood_cardinality(ba_graph, v, 2.0)
+        assert ads_set[v].cardinality_at(2.0) == pytest.approx(true, rel=0.6)
+
+
+class TestKPartitionADS:
+    def test_entries_have_buckets(self, small_digraph, family):
+        ads_set = build_ads_set(
+            small_digraph, 4, family=family, flavor="kpartition"
+        )
+        for ads in list(ads_set.values())[:10]:
+            for e in ads.entries:
+                assert e.bucket == family.bucket(e.node, 4)
+
+    def test_minhash_extraction(self, family):
+        graph = gnp_random_graph(80, 0.06, seed=4)
+        k = 4
+        ads_set = build_ads_set(graph, k, family=family, flavor="kpartition")
+        from repro.graph.traversal import bfs_distances
+
+        v = list(graph.nodes())[0]
+        dist = bfs_distances(graph, v)
+        minima, argmin = ads_set[v].minhash_at(2.0)
+        for h in range(k):
+            members = [
+                u
+                for u, du in dist.items()
+                if du <= 2.0 and family.bucket(u, k) == h
+            ]
+            if members:
+                best = min(members, key=lambda u: family.rank(u, 0))
+                assert argmin[h] == best
+                assert minima[h] == family.rank(best, 0)
+            else:
+                assert argmin[h] is None
+
+    def test_hip_cardinality_reasonable(self, ba_graph, family):
+        ads_set = build_ads_set(
+            ba_graph, 16, family=family, flavor="kpartition"
+        )
+        v = list(ba_graph.nodes())[2]
+        true = neighborhood_cardinality(ba_graph, v, 2.0)
+        assert ads_set[v].cardinality_at(2.0) == pytest.approx(true, rel=0.6)
+
+
+class TestUnbiasednessAcrossSeeds:
+    @pytest.mark.parametrize("flavor", ["bottomk", "kmins", "kpartition"])
+    def test_hip_mean_tracks_truth(self, flavor):
+        graph = barabasi_albert_graph(150, 3, seed=9)
+        v = 17
+        true = neighborhood_cardinality(graph, v, 2.0)
+        estimates = []
+        for seed in range(40):
+            ads_set = build_ads_set(
+                graph, 8, family=HashFamily(seed), flavor=flavor
+            )
+            estimates.append(ads_set[v].cardinality_at(2.0))
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(true, rel=0.12)

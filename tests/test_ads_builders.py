@@ -1,0 +1,179 @@
+"""Cross-validation of the three ADS builders (Section 3).
+
+The strongest correctness statement in the library: PRUNEDDIJKSTRA, DP and
+LOCALUPDATES implement the same mathematical object, so their outputs must
+be bit-identical -- on directed and undirected, weighted and unweighted
+graphs, for all three flavors.  We also check the defining membership
+condition (Equation 4) against a brute-force oracle.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ads import BuildStats, build_ads_set
+from repro.ads.pruned_dijkstra import pruned_dijkstra_core
+from repro.errors import GraphError, ParameterError
+from repro.graph import (
+    Graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    random_geometric_graph,
+)
+from repro.graph.traversal import dijkstra_order
+from repro.rand.hashing import HashFamily
+
+
+def canon(ads):
+    return [
+        (e.node, round(e.distance, 9), round(e.rank, 12)) for e in ads.entries
+    ]
+
+
+@pytest.mark.parametrize("flavor", ["bottomk", "kmins", "kpartition"])
+class TestBuilderEquivalence:
+    def test_unweighted_digraph(self, small_digraph, family, flavor):
+        results = {
+            method: build_ads_set(
+                small_digraph, 4, family=family, flavor=flavor, method=method
+            )
+            for method in ("pruned_dijkstra", "dp", "local_updates")
+        }
+        for v in small_digraph.nodes():
+            reference = canon(results["pruned_dijkstra"][v])
+            assert canon(results["dp"][v]) == reference
+            assert canon(results["local_updates"][v]) == reference
+
+    def test_weighted_graph(self, small_weighted, family, flavor):
+        a = build_ads_set(
+            small_weighted, 3, family=family, flavor=flavor,
+            method="pruned_dijkstra",
+        )
+        b = build_ads_set(
+            small_weighted, 3, family=family, flavor=flavor,
+            method="local_updates",
+        )
+        for v in small_weighted.nodes():
+            assert canon(a[v]) == canon(b[v])
+
+
+class TestDefinition:
+    def test_membership_condition_bruteforce(self, family):
+        """Equation 4: j in ADS(i) iff r(j) < kth rank among strictly
+        closer nodes (closer in the tie-broken total order)."""
+        graph = gnp_random_graph(60, 0.08, seed=21, directed=True)
+        k = 3
+        ads_set = build_ads_set(graph, k, family=family)
+        for i in list(graph.nodes())[:15]:
+            scan = list(
+                dijkstra_order(graph, i, tiebreak=family.tiebreak)
+            )
+            members = {e.node for e in ads_set[i].entries}
+            closer_ranks = []
+            for node, _ in scan:
+                r = family.rank(node, 0)
+                threshold = (
+                    sorted(closer_ranks)[k - 1]
+                    if len(closer_ranks) >= k
+                    else 1.0
+                )
+                assert (node in members) == (r < threshold), node
+                closer_ranks.append(r)
+
+    def test_every_ads_starts_with_source(self, small_digraph, family):
+        ads_set = build_ads_set(small_digraph, 4, family=family)
+        for v, ads in ads_set.items():
+            assert ads.entries[0].node == v
+            assert ads.entries[0].distance == 0.0
+
+    def test_entry_count_near_lemma22(self, family):
+        """Lemma 2.2: E|ADS| = k + k(H_n - H_k) on a graph with unique
+        distances (a path gives every node a distinct distance)."""
+        from repro.estimators.bounds import expected_ads_size_bottomk
+
+        n, k = 400, 4
+        graph = path_graph(n, directed=True)
+        sizes = []
+        for seed in range(30):
+            ads_set = build_ads_set(graph, k, family=HashFamily(seed))
+            sizes.append(len(ads_set[0]))
+        mean = sum(sizes) / len(sizes)
+        assert mean == pytest.approx(expected_ads_size_bottomk(n, k), rel=0.15)
+
+    def test_directions(self, family):
+        graph = Graph(directed=True)
+        graph.add_edge("a", "b")
+        forward = build_ads_set(graph, 2, family=family, direction="forward")
+        backward = build_ads_set(graph, 2, family=family, direction="backward")
+        assert "b" in [e.node for e in forward["a"].entries]
+        assert "a" not in [e.node for e in forward["b"].entries]
+        assert "a" in [e.node for e in backward["b"].entries]
+
+
+class TestStatsAndValidation:
+    def test_stats_populated(self, small_digraph, family):
+        stats = BuildStats()
+        build_ads_set(small_digraph, 4, family=family, stats=stats)
+        assert stats.insertions > small_digraph.num_nodes
+        assert stats.relaxations > 0
+
+    def test_relaxation_bound(self, family):
+        """Section 3: expected total relaxations O(k m log n)."""
+        graph = gnp_random_graph(150, 0.05, seed=2)
+        k = 4
+        stats = BuildStats()
+        build_ads_set(
+            graph, k, family=family, method="pruned_dijkstra", stats=stats
+        )
+        bound = 8 * k * graph.num_edges * 2 * math.log(graph.num_nodes)
+        assert stats.relaxations < bound
+
+    def test_dp_rejects_weighted(self, small_weighted, family):
+        with pytest.raises(GraphError):
+            build_ads_set(small_weighted, 2, family=family, method="dp")
+
+    def test_invalid_arguments(self, small_digraph, family):
+        with pytest.raises(ParameterError):
+            build_ads_set(small_digraph, 2, family=family, flavor="nope")
+        with pytest.raises(ParameterError):
+            build_ads_set(small_digraph, 2, family=family, method="nope")
+        with pytest.raises(ParameterError):
+            build_ads_set(small_digraph, 2, family=family, direction="up")
+        with pytest.raises(ParameterError):
+            build_ads_set(
+                small_digraph, 2, family=family, epsilon=0.1, method="dp"
+            )
+
+    def test_auto_method_selection(self, small_digraph, small_weighted, family):
+        # auto must produce the same sketches as an explicit method
+        auto = build_ads_set(small_digraph, 3, family=family, method="auto")
+        explicit = build_ads_set(small_digraph, 3, family=family, method="dp")
+        for v in small_digraph.nodes():
+            assert canon(auto[v]) == canon(explicit[v])
+        auto_w = build_ads_set(small_weighted, 3, family=family, method="auto")
+        explicit_w = build_ads_set(
+            small_weighted, 3, family=family, method="pruned_dijkstra"
+        )
+        for v in small_weighted.nodes():
+            assert canon(auto_w[v]) == canon(explicit_w[v])
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    k=st.integers(min_value=1, max_value=6),
+    directed=st.booleans(),
+)
+def test_builder_equivalence_property(seed, k, directed):
+    """Random graphs, random k: the three builders always agree."""
+    graph = gnp_random_graph(35, 0.12, seed=seed, directed=directed)
+    family = HashFamily(seed + 1)
+    reference = build_ads_set(
+        graph, k, family=family, method="pruned_dijkstra"
+    )
+    for method in ("dp", "local_updates"):
+        other = build_ads_set(graph, k, family=family, method=method)
+        for v in graph.nodes():
+            assert canon(other[v]) == canon(reference[v])

@@ -1,0 +1,104 @@
+"""Small-surface tests: entry ordering, build stats, weighted-graph
+builder equivalence, and exponential-rank estimation plumbing."""
+
+import math
+
+import pytest
+
+from repro.ads import BuildStats, build_ads_set
+from repro.ads.entry import AdsEntry
+from repro.estimators.basic import bottom_k_cardinality
+from repro.graph import random_geometric_graph
+from repro.rand.hashing import HashFamily
+from repro.rand.ranks import ExponentialRanks
+from repro.sketches import BottomKSketch
+
+
+class TestAdsEntry:
+    def test_ordering_by_distance_then_tiebreak(self):
+        a = AdsEntry(node="a", distance=1.0, rank=0.9, tiebreak=5)
+        b = AdsEntry(node="b", distance=1.0, rank=0.1, tiebreak=9)
+        c = AdsEntry(node="c", distance=0.5, rank=0.5, tiebreak=99)
+        assert sorted([b, a, c]) == [c, a, b]
+
+    def test_key_property(self):
+        e = AdsEntry(node="x", distance=2.0, rank=0.3, tiebreak=7)
+        assert e.key == (2.0, 7)
+
+    def test_frozen(self):
+        e = AdsEntry(node="x", distance=2.0, rank=0.3)
+        with pytest.raises(Exception):
+            e.distance = 3.0
+
+    def test_optional_fields_default_none(self):
+        e = AdsEntry(node="x", distance=0.0, rank=0.1)
+        assert e.bucket is None
+        assert e.permutation is None
+
+
+class TestBuildStats:
+    def test_repr_contains_counters(self):
+        stats = BuildStats()
+        stats.relaxations = 7
+        text = repr(stats)
+        assert "relaxations=7" in text
+        assert "evictions=0" in text
+
+    def test_local_updates_reports_evictions_on_weighted(self):
+        graph = random_geometric_graph(50, 0.35, seed=4)
+        stats = BuildStats()
+        build_ads_set(
+            graph, 4, family=HashFamily(1), method="local_updates",
+            stats=stats,
+        )
+        # weighted graphs revise distances, so some churn must occur
+        assert stats.evictions > 0
+        assert stats.insertions > stats.evictions
+
+
+class TestWeightedBuilderEquivalence:
+    def test_weighted_node_weights_pd_equals_lu(self):
+        """Section 9 ranks flow through both builders identically."""
+        graph = random_geometric_graph(40, 0.35, seed=6)
+        beta = lambda v: 1.0 + (v % 4)
+        family = HashFamily(8)
+        a = build_ads_set(
+            graph, 3, family=family, node_weights=beta,
+            method="pruned_dijkstra",
+        )
+        b = build_ads_set(
+            graph, 3, family=family, node_weights=beta,
+            method="local_updates",
+        )
+        for v in graph.nodes():
+            assert [(e.node, e.distance) for e in a[v].entries] == [
+                (e.node, e.distance) for e in b[v].entries
+            ]
+            assert a[v].weighted_cardinality_at(0.5) == pytest.approx(
+                b[v].weighted_cardinality_at(0.5)
+            )
+
+
+class TestExponentialRankSketch:
+    def test_bottomk_with_exponential_ranks_estimates(self):
+        """The basic estimator handles sup=inf rank ranges (Section 9):
+        cardinality from a sketch built on Exp(1) ranks."""
+        import statistics
+
+        n = 2000
+        values = []
+        for seed in range(60):
+            family = HashFamily(seed)
+            sketch = BottomKSketch(
+                16, family, ranks=ExponentialRanks(family)
+            )
+            sketch.update(range(n))
+            values.append(sketch.cardinality())
+        assert statistics.mean(values) == pytest.approx(n, rel=0.1)
+
+    def test_update_probability_unsupported_for_exponential(self):
+        family = HashFamily(0)
+        sketch = BottomKSketch(4, family, ranks=ExponentialRanks(family))
+        sketch.update(range(10))
+        with pytest.raises(NotImplementedError):
+            sketch.update_probability()

@@ -1,0 +1,115 @@
+"""Tests for streaming ADS (Section 3.1)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.ads import FirstOccurrenceStreamADS, RecentOccurrenceStreamADS
+from repro.errors import ParameterError
+from repro.rand.hashing import HashFamily
+from repro.sketches import BottomKSketch
+from repro.streams import timestamped, zipf_stream
+
+
+class TestFirstOccurrence:
+    def test_entries_are_sketch_update_history(self, family):
+        """The recorded entries must be exactly the elements that modified
+        a plain bottom-k sketch fed the same stream."""
+        ads = FirstOccurrenceStreamADS(4, family)
+        sketch = BottomKSketch(4, family)
+        expected = []
+        for element, t in timestamped(range(200)):
+            if sketch.add(element):
+                expected.append(element)
+            ads.add(element, t)
+        assert [e for e, _, _ in ads.entries] == expected
+
+    def test_repeats_never_insert(self, family):
+        ads = FirstOccurrenceStreamADS(4, family)
+        stream = zipf_stream(50, 400, seed=2)
+        for element, t in timestamped(stream):
+            ads.add(element, t)
+        elements = [e for e, _, _ in ads.entries]
+        assert len(elements) == len(set(elements))
+
+    def test_time_monotonicity_enforced(self, family):
+        ads = FirstOccurrenceStreamADS(2, family)
+        ads.add("a", 5.0)
+        with pytest.raises(ParameterError):
+            ads.add("b", 4.0)
+
+    def test_distinct_count_unbiased(self):
+        n, runs = 1000, 150
+        values = []
+        for seed in range(runs):
+            ads = FirstOccurrenceStreamADS(12, HashFamily(seed))
+            for element, t in timestamped(range(n)):
+                ads.add(element, t)
+            values.append(ads.distinct_count())
+        assert statistics.mean(values) == pytest.approx(n, rel=0.06)
+
+    def test_prefix_counts_respect_time(self, family):
+        ads = FirstOccurrenceStreamADS(8, family)
+        for element, t in timestamped(range(100)):
+            ads.add(element, t)
+        # distinct count up to time 9 estimates the 10 earliest elements
+        early = ads.distinct_count(up_to_time=9.0)
+        total = ads.distinct_count()
+        assert early <= total
+        assert early == pytest.approx(10, rel=0.8)
+
+
+class TestRecentOccurrence:
+    def test_newest_always_inserted(self, family):
+        ads = RecentOccurrenceStreamADS(2, family, horizon=1000.0)
+        for element, t in timestamped(range(50)):
+            ads.add(element, t)
+            assert any(e[1] == element for e in ads.entries)
+
+    def test_reoccurrence_moves_element_forward(self, family):
+        ads = RecentOccurrenceStreamADS(4, family, horizon=1000.0)
+        ads.add("x", 0.0)
+        ads.add("y", 1.0)
+        ads.add("x", 2.0)
+        entries = {e[1]: e[0] for e in ads.entries}
+        assert entries["x"] == 998.0  # horizon - most recent time
+
+    def test_bottomk_rule_holds(self, family):
+        """Scanning entries by increasing distance, every entry's rank is
+        among the k smallest seen so far (the ADS definition)."""
+        k = 3
+        ads = RecentOccurrenceStreamADS(k, family, horizon=10_000.0)
+        stream = zipf_stream(300, 1500, seed=5)
+        for element, t in timestamped(stream):
+            ads.add(element, t)
+        seen = []
+        for distance, element, rank in sorted(ads.entries):
+            threshold = sorted(seen)[k - 1] if len(seen) >= k else 1.0
+            assert rank < threshold or len(seen) < k
+            seen.append(rank)
+
+    def test_horizon_enforced(self, family):
+        ads = RecentOccurrenceStreamADS(2, family, horizon=10.0)
+        with pytest.raises(ParameterError):
+            ads.add("a", 10.0)
+
+    def test_window_count_estimate(self):
+        """Count of distinct elements in a sliding window."""
+        runs, n = 120, 400
+        values = []
+        for seed in range(runs):
+            ads = RecentOccurrenceStreamADS(
+                16, HashFamily(seed), horizon=n + 1.0
+            )
+            for element, t in timestamped(range(n)):  # all distinct
+                ads.add(element, t)
+            # window = last 100 arrivals
+            values.append(ads.distinct_count_within(100.0, now=n - 1.0))
+        assert statistics.mean(values) == pytest.approx(100, rel=0.12)
+
+    def test_decayed_sum(self, family):
+        ads = RecentOccurrenceStreamADS(8, family, horizon=100.0)
+        ads.add("a", 99.0)  # age 0 at now=99
+        value = ads.decayed_sum(lambda age: 2.0 ** (-age), now=99.0)
+        assert value == pytest.approx(1.0)

@@ -1,0 +1,176 @@
+"""Tests for the ADS variants: (1+eps)-approximate (Section 3),
+no-tie-breaking (Appendix A), and weighted nodes (Section 9)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.ads import build_ads_set
+from repro.ads.no_tiebreak import build_no_tiebreak_ads
+from repro.graph import (
+    complete_graph,
+    gnp_random_graph,
+    random_geometric_graph,
+    star_graph,
+)
+from repro.graph.properties import neighborhood_cardinality
+from repro.graph.traversal import single_source_distances
+from repro.rand.hashing import HashFamily
+
+
+class TestApproximateADS:
+    def test_epsilon_zero_is_exact(self, small_weighted, family):
+        exact = build_ads_set(
+            small_weighted, 3, family=family, method="local_updates"
+        )
+        explicit = build_ads_set(
+            small_weighted, 3, family=family, method="local_updates",
+            epsilon=0.0,
+        )
+        for v in small_weighted.nodes():
+            assert [e.node for e in exact[v].entries] == [
+                e.node for e in explicit[v].entries
+            ]
+
+    def test_approximate_is_subset_with_guarantee(self, family):
+        """(1+eps)-ADS property: an excluded node must be beaten by k
+        smaller-rank nodes within (1+eps) of its distance (see the
+        local_updates module docstring for why the provable guarantee
+        quantifies over nodes rather than sketch entries)."""
+        graph = random_geometric_graph(60, 0.3, seed=6)
+        k, eps = 3, 0.25
+        approx = build_ads_set(
+            graph, k, family=family, method="local_updates", epsilon=eps
+        )
+        exact = build_ads_set(graph, k, family=family)
+        for v in list(graph.nodes())[:20]:
+            approx_nodes = {e.node for e in approx[v].entries}
+            exact_nodes = {e.node for e in exact[v].entries}
+            assert approx_nodes <= exact_nodes
+            # guarantee for excluded nodes, against all nodes of the ball
+            dist = single_source_distances(graph, v)
+            for u, d_uv in dist.items():
+                if u in approx_nodes:
+                    continue
+                competitors = sorted(
+                    family.rank(x, 0)
+                    for x, d_xv in dist.items()
+                    if d_xv <= (1.0 + eps) * d_uv and x != u
+                )
+                threshold = (
+                    competitors[k - 1] if len(competitors) >= k else 1.0
+                )
+                assert family.rank(u, 0) >= threshold
+
+    def test_fewer_updates_than_exact(self, family):
+        from repro.ads import BuildStats
+
+        graph = random_geometric_graph(70, 0.3, seed=8)
+        stats_exact = BuildStats()
+        stats_approx = BuildStats()
+        build_ads_set(
+            graph, 3, family=family, method="local_updates",
+            stats=stats_exact,
+        )
+        build_ads_set(
+            graph, 3, family=family, method="local_updates", epsilon=0.5,
+            stats=stats_approx,
+        )
+        assert stats_approx.insertions <= stats_exact.insertions
+
+
+class TestNoTiebreakADS:
+    def test_at_most_k_entries_per_distance(self, family):
+        graph = star_graph(60)  # all leaves at the same distance
+        k = 4
+        ads_set = build_no_tiebreak_ads(graph, k, family)
+        for v, ads in ads_set.items():
+            by_distance = {}
+            for node, d, rank in ads.entries:
+                by_distance.setdefault(d, []).append(rank)
+            for d, ranks in by_distance.items():
+                assert len(ranks) <= k
+
+    def test_smaller_than_tiebroken_ads(self, family):
+        graph = complete_graph(50)  # extreme tie density
+        k = 4
+        modified = build_no_tiebreak_ads(graph, k, family)
+        strict = build_ads_set(graph, k, family=family)
+        for v in graph.nodes():
+            assert len(modified[v]) <= len(strict[v])
+            assert len(modified[v]) <= 2 * k  # <= k per distance class here
+
+    def test_kth_rank_entry_gets_zero_weight(self, family):
+        graph = star_graph(40)
+        k = 3
+        ads_set = build_no_tiebreak_ads(graph, k, family)
+        center = ads_set[0]
+        weights = center.hip_weights()
+        assert any(w == 0.0 for w in weights)  # the k-th rank holder
+        assert all(w >= 0.0 for w in weights)
+
+    def test_cardinality_unbiased(self):
+        graph = star_graph(200)
+        k = 8
+        estimates = []
+        for seed in range(120):
+            ads_set = build_no_tiebreak_ads(graph, k, HashFamily(seed))
+            estimates.append(ads_set[0].cardinality_at(1.0))
+        true = 200  # center + 199 leaves at distance 1... (center at 0)
+        assert statistics.mean(estimates) == pytest.approx(true, rel=0.08)
+
+
+class TestWeightedNodes:
+    def test_weighted_cardinality_unbiased(self):
+        """Section 9: estimate sum of beta(j) over a neighborhood."""
+        graph = gnp_random_graph(120, 0.05, seed=12)
+        beta = lambda v: 1.0 + (v % 5)  # weights 1..5
+        v0 = 0
+        dist = single_source_distances(graph, v0)
+        true = sum(beta(u) for u, d in dist.items() if d <= 2.0)
+        estimates = []
+        for seed in range(60):
+            ads_set = build_ads_set(
+                graph, 8, family=HashFamily(seed), node_weights=beta
+            )
+            estimates.append(ads_set[v0].weighted_cardinality_at(2.0))
+        assert statistics.mean(estimates) == pytest.approx(true, rel=0.12)
+
+    def test_heavy_nodes_sampled_more(self):
+        graph = star_graph(400)
+        heavy = {1, 2, 3}
+        beta = lambda v: 100.0 if v in heavy else 1.0
+        hits = 0
+        for seed in range(30):
+            ads_set = build_ads_set(
+                graph, 4, family=HashFamily(seed), node_weights=beta
+            )
+            members = {e.node for e in ads_set[0].entries}
+            hits += len(heavy & members)
+        # heavy nodes should almost always be present
+        assert hits > 60  # out of 90 possible
+
+    def test_presence_weights_unbiased(self):
+        """hip_weights are presence estimates: each reachable node's
+        weight has expectation 1, so the sum estimates cardinality."""
+        graph = gnp_random_graph(100, 0.06, seed=4)
+        beta = lambda v: 1.0 + (v % 3)
+        v0 = 0
+        true = neighborhood_cardinality(graph, v0, 2.0)
+        estimates = []
+        for seed in range(60):
+            ads_set = build_ads_set(
+                graph, 8, family=HashFamily(seed), node_weights=beta
+            )
+            estimates.append(ads_set[v0].cardinality_at(2.0))
+        assert statistics.mean(estimates) == pytest.approx(true, rel=0.12)
+
+    def test_rejects_non_bottomk_flavor(self, small_digraph, family):
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            build_ads_set(
+                small_digraph, 4, family=family, flavor="kmins",
+                node_weights=lambda v: 1.0,
+            )

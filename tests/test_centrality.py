@@ -1,0 +1,167 @@
+"""Tests for ADS-based centralities and neighborhood functions."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.ads import build_ads_set
+from repro.centrality import (
+    HyperANF,
+    all_closeness_centralities,
+    closeness_centrality,
+    graph_neighborhood_function,
+    harmonic_centrality,
+    top_k_central_nodes,
+)
+from repro.errors import EstimatorError, GraphError
+from repro.graph import barabasi_albert_graph, gnp_random_graph, path_graph, star_graph
+from repro.graph.properties import (
+    closeness_centrality_exact,
+    distance_distribution,
+    exact_neighborhood_function,
+    harmonic_centrality_exact,
+)
+from repro.rand.hashing import HashFamily
+
+
+class TestCloseness:
+    def test_sum_of_distances_unbiased(self):
+        graph = barabasi_albert_graph(120, 3, seed=4)
+        v = 11
+        exact = closeness_centrality_exact(graph, v)
+        estimates = []
+        for seed in range(50):
+            ads = build_ads_set(graph, 8, family=HashFamily(seed))[v]
+            estimates.append(closeness_centrality(ads))
+        assert statistics.mean(estimates) == pytest.approx(exact, rel=0.1)
+
+    def test_harmonic_unbiased(self):
+        graph = barabasi_albert_graph(120, 3, seed=4)
+        v = 30
+        exact = harmonic_centrality_exact(graph, v)
+        estimates = []
+        for seed in range(50):
+            ads = build_ads_set(graph, 8, family=HashFamily(seed))[v]
+            estimates.append(harmonic_centrality(ads))
+        assert statistics.mean(estimates) == pytest.approx(exact, rel=0.1)
+
+    def test_classic_closeness_on_star(self, family):
+        graph = star_graph(50)
+        ads_set = build_ads_set(graph, 16, family=family)
+        center = closeness_centrality(ads_set[0], classic=True)
+        leaf = closeness_centrality(ads_set[1], classic=True)
+        assert center > leaf  # the hub is the most central node
+
+    def test_classic_rejects_kernels(self, family):
+        graph = star_graph(10)
+        ads = build_ads_set(graph, 4, family=family)[0]
+        with pytest.raises(EstimatorError):
+            closeness_centrality(ads, alpha=lambda d: 1.0, classic=True)
+
+    def test_beta_filter_queries_after_build(self):
+        """The paper's flexibility claim: one ADS set, many beta queries."""
+        graph = barabasi_albert_graph(100, 3, seed=7)
+        v = 5
+        ads = build_ads_set(graph, 16, family=HashFamily(3))[v]
+        even = ads.centrality(
+            alpha=lambda d: 1.0, beta=lambda u: 1.0 if u % 2 == 0 else 0.0
+        )
+        odd = ads.centrality(
+            alpha=lambda d: 1.0, beta=lambda u: 1.0 if u % 2 == 1 else 0.0
+        )
+        everything = ads.centrality(alpha=lambda d: 1.0)
+        assert even + odd == pytest.approx(everything)
+
+    def test_top_k_ranking_identifies_hub(self, family):
+        graph = star_graph(40)
+        ads_set = build_ads_set(graph, 16, family=family)
+        centralities = all_closeness_centralities(ads_set, classic=True)
+        top = top_k_central_nodes(centralities, 1)
+        assert top[0][0] == 0
+
+    def test_top_k_least_central(self, family):
+        graph = path_graph(20)
+        ads_set = build_ads_set(graph, 16, family=family)
+        centralities = all_closeness_centralities(ads_set, classic=True)
+        bottom = top_k_central_nodes(centralities, 2, largest=False)
+        assert {node for node, _ in bottom} <= {0, 1, 18, 19}
+
+
+class TestGraphNeighborhoodFunction:
+    def test_tracks_exact_distribution(self):
+        graph = gnp_random_graph(150, 0.04, seed=6)
+        estimates = []
+        exact = dict(distance_distribution(graph))
+        for seed in range(15):
+            ads_set = build_ads_set(graph, 12, family=HashFamily(seed))
+            estimated = dict(graph_neighborhood_function(ads_set))
+            estimates.append(estimated)
+        for d in list(exact)[:4]:
+            mean = statistics.mean(e.get(d, 0.0) for e in estimates)
+            assert mean == pytest.approx(exact[d], rel=0.12)
+
+
+class TestHyperANF:
+    def test_requires_unweighted(self, small_weighted, family):
+        with pytest.raises(GraphError):
+            HyperANF(small_weighted, 8, family)
+
+    def test_converges_within_diameter_rounds(self, family):
+        graph = path_graph(12)
+        anf = HyperANF(graph, 8, family)
+        rounds = anf.run()
+        assert rounds <= 12
+        assert not anf.advance()  # converged
+
+    def test_estimates_track_neighborhood_function(self):
+        graph = barabasi_albert_graph(150, 3, seed=3)
+        v = 42
+        exact = dict(exact_neighborhood_function(graph, v))
+        hip_by_round = {}
+        runs = 25
+        totals = {}
+        for seed in range(runs):
+            anf = HyperANF(graph, 32, HashFamily(seed))
+            for round_index in (1, 2):
+                anf.advance()
+                totals.setdefault(round_index, []).append(
+                    anf.hip_estimates()[v]
+                )
+        for round_index, values in totals.items():
+            truth = exact.get(float(round_index))
+            if truth:
+                assert statistics.mean(values) == pytest.approx(
+                    truth, rel=0.15
+                )
+
+    def test_hip_at_least_as_good_as_basic(self):
+        """Appendix B.1: HIP should (statistically) beat the HLL estimate
+        from the same hyperANF computation."""
+        graph = barabasi_albert_graph(200, 3, seed=8)
+        runs = 30
+        hip_err, basic_err = [], []
+        truth = {
+            v: dict(exact_neighborhood_function(graph, v)).get(2.0)
+            for v in list(graph.nodes())[:20]
+        }
+        for seed in range(runs):
+            anf = HyperANF(graph, 16, HashFamily(seed))
+            anf.advance()
+            anf.advance()
+            hip = anf.hip_estimates()
+            basic = anf.basic_estimates()
+            for v, true in truth.items():
+                if true:
+                    hip_err.append((hip[v] / true - 1.0) ** 2)
+                    basic_err.append((basic[v] / true - 1.0) ** 2)
+        assert statistics.mean(hip_err) < statistics.mean(basic_err)
+
+    def test_total_pairs_estimator_options(self, family):
+        graph = path_graph(10)
+        anf = HyperANF(graph, 8, family)
+        anf.run()
+        assert anf.total_pairs("hip") > 0
+        assert anf.total_pairs("basic") > 0
+        with pytest.raises(GraphError):
+            anf.total_pairs("nope")

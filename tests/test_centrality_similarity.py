@@ -1,0 +1,130 @@
+"""Tests for node-similarity estimation from coordinated ADSs."""
+
+import statistics
+
+import pytest
+
+from repro.ads import build_ads_set
+from repro.centrality import (
+    closeness_similarity,
+    most_similar_nodes,
+    neighborhood_jaccard,
+)
+from repro.errors import EstimatorError
+from repro.graph import Graph, gnp_random_graph, grid_graph, path_graph
+from repro.graph.traversal import bfs_distances
+from repro.rand.hashing import HashFamily
+
+
+class TestNeighborhoodJaccard:
+    def test_self_similarity_is_one(self, family):
+        graph = gnp_random_graph(80, 0.06, seed=1)
+        ads_set = build_ads_set(graph, 8, family=family)
+        assert neighborhood_jaccard(ads_set[0], ads_set[0], 2.0) == 1.0
+
+    def test_far_apart_nodes_dissimilar(self, family):
+        graph = path_graph(60)
+        ads_set = build_ads_set(graph, 8, family=family)
+        assert neighborhood_jaccard(ads_set[0], ads_set[59], 3.0) == 0.0
+
+    def test_adjacent_nodes_similar(self, family):
+        graph = grid_graph(8, 8)
+        ads_set = build_ads_set(graph, 16, family=family)
+        near = neighborhood_jaccard(ads_set[(3, 3)], ads_set[(3, 4)], 3.0)
+        far = neighborhood_jaccard(ads_set[(0, 0)], ads_set[(7, 7)], 3.0)
+        assert near > far
+
+    def test_unbiased_over_seeds(self):
+        graph = gnp_random_graph(120, 0.05, seed=7)
+        u, v, d = 0, 1, 2.0
+        nu = {x for x, dd in bfs_distances(graph, u).items() if dd <= d}
+        nv = {x for x, dd in bfs_distances(graph, v).items() if dd <= d}
+        true = len(nu & nv) / len(nu | nv)
+        values = []
+        for seed in range(120):
+            ads_set = build_ads_set(graph, 12, family=HashFamily(seed))
+            values.append(
+                neighborhood_jaccard(ads_set[u], ads_set[v], d)
+            )
+        assert statistics.mean(values) == pytest.approx(true, abs=0.05)
+
+    def test_requires_coordination(self, family):
+        graph = path_graph(10)
+        a = build_ads_set(graph, 4, family=family)[0]
+        b = build_ads_set(graph, 4, family=HashFamily(family.seed + 1))[0]
+        with pytest.raises(EstimatorError):
+            neighborhood_jaccard(a, b, 2.0)
+
+    def test_requires_same_k(self, family):
+        graph = path_graph(10)
+        a = build_ads_set(graph, 4, family=family)[0]
+        b = build_ads_set(graph, 8, family=family)[5]
+        with pytest.raises(EstimatorError):
+            neighborhood_jaccard(a, b, 2.0)
+
+    def test_requires_bottomk_flavor(self, family):
+        graph = path_graph(10)
+        a = build_ads_set(graph, 4, family=family, flavor="kmins")[0]
+        b = build_ads_set(graph, 4, family=family, flavor="kmins")[5]
+        with pytest.raises(EstimatorError):
+            neighborhood_jaccard(a, b, 2.0)
+
+
+class TestClosenessSimilarity:
+    def test_self_similarity(self, family):
+        graph = gnp_random_graph(60, 0.08, seed=3)
+        ads_set = build_ads_set(graph, 8, family=family)
+        assert closeness_similarity(ads_set[0], ads_set[0]) == pytest.approx(
+            1.0
+        )
+
+    def test_bounded_and_symmetric(self, family):
+        graph = grid_graph(6, 6)
+        ads_set = build_ads_set(graph, 8, family=family)
+        a, b = ads_set[(0, 0)], ads_set[(2, 3)]
+        ab = closeness_similarity(a, b)
+        ba = closeness_similarity(b, a)
+        assert 0.0 <= ab <= 1.0
+        assert ab == pytest.approx(ba)
+
+    def test_custom_distances_and_weights(self, family):
+        graph = grid_graph(5, 5)
+        ads_set = build_ads_set(graph, 8, family=family)
+        value = closeness_similarity(
+            ads_set[(0, 0)],
+            ads_set[(0, 1)],
+            distances=[1.0, 2.0],
+            weights=lambda d: 1.0 / d,
+        )
+        assert 0.0 <= value <= 1.0
+
+    def test_negative_weight_rejected(self, family):
+        graph = path_graph(6)
+        ads_set = build_ads_set(graph, 4, family=family)
+        with pytest.raises(EstimatorError):
+            closeness_similarity(
+                ads_set[0], ads_set[1], distances=[1.0],
+                weights=lambda d: -1.0,
+            )
+
+
+class TestMostSimilarNodes:
+    def test_neighbor_ranks_high_on_grid(self, family):
+        graph = grid_graph(7, 7)
+        ads_set = build_ads_set(graph, 16, family=family)
+        top = most_similar_nodes(ads_set, (3, 3), d=3.0, count=8)
+        top_nodes = {node for node, _ in top}
+        adjacent = {(2, 3), (4, 3), (3, 2), (3, 4)}
+        assert len(top_nodes & adjacent) >= 2
+
+    def test_excludes_query_itself(self, family):
+        graph = path_graph(12)
+        ads_set = build_ads_set(graph, 4, family=family)
+        top = most_similar_nodes(ads_set, 5, d=2.0, count=5)
+        assert all(node != 5 for node, _ in top)
+
+    def test_unknown_query(self, family):
+        graph = path_graph(5)
+        ads_set = build_ads_set(graph, 4, family=family)
+        with pytest.raises(EstimatorError):
+            most_similar_nodes(ads_set, 99, d=1.0)

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import gnp_random_graph, write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = gnp_random_graph(50, 0.1, seed=3)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            ["sketch", "g.txt"],
+            ["centrality", "g.txt"],
+            ["neighborhood", "g.txt", "--node", "1"],
+            ["distinct-count"],
+            ["figures", "fig2"],
+        ):
+            args = parser.parse_args(command)
+            assert callable(args.func)
+
+
+class TestSketch:
+    def test_writes_one_line_per_node(self, graph_file, tmp_path, capsys):
+        out = tmp_path / "sketches.txt"
+        assert main(
+            ["sketch", graph_file, "--k", "4", "--int-nodes",
+             "--out", str(out)]
+        ) == 0
+        lines = out.read_text().strip().splitlines()
+        assert len(lines) == 50
+        node, entries = lines[0].split("\t")
+        first = entries.split()[0]
+        assert first.count(":") == 2  # node:distance:rank
+
+    def test_stdout_default(self, graph_file, capsys):
+        assert main(["sketch", graph_file, "--k", "2", "--int-nodes"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 50
+
+
+class TestCentrality:
+    @pytest.mark.parametrize("kind", ["classic", "harmonic", "decay", "distsum"])
+    def test_kinds(self, graph_file, capsys, kind):
+        assert main(
+            ["centrality", graph_file, "--k", "8", "--int-nodes",
+             "--kind", kind, "--top", "3"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            node, value = line.split("\t")
+            float(value)
+
+
+class TestNeighborhood:
+    def test_distance_series(self, graph_file, capsys):
+        assert main(
+            ["neighborhood", graph_file, "--k", "8", "--int-nodes",
+             "--node", "0"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        values = [float(line.split("\t")[1]) for line in lines]
+        assert values == sorted(values)
+
+    def test_unknown_node(self, graph_file, capsys):
+        assert main(
+            ["neighborhood", graph_file, "--k", "4", "--int-nodes",
+             "--node", "9999"]
+        ) == 1
+
+
+class TestDistinctCount:
+    def test_counts_distinct_lines(self, tmp_path, capsys):
+        stream = tmp_path / "stream.txt"
+        elements = [f"user-{i % 500}" for i in range(5000)]
+        stream.write_text("\n".join(elements) + "\n")
+        assert main(
+            ["distinct-count", "--k", "64", "--input", str(stream)]
+        ) == 0
+        out = capsys.readouterr().out
+        hip = float(out.splitlines()[0].split("\t")[1])
+        assert hip == pytest.approx(500, rel=0.3)
+
+
+class TestFigures:
+    def test_fig2_small(self, capsys):
+        assert main(
+            ["figures", "fig2", "--k", "5", "--runs", "10",
+             "--max-n", "200"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bottomk_hip" in out
+
+    def test_fig3_small(self, capsys):
+        assert main(
+            ["figures", "fig3", "--k", "16", "--runs", "10",
+             "--max-n", "2000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hll_raw" in out

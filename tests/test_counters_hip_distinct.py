@@ -1,0 +1,110 @@
+"""Tests for the streaming HIP distinct counter (Section 6, Algorithm 3)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.counters import HipDistinctCounter, algorithm3_counter
+from repro.rand.hashing import HashFamily
+from repro.sketches import BottomKSketch, HyperLogLog, KMinsSketch, KPartitionSketch
+
+
+class TestBasics:
+    def test_first_element_weight_one(self, family):
+        counter = algorithm3_counter(16, family)
+        counter.add("x")
+        assert counter.estimate() == pytest.approx(1.0)
+
+    def test_exact_while_sketch_accepts_everything(self, family):
+        # bottom-k: the first k distinct elements are all inserted with
+        # probability 1, so the estimate is exactly the count.
+        counter = HipDistinctCounter(BottomKSketch(10, family))
+        for i in range(10):
+            counter.add(i)
+            assert counter.estimate() == pytest.approx(i + 1)
+
+    def test_repeats_ignored(self, family):
+        counter = algorithm3_counter(16, family)
+        for i in range(500):
+            counter.add(i % 50)
+        baseline = counter.estimate()
+        for i in range(50):
+            counter.add(i)
+        assert counter.estimate() == baseline
+
+    def test_update_returns_modification_count(self, family):
+        counter = HipDistinctCounter(BottomKSketch(8, family))
+        changes = counter.update(range(100))
+        assert changes >= 8
+        assert changes <= 100
+
+
+class TestAccuracyAllFlavors:
+    @pytest.mark.parametrize(
+        "make_sketch",
+        [
+            lambda fam: BottomKSketch(24, fam),
+            lambda fam: KMinsSketch(24, fam),
+            lambda fam: KPartitionSketch(24, fam),
+            lambda fam: HyperLogLog(24, fam),
+        ],
+        ids=["bottomk", "kmins", "kpartition", "hll-registers"],
+    )
+    def test_mean_near_truth(self, make_sketch):
+        n, runs = 3000, 50
+        values = []
+        for seed in range(runs):
+            counter = HipDistinctCounter(make_sketch(HashFamily(seed)))
+            counter.update(range(n))
+            values.append(counter.estimate())
+        assert statistics.mean(values) == pytest.approx(n, rel=0.08)
+
+
+class TestAgainstHLL:
+    def test_hip_beats_hll_nrmse(self):
+        """The paper's headline: HIP on the same sketch beats the HLL
+        estimator (0.866/sqrt(k) vs 1.08/sqrt(k))."""
+        n, k, runs = 20_000, 32, 80
+        hip_errors, hll_errors = [], []
+        for seed in range(runs):
+            counter = algorithm3_counter(k, HashFamily(seed))
+            counter.update(range(n))
+            hip_errors.append(counter.estimate() / n - 1.0)
+            hll_errors.append(counter.sketch.estimate() / n - 1.0)
+        hip_nrmse = math.sqrt(statistics.mean(e * e for e in hip_errors))
+        hll_nrmse = math.sqrt(statistics.mean(e * e for e in hll_errors))
+        assert hip_nrmse < hll_nrmse
+
+    def test_saturation_graceful(self, family):
+        # 1-bit registers saturate almost immediately; the estimate must
+        # stay finite and stop growing.
+        counter = HipDistinctCounter(HyperLogLog(4, family, register_bits=1))
+        counter.update(range(1000))
+        assert counter.saturated
+        frozen = counter.estimate()
+        counter.update(range(1000, 2000))
+        assert counter.estimate() == frozen
+        assert math.isfinite(frozen)
+
+
+class TestMorrisBacked:
+    def test_approximate_counter_backing(self):
+        n, runs = 2000, 80
+        values = []
+        for seed in range(runs):
+            counter = HipDistinctCounter(
+                BottomKSketch(32, HashFamily(seed)),
+                approximate_counter_base=1.0 + 1.0 / 32,
+                counter_seed=seed,
+            )
+            counter.update(range(n))
+            values.append(counter.estimate())
+        # still unbiased, slightly noisier than the exact-register version
+        assert statistics.mean(values) == pytest.approx(n, rel=0.08)
+
+    def test_invalid_base(self, family):
+        with pytest.raises(Exception):
+            HipDistinctCounter(
+                BottomKSketch(4, family), approximate_counter_base=1.0
+            )

@@ -1,0 +1,101 @@
+"""Tests for Morris/Flajolet approximate counters (Section 7)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.counters import MorrisCounter
+from repro.errors import ParameterError
+
+
+class TestBasics:
+    def test_initial_estimate_zero(self):
+        assert MorrisCounter().estimate() == 0.0
+
+    def test_first_unit_increment_deterministic(self):
+        # From x=0, add(1) must land exactly on estimate 1 for b=2.
+        counter = MorrisCounter(b=2.0, seed=1)
+        counter.increment()
+        assert counter.estimate() == 1.0
+
+    def test_large_single_add_deterministic_part(self):
+        counter = MorrisCounter(b=2.0, seed=1)
+        counter.add(1023.0)  # 2^10 - 1: exact counter value x=10
+        assert counter.x in (10, 11)
+        assert counter.estimate() in (1023.0, 2047.0)
+
+    def test_zero_add_noop(self):
+        counter = MorrisCounter(seed=0)
+        counter.add(0.0)
+        assert counter.x == 0
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ParameterError):
+            MorrisCounter().add(-1.0)
+
+    def test_invalid_base(self):
+        with pytest.raises(ParameterError):
+            MorrisCounter(b=1.0)
+
+    def test_exponent_bits_loglog(self):
+        counter = MorrisCounter(b=2.0, seed=3)
+        counter.add(1e9)
+        assert counter.exponent_bits <= 6  # log2 log2 1e9 ~ 5
+
+
+class TestUnbiasedness:
+    def test_unit_increments(self):
+        total, runs = 200, 400
+        values = []
+        for seed in range(runs):
+            counter = MorrisCounter(b=2.0, seed=seed)
+            for _ in range(total):
+                counter.increment()
+            values.append(counter.estimate())
+        mean = statistics.mean(values)
+        # stderr of the mean ~ sqrt(b-1)/2 * total / sqrt(runs)
+        assert mean == pytest.approx(total, rel=0.12)
+
+    def test_weighted_updates(self):
+        values = []
+        for seed in range(400):
+            counter = MorrisCounter(b=1.5, seed=seed)
+            counter.add(37.0)
+            counter.add(0.5)
+            counter.add(1000.0)
+            values.append(counter.estimate())
+        assert statistics.mean(values) == pytest.approx(1037.5, rel=0.05)
+
+    def test_merge_unbiased(self):
+        values = []
+        for seed in range(400):
+            a = MorrisCounter(b=1.5, seed=seed)
+            b = MorrisCounter(b=1.5, seed=seed + 10_000)
+            a.add(300.0)
+            b.add(700.0)
+            a.merge(b)
+            values.append(a.estimate())
+        assert statistics.mean(values) == pytest.approx(1000.0, rel=0.05)
+
+    def test_smaller_base_smaller_variance(self):
+        def cv(base):
+            values = []
+            for seed in range(200):
+                counter = MorrisCounter(b=base, seed=seed)
+                for _ in range(200):
+                    counter.increment()
+                values.append(counter.estimate())
+            return statistics.pstdev(values) / statistics.mean(values)
+
+        assert cv(1.1) < cv(2.0)
+
+
+class TestMergeValidation:
+    def test_base_mismatch(self):
+        with pytest.raises(ParameterError):
+            MorrisCounter(b=2.0).merge(MorrisCounter(b=1.5))
+
+    def test_type_check(self):
+        with pytest.raises(ParameterError):
+            MorrisCounter().merge("not a counter")

@@ -1,0 +1,129 @@
+"""Tests for the basic MinHash cardinality estimators (Section 4)."""
+
+import math
+import random
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EstimatorError, ParameterError
+from repro.estimators.basic import (
+    bottom_k_cardinality,
+    k_mins_cardinality,
+    k_partition_cardinality,
+)
+
+
+class TestKMins:
+    def test_requires_k_at_least_two(self):
+        with pytest.raises(ParameterError):
+            k_mins_cardinality([0.5])
+
+    def test_empty_set_estimates_zero(self):
+        assert k_mins_cardinality([1.0, 1.0, 1.0]) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(EstimatorError):
+            k_mins_cardinality([0.5, 1.5])
+
+    def test_unbiased_simulation(self):
+        n, k, runs = 1000, 12, 600
+        rng = random.Random(5)
+        values = []
+        for _ in range(runs):
+            minima = [min(rng.random() for _ in range(n)) for _ in range(k)]
+            values.append(k_mins_cardinality(minima))
+        assert statistics.mean(values) == pytest.approx(n, rel=0.05)
+
+    def test_cv_matches_analysis(self):
+        n, k, runs = 2000, 20, 800
+        rng = random.Random(7)
+        values = []
+        for _ in range(runs):
+            # minimum of n uniforms via inverse transform: 1-(1-u)^(1/n)
+            minima = [
+                1.0 - (1.0 - rng.random()) ** (1.0 / n) for _ in range(k)
+            ]
+            values.append(k_mins_cardinality(minima))
+        cv = statistics.pstdev(values) / statistics.mean(values)
+        assert cv == pytest.approx(1.0 / math.sqrt(k - 2), rel=0.3)
+
+
+class TestBottomK:
+    def test_exact_below_k(self):
+        assert bottom_k_cardinality(3, 1.0, 8) == 3.0
+        assert bottom_k_cardinality(0, 1.0, 8) == 0.0
+
+    def test_formula_at_and_above_k(self):
+        assert bottom_k_cardinality(8, 0.1, 8) == pytest.approx(70.0)
+
+    def test_uniform_tau_domain(self):
+        with pytest.raises(ParameterError):
+            bottom_k_cardinality(8, 0.0, 8)
+        with pytest.raises(ParameterError):
+            bottom_k_cardinality(8, 1.5, 8)
+
+    def test_exponential_ranks_supported(self):
+        # exponential tau -> inclusion probability 1 - exp(-tau)
+        tau = 0.01
+        estimate = bottom_k_cardinality(8, tau, 8, sup=math.inf)
+        assert estimate == pytest.approx(7.0 / (-math.expm1(-tau)))
+
+    def test_unsupported_sup_rejected(self):
+        with pytest.raises(EstimatorError):
+            bottom_k_cardinality(8, 0.5, 8, sup=2.0)
+
+    def test_unbiased_simulation(self):
+        n, k, runs = 1500, 16, 600
+        rng = random.Random(11)
+        values = []
+        for _ in range(runs):
+            ranks = sorted(rng.random() for _ in range(n))
+            values.append(bottom_k_cardinality(k, ranks[k - 1], k))
+        assert statistics.mean(values) == pytest.approx(n, rel=0.05)
+
+
+class TestKPartition:
+    def test_zero_and_one_bucket(self):
+        assert k_partition_cardinality([1.0, 1.0], [None, None]) == 0.0
+        assert k_partition_cardinality([0.5, 1.0], ["a", None]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            k_partition_cardinality([0.5], ["a", "b"])
+
+    def test_bad_minimum_rejected(self):
+        # a "nonempty" bucket whose minimum is still 1.0 is inconsistent
+        with pytest.raises(EstimatorError):
+            k_partition_cardinality([1.0, 0.5], ["a", "b"])
+
+    def test_unbiased_simulation(self):
+        n, k, runs = 2000, 16, 400
+        rng = random.Random(13)
+        values = []
+        for _ in range(runs):
+            minima = [1.0] * k
+            argmin = [None] * k
+            for i in range(n):
+                b = rng.randrange(k)
+                r = rng.random()
+                if r < minima[b]:
+                    minima[b] = r
+                    argmin[b] = i
+            values.append(k_partition_cardinality(minima, argmin))
+        assert statistics.mean(values) == pytest.approx(n, rel=0.06)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=3, max_value=64), st.integers(min_value=0, max_value=2**31))
+def test_bottomk_estimate_nonnegative_property(k, seed):
+    rng = random.Random(seed)
+    n = rng.randrange(0, 200)
+    ranks = sorted(rng.random() for _ in range(n))
+    if n < k:
+        assert bottom_k_cardinality(n, 1.0, k) == float(n)
+    else:
+        value = bottom_k_cardinality(k, ranks[k - 1], k)
+        assert value >= 0.0
+        assert math.isfinite(value)

@@ -1,0 +1,114 @@
+"""Tests for the closed-form bounds module (the paper's stated constants)."""
+
+import math
+
+import pytest
+
+from repro._util import harmonic_number
+from repro.errors import ParameterError
+from repro.estimators.bounds import (
+    basic_cv_lower_bound,
+    basic_cv_upper_bound,
+    basic_mre_kmins,
+    basic_mre_kmins_approx,
+    expected_ads_size_bottomk,
+    expected_ads_size_kpartition,
+    hip_base_b_cv,
+    hip_cv_finite_n,
+    hip_cv_lower_bound,
+    hip_cv_upper_bound,
+    hip_mre_reference,
+    hll_nrmse_reference,
+)
+
+
+class TestCvFormulas:
+    def test_paper_values(self):
+        assert basic_cv_upper_bound(3) == 1.0
+        assert basic_cv_upper_bound(6) == 0.5
+        assert hip_cv_upper_bound(2) == pytest.approx(1 / math.sqrt(2))
+        assert hip_cv_lower_bound(8) == 0.25
+
+    def test_hip_halves_variance(self):
+        # CV_hip^2 ~ CV_basic^2 / 2 up to the k-1 vs k-2 shift
+        for k in (10, 50, 200):
+            ratio = hip_cv_upper_bound(k) ** 2 / basic_cv_upper_bound(k) ** 2
+            assert ratio == pytest.approx(0.5, rel=0.15)
+
+    def test_ordering_lower_bounds(self):
+        for k in (4, 16, 64):
+            assert hip_cv_lower_bound(k) < hip_cv_upper_bound(k)
+            assert basic_cv_lower_bound(k) < basic_cv_upper_bound(k)
+
+    def test_finite_n_bound(self):
+        # zero at n <= k, approaches the asymptotic bound for n >> k
+        assert hip_cv_finite_n(8, 8) == 0.0
+        assert hip_cv_finite_n(10**6, 8) == pytest.approx(
+            hip_cv_upper_bound(8), rel=1e-3
+        )
+        assert hip_cv_finite_n(20, 8) < hip_cv_upper_bound(8)
+
+    def test_domain_checks(self):
+        with pytest.raises(ParameterError):
+            basic_cv_upper_bound(2)
+        with pytest.raises(ParameterError):
+            hip_cv_upper_bound(1)
+
+
+class TestBaseB:
+    def test_base2_constant(self):
+        # sqrt(3/(4(k-1))) ~ 0.866/sqrt(k) for large k
+        k = 10_000
+        assert hip_base_b_cv(k, 2.0) * math.sqrt(k) == pytest.approx(
+            0.866, abs=0.01
+        )
+
+    def test_base_sqrt2_constant(self):
+        k = 10_000
+        assert hip_base_b_cv(k, math.sqrt(2.0)) * math.sqrt(k) == pytest.approx(
+            0.777, abs=0.01
+        )
+
+    def test_smaller_base_better(self):
+        assert hip_base_b_cv(16, math.sqrt(2)) < hip_base_b_cv(16, 2.0)
+
+    def test_hll_reference(self):
+        assert hll_nrmse_reference(16) == pytest.approx(1.08 / 4.0)
+
+
+class TestMre:
+    def test_exact_vs_approximation(self):
+        for k in (10, 25, 100):
+            assert basic_mre_kmins(k) == pytest.approx(
+                basic_mre_kmins_approx(k), rel=0.1
+            )
+
+    def test_hip_mre_smaller(self):
+        for k in (5, 10, 50):
+            assert hip_mre_reference(k) < basic_mre_kmins_approx(k)
+
+
+class TestAdsSizes:
+    def test_bottomk_formula(self):
+        # k + k(H_n - H_k)
+        n, k = 1000, 10
+        expected = k + k * (harmonic_number(n) - harmonic_number(k))
+        assert expected_ads_size_bottomk(n, k) == pytest.approx(expected)
+
+    def test_small_n_is_n(self):
+        assert expected_ads_size_bottomk(5, 10) == 5.0
+        assert expected_ads_size_bottomk(0, 3) == 0.0
+
+    def test_kpartition_smaller_than_bottomk(self):
+        # k H_{n/k} = k(H_n - H_k) roughly; bottom-k adds the +k term
+        n, k = 10_000, 16
+        assert expected_ads_size_kpartition(n, k) < expected_ads_size_bottomk(
+            n, k
+        )
+
+    def test_logarithmic_growth(self):
+        k = 8
+        s1 = expected_ads_size_bottomk(10**3, k)
+        s2 = expected_ads_size_bottomk(10**6, k)
+        # tripling the exponent adds ~ k ln(10^3) ~ 55
+        assert s2 - s1 == pytest.approx(k * math.log(10**3), rel=0.01)

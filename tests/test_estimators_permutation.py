@@ -1,0 +1,120 @@
+"""Tests for the permutation cardinality estimator (Section 5.4)."""
+
+import itertools
+import random
+import statistics
+
+import pytest
+
+from repro.errors import EstimatorError, ParameterError
+from repro.estimators.permutation import PermutationCardinalityEstimator
+from repro.rand.ranks import PermutationRanks
+
+
+class TestMechanics:
+    def test_exact_for_first_k(self):
+        est = PermutationCardinalityEstimator(5, n=100)
+        for i, sigma in enumerate([50, 30, 80, 10, 60], start=1):
+            est.add_rank(sigma)
+            assert est.estimate() == pytest.approx(i)
+
+    def test_repeat_ranks_ignored(self):
+        est = PermutationCardinalityEstimator(3, n=50)
+        est.add_rank(10)
+        assert not est.add_rank(10)
+        assert est.estimate() == 1.0
+
+    def test_rank_domain_checked(self):
+        est = PermutationCardinalityEstimator(3, n=50)
+        with pytest.raises(ParameterError):
+            est.add_rank(0)
+        with pytest.raises(ParameterError):
+            est.add_rank(51)
+
+    def test_requires_ranks_or_n(self):
+        with pytest.raises(EstimatorError):
+            PermutationCardinalityEstimator(3)
+
+    def test_add_requires_rank_map(self):
+        est = PermutationCardinalityEstimator(3, n=10)
+        with pytest.raises(EstimatorError):
+            est.add("element")
+
+    def test_with_rank_map(self):
+        ranks = PermutationRanks(range(20), seed=4)
+        est = PermutationCardinalityEstimator(4, ranks=ranks)
+        est.update(range(20))
+        assert est.saturated
+        # all n elements seen: the corrected estimate should be close to n
+        assert est.estimate() == pytest.approx(20, rel=0.35)
+
+    def test_saturation_detection(self):
+        est = PermutationCardinalityEstimator(2, n=10)
+        est.add_rank(5)
+        est.add_rank(1)
+        assert not est.saturated
+        est.add_rank(2)
+        assert est.saturated
+
+
+class TestExactExpectations:
+    """Exhaustive checks over all permutations of a small domain: the
+    estimator is exactly unbiased at s <= k and s = n (and nearly so in
+    between -- the plug-in bias the paper accepts, see EXPERIMENTS.md)."""
+
+    def _expectation(self, n, k, s_query):
+        total = 0.0
+        count = 0
+        for sigma in itertools.permutations(range(1, n + 1)):
+            est = PermutationCardinalityEstimator(k, n=n)
+            for x in sigma[:s_query]:
+                est.add_rank(x)
+            total += est.estimate()
+            count += 1
+        return total / count
+
+    def test_exact_at_extremes(self):
+        n, k = 6, 2
+        assert self._expectation(n, k, 1) == pytest.approx(1.0)
+        assert self._expectation(n, k, 2) == pytest.approx(2.0)
+        assert self._expectation(n, k, n) == pytest.approx(float(n))
+
+    def test_near_unbiased_midrange(self):
+        n, k = 6, 2
+        for s in (3, 4, 5):
+            assert self._expectation(n, k, s) == pytest.approx(s, rel=0.05)
+
+
+class TestAccuracy:
+    def test_beats_hip_bound_at_large_fraction(self):
+        """Section 5.4 / Figure 2: for cardinality >= 0.2 n, the
+        permutation estimator has a clear advantage."""
+        n, k, runs, s = 1000, 10, 300, 900
+        errors = []
+        for seed in range(runs):
+            rng = random.Random(seed)
+            sigma = list(range(1, n + 1))
+            rng.shuffle(sigma)
+            est = PermutationCardinalityEstimator(k, n=n)
+            for x in sigma[:s]:
+                est.add_rank(x)
+            errors.append(est.estimate() / s - 1.0)
+        nrmse = (statistics.mean(e * e for e in errors)) ** 0.5
+        import math
+
+        hip_bound = 1.0 / math.sqrt(2 * (k - 1))
+        assert nrmse < hip_bound  # visibly better than plain HIP
+
+    def test_full_domain_low_error(self):
+        n, k, runs = 500, 10, 200
+        errors = []
+        for seed in range(runs):
+            rng = random.Random(1_000 + seed)
+            sigma = list(range(1, n + 1))
+            rng.shuffle(sigma)
+            est = PermutationCardinalityEstimator(k, n=n)
+            for x in sigma:
+                est.add_rank(x)
+            errors.append(est.estimate() / n - 1.0)
+        nrmse = (statistics.mean(e * e for e in errors)) ** 0.5
+        assert nrmse < 0.12

@@ -1,0 +1,89 @@
+"""Tests for the ADS-size-only cardinality estimator (Section 8)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.estimators.size import (
+    ads_size_distribution,
+    size_cardinality_estimate,
+    size_estimates_by_recurrence,
+)
+
+
+class TestClosedForm:
+    def test_identity_below_k(self):
+        for s in range(6):
+            assert size_cardinality_estimate(s, 5) == float(s)
+
+    def test_value_at_k(self):
+        # closed form at s = k collapses to k: k(1+1/k) - 1 = k
+        assert size_cardinality_estimate(5, 5) == 5.0
+
+    def test_k_equals_one_powers_of_two(self):
+        # Lemma 8.1's closed form gives 2^s - 1 at k=1 (the text's "2^s"
+        # drops the -1); the recurrence below confirms the -1 version.
+        assert size_cardinality_estimate(3, 1) == 7.0
+        assert size_cardinality_estimate(10, 1) == 1023.0
+
+    def test_domain_checks(self):
+        with pytest.raises(ParameterError):
+            size_cardinality_estimate(-1, 3)
+        with pytest.raises(ParameterError):
+            size_cardinality_estimate(3, 0)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 8])
+    def test_matches_recurrence(self, k):
+        s_max = k + 10
+        recurrence = size_estimates_by_recurrence(k, s_max)
+        for s in range(k, s_max + 1):
+            assert size_cardinality_estimate(s, k) == pytest.approx(
+                recurrence[s], rel=1e-9
+            )
+
+
+class TestSizeDistribution:
+    def test_distribution_sums_to_one(self):
+        for n in (0, 1, 5, 20):
+            assert sum(ads_size_distribution(n, 3)) == pytest.approx(1.0)
+
+    def test_small_cases(self):
+        # n <= k: the sketch holds everything with probability 1
+        dist = ads_size_distribution(3, 5)
+        assert dist[3] == pytest.approx(1.0)
+
+    def test_unbiasedness_identity(self):
+        """sum_i C_{i,n} E_i = n for every n (the defining property)."""
+        for k in (1, 2, 4):
+            for n in (k, k + 1, k + 5, k + 12):
+                dist = ads_size_distribution(n, k)
+                value = sum(
+                    size_cardinality_estimate(i, k) * p
+                    for i, p in enumerate(dist)
+                )
+                assert value == pytest.approx(float(n), rel=1e-9)
+
+
+class TestSimulation:
+    def test_empirical_unbiasedness(self):
+        """Feed n distinct elements, count sketch updates, estimate."""
+        n, k, runs = 300, 4, 4000
+        rng = random.Random(3)
+        values = []
+        for _ in range(runs):
+            count, threshold = 0, []
+            import heapq
+
+            for _ in range(n):
+                r = rng.random()
+                if len(threshold) < k:
+                    heapq.heappush(threshold, -r)
+                    count += 1
+                elif r < -threshold[0]:
+                    heapq.heapreplace(threshold, -r)
+                    count += 1
+            values.append(size_cardinality_estimate(count, k))
+        # heavy-tailed estimator: generous tolerance, large run count
+        assert statistics.mean(values) == pytest.approx(n, rel=0.25)

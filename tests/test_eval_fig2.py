@@ -1,0 +1,175 @@
+"""Tests for the Figure 2 harness: fast paths must equal the library's
+object-level implementations, and reduced panels must reproduce the
+paper's qualitative shapes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.estimators.basic import (
+    bottom_k_cardinality,
+    k_mins_cardinality,
+    k_partition_cardinality,
+)
+from repro.estimators.hip import bottom_k_adjusted_weights
+from repro.eval.fig2 import (
+    Fig2Config,
+    PAPER_FIG2_PANELS,
+    bottomk_basic_estimates,
+    bottomk_hip_estimates,
+    kmins_estimates,
+    kpartition_estimates,
+    permutation_estimates,
+    run_figure2,
+)
+
+
+class TestFastPathsAgainstReference:
+    """Feed identical rank data to the numpy fast paths and to the
+    object-level estimators; results must match exactly."""
+
+    def setup_method(self):
+        self.rng = np.random.RandomState(42)
+        self.n = 600
+        self.k = 6
+        self.checkpoints = [1, 3, 10, 50, 200, 600]
+
+    def test_kmins(self):
+        matrix = self.rng.random_sample((self.n, self.k))
+        fast = kmins_estimates(matrix, self.checkpoints)
+        for j, c in enumerate(self.checkpoints):
+            minima = matrix[:c].min(axis=0)
+            assert fast[j] == pytest.approx(
+                k_mins_cardinality(list(minima))
+            )
+
+    def test_kpartition(self):
+        ranks = self.rng.random_sample(self.n)
+        buckets = self.rng.randint(0, self.k, size=self.n)
+        fast = kpartition_estimates(ranks, buckets, self.k, self.checkpoints)
+        for j, c in enumerate(self.checkpoints):
+            minima = [1.0] * self.k
+            argmin = [None] * self.k
+            for i in range(c):
+                b = int(buckets[i])
+                if ranks[i] < minima[b]:
+                    minima[b] = float(ranks[i])
+                    argmin[b] = i
+            assert fast[j] == pytest.approx(
+                k_partition_cardinality(minima, argmin)
+            )
+
+    def test_bottomk_basic(self):
+        ranks = self.rng.random_sample(self.n)
+        fast = bottomk_basic_estimates(ranks, self.k, self.checkpoints)
+        for j, c in enumerate(self.checkpoints):
+            prefix = sorted(ranks[:c].tolist())
+            if c < self.k:
+                expected = float(c)
+            else:
+                expected = bottom_k_cardinality(
+                    self.k, prefix[self.k - 1], self.k
+                )
+            assert fast[j] == pytest.approx(expected)
+
+    def test_bottomk_hip(self):
+        ranks = self.rng.random_sample(self.n)
+        fast = bottomk_hip_estimates(ranks, self.k, self.checkpoints)
+        # reference: explicit ADS entry extraction + library HIP weights
+        import heapq
+
+        heap, entry_ranks, entry_pos = [], [], []
+        for i, r in enumerate(ranks.tolist(), start=1):
+            if len(heap) < self.k:
+                heapq.heappush(heap, -r)
+                entry_ranks.append(r)
+                entry_pos.append(i)
+            elif r < -heap[0]:
+                heapq.heapreplace(heap, -r)
+                entry_ranks.append(r)
+                entry_pos.append(i)
+        weights = bottom_k_adjusted_weights(entry_ranks, self.k)
+        for j, c in enumerate(self.checkpoints):
+            expected = sum(
+                w for w, pos in zip(weights, entry_pos) if pos <= c
+            )
+            assert fast[j] == pytest.approx(expected)
+
+    def test_permutation_uses_library_class(self):
+        sigma = self.rng.permutation(self.n) + 1
+        fast = permutation_estimates(sigma, self.k, self.n, self.checkpoints)
+        from repro.estimators.permutation import (
+            PermutationCardinalityEstimator,
+        )
+
+        est = PermutationCardinalityEstimator(self.k, n=self.n)
+        expected = {}
+        for i, s in enumerate(sigma.tolist(), start=1):
+            est.add_rank(int(s))
+            if i in self.checkpoints:
+                expected[i] = est.estimate()
+        for j, c in enumerate(self.checkpoints):
+            assert fast[j] == pytest.approx(expected[c])
+
+
+class TestPanelShapes:
+    @pytest.fixture(scope="class")
+    def panel(self):
+        return run_figure2(Fig2Config(k=10, runs=120, max_n=3000, seed=7))
+
+    def test_bottomk_exact_below_k(self, panel):
+        for c, value in zip(panel.checkpoints, panel.nrmse["bottomk_basic"]):
+            if c < 10:
+                assert value == 0.0
+
+    def test_hip_beats_basic_at_large_n(self, panel):
+        large = [
+            j for j, c in enumerate(panel.checkpoints) if c >= 100
+        ]
+        hip = np.mean([panel.nrmse["bottomk_hip"][j] for j in large])
+        basic = np.mean([panel.nrmse["bottomk_basic"][j] for j in large])
+        assert hip < basic
+        # the factor should be near sqrt(2) (Theorem 5.1)
+        assert basic / hip == pytest.approx(math.sqrt(2), rel=0.35)
+
+    def test_permutation_at_most_hip(self, panel):
+        large = [j for j, c in enumerate(panel.checkpoints) if c >= 30]
+        perm = np.mean([panel.nrmse["permutation"][j] for j in large])
+        hip = np.mean([panel.nrmse["bottomk_hip"][j] for j in large])
+        assert perm <= hip * 1.1
+
+    def test_permutation_wins_big_near_n(self, panel):
+        last = -1
+        assert (
+            panel.nrmse["permutation"][last]
+            < 0.5 * panel.nrmse["bottomk_hip"][last]
+        )
+
+    def test_kpartition_worst_at_small_n(self, panel):
+        small = [
+            j
+            for j, c in enumerate(panel.checkpoints)
+            if 2 <= c <= 8
+        ]
+        kpart = np.mean([panel.nrmse["kpartition_basic"][j] for j in small])
+        kmins = np.mean([panel.nrmse["kmins_basic"][j] for j in small])
+        assert kpart > kmins
+
+    def test_nrmse_near_reference_lines(self, panel):
+        large = [j for j, c in enumerate(panel.checkpoints) if c >= 300]
+        hip = np.mean([panel.nrmse["bottomk_hip"][j] for j in large])
+        assert hip == pytest.approx(panel.references["hip_cv_ub"], rel=0.35)
+
+    def test_mre_reported(self, panel):
+        assert set(panel.mre) == set(panel.nrmse)
+        for series in panel.mre.values():
+            assert all(v >= 0 for v in series)
+
+    def test_paper_panel_parameters_recorded(self):
+        ks = [cfg.k for cfg in PAPER_FIG2_PANELS]
+        runs = [cfg.runs for cfg in PAPER_FIG2_PANELS]
+        max_ns = [cfg.max_n for cfg in PAPER_FIG2_PANELS]
+        assert ks == [5, 10, 50]
+        assert runs == [1000, 500, 250]
+        assert max_ns == [10_000, 10_000, 50_000]

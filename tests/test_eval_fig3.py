@@ -1,0 +1,118 @@
+"""Tests for the Figure 3 harness: the event-compressed simulation must
+agree exactly with the object-level HyperLogLog / HIP counter pipeline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.counters import HipDistinctCounter
+from repro.eval.fig3 import (
+    Fig3Config,
+    PAPER_FIG3_PANELS,
+    registers_from_uniform,
+    run_figure3,
+    simulate_run,
+)
+from repro.rand.hashing import HashFamily
+from repro.sketches import HyperLogLog
+
+
+class _ArrayFamily(HashFamily):
+    """Hash family whose ranks/buckets replay prescribed arrays, so the
+    object pipeline and the fast simulation see identical data."""
+
+    def __init__(self, u, buckets):
+        super().__init__(0)
+        self.u = u
+        self.buckets = buckets
+
+    def rank(self, item, index: int = 0) -> float:
+        return float(self.u[item])
+
+    def bucket(self, item, k: int) -> int:
+        return int(self.buckets[item])
+
+
+class TestSimulationEquivalence:
+    @pytest.mark.parametrize("k", [8, 16])
+    def test_exact_agreement_with_objects(self, k):
+        rng = np.random.RandomState(11)
+        n = 4000
+        u = rng.random_sample(n)
+        buckets = rng.randint(0, k, size=n)
+        checkpoints = [1, 2, 5, 17, 100, 999, 4000]
+        h_values = registers_from_uniform(u, 31)
+        fast = simulate_run(h_values, buckets, k, 31, checkpoints)
+
+        family = _ArrayFamily(u, buckets)
+        counter = HipDistinctCounter(HyperLogLog(k, family))
+        expected = {"hll_raw": [], "hll": [], "hip": []}
+        cp = set(checkpoints)
+        for i in range(n):
+            counter.add(i)
+            if i + 1 in cp:
+                expected["hll_raw"].append(counter.sketch.raw_estimate())
+                expected["hll"].append(counter.sketch.estimate())
+                expected["hip"].append(counter.estimate())
+        for name in expected:
+            assert list(fast[name]) == pytest.approx(expected[name])
+
+    def test_registers_from_uniform_matches_algorithm3(self):
+        # h(v) = min(31, ceil(-log2 r)) per Algorithm 3
+        u = np.array([0.9, 0.5, 0.24, 1e-300])
+        h = registers_from_uniform(u, 31)
+        assert list(h) == [1, 1, 3, 31]
+
+    def test_saturation_freezes_hip(self):
+        rng = np.random.RandomState(3)
+        n, k = 50_000, 4
+        u = rng.random_sample(n)
+        buckets = rng.randint(0, k, size=n)
+        # 2-bit registers (max 3) saturate fast
+        h_values = registers_from_uniform(u, 3)
+        out = simulate_run(h_values, buckets, k, 3, [1000, n])
+        assert out["hip"][1] == out["hip"][0]  # frozen after saturation
+        assert math.isfinite(out["hip"][1])
+
+
+class TestPanelShapes:
+    @pytest.fixture(scope="class")
+    def panel(self):
+        return run_figure3(Fig3Config(k=16, runs=150, max_n=50_000, seed=5))
+
+    def test_hip_beats_hll_at_large_n(self, panel):
+        large = [j for j, c in enumerate(panel.checkpoints) if c >= 1000]
+        hip = np.mean([panel.nrmse["hip"][j] for j in large])
+        hll = np.mean([panel.nrmse["hll"][j] for j in large])
+        assert hip < hll
+
+    def test_hll_raw_terrible_at_small_n(self, panel):
+        small = [j for j, c in enumerate(panel.checkpoints) if c <= 5]
+        raw = np.mean([panel.nrmse["hll_raw"][j] for j in small])
+        corrected = np.mean([panel.nrmse["hll"][j] for j in small])
+        assert raw > 3 * corrected
+
+    def test_hip_matches_analytic_line(self, panel):
+        large = [j for j, c in enumerate(panel.checkpoints) if c >= 2000]
+        hip = np.mean([panel.nrmse["hip"][j] for j in large])
+        assert hip == pytest.approx(panel.references["hip_base2_cv"], rel=0.25)
+
+    def test_hll_near_its_reference(self, panel):
+        large = [j for j, c in enumerate(panel.checkpoints) if c >= 2000]
+        hll = np.mean([panel.nrmse["hll"][j] for j in large])
+        assert hll == pytest.approx(panel.references["hll_reference"], rel=0.3)
+
+    def test_hip_unbiased_smooth(self, panel):
+        # no bias bump: HIP NRMSE should be a smooth increasing-then-flat
+        # curve; check no checkpoint deviates wildly from its neighbors
+        series = panel.nrmse["hip"]
+        for a, b in zip(series[5:], series[6:]):
+            if a > 0.01:
+                assert abs(b - a) / a < 0.8
+
+    def test_paper_panel_parameters_recorded(self):
+        assert [cfg.k for cfg in PAPER_FIG3_PANELS] == [16, 32, 64]
+        assert [cfg.runs for cfg in PAPER_FIG3_PANELS] == [5000, 5000, 2000]
+        assert all(cfg.max_n == 10**6 for cfg in PAPER_FIG3_PANELS)
+        assert all(cfg.register_bits == 5 for cfg in PAPER_FIG3_PANELS)

@@ -1,0 +1,145 @@
+"""Tests for the lemma/constant validation tables and reporting."""
+
+import math
+
+import pytest
+
+from repro.eval.metrics import (
+    error_summary,
+    mean_relative_error,
+    nrmse,
+    relative_bias,
+)
+from repro.eval.reporting import render_table
+from repro.eval.tables import (
+    ads_size_table,
+    baseb_variance_table,
+    distinct_counter_constants_table,
+    morris_counter_table,
+    qg_variance_table,
+)
+from repro.errors import ParameterError
+
+
+class TestMetrics:
+    def test_nrmse(self):
+        assert nrmse([100, 100], 100) == 0.0
+        assert nrmse([110, 90], 100) == pytest.approx(0.1)
+
+    def test_mre(self):
+        assert mean_relative_error([110, 90], 100) == pytest.approx(0.1)
+
+    def test_bias(self):
+        assert relative_bias([110, 90], 100) == 0.0
+        assert relative_bias([120, 120], 100) == pytest.approx(0.2)
+
+    def test_summary_keys(self):
+        summary = error_summary([1.0, 2.0], 1.5)
+        assert set(summary) == {"nrmse", "mre", "bias"}
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            nrmse([], 10)
+        with pytest.raises(ParameterError):
+            nrmse([1.0], 0)
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            "Demo", "x", [1, 10], {"a": [0.5, 0.25], "b": [1.0, 2.0]}
+        )
+        assert "Demo" in text
+        lines = text.strip().splitlines()
+        assert len(lines) == 5  # title, rule, header, 2 rows
+        assert "0.5000" in text
+
+    def test_none_rendered_as_dash(self):
+        text = render_table("t", "x", [1], {"a": [None]})
+        assert "-" in text.splitlines()[-1]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table("t", "x", [1, 2], {"a": [1.0]})
+
+
+class TestAdsSizeTable:
+    def test_lemma22_within_tolerance(self):
+        rows = ads_size_table([500, 2000], [4, 16], runs=120, seed=1)
+        for row in rows:
+            assert row["bottomk_measured"] == pytest.approx(
+                row["bottomk_predicted"], rel=0.05
+            )
+            assert row["kpartition_measured"] == pytest.approx(
+                row["kpartition_predicted"], rel=0.12
+            )
+
+    def test_bottomk_larger_than_kpartition(self):
+        rows = ads_size_table([1000], [8], runs=60, seed=2)
+        assert rows[0]["bottomk_measured"] > rows[0]["kpartition_measured"]
+
+
+class TestConstantsTable:
+    def test_hip_beats_hll_and_sqrt2_beats_base2(self):
+        rows = distinct_counter_constants_table(
+            [16], n=20_000, runs=60, seed=3
+        )
+        row = rows[0]
+        assert row["hip_b2_nrmse_sqrtk"] < row["hll_nrmse_sqrtk"]
+        assert row["hip_bsqrt2_nrmse_sqrtk"] < row["hip_b2_nrmse_sqrtk"] * 1.1
+
+    def test_constants_near_paper(self):
+        rows = distinct_counter_constants_table(
+            [32], n=30_000, runs=80, seed=4
+        )
+        row = rows[0]
+        assert row["hip_b2_nrmse_sqrtk"] == pytest.approx(0.87, rel=0.25)
+
+
+class TestBaseBTable:
+    def test_variance_factor(self):
+        rows = baseb_variance_table(
+            16, [1.0, 2.0], n=5_000, runs=80, seed=5
+        )
+        full = rows[0]
+        base2 = rows[1]
+        assert full["measured_cv"] == pytest.approx(
+            full["predicted_cv"], rel=0.3
+        )
+        assert base2["measured_cv"] == pytest.approx(
+            base2["predicted_cv"], rel=0.3
+        )
+        assert base2["measured_cv"] > full["measured_cv"]
+
+
+class TestMorrisTable:
+    def test_unbiased_and_base_scaling(self):
+        rows = morris_counter_table([1.1, 2.0], total=2_000, runs=150, seed=6)
+        for row in rows:
+            assert abs(row["unit_bias"]) < 0.1
+            assert abs(row["weighted_bias"]) < 0.1
+        assert rows[0]["unit_cv"] < rows[1]["unit_cv"]
+
+
+class TestQgTable:
+    def test_hip_beats_naive_for_concentrated_g(self):
+        from repro.graph import barabasi_albert_graph
+        from repro.graph.properties import closeness_centrality_exact
+
+        graph = barabasi_albert_graph(150, 3, seed=2)
+        g = lambda node, d: 2.0 ** (-d)
+        exact = {
+            v: closeness_centrality_exact(graph, v, alpha=lambda d: 2.0 ** (-d))
+            + 1.0  # include the source term g(v,0)=1
+            for v in list(graph.nodes())[:10]
+        }
+        result = qg_variance_table(
+            graph,
+            k=8,
+            g=g,
+            exact_fn=lambda v: exact[v],
+            node_sample=list(exact),
+            seeds=range(12),
+        )
+        assert result["hip_nrmse"] < result["naive_nrmse"]
+        assert result["variance_ratio"] > 1.5

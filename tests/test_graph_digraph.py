@@ -1,0 +1,138 @@
+"""Tests for the core Graph data structure."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert not g.directed
+
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        g.add_edge("a", "b", 2.0)
+        assert g.has_node("a") and g.has_node("b")
+        assert g.num_edges == 1
+        assert g.edge_weight("a", "b") == 2.0
+
+    def test_undirected_symmetry(self):
+        g = Graph()
+        g.add_edge(1, 2, 3.0)
+        assert g.has_edge(2, 1)
+        assert g.edge_weight(2, 1) == 3.0
+        assert g.num_edges == 1  # counted once
+
+    def test_directed_asymmetry(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        assert g.has_edge(1, 2)
+        assert not g.has_edge(2, 1)
+        assert g.in_degree(2) == 1
+        assert g.out_degree(2) == 0
+
+    def test_readd_edge_keeps_smaller_weight(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2, 5.0)
+        g.add_edge(1, 2, 3.0)
+        assert g.edge_weight(1, 2) == 3.0
+        g.add_edge(1, 2, 9.0)
+        assert g.edge_weight(1, 2) == 3.0
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+
+    def test_nonpositive_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, 0.0)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2, -1.0)
+
+    def test_from_edges(self):
+        g = Graph.from_edges([(1, 2), (2, 3, 4.0)], directed=True)
+        assert g.num_edges == 2
+        assert g.edge_weight(2, 3) == 4.0
+        with pytest.raises(GraphError):
+            Graph.from_edges([(1,)])
+
+    def test_isolated_node(self):
+        g = Graph()
+        g.add_node("solo")
+        assert g.has_node("solo")
+        assert g.out_degree("solo") == 0
+
+
+class TestQueries:
+    def test_edges_iteration_undirected_once(self):
+        g = Graph.from_edges([(1, 2), (2, 3), (1, 3)])
+        assert len(list(g.edges())) == 3
+
+    def test_edges_iteration_directed_both(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert len(list(g.edges())) == 2
+
+    def test_neighbors(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2, 1.0)
+        g.add_edge(3, 2, 2.0)
+        assert g.out_neighbors(1) == [(2, 1.0)]
+        assert sorted(g.in_neighbors(2)) == [(1, 1.0), (3, 2.0)]
+
+    def test_missing_node_raises(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.out_neighbors("ghost")
+        with pytest.raises(GraphError):
+            g.edge_weight(1, 2)
+
+    def test_is_weighted(self):
+        g = Graph.from_edges([(1, 2), (2, 3)])
+        assert not g.is_weighted()
+        g.add_edge(3, 4, 2.5)
+        assert g.is_weighted()
+
+    def test_contains(self):
+        g = Graph.from_edges([(1, 2)])
+        assert 1 in g
+        assert 9 not in g
+
+
+class TestDerived:
+    def test_transpose_directed(self):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 2.0)
+        g.add_node("solo")
+        t = g.transpose()
+        assert t.has_edge("b", "a")
+        assert not t.has_edge("a", "b")
+        assert t.has_node("solo")
+        assert t.edge_weight("b", "a") == 2.0
+
+    def test_transpose_undirected_is_copy(self):
+        g = Graph.from_edges([(1, 2)])
+        t = g.transpose()
+        assert t.has_edge(1, 2) and t.has_edge(2, 1)
+        t.add_edge(2, 3)
+        assert not g.has_edge(2, 3)  # independent copy
+
+    def test_copy_independent(self):
+        g = Graph.from_edges([(1, 2)])
+        c = g.copy()
+        c.add_edge(2, 3)
+        assert g.num_edges == 1
+        assert c.num_edges == 2
+
+    def test_repr(self):
+        g = Graph.from_edges([(1, 2)], directed=True)
+        assert "directed" in repr(g)
+        assert "n=2" in repr(g)

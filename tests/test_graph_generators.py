@@ -1,0 +1,121 @@
+"""Tests for graph generators, including the paper's Figure 1 graph."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    figure1_graph,
+    figure1_ranks,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    random_geometric_graph,
+    random_tree,
+    star_graph,
+)
+from repro.graph.traversal import dijkstra_distances
+
+
+class TestDeterministicShapes:
+    def test_path(self):
+        g = path_graph(6)
+        assert g.num_nodes == 6 and g.num_edges == 5
+
+    def test_cycle(self):
+        g = cycle_graph(7)
+        assert g.num_nodes == 7 and g.num_edges == 7
+        assert all(g.out_degree(v) == 2 for v in g.nodes())
+
+    def test_star(self):
+        g = star_graph(9)
+        assert g.out_degree(0) == 8
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            path_graph(0)
+        with pytest.raises(ParameterError):
+            cycle_graph(2)
+        with pytest.raises(ParameterError):
+            barabasi_albert_graph(3, 3)
+
+
+class TestRandomGenerators:
+    def test_gnp_seeded_reproducible(self):
+        a = gnp_random_graph(100, 0.05, seed=7)
+        b = gnp_random_graph(100, 0.05, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_gnp_edge_count_near_expectation(self):
+        n, p = 300, 0.03
+        g = gnp_random_graph(n, p, seed=11)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.num_edges - expected) < 5 * math.sqrt(expected)
+
+    def test_gnp_extremes(self):
+        assert gnp_random_graph(10, 0.0, seed=0).num_edges == 0
+        assert gnp_random_graph(6, 1.0, seed=0).num_edges == 15
+        directed = gnp_random_graph(6, 1.0, seed=0, directed=True)
+        assert directed.num_edges == 30
+
+    def test_gnp_directed_no_self_loops(self):
+        g = gnp_random_graph(50, 0.2, seed=3, directed=True)
+        assert all(u != v for u, v, _ in g.edges())
+
+    def test_barabasi_albert_degrees(self):
+        g = barabasi_albert_graph(200, 3, seed=1)
+        assert g.num_nodes == 200
+        assert all(g.out_degree(v) >= 3 for v in g.nodes())
+        # heavy tail: some hub should be much larger than m
+        assert max(g.out_degree(v) for v in g.nodes()) > 12
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(50, seed=2)
+        assert g.num_edges == 49
+        assert len(dijkstra_distances(g, 0)) == 50  # connected
+
+    def test_geometric_weights_are_distances(self):
+        g = random_geometric_graph(40, 0.4, seed=5)
+        for _, _, w in g.edges():
+            assert 0.0 < w <= 0.4
+
+
+class TestFigure1:
+    def test_forward_distances_from_a(self):
+        g = figure1_graph()
+        expected = dict(zip("abcdefgh", (0, 8, 9, 18, 19, 20, 21, 26)))
+        assert {
+            v: int(d) for v, d in dijkstra_distances(g, "a").items()
+        } == expected
+
+    def test_reverse_distances_to_b(self):
+        g = figure1_graph()
+        expected = dict(zip("bagchdef", (0, 8, 18, 30, 31, 39, 40, 41)))
+        assert {
+            v: int(d) for v, d in dijkstra_distances(g.transpose(), "b").items()
+        } == expected
+
+    def test_rank_multiset_matches_figure(self):
+        ranks = figure1_ranks()
+        assert sorted(ranks.values()) == pytest.approx(
+            [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+        )
+
+    def test_rank_constraints_from_example(self):
+        r = figure1_ranks()
+        assert r["h"] < r["d"] < r["f"] < r["c"] < r["a"] < r["b"]
+        assert r["e"] > r["c"]
+        assert r["g"] > r["a"]

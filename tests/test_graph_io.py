@@ -1,0 +1,78 @@
+"""Round-trip tests for edge-list IO."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Graph, read_edge_list, write_edge_list
+from repro.graph.generators import gnp_random_graph, random_geometric_graph
+
+
+def _canon(graph):
+    def norm(u, v, w):
+        if not graph.directed and repr(v) < repr(u):
+            return (v, u, w)
+        return (u, v, w)
+
+    return (
+        graph.directed,
+        sorted(graph.nodes()),
+        sorted(norm(u, v, w) for u, v, w in graph.edges()),
+    )
+
+
+class TestRoundTrip:
+    def test_unweighted_undirected(self, tmp_path):
+        g = gnp_random_graph(40, 0.1, seed=1)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path, node_type=int)
+        assert _canon(back) == _canon(g)
+
+    def test_weighted_directed(self, tmp_path):
+        g = Graph(directed=True)
+        g.add_edge("a", "b", 2.5)
+        g.add_edge("b", "c", 0.125)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back.directed
+        assert back.edge_weight("a", "b") == 2.5
+        assert back.edge_weight("b", "c") == 0.125
+
+    def test_float_weights_roundtrip_exactly(self, tmp_path):
+        g = random_geometric_graph(30, 0.4, seed=2)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path, node_type=int)
+        for u, v, w in g.edges():
+            assert back.edge_weight(u, v) == w  # repr round-trip is exact
+
+    def test_isolated_nodes_preserved(self, tmp_path):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(7)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path, node_type=int)
+        assert back.has_node(7)
+        assert back.num_nodes == 3
+
+    def test_directed_override(self, tmp_path):
+        g = Graph()
+        g.add_edge(1, 2)
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        forced = read_edge_list(path, directed=True, node_type=int)
+        assert forced.directed
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3 4\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n\n1 2\n")
+        g = read_edge_list(path, node_type=int)
+        assert g.num_edges == 1

@@ -1,0 +1,114 @@
+"""Tests for exact graph statistics (the estimator ground truths)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.properties import (
+    closeness_centrality_exact,
+    distance_distribution,
+    effective_diameter,
+    exact_neighborhood_function,
+    graph_diameter,
+    harmonic_centrality_exact,
+    neighborhood_cardinality,
+    reachable_set,
+)
+
+
+class TestNeighborhoodCardinality:
+    def test_path_graph(self):
+        g = path_graph(10)
+        assert neighborhood_cardinality(g, 0, 0) == 1
+        assert neighborhood_cardinality(g, 0, 3) == 4
+        assert neighborhood_cardinality(g, 5, 2) == 5  # both directions
+
+    def test_star_center_vs_leaf(self):
+        g = star_graph(11)
+        assert neighborhood_cardinality(g, 0, 1) == 11
+        assert neighborhood_cardinality(g, 1, 1) == 2
+        assert neighborhood_cardinality(g, 1, 2) == 11
+
+
+class TestNeighborhoodFunction:
+    def test_cumulative_and_sorted(self):
+        g = cycle_graph(9)
+        nf = exact_neighborhood_function(g, 0)
+        distances = [d for d, _ in nf]
+        counts = [c for _, c in nf]
+        assert distances == sorted(distances)
+        assert counts == sorted(counts)
+        assert counts[-1] == 9
+
+    def test_counts_match_cardinality_queries(self):
+        g = path_graph(8)
+        for d, count in exact_neighborhood_function(g, 2):
+            assert count == neighborhood_cardinality(g, 2, d)
+
+
+class TestDistanceDistribution:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert distance_distribution(g) == [(1.0, 20)]  # all ordered pairs
+
+    def test_path_graph_totals(self):
+        g = path_graph(4)
+        dist = distance_distribution(g)
+        assert dist[-1][1] == 12  # 4*3 ordered pairs, all connected
+
+    def test_directed_counts_ordered_pairs(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        assert distance_distribution(g) == [(1.0, 1)]
+
+
+class TestDiameters:
+    def test_graph_diameter(self):
+        assert graph_diameter(path_graph(6)) == 5.0
+        assert graph_diameter(complete_graph(4)) == 1.0
+
+    def test_effective_diameter_bounds(self):
+        g = path_graph(20)
+        eff = effective_diameter(g, 0.9)
+        assert 0 < eff <= graph_diameter(g)
+        assert effective_diameter(g, 1.0) == graph_diameter(g)
+
+    def test_effective_diameter_invalid_quantile(self):
+        with pytest.raises(GraphError):
+            effective_diameter(path_graph(3), 0.0)
+
+
+class TestCentralities:
+    def test_sum_of_distances_on_path(self):
+        g = path_graph(5)
+        # node 0: distances 1+2+3+4 = 10
+        assert closeness_centrality_exact(g, 0) == 10.0
+        # center node 2: 2+1+1+2 = 6
+        assert closeness_centrality_exact(g, 2) == 6.0
+
+    def test_harmonic_on_star_center(self):
+        g = star_graph(6)
+        assert harmonic_centrality_exact(g, 0) == pytest.approx(5.0)
+        # leaf: 1 + 4 * (1/2)
+        assert harmonic_centrality_exact(g, 1) == pytest.approx(3.0)
+
+    def test_alpha_beta_filtering(self):
+        g = star_graph(5)
+        # beta selects only even-numbered leaves (2 and 4)
+        value = closeness_centrality_exact(
+            g, 0, alpha=lambda d: 1.0, beta=lambda v: 1.0 if v % 2 == 0 else 0.0
+        )
+        assert value == 2.0
+
+    def test_reachable_set_directed(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        g.add_edge(3, 1)
+        assert reachable_set(g, 1) == {1, 2}
+        assert reachable_set(g, 3) == {1, 2, 3}

@@ -1,0 +1,102 @@
+"""Tests for BFS / Dijkstra / Bellman-Ford and the Dijkstra-rank order."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graph import Graph, gnp_random_graph, path_graph
+from repro.graph.traversal import (
+    bellman_ford_distances,
+    bfs_distances,
+    dijkstra_distances,
+    dijkstra_order,
+    dijkstra_ranks,
+    single_source_distances,
+)
+
+
+class TestBFS:
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0) == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+
+    def test_unreachable_excluded(self):
+        g = Graph(directed=True)
+        g.add_edge(1, 2)
+        g.add_node(3)
+        dist = bfs_distances(g, 1)
+        assert 3 not in dist
+
+    def test_missing_source(self):
+        with pytest.raises(GraphError):
+            bfs_distances(Graph(), "nope")
+
+
+class TestDijkstra:
+    def test_weighted_shortcut(self):
+        g = Graph(directed=True)
+        g.add_edge("s", "a", 10.0)
+        g.add_edge("s", "b", 1.0)
+        g.add_edge("b", "a", 2.0)
+        assert dijkstra_distances(g, "s")["a"] == 3.0
+
+    def test_matches_bfs_on_unweighted(self):
+        g = gnp_random_graph(60, 0.08, seed=1)
+        assert dijkstra_distances(g, 0) == bfs_distances(g, 0)
+
+    def test_order_nondecreasing(self):
+        g = gnp_random_graph(80, 0.06, seed=4)
+        distances = [d for _, d in dijkstra_order(g, 0)]
+        assert distances == sorted(distances)
+
+    def test_tiebreak_makes_total_order(self):
+        g = path_graph(3)
+        g.add_edge(0, 10)  # node 10 also at distance 1
+        order_a = [n for n, _ in dijkstra_order(g, 0, tiebreak=lambda x: x)]
+        order_b = [n for n, _ in dijkstra_order(g, 0, tiebreak=lambda x: -x)]
+        assert order_a != order_b
+        assert set(order_a) == set(order_b)
+
+
+class TestBellmanFord:
+    def test_matches_dijkstra_random_weighted(self):
+        rng = random.Random(7)
+        g = Graph(directed=True)
+        for _ in range(200):
+            u, v = rng.randrange(40), rng.randrange(40)
+            if u != v:
+                g.add_edge(u, v, rng.uniform(0.1, 5.0))
+        for source in list(g.nodes())[:5]:
+            assert bellman_ford_distances(g, source) == pytest.approx(
+                dijkstra_distances(g, source)
+            )
+
+    def test_max_rounds_truncates(self):
+        g = path_graph(10, directed=True)
+        dist = bellman_ford_distances(g, 0, max_rounds=3)
+        assert max(dist.values()) == 3.0
+
+
+class TestSingleSource:
+    def test_dispatch(self):
+        unweighted = path_graph(4)
+        weighted = Graph.from_edges([(0, 1, 2.0)])
+        assert single_source_distances(unweighted, 0)[3] == 3.0
+        assert single_source_distances(weighted, 0)[1] == 2.0
+
+
+class TestDijkstraRanks:
+    def test_source_has_rank_one(self):
+        g = gnp_random_graph(50, 0.1, seed=9)
+        ranks = dijkstra_ranks(g, 0)
+        assert ranks[0] == 1
+        assert sorted(ranks.values()) == list(range(1, len(ranks) + 1))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_dijkstra_bfs_agree_property(seed):
+    g = gnp_random_graph(40, 0.1, seed=seed)
+    assert dijkstra_distances(g, 0) == bfs_distances(g, 0)

@@ -1,0 +1,105 @@
+"""Tests for the deterministic hashing substrate."""
+
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.rand.hashing import HashFamily, bucket_of, hash64, unit_interval_hash
+
+
+class TestHash64:
+    def test_deterministic(self):
+        assert hash64(42, 7) == hash64(42, 7)
+        assert hash64("node-a", 7) == hash64("node-a", 7)
+
+    def test_seed_sensitivity(self):
+        assert hash64(42, 1) != hash64(42, 2)
+
+    def test_item_sensitivity(self):
+        assert hash64(1, 0) != hash64(2, 0)
+
+    def test_string_and_bytes_stable(self):
+        assert hash64("abc", 5) == hash64("abc", 5)
+        assert hash64(b"abc", 5) == hash64(b"abc", 5)
+        # str and bytes hash alike (same payload) but differ from ints.
+        assert hash64("abc", 5) == hash64(b"abc", 5)
+
+    def test_tuple_items_supported(self):
+        assert hash64((1, 2), 0) == hash64((1, 2), 0)
+        assert hash64((1, 2), 0) != hash64((2, 1), 0)
+
+    def test_64_bit_range(self):
+        for item in range(100):
+            value = hash64(item, 3)
+            assert 0 <= value < 2**64
+
+
+class TestUnitIntervalHash:
+    def test_open_interval(self):
+        values = [unit_interval_hash(i, 9) for i in range(10_000)]
+        assert all(0.0 < v < 1.0 for v in values)
+
+    def test_uniform_mean_and_spread(self):
+        values = [unit_interval_hash(i, 11) for i in range(50_000)]
+        assert statistics.mean(values) == pytest.approx(0.5, abs=0.01)
+        assert min(values) < 0.001
+        assert max(values) > 0.999
+
+    def test_independence_across_seeds(self):
+        a = [unit_interval_hash(i, 0) for i in range(20_000)]
+        b = [unit_interval_hash(i, 1) for i in range(20_000)]
+        mean_a = statistics.mean(a)
+        mean_b = statistics.mean(b)
+        covariance = statistics.mean(
+            (x - mean_a) * (y - mean_b) for x, y in zip(a, b)
+        )
+        assert abs(covariance) < 0.005  # ~uncorrelated
+
+
+class TestBucketOf:
+    def test_range(self):
+        for i in range(1000):
+            assert 0 <= bucket_of(i, 7) < 7
+
+    def test_roughly_uniform(self):
+        counts = [0] * 8
+        for i in range(80_000):
+            counts[bucket_of(i, 8, seed=13)] += 1
+        for c in counts:
+            assert abs(c - 10_000) < 600  # ~5 sigma
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            bucket_of(1, 0)
+
+
+class TestHashFamily:
+    def test_equality_and_hash(self):
+        assert HashFamily(3) == HashFamily(3)
+        assert HashFamily(3) != HashFamily(4)
+        assert hash(HashFamily(3)) == hash(HashFamily(3))
+
+    def test_rank_independence_across_indices(self):
+        fam = HashFamily(5)
+        a = [fam.rank(i, 0) for i in range(20_000)]
+        b = [fam.rank(i, 1) for i in range(20_000)]
+        assert a != b
+        agree = sum(1 for x, y in zip(a, b) if abs(x - y) < 1e-3)
+        assert agree < 100  # essentially independent streams
+
+    def test_tiebreak_differs_from_rank_stream(self):
+        fam = HashFamily(5)
+        # Tiebreaks must not be ordered like ranks (independence matters
+        # for estimator unbiasedness).
+        items = list(range(2000))
+        by_rank = sorted(items, key=lambda i: fam.rank(i))
+        by_tb = sorted(items, key=fam.tiebreak)
+        agreements = sum(1 for a, b in zip(by_rank, by_tb) if a == b)
+        assert agreements < 10
+
+    @given(st.integers(min_value=0, max_value=2**63))
+    def test_rank_in_open_unit_interval(self, item):
+        fam = HashFamily(1)
+        assert 0.0 < fam.rank(item) < 1.0

@@ -1,0 +1,119 @@
+"""End-to-end integration tests across subpackages."""
+
+import math
+import statistics
+
+import pytest
+
+from repro import (
+    BottomKSketch,
+    HashFamily,
+    HipDistinctCounter,
+    HyperLogLog,
+    build_ads_set,
+)
+from repro.centrality import all_closeness_centralities, top_k_central_nodes
+from repro.graph import barabasi_albert_graph, gnp_random_graph
+from repro.graph.properties import (
+    closeness_centrality_exact,
+    neighborhood_cardinality,
+    reachable_set,
+)
+from repro.sketches import jaccard_estimate
+from repro.streams import zipf_stream
+
+
+class TestGraphPipeline:
+    def test_social_network_analysis_end_to_end(self):
+        """The full intended workflow: build one ADS set, answer many
+        different queries from it, all close to exact values."""
+        graph = barabasi_albert_graph(250, 3, seed=1)
+        family = HashFamily(99)
+        ads_set = build_ads_set(graph, 32, family=family)
+
+        # 1. neighborhood cardinalities
+        v = 77
+        for d in (1.0, 2.0, 3.0):
+            exact = neighborhood_cardinality(graph, v, d)
+            assert ads_set[v].cardinality_at(d) == pytest.approx(
+                exact, rel=0.35
+            )
+
+        # 2. reachability
+        assert ads_set[v].reachable_count() == pytest.approx(
+            len(reachable_set(graph, v)), rel=0.3
+        )
+
+        # 3. centrality ranking: ADS top-10 overlaps exact top-10
+        estimated = all_closeness_centralities(ads_set, classic=True)
+        exact = {
+            u: (graph.num_nodes - 1) / closeness_centrality_exact(graph, u)
+            for u in graph.nodes()
+        }
+        top_est = {u for u, _ in top_k_central_nodes(estimated, 10)}
+        top_true = {
+            u
+            for u, _ in sorted(
+                exact.items(), key=lambda kv: -kv[1]
+            )[:10]
+        }
+        assert len(top_est & top_true) >= 5
+
+    def test_coordinated_ads_enables_similarity(self):
+        """Neighborhood similarity from coordinated sketches ([11], intro):
+        extract MinHash sketches of two nodes' d-neighborhoods from their
+        ADSs and estimate Jaccard similarity."""
+        graph = gnp_random_graph(150, 0.05, seed=3)
+        family = HashFamily(5)
+        k = 16
+        ads_set = build_ads_set(graph, k, family=family)
+        from repro.graph.traversal import bfs_distances
+
+        u, v = 0, 1
+        sketch_u = ads_set[u].minhash_at(2.0)
+        sketch_v = ads_set[v].minhash_at(2.0)
+        # rebuild sketch objects for the similarity estimator
+        a = BottomKSketch(k, family)
+        b = BottomKSketch(k, family)
+        a.update(node for _, node in sketch_u)
+        b.update(node for _, node in sketch_v)
+        estimated = jaccard_estimate(a, b)
+        nu = {x for x, d in bfs_distances(graph, u).items() if d <= 2.0}
+        nv = {x for x, d in bfs_distances(graph, v).items() if d <= 2.0}
+        true = len(nu & nv) / len(nu | nv)
+        assert estimated == pytest.approx(true, abs=0.35)
+
+    def test_backward_ads_estimates_in_neighborhoods(self):
+        graph = gnp_random_graph(150, 0.03, seed=9, directed=True)
+        family = HashFamily(17)
+        ads_set = build_ads_set(graph, 16, family=family, direction="backward")
+        transpose = graph.transpose()
+        v = 3
+        exact = neighborhood_cardinality(transpose, v, 2.0)
+        assert ads_set[v].cardinality_at(2.0) == pytest.approx(exact, rel=0.5)
+
+
+class TestStreamPipeline:
+    def test_distinct_counting_with_repeats(self):
+        stream = zipf_stream(5_000, 40_000, seed=8)
+        counter = HipDistinctCounter(HyperLogLog(64, HashFamily(21)))
+        counter.update(stream)
+        assert counter.estimate() == pytest.approx(5_000, rel=0.25)
+
+    def test_hll_and_hip_from_same_pass(self):
+        stream = zipf_stream(2_000, 10_000, seed=4)
+        counter = HipDistinctCounter(HyperLogLog(32, HashFamily(2)))
+        counter.update(stream)
+        hip = counter.estimate()
+        hll = counter.sketch.estimate()
+        assert hip == pytest.approx(2_000, rel=0.4)
+        assert hll == pytest.approx(2_000, rel=0.4)
+
+    def test_mergeable_sketches_coordinate(self):
+        family = HashFamily(7)
+        a = HyperLogLog(32, family)
+        b = HyperLogLog(32, family)
+        a.update(range(0, 3000))
+        b.update(range(2000, 6000))
+        a.merge(b)
+        assert a.estimate() == pytest.approx(6000, rel=0.3)

@@ -1,0 +1,68 @@
+"""Reproduction of the paper's worked Example 2.1 (Figure 1 graph),
+driven through the public builder API with the figure's rank values."""
+
+import pytest
+
+from repro.ads import build_ads_set
+from repro.graph import figure1_graph, figure1_ranks
+
+
+def _content(ads):
+    """(distance, node) pairs in scan order."""
+    return [(e.distance, e.node) for e in ads.entries]
+
+
+class TestExample21:
+    def test_forward_ads_of_a_k1(self, figure1, figure1_family):
+        ads_set = build_ads_set(figure1, 1, family=figure1_family)
+        assert _content(ads_set["a"]) == [
+            (0.0, "a"), (9.0, "c"), (18.0, "d"), (26.0, "h"),
+        ]
+
+    def test_backward_ads_of_b_k1(self, figure1, figure1_family):
+        ads_set = build_ads_set(
+            figure1, 1, family=figure1_family, direction="backward"
+        )
+        assert _content(ads_set["b"]) == [
+            (0.0, "b"), (8.0, "a"), (30.0, "c"), (31.0, "h"),
+        ]
+
+    def test_forward_ads_of_a_bottom2(self, figure1, figure1_family):
+        ads_set = build_ads_set(figure1, 2, family=figure1_family)
+        assert set(_content(ads_set["a"])) == {
+            (0.0, "a"), (9.0, "c"), (18.0, "d"), (26.0, "h"),
+            (8.0, "b"), (20.0, "f"),
+        }
+
+    def test_all_methods_agree_on_figure1(self, figure1, figure1_family):
+        reference = build_ads_set(
+            figure1, 2, family=figure1_family, method="pruned_dijkstra"
+        )
+        other = build_ads_set(
+            figure1, 2, family=figure1_family, method="local_updates"
+        )
+        for v in figure1.nodes():
+            assert _content(other[v]) == _content(reference[v])
+
+    def test_hip_weights_by_hand(self, figure1, figure1_family):
+        """Hand-check Lemma 5.1 on ADS(a), k=1: the threshold for each
+        entry is the minimum rank among strictly closer scanned nodes."""
+        ads_set = build_ads_set(figure1, 1, family=figure1_family)
+        ranks = figure1_ranks()
+        weights = ads_set["a"].hip_weights()
+        # scan order: a (w=1), c (tau=r(a)=0.5), d (tau=min(0.5,0.4)=0.4),
+        # h (tau=min(...,0.2)=0.2)
+        assert weights == pytest.approx(
+            [1.0, 1 / ranks["a"], 1 / ranks["c"], 1 / ranks["d"]]
+        )
+
+    def test_neighborhood_estimates_are_plausible(
+        self, figure1, figure1_family
+    ):
+        ads_set = build_ads_set(figure1, 2, family=figure1_family)
+        # n_10(a) = 3 (a, b, c) <= k is below sketch capacity... k=2, so
+        # only the first 2 are exact; check monotonicity and finiteness.
+        nf = ads_set["a"].neighborhood_function()
+        values = [v for _, v in nf]
+        assert values == sorted(values)
+        assert values[-1] >= 4.0  # at least the entries themselves

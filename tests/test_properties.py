@@ -1,0 +1,186 @@
+"""Cross-cutting structural properties (hypothesis-driven).
+
+These tests pin down relationships *between* subsystems that no single
+module test covers: stream/graph duality, ADS prefix consistency,
+order-insensitivity of sketches, and coordination invariants.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ads import FirstOccurrenceStreamADS, build_ads_set
+from repro.graph import gnp_random_graph, path_graph
+from repro.rand.hashing import HashFamily
+from repro.sketches import BottomKSketch, KMinsSketch, KPartitionSketch
+from repro.streams import timestamped
+
+
+class TestStreamGraphDuality:
+    """Section 5.5: the ADS of a node depends only on the ranks of nodes
+    in scan order.  A directed path graph scans nodes 0,1,2,... exactly
+    like a stream that presents them in that order, so the graph ADS and
+    the stream ADS must coincide."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_path_graph_ads_equals_stream_ads(self, k, seed):
+        n = 60
+        family = HashFamily(seed)
+        graph = path_graph(n, directed=True)
+        graph_ads = build_ads_set(graph, k, family=family)[0]
+
+        stream_ads = FirstOccurrenceStreamADS(k, family)
+        for element, t in timestamped(range(n)):
+            stream_ads.add(element, t)
+
+        assert [e.node for e in graph_ads.entries] == [
+            e for e, _, _ in stream_ads.entries
+        ]
+        assert graph_ads.hip_weights() == pytest.approx(
+            stream_ads.hip_weights()
+        )
+        # and the cardinality estimates agree at every prefix distance
+        for d in (5.0, 20.0, float(n)):
+            assert graph_ads.cardinality_at(d) == pytest.approx(
+                stream_ads.distinct_count(up_to_time=d)
+            )
+
+
+class TestSketchOrderInsensitivity:
+    """A MinHash sketch is a function of the *set*, not the insertion
+    order; feeding any permutation of the elements must give the same
+    sketch state."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        elements=st.sets(st.integers(0, 10_000), min_size=1, max_size=60),
+        order_seed=st.integers(0, 1_000),
+        k=st.integers(min_value=1, max_value=8),
+    )
+    def test_bottomk(self, elements, order_seed, k):
+        import random
+
+        family = HashFamily(4)
+        forward = BottomKSketch(k, family)
+        forward.update(sorted(elements))
+        shuffled = sorted(elements)
+        random.Random(order_seed).shuffle(shuffled)
+        other = BottomKSketch(k, family)
+        other.update(shuffled)
+        assert forward.entries() == other.entries()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        elements=st.sets(st.integers(0, 10_000), min_size=1, max_size=40),
+        order_seed=st.integers(0, 1_000),
+    )
+    def test_kmins_and_kpartition(self, elements, order_seed):
+        import random
+
+        family = HashFamily(4)
+        shuffled = sorted(elements)
+        random.Random(order_seed).shuffle(shuffled)
+        for cls in (KMinsSketch, KPartitionSketch):
+            a = cls(6, family)
+            b = cls(6, family)
+            a.update(sorted(elements))
+            b.update(shuffled)
+            assert a.minima == b.minima
+
+
+class TestAdsPrefixConsistency:
+    """The ADS restricted to entries within distance d must contain the
+    full bottom-k MinHash sketch of N_d(v) -- for *every* d at once
+    (the defining 'all distances' property, Section 2)."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 5_000), k=st.integers(2, 6))
+    def test_every_prefix_holds_a_sketch(self, seed, k):
+        from repro.graph.traversal import bfs_distances
+
+        graph = gnp_random_graph(50, 0.08, seed=seed)
+        family = HashFamily(seed + 1)
+        ads = build_ads_set(graph, k, family=family)[0]
+        dist = bfs_distances(graph, 0)
+        for d in sorted(set(dist.values())):
+            direct = BottomKSketch(k, family)
+            direct.update(u for u, du in dist.items() if du <= d)
+            assert ads.minhash_at(d) == direct.entries()
+
+
+class TestHipWeightTelescoping:
+    """HIP estimates at nested distances are themselves nested: the
+    estimate is a running prefix sum of nonnegative weights, hence
+    monotone in d, and exactly len(prefix) while the prefix fits in k."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5_000), k=st.integers(2, 8))
+    def test_monotone_and_exact_prefix(self, seed, k):
+        import random
+
+        rng = random.Random(seed)
+        from repro.estimators.hip import bottom_k_adjusted_weights
+
+        ranks = [rng.random() for _ in range(100)]
+        # simulate ADS entries of a stream (prefix bottom-k membership)
+        import heapq
+
+        heap, entry_ranks = [], []
+        for r in ranks:
+            if len(heap) < k:
+                heapq.heappush(heap, -r)
+                entry_ranks.append(r)
+            elif r < -heap[0]:
+                heapq.heapreplace(heap, -r)
+                entry_ranks.append(r)
+        weights = bottom_k_adjusted_weights(entry_ranks, k)
+        prefix_sums = []
+        total = 0.0
+        for w in weights:
+            total += w
+            prefix_sums.append(total)
+        assert prefix_sums == sorted(prefix_sums)
+        assert prefix_sums[: k] == pytest.approx(
+            list(range(1, min(k, len(prefix_sums)) + 1))
+        )
+
+
+class TestCoordinationInvariance:
+    """Sketches of the same node across different graphs that share a
+    neighborhood agree on that neighborhood: coordination is a property
+    of the hash family, not the build."""
+
+    def test_shared_prefix_same_sketch(self, family):
+        # two graphs identical within distance 2 of node 0
+        base = path_graph(6, directed=True)
+        extended = path_graph(12, directed=True)
+        ads_a = build_ads_set(base, 3, family=family)[0]
+        ads_b = build_ads_set(extended, 3, family=family)[0]
+        assert ads_a.minhash_at(2.0) == ads_b.minhash_at(2.0)
+        assert ads_a.cardinality_at(2.0) == ads_b.cardinality_at(2.0)
+
+
+class TestEffectiveDiameterEstimate:
+    def test_matches_exact_on_paths(self, family):
+        from repro.centrality import effective_diameter_estimate
+        from repro.graph.properties import effective_diameter
+
+        graph = path_graph(40)
+        ads_set = build_ads_set(graph, 16, family=family)
+        estimate = effective_diameter_estimate(ads_set, 0.9)
+        exact = effective_diameter(graph, 0.9)
+        assert estimate == pytest.approx(exact, rel=0.25)
+
+    def test_quantile_validated(self, family):
+        from repro.centrality import effective_diameter_estimate
+        from repro.errors import ParameterError
+
+        graph = path_graph(5)
+        ads_set = build_ads_set(graph, 4, family=family)
+        with pytest.raises(ParameterError):
+            effective_diameter_estimate(ads_set, 0.0)

@@ -1,0 +1,164 @@
+"""Tests for rank assignments (uniform, exponential, base-b, permutation)."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.rand.hashing import HashFamily
+from repro.rand.ranks import (
+    BaseBRanks,
+    ExponentialRanks,
+    PermutationRanks,
+    UniformRanks,
+    discretize_rank,
+    rounded_rank_value,
+)
+
+
+class TestDiscretizeRank:
+    def test_exact_powers(self):
+        assert discretize_rank(0.5, 2.0) == 1
+        assert discretize_rank(0.25, 2.0) == 2
+        assert discretize_rank(0.125, 2.0) == 3
+
+    def test_brackets(self):
+        assert discretize_rank(0.3, 2.0) == 2   # 0.25 <= 0.3 < 0.5
+        assert discretize_rank(0.7, 2.0) == 1   # 0.5 <= 0.7 < 1
+        assert discretize_rank(0.9999, 2.0) == 1
+
+    def test_other_bases(self):
+        assert discretize_rank(0.4, math.sqrt(2.0)) == 3  # 2^-1.5 ~ 0.3536
+        assert discretize_rank(0.3, 10.0) == 1
+
+    def test_domain_errors(self):
+        with pytest.raises(ParameterError):
+            discretize_rank(0.0, 2.0)
+        with pytest.raises(ParameterError):
+            discretize_rank(1.0, 2.0)
+        with pytest.raises(ParameterError):
+            discretize_rank(0.5, 1.0)
+
+    @given(st.floats(min_value=1e-12, max_value=1 - 1e-12),
+           st.floats(min_value=1.01, max_value=16.0))
+    def test_bracket_invariant(self, r, b):
+        h = discretize_rank(r, b)
+        assert b ** (-h) <= r < b ** (-(h - 1)) or h == 1
+
+    def test_geometric_register_law(self):
+        fam = HashFamily(42)
+        ranks = BaseBRanks(fam, 2.0)
+        n = 100_000
+        ones = sum(1 for i in range(n) if ranks.register(i) == 1)
+        twos = sum(1 for i in range(n) if ranks.register(i) == 2)
+        assert ones / n == pytest.approx(0.5, abs=0.01)
+        assert twos / n == pytest.approx(0.25, abs=0.01)
+
+
+class TestRoundedRankValue:
+    def test_values(self):
+        assert rounded_rank_value(1, 2.0) == 0.5
+        assert rounded_rank_value(3, 2.0) == 0.125
+
+    def test_errors(self):
+        with pytest.raises(ParameterError):
+            rounded_rank_value(-1, 2.0)
+
+
+class TestUniformRanks:
+    def test_coordination(self):
+        a = UniformRanks(HashFamily(9))
+        b = UniformRanks(HashFamily(9))
+        assert [a.rank(i) for i in range(50)] == [b.rank(i) for i in range(50)]
+
+    def test_index_gives_new_permutation(self):
+        fam = HashFamily(9)
+        a = UniformRanks(fam, index=0)
+        b = UniformRanks(fam, index=1)
+        assert a.rank(123) != b.rank(123)
+
+    def test_sup(self):
+        assert UniformRanks(HashFamily(0)).sup == 1.0
+
+
+class TestExponentialRanks:
+    def test_unweighted_matches_transform(self):
+        fam = HashFamily(4)
+        exp_ranks = ExponentialRanks(fam)
+        uni = UniformRanks(fam)
+        for i in range(100):
+            assert exp_ranks.rank(i) == pytest.approx(
+                -math.log1p(-uni.rank(i))
+            )
+
+    def test_weight_scales_rank_down(self):
+        fam = HashFamily(4)
+        heavy = ExponentialRanks(fam, weight=lambda _: 10.0)
+        light = ExponentialRanks(fam, weight=lambda _: 1.0)
+        for i in range(50):
+            assert heavy.rank(i) == pytest.approx(light.rank(i) / 10.0)
+
+    def test_mean_is_inverse_rate(self):
+        fam = HashFamily(8)
+        ranks = ExponentialRanks(fam, weight=lambda _: 4.0)
+        mean = statistics.mean(ranks.rank(i) for i in range(100_000))
+        assert mean == pytest.approx(0.25, rel=0.02)
+
+    def test_nonpositive_weight_rejected(self):
+        ranks = ExponentialRanks(HashFamily(0), weight=lambda _: 0.0)
+        with pytest.raises(ParameterError):
+            ranks.rank(1)
+
+    def test_sup_is_infinite(self):
+        assert math.isinf(ExponentialRanks(HashFamily(0)).sup)
+
+
+class TestBaseBRanks:
+    def test_rank_is_power_of_inverse_base(self):
+        ranks = BaseBRanks(HashFamily(2), 2.0)
+        for i in range(200):
+            r = ranks.rank(i)
+            h = ranks.register(i)
+            assert r == 2.0 ** (-h)
+
+    def test_saturation(self):
+        ranks = BaseBRanks(HashFamily(2), 2.0, max_register=3)
+        assert all(ranks.register(i) <= 3 for i in range(1000))
+
+    def test_rank_order_preserved_coarsely(self):
+        fam = HashFamily(2)
+        rounded = BaseBRanks(fam, 2.0)
+        uni = UniformRanks(fam)
+        for i in range(500):
+            # rounded rank never exceeds the full rank's bracket top
+            assert rounded.rank(i) <= uni.rank(i) * 2.0
+
+    def test_invalid_base(self):
+        with pytest.raises(ParameterError):
+            BaseBRanks(HashFamily(0), 1.0)
+
+
+class TestPermutationRanks:
+    def test_is_a_permutation(self):
+        perm = PermutationRanks(range(100), seed=5)
+        values = sorted(perm.rank(i) for i in range(100))
+        assert values == [float(v) for v in range(1, 101)]
+
+    def test_sup(self):
+        assert PermutationRanks(range(10), seed=0).sup == 11.0
+
+    def test_unknown_item(self):
+        perm = PermutationRanks(range(10), seed=0)
+        with pytest.raises(KeyError):
+            perm.rank(99)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ParameterError):
+            PermutationRanks([1, 1, 2], seed=0)
+
+    def test_seed_changes_order(self):
+        a = PermutationRanks(range(50), seed=1)
+        b = PermutationRanks(range(50), seed=2)
+        assert any(a.rank(i) != b.rank(i) for i in range(50))

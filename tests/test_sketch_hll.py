@@ -1,0 +1,89 @@
+"""Tests for the HyperLogLog implementation."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.rand.hashing import HashFamily
+from repro.sketches import HyperLogLog
+from repro.sketches.hll import hll_alpha
+
+
+class TestAlpha:
+    def test_published_constants(self):
+        assert hll_alpha(16) == 0.673
+        assert hll_alpha(32) == 0.697
+        assert hll_alpha(64) == 0.709
+        assert hll_alpha(1024) == pytest.approx(0.7213 / (1 + 1.079 / 1024))
+
+
+class TestSketchLayout:
+    def test_is_kpartition_base2(self, family):
+        hll = HyperLogLog(16, family)
+        assert hll.base == 2.0
+        assert hll.max_register == 31
+        hll.update(range(100))
+        for h in range(16):
+            if hll.argmin[h] is not None:
+                assert hll.minima[h] == 2.0 ** (-hll.registers[h])
+
+    def test_register_bits_control_saturation(self, family):
+        hll = HyperLogLog(16, family, register_bits=3)
+        assert hll.max_register == 7
+
+    def test_copy(self, family):
+        hll = HyperLogLog(16, family)
+        hll.update(range(50))
+        clone = hll.copy()
+        clone.update(range(50, 500))
+        assert clone.estimate() > hll.estimate()
+
+
+class TestEstimates:
+    def test_small_range_uses_linear_counting(self, family):
+        hll = HyperLogLog(64, family)
+        hll.update(range(10))
+        zeros = 64 - hll.nonempty_buckets()
+        assert hll.estimate() == pytest.approx(64 * math.log(64 / zeros))
+
+    def test_small_cardinality_accuracy(self):
+        # linear counting should be very accurate for n << k
+        values = []
+        for seed in range(40):
+            hll = HyperLogLog(256, HashFamily(seed))
+            hll.update(range(30))
+            values.append(hll.estimate())
+        assert statistics.mean(values) == pytest.approx(30, rel=0.05)
+
+    def test_large_cardinality_nrmse(self):
+        n, k, runs = 50_000, 64, 60
+        errors = []
+        for seed in range(runs):
+            hll = HyperLogLog(k, HashFamily(seed))
+            hll.update(range(n))
+            errors.append(hll.estimate() / n - 1.0)
+        nrmse = math.sqrt(statistics.mean(e * e for e in errors))
+        # paper's reference 1.08/sqrt(k) with generous slack for 60 runs
+        assert nrmse < 2.0 * 1.08 / math.sqrt(k)
+        assert nrmse > 0.3 * 1.08 / math.sqrt(k)
+
+    def test_repeats_do_not_change_estimate(self, family):
+        hll = HyperLogLog(32, family)
+        hll.update(range(1000))
+        before = hll.estimate()
+        hll.update(range(1000))  # all repeats
+        assert hll.estimate() == before
+
+    def test_large_range_correction_flag(self, family):
+        hll = HyperLogLog(16, family)
+        hll.update(range(2000))
+        # with full-precision ranks the flag should barely matter here
+        assert hll.estimate(large_range_bits=32) == pytest.approx(
+            hll.estimate(), rel=0.05
+        )
+
+    def test_cardinality_alias(self, family):
+        hll = HyperLogLog(16, family)
+        hll.update(range(100))
+        assert hll.cardinality() == hll.estimate()

@@ -1,0 +1,87 @@
+"""Tests for the k-mins MinHash sketch."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.rand.hashing import HashFamily
+from repro.sketches import KMinsSketch
+
+
+class TestBasics:
+    def test_tracks_minima_per_permutation(self, family):
+        sketch = KMinsSketch(4, family)
+        sketch.update(range(100))
+        for h in range(4):
+            expected = min(range(100), key=lambda i: family.rank(i, h))
+            assert sketch.argmin[h] == expected
+            assert sketch.minima[h] == family.rank(expected, h)
+
+    def test_add_reports_changes(self, family):
+        sketch = KMinsSketch(3, family)
+        assert sketch.add(0)  # first element always changes something
+        assert not sketch.add(0)  # repeat never does
+
+    def test_empty_minima_are_one(self, family):
+        sketch = KMinsSketch(3, family)
+        assert sketch.minima == [1.0, 1.0, 1.0]
+
+    def test_copy_independent(self, family):
+        sketch = KMinsSketch(3, family)
+        sketch.update(range(10))
+        clone = sketch.copy()
+        clone.update(range(10, 500))
+        assert all(c <= s for c, s in zip(clone.minima, sketch.minima))
+
+    def test_merge_equals_union(self, family):
+        a = KMinsSketch(5, family)
+        b = KMinsSketch(5, family)
+        union = KMinsSketch(5, family)
+        a.update(range(0, 50))
+        b.update(range(30, 90))
+        union.update(range(0, 90))
+        a.merge(b)
+        assert a.minima == union.minima
+        assert a.argmin == union.argmin
+
+
+class TestUpdateProbability:
+    def test_empty_sketch_certain_update(self, family):
+        sketch = KMinsSketch(3, family)
+        assert sketch.update_probability() == 1.0
+
+    def test_formula(self, family):
+        sketch = KMinsSketch(3, family)
+        sketch.update(range(40))
+        expected = 1.0 - math.prod(1.0 - x for x in sketch.minima)
+        assert sketch.update_probability() == pytest.approx(expected)
+
+    def test_decreases_with_more_elements(self, family):
+        sketch = KMinsSketch(4, family)
+        sketch.update(range(10))
+        early = sketch.update_probability()
+        sketch.update(range(10, 1000))
+        assert sketch.update_probability() < early
+
+
+class TestCardinality:
+    def test_mean_near_truth(self):
+        n = 2000
+        values = []
+        for seed in range(60):
+            sketch = KMinsSketch(16, HashFamily(seed))
+            sketch.update(range(n))
+            values.append(sketch.cardinality())
+        assert statistics.mean(values) == pytest.approx(n, rel=0.1)
+
+    def test_cv_near_analysis(self):
+        # CV should be near 1/sqrt(k-2) (Section 4.1).
+        n, k, runs = 5000, 25, 120
+        values = []
+        for seed in range(runs):
+            sketch = KMinsSketch(k, HashFamily(1000 + seed))
+            sketch.update(range(n))
+            values.append(sketch.cardinality())
+        cv = statistics.pstdev(values) / statistics.mean(values)
+        assert cv == pytest.approx(1.0 / math.sqrt(k - 2), rel=0.45)

@@ -1,0 +1,105 @@
+"""Tests for the k-partition MinHash sketch (full and rounded ranks)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.errors import EstimatorError, ParameterError
+from repro.rand.hashing import HashFamily
+from repro.sketches import KPartitionSketch
+
+
+class TestFullRanks:
+    def test_tracks_bucket_minima(self, family):
+        k = 8
+        sketch = KPartitionSketch(k, family)
+        sketch.update(range(200))
+        for h in range(k):
+            members = [i for i in range(200) if family.bucket(i, k) == h]
+            if members:
+                best = min(members, key=family.rank)
+                assert sketch.argmin[h] == best
+                assert sketch.minima[h] == family.rank(best)
+            else:
+                assert sketch.argmin[h] is None
+
+    def test_nonempty_buckets(self, family):
+        sketch = KPartitionSketch(16, family)
+        assert sketch.nonempty_buckets() == 0
+        sketch.add(1)
+        assert sketch.nonempty_buckets() == 1
+        sketch.update(range(500))
+        assert sketch.nonempty_buckets() == 16
+
+    def test_merge_equals_union(self, family):
+        a = KPartitionSketch(6, family)
+        b = KPartitionSketch(6, family)
+        union = KPartitionSketch(6, family)
+        a.update(range(0, 40))
+        b.update(range(25, 80))
+        union.update(range(0, 80))
+        a.merge(b)
+        assert a.minima == union.minima
+
+    def test_update_probability_is_mean_threshold(self, family):
+        sketch = KPartitionSketch(4, family)
+        sketch.update(range(100))
+        assert sketch.update_probability() == pytest.approx(
+            sum(sketch.minima) / 4
+        )
+
+    def test_empty_sketch_probability_one(self, family):
+        assert KPartitionSketch(4, family).update_probability() == 1.0
+
+
+class TestRoundedRegisters:
+    def test_register_consistency(self, family):
+        sketch = KPartitionSketch(8, family, base=2.0, max_register=31)
+        sketch.update(range(300))
+        for h in range(8):
+            if sketch.argmin[h] is not None:
+                assert sketch.minima[h] == 2.0 ** (-sketch.registers[h])
+
+    def test_saturation_blocks_updates(self, family):
+        sketch = KPartitionSketch(2, family, base=2.0, max_register=1)
+        sketch.update(range(100))
+        assert sketch.saturated_buckets() == 2
+        assert sketch.update_probability() == 0.0
+        assert not any(sketch.add(i) for i in range(100, 200))
+
+    def test_max_register_requires_base(self, family):
+        with pytest.raises(ParameterError):
+            KPartitionSketch(4, family, max_register=31)
+
+    def test_merge_rejects_mixed_settings(self, family):
+        a = KPartitionSketch(4, family, base=2.0, max_register=31)
+        b = KPartitionSketch(4, family)
+        with pytest.raises(EstimatorError):
+            a.merge(b)
+
+    def test_rounded_merge_union(self, family):
+        a = KPartitionSketch(4, family, base=2.0, max_register=31)
+        b = KPartitionSketch(4, family, base=2.0, max_register=31)
+        union = KPartitionSketch(4, family, base=2.0, max_register=31)
+        a.update(range(0, 30))
+        b.update(range(20, 70))
+        union.update(range(0, 70))
+        a.merge(b)
+        assert a.registers == union.registers
+
+
+class TestCardinality:
+    def test_mean_near_truth(self):
+        n = 2000
+        values = []
+        for seed in range(60):
+            sketch = KPartitionSketch(16, HashFamily(seed))
+            sketch.update(range(n))
+            values.append(sketch.cardinality())
+        assert statistics.mean(values) == pytest.approx(n, rel=0.12)
+
+    def test_small_sets_use_nonempty_count(self, family):
+        sketch = KPartitionSketch(64, family)
+        sketch.add("only")
+        assert sketch.cardinality() == 1.0

@@ -1,0 +1,69 @@
+"""Tests for Jaccard / union estimation from coordinated sketches."""
+
+import statistics
+
+import pytest
+
+from repro.errors import EstimatorError
+from repro.rand.hashing import HashFamily
+from repro.sketches import BottomKSketch, jaccard_estimate, union_size_estimate
+
+
+def _pair(family, k, set_a, set_b):
+    a = BottomKSketch(k, family)
+    b = BottomKSketch(k, family)
+    a.update(set_a)
+    b.update(set_b)
+    return a, b
+
+
+class TestJaccard:
+    def test_identical_sets(self, family):
+        a, b = _pair(family, 8, range(100), range(100))
+        assert jaccard_estimate(a, b) == 1.0
+
+    def test_disjoint_sets(self, family):
+        a, b = _pair(family, 8, range(100), range(100, 200))
+        assert jaccard_estimate(a, b) == 0.0
+
+    def test_empty_sketches(self, family):
+        a, b = _pair(family, 8, [], [])
+        assert jaccard_estimate(a, b) == 0.0
+
+    def test_unbiased_over_seeds(self):
+        # |A| = |B| = 150, |A & B| = 50 -> J = 50/250 = 0.2
+        set_a = set(range(0, 150))
+        set_b = set(range(100, 250))
+        truth = 50 / 250
+        values = []
+        for seed in range(150):
+            a, b = _pair(HashFamily(seed), 16, set_a, set_b)
+            values.append(jaccard_estimate(a, b))
+        assert statistics.mean(values) == pytest.approx(truth, abs=0.03)
+
+    def test_requires_same_k(self, family):
+        a = BottomKSketch(4, family)
+        b = BottomKSketch(8, family)
+        with pytest.raises(EstimatorError):
+            jaccard_estimate(a, b)
+
+    def test_requires_coordination(self, family):
+        a = BottomKSketch(4, family)
+        b = BottomKSketch(4, HashFamily(family.seed + 1))
+        with pytest.raises(EstimatorError):
+            jaccard_estimate(a, b)
+
+
+class TestUnionSize:
+    def test_small_union_exact(self, family):
+        a, b = _pair(family, 16, range(5), range(3, 8))
+        assert union_size_estimate(a, b) == 8.0
+
+    def test_large_union_mean(self):
+        set_a = range(0, 800)
+        set_b = range(500, 1200)
+        values = []
+        for seed in range(80):
+            a, b = _pair(HashFamily(seed), 24, set_a, set_b)
+            values.append(union_size_estimate(a, b))
+        assert statistics.mean(values) == pytest.approx(1200, rel=0.08)

@@ -1,0 +1,51 @@
+"""Tests for stream workload generators."""
+
+from collections import Counter
+
+from repro.streams import (
+    distinct_stream,
+    shuffled_distinct_stream,
+    timestamped,
+    zipf_stream,
+)
+
+
+class TestDistinctStream:
+    def test_contents(self):
+        assert list(distinct_stream(5)) == [0, 1, 2, 3, 4]
+        assert list(distinct_stream(3, start=10)) == [10, 11, 12]
+
+    def test_shuffled_is_permutation(self):
+        stream = shuffled_distinct_stream(100, seed=3)
+        assert sorted(stream) == list(range(100))
+
+    def test_shuffled_seeded(self):
+        assert shuffled_distinct_stream(50, seed=1) == shuffled_distinct_stream(
+            50, seed=1
+        )
+        assert shuffled_distinct_stream(50, seed=1) != shuffled_distinct_stream(
+            50, seed=2
+        )
+
+
+class TestZipfStream:
+    def test_every_element_appears(self):
+        stream = zipf_stream(50, 500, seed=4)
+        assert set(stream) == set(range(50))
+
+    def test_length(self):
+        assert len(zipf_stream(10, 300, seed=0)) == 300
+        assert len(zipf_stream(10, 7, seed=0)) == 7
+
+    def test_head_is_heavier(self):
+        stream = zipf_stream(100, 20_000, exponent=1.5, seed=1)
+        counts = Counter(stream)
+        head = sum(counts[i] for i in range(10))
+        tail = sum(counts[i] for i in range(90, 100))
+        assert head > 3 * tail
+
+
+class TestTimestamped:
+    def test_times(self):
+        entries = list(timestamped([5, 6, 7], start=2.0, step=0.5))
+        assert entries == [(5, 2.0), (6, 2.5), (7, 3.0)]

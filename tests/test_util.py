@@ -1,0 +1,84 @@
+"""Unit tests for repro._util helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util import (
+    harmonic_number,
+    is_sorted,
+    kth_smallest,
+    log_spaced_checkpoints,
+)
+from repro.errors import ParameterError
+
+
+class TestHarmonicNumber:
+    def test_base_cases(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(2) == pytest.approx(1.5)
+        assert harmonic_number(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+    def test_asymptotic_branch_matches_exact_sum(self):
+        # The implementation switches branches at 256; check continuity.
+        for n in (255, 256, 257, 1000):
+            exact = sum(1.0 / j for j in range(1, n + 1))
+            assert harmonic_number(n) == pytest.approx(exact, rel=1e-12)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            harmonic_number(-1)
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_monotone_increasing(self, n):
+        assert harmonic_number(n + 1) > harmonic_number(n)
+
+
+class TestKthSmallest:
+    def test_exact_positions(self):
+        values = [0.5, 0.1, 0.9, 0.3]
+        assert kth_smallest(values, 1) == 0.1
+        assert kth_smallest(values, 2) == 0.3
+        assert kth_smallest(values, 4) == 0.9
+
+    def test_supremum_when_undersized(self):
+        assert kth_smallest([0.2], 2) == 1.0
+        assert kth_smallest([], 1, sup=math.inf) == math.inf
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            kth_smallest([0.1], 0)
+
+    @given(st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=10))
+    def test_matches_sorted_reference(self, values, k):
+        expected = sorted(values)[k - 1] if len(values) >= k else 1.0
+        assert kth_smallest(values, k) == expected
+
+
+class TestLogSpacedCheckpoints:
+    def test_includes_endpoints(self):
+        points = log_spaced_checkpoints(1000)
+        assert points[0] == 1
+        assert points[-1] == 1000
+
+    def test_sorted_unique(self):
+        points = log_spaced_checkpoints(50_000, per_decade=10)
+        assert points == sorted(set(points))
+
+    def test_single_point(self):
+        assert log_spaced_checkpoints(1) == [1]
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            log_spaced_checkpoints(0)
+
+
+class TestIsSorted:
+    def test_cases(self):
+        assert is_sorted([])
+        assert is_sorted([1])
+        assert is_sorted([1, 1, 2])
+        assert not is_sorted([2, 1])
