@@ -28,6 +28,7 @@ Subpackages
 """
 
 from repro.ads import (
+    AdsIndex,
     BottomKADS,
     BuildStats,
     FirstOccurrenceStreamADS,
@@ -37,7 +38,7 @@ from repro.ads import (
     build_ads_set,
 )
 from repro.counters import HipDistinctCounter, MorrisCounter, algorithm3_counter
-from repro.graph import Graph
+from repro.graph import CSRGraph, Graph
 from repro.rand import HashFamily
 from repro.sketches import (
     BottomKSketch,
@@ -50,6 +51,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Graph",
+    "CSRGraph",
+    "AdsIndex",
     "HashFamily",
     "build_ads_set",
     "BuildStats",

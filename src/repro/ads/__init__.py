@@ -18,9 +18,23 @@ import math
 from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from repro._util import require
-from repro.ads.base import BaseADS, BottomKADS, KMinsADS, KPartitionADS
+from repro.ads.base import (
+    FLAVOR_CLASSES as _FLAVOR_CLASSES,
+    BaseADS,
+    BottomKADS,
+    KMinsADS,
+    KPartitionADS,
+)
+from repro.ads.csr_cores import (
+    CSR_METHODS,
+    build_flat_entries,
+    dp_core_csr,
+    pruned_dijkstra_core_csr,
+    records_to_entries,
+)
 from repro.ads.dynamic_programming import dp_core
 from repro.ads.entry import AdsEntry
+from repro.ads.index import AdsIndex
 from repro.ads.local_updates import local_updates_core
 from repro.ads.no_tiebreak import NoTiebreakADS, build_no_tiebreak_ads
 from repro.ads.pruned_dijkstra import BuildStats, pruned_dijkstra_core
@@ -30,12 +44,14 @@ from repro.ads.streaming import (
 )
 from repro.ads.weighted import WeightedBottomKADS, exponential_rank_assignment
 from repro.errors import ParameterError
+from repro.graph.csr import CSRGraph
 from repro.graph.digraph import Graph, Node
 from repro.rand.hashing import HashFamily
 from repro.rand.ranks import ExponentialRanks
 
 __all__ = [
     "AdsEntry",
+    "AdsIndex",
     "BaseADS",
     "BottomKADS",
     "KMinsADS",
@@ -45,6 +61,8 @@ __all__ = [
     "build_no_tiebreak_ads",
     "BuildStats",
     "build_ads_set",
+    "dp_core_csr",
+    "pruned_dijkstra_core_csr",
     "FirstOccurrenceStreamADS",
     "RecentOccurrenceStreamADS",
     "exponential_rank_assignment",
@@ -68,6 +86,7 @@ def build_ads_set(
     node_weights: Optional[Callable[[Hashable], float]] = None,
     seed: int = 0,
     stats: Optional[BuildStats] = None,
+    backend: str = "auto",
 ) -> Dict[Node, BaseADS]:
     """Build the ADS of every node of *graph*.
 
@@ -98,6 +117,15 @@ def build_ads_set(
         :class:`WeightedBottomKADS` objects (flavor must be 'bottomk').
     stats:
         Optional :class:`BuildStats` to receive work counters.
+    backend:
+        'legacy' (adjacency-dict cores), 'csr' (integer-ID flat-array
+        cores; converts a ``Graph`` input via ``to_csr()``), or 'auto'
+        (the default: 'csr' whenever the requested build is CSR-capable
+        -- ``Graph`` inputs are converted, the O(n + m) conversion being
+        dwarfed by the build itself -- and 'legacy' otherwise).  Both
+        backends produce *identical* sketches; the CSR backend is the
+        fast path but does not cover ``method='local_updates'``,
+        ``epsilon > 0``, or ``node_weights``.
 
     Returns a dict mapping each node to its ADS object.
     """
@@ -106,9 +134,14 @@ def build_ads_set(
         family = HashFamily(seed)
     if direction not in ("forward", "backward"):
         raise ParameterError(f"unknown direction {direction!r}")
+    if backend not in ("auto", "legacy", "csr"):
+        raise ParameterError(
+            f"unknown backend {backend!r}; expected 'auto', 'legacy', or 'csr'"
+        )
     if direction == "backward":
         graph = graph.transpose()
-    if method == "auto":
+    method_was_auto = method == "auto"
+    if method_was_auto:
         method = "dp" if not graph.is_weighted() and epsilon == 0.0 else (
             "local_updates" if epsilon > 0.0 else "pruned_dijkstra"
         )
@@ -122,6 +155,42 @@ def build_ads_set(
         )
     if stats is None:
         stats = BuildStats()
+
+    # ------------------------------------------------------------------
+    # Backend dispatch: the CSR fast path covers the exact builders
+    # (PRUNEDDIJKSTRA / DP) for the three standard flavors.
+    # ------------------------------------------------------------------
+    csr_capable = (
+        method in CSR_METHODS
+        and node_weights is None
+        and flavor in _FLAVOR_CLASSES
+    )
+    if backend == "csr" and not csr_capable:
+        raise ParameterError(
+            "backend='csr' supports the exact builders "
+            f"{sorted(CSR_METHODS)} for flavors "
+            f"{sorted(_FLAVOR_CLASSES)} without node_weights; requested "
+            f"method={method!r}, flavor={flavor!r}"
+            + (", node_weights" if node_weights is not None else "")
+        )
+    use_csr = csr_capable and backend in ("csr", "auto")
+    if use_csr:
+        csr_graph = graph if isinstance(graph, CSRGraph) else graph.to_csr()
+        if method_was_auto:
+            # Both exact cores emit identical sketches; on the CSR
+            # backend the scan-based core is the faster of the two.
+            method = "pruned_dijkstra"
+        flat = build_flat_entries(csr_graph, k, family, flavor, method, stats)
+        labels = csr_graph.nodes()
+        flavor_class = _FLAVOR_CLASSES[flavor]
+        return {
+            labels[v]: flavor_class(
+                labels[v], k, records_to_entries(flat[v], labels), family
+            )
+            for v in range(csr_graph.num_nodes)
+        }
+    if isinstance(graph, CSRGraph):
+        graph = graph.to_graph()  # legacy cores need the adjacency dicts
     core = _CORES[method]
     kwargs = {"epsilon": epsilon} if method == "local_updates" else {}
     tiebreak_of = family.tiebreak

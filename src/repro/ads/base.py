@@ -59,6 +59,7 @@ class BaseADS:
         self.rank_sup = float(rank_sup)
         self.entries: List[AdsEntry] = sorted(entries)
         self._distances = [e.distance for e in self.entries]
+        self._entry_nodes = frozenset(e.node for e in self.entries)
         self._hip_weights: Optional[List[float]] = None
         if not self.entries or self.entries[0].node != source:
             raise EstimatorError(
@@ -72,7 +73,7 @@ class BaseADS:
         return len(self.entries)
 
     def __contains__(self, node: Hashable) -> bool:
-        return any(e.node == node for e in self.entries)
+        return node in self._entry_nodes
 
     def nodes(self) -> List[Hashable]:
         return [e.node for e in self.entries]
@@ -322,3 +323,13 @@ class KPartitionADS(BaseADS):
         """Basic k-partition estimate (Section 4.3)."""
         minima, argmin = self.minhash_at(d)
         return k_partition_cardinality(minima, argmin)
+
+
+#: The one canonical flavor-name -> container-class mapping, shared by
+#: ``build_ads_set`` and ``AdsIndex`` so the two paths can never disagree
+#: on which flavors exist.
+FLAVOR_CLASSES = {
+    "bottomk": BottomKADS,
+    "kmins": KMinsADS,
+    "kpartition": KPartitionADS,
+}

@@ -11,7 +11,7 @@ The two builders provably produce identical ADS sets; the tests assert it.
 from __future__ import annotations
 
 from bisect import insort
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ads.entry import AdsEntry
 from repro.ads.pruned_dijkstra import BuildStats
@@ -26,8 +26,8 @@ def dp_core(
     rank_of: Callable[[Node], float],
     tiebreak_of: Callable[[Node], int],
     stats: BuildStats,
-    bucket: int = None,
-    permutation: int = None,
+    bucket: Optional[int] = None,
+    permutation: Optional[int] = None,
 ) -> Dict[Node, List[AdsEntry]]:
     """One bottom-k competition among *candidates* via synchronous rounds.
 

@@ -1,0 +1,583 @@
+"""``AdsIndex``: every node's sketch in parallel flat arrays.
+
+A sketch *set* built once is typically queried many times (Section 1's
+"build the sketches, then answer any C_{alpha,beta} query").  The legacy
+``Dict[node, BaseADS]`` pays one Python object per entry plus one
+container per node; this index stores the whole set as seven flat
+columns in one pass and serves batch queries straight off them:
+
+* ``offsets`` (n+1): node id i's entries live at ``offsets[i]:offsets[i+1]``;
+* ``node`` / ``dist`` / ``rank`` / ``tiebreak``: one column each, in the
+  scan total order (distance, tiebreak) within every node's slice;
+* ``aux``: the k-partition bucket or k-mins permutation (-1 otherwise);
+* ``hip``: HIP adjusted weights, computed once at build time for every
+  node in a single pass (Section 5) -- the estimator plumbing every
+  batch query below reuses.
+
+Queries: :meth:`cardinality_at` (all nodes at once),
+:meth:`neighborhood_function` (whole-graph ANF series),
+:meth:`closeness_centrality` / :meth:`top_central` (Equation 2 for every
+node), all bit-identical to the per-node ``BaseADS`` estimators.
+:meth:`save` / :meth:`load` persist the columns as raw little/big-endian
+array bytes behind a JSON header, so an index built on a big graph is
+built once and served many times.  ``index[node]`` lazily materialises a
+legacy ``BaseADS`` object for full backward compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from array import array
+from bisect import bisect_right
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro._util import require
+from repro.ads.base import FLAVOR_CLASSES as _FLAVOR_CLASSES, BaseADS
+from repro.ads.csr_cores import build_flat_entries
+from repro.ads.entry import AdsEntry
+from repro.ads.pruned_dijkstra import BuildStats
+from repro.errors import EstimatorError, ParameterError
+from repro.estimators.hip import (
+    bottom_k_adjusted_weights,
+    k_mins_adjusted_weights,
+    k_partition_adjusted_weights,
+)
+from repro.estimators.statistics import closeness_centrality_estimate
+from repro.graph.csr import CSRGraph
+from repro.rand.hashing import HashFamily
+
+_MAGIC = b"ADSIDX01"
+
+
+class AdsIndex:
+    """All-nodes ADS storage in parallel flat arrays (see module docs).
+
+    Build with :meth:`build`, reload with :meth:`load`; the raw
+    constructor wires pre-validated columns.
+    """
+
+    def __init__(
+        self,
+        flavor: str,
+        k: int,
+        seed: int,
+        labels: Sequence[Hashable],
+        offsets: array,
+        node_column: array,
+        dist_column: array,
+        rank_column: array,
+        tiebreak_column: array,
+        aux_column: array,
+        hip_column: array,
+        rank_sup: float = 1.0,
+    ):
+        if flavor not in _FLAVOR_CLASSES:
+            raise ParameterError(
+                f"unknown flavor {flavor!r}; expected one of "
+                f"{sorted(_FLAVOR_CLASSES)}"
+            )
+        require(k >= 1, f"k must be >= 1, got {k}")
+        self.flavor = flavor
+        self.k = int(k)
+        self.seed = int(seed)
+        self.family = HashFamily(seed)
+        self.rank_sup = float(rank_sup)
+        self._labels = list(labels)
+        self._ids = {label: i for i, label in enumerate(self._labels)}
+        self._offsets = offsets
+        self._node = node_column
+        self._dist = dist_column
+        self._rank = rank_column
+        self._tiebreak = tiebreak_column
+        self._aux = aux_column
+        self._hip = hip_column
+        # Validate the layout before walking it (a corrupted file must
+        # fail with EstimatorError, not an IndexError mid-computation).
+        if len(offsets) != len(self._labels) + 1:
+            raise EstimatorError("offsets length must be n + 1")
+        columns = (node_column, dist_column, rank_column, tiebreak_column,
+                   aux_column, hip_column)
+        if len({len(c) for c in columns}) != 1:
+            raise EstimatorError("entry columns must have equal lengths")
+        if (
+            offsets[0] != 0
+            or offsets[-1] != len(hip_column)
+            or any(
+                offsets[i] > offsets[i + 1] for i in range(len(offsets) - 1)
+            )
+        ):
+            raise EstimatorError("offsets must rise from 0 to the entry count")
+        if len(node_column) and not (
+            0 <= min(node_column) and max(node_column) < len(self._labels)
+        ):
+            raise EstimatorError("entry node ids must lie in [0, n)")
+        # Per-node running prefix sums of the HIP column: cardinality
+        # queries become one bisect plus one lookup.  Summation order is
+        # left-to-right within each slice, exactly like BaseADS, so the
+        # floats agree bit-for-bit.
+        cumulative = array("d", bytes(8 * len(hip_column)))
+        for i in range(len(self._labels)):
+            running = 0.0
+            for slot in range(offsets[i], offsets[i + 1]):
+                running += hip_column[slot]
+                cumulative[slot] = running
+        self._cum_hip = cumulative
+        self._materialised: Dict[Hashable, BaseADS] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph,
+        k: int,
+        family: Optional[HashFamily] = None,
+        flavor: str = "bottomk",
+        method: str = "auto",
+        direction: str = "forward",
+        seed: int = 0,
+        stats: Optional[BuildStats] = None,
+    ) -> "AdsIndex":
+        """Build the index for every node of *graph* in one pass.
+
+        *graph* may be a :class:`CSRGraph` or an adjacency-dict
+        ``Graph`` (converted via ``to_csr()``).  Methods are the exact
+        CSR builders: 'pruned_dijkstra', 'dp', or 'auto' (=
+        'pruned_dijkstra', the faster core on this backend; both emit
+        identical sketches).
+        """
+        require(k >= 1, f"k must be >= 1, got {k}")
+        if family is None:
+            family = HashFamily(seed)
+        if direction not in ("forward", "backward"):
+            raise ParameterError(f"unknown direction {direction!r}")
+        if flavor not in _FLAVOR_CLASSES:
+            raise ParameterError(
+                f"unknown flavor {flavor!r}; expected one of "
+                f"{sorted(_FLAVOR_CLASSES)}"
+            )
+        csr = graph if isinstance(graph, CSRGraph) else graph.to_csr()
+        if direction == "backward":
+            csr = csr.transpose()
+        if method == "auto":
+            method = "pruned_dijkstra"
+        if stats is None:
+            stats = BuildStats()
+        per_node = build_flat_entries(csr, k, family, flavor, method, stats)
+        labels = csr.nodes()
+
+        total = sum(len(records) for records in per_node)
+        offsets = array("q", [0] * (len(labels) + 1))
+        node_column = array("q", bytes(8 * total))
+        dist_column = array("d", bytes(8 * total))
+        rank_column = array("d", bytes(8 * total))
+        tiebreak_column = array("Q", bytes(8 * total))
+        aux_column = array("q", bytes(8 * total))
+        slot = 0
+        for i, records in enumerate(per_node):
+            for distance, tiebreak, node_id, rank, bucket, permutation in records:
+                node_column[slot] = node_id
+                dist_column[slot] = distance
+                rank_column[slot] = rank
+                tiebreak_column[slot] = tiebreak
+                aux = bucket if bucket is not None else permutation
+                aux_column[slot] = -1 if aux is None else aux
+                slot += 1
+            offsets[i + 1] = slot
+        hip_column = cls._compute_hip_column(
+            flavor, k, family, labels, offsets,
+            node_column, dist_column, rank_column, aux_column,
+        )
+        return cls(
+            flavor, k, family.seed, labels, offsets, node_column,
+            dist_column, rank_column, tiebreak_column, aux_column,
+            hip_column,
+        )
+
+    @staticmethod
+    def _compute_hip_column(
+        flavor: str,
+        k: int,
+        family: HashFamily,
+        labels: Sequence[Hashable],
+        offsets: array,
+        node_column: array,
+        dist_column: array,
+        rank_column: array,
+        aux_column: array,
+    ) -> array:
+        """One pass of Section-5 adjusted weights over every node slice.
+
+        For k-mins the weights live on the *merged* (first-occurrence)
+        view; duplicate per-permutation entries get weight 0 so that
+        prefix sums over the raw slice equal the merged cumulative
+        estimates exactly.
+        """
+        hip = array("d", bytes(8 * len(node_column)))
+        if flavor == "kmins":
+            # One dense rank list per permutation, shared by every
+            # node's merged view below: O(n*k) hash calls instead of
+            # O(total merged entries * k).
+            ranks_by_permutation = [
+                [family.rank(label, h) for label in labels] for h in range(k)
+            ]
+        for i in range(len(labels)):
+            lo, hi = offsets[i], offsets[i + 1]
+            if lo == hi:
+                continue
+            if flavor == "bottomk":
+                weights = bottom_k_adjusted_weights(rank_column[lo:hi], k)
+                hip[lo:hi] = array("d", weights)
+            elif flavor == "kpartition":
+                weights = k_partition_adjusted_weights(
+                    [(aux_column[s], rank_column[s]) for s in range(lo, hi)],
+                    k,
+                )
+                hip[lo:hi] = array("d", weights)
+            else:  # kmins: merged first-occurrence view
+                seen = set()
+                merged_slots = []
+                for s in range(lo, hi):
+                    entry_node = node_column[s]
+                    if entry_node in seen:
+                        continue
+                    seen.add(entry_node)
+                    merged_slots.append(s)
+                vectors = [
+                    [ranks_by_permutation[h][node_column[s]] for h in range(k)]
+                    for s in merged_slots
+                ]
+                weights = k_mins_adjusted_weights(vectors, k)
+                for s, weight in zip(merged_slots, weights):
+                    hip[s] = weight
+        return hip
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._node)
+
+    def nodes(self) -> List[Hashable]:
+        return list(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: Hashable) -> bool:
+        return label in self._ids
+
+    def __repr__(self) -> str:
+        return (
+            f"AdsIndex(flavor={self.flavor!r}, k={self.k}, "
+            f"n={self.num_nodes}, entries={self.num_entries})"
+        )
+
+    def _slice(self, label: Hashable) -> Tuple[int, int]:
+        try:
+            i = self._ids[label]
+        except KeyError:
+            raise EstimatorError(f"node {label!r} is not in the index")
+        return self._offsets[i], self._offsets[i + 1]
+
+    # ------------------------------------------------------------------
+    # Batch queries
+    # ------------------------------------------------------------------
+    def cardinality_at(self, d: float = math.inf) -> Dict[Hashable, float]:
+        """HIP estimate of n_d(v) for *every* node v: one bisect per node
+        over the distance column plus a prefix-sum lookup (Section 5)."""
+        dist, cumulative, offsets = self._dist, self._cum_hip, self._offsets
+        result: Dict[Hashable, float] = {}
+        for i, label in enumerate(self._labels):
+            lo, hi = offsets[i], offsets[i + 1]
+            cutoff = bisect_right(dist, d, lo, hi)
+            result[label] = cumulative[cutoff - 1] if cutoff > lo else 0.0
+        return result
+
+    def reachable_counts(self) -> Dict[Hashable, float]:
+        """HIP estimate of the reachable-set size of every node."""
+        return self.cardinality_at(math.inf)
+
+    def node_cardinality_at(self, label: Hashable, d: float = math.inf) -> float:
+        """HIP estimate of n_d(label) (single-node form)."""
+        lo, hi = self._slice(label)
+        cutoff = bisect_right(self._dist, d, lo, hi)
+        return self._cum_hip[cutoff - 1] if cutoff > lo else 0.0
+
+    def neighborhood_function(self) -> List[Tuple[float, float]]:
+        """Whole-graph neighborhood function (the ANF statistic):
+        estimated ordered pairs within distance d, per distinct d."""
+        jumps: Dict[float, float] = {}
+        dist, hip = self._dist, self._hip
+        for slot in range(len(dist)):
+            d = dist[slot]
+            if d <= 0.0:
+                continue
+            jumps[d] = jumps.get(d, 0.0) + hip[slot]
+        series: List[Tuple[float, float]] = []
+        running = 0.0
+        for d in sorted(jumps):
+            running += jumps[d]
+            series.append((d, running))
+        return series
+
+    def node_neighborhood_function(
+        self, label: Hashable
+    ) -> List[Tuple[float, float]]:
+        """Estimated cumulative distance distribution of one node."""
+        lo, hi = self._slice(label)
+        series: List[Tuple[float, float]] = []
+        running = 0.0
+        for slot in range(lo, hi):
+            running += self._hip[slot]
+            d = self._dist[slot]
+            if series and series[-1][0] == d:
+                series[-1] = (d, running)
+            else:
+                series.append((d, running))
+        return series
+
+    def closeness_centrality(
+        self,
+        alpha: Optional[Callable[[float], float]] = None,
+        beta: Optional[Callable[[Hashable], float]] = None,
+        classic: bool = False,
+    ) -> Dict[Hashable, float]:
+        """C_{alpha,beta} (Equation 2) for every node in one sweep.
+
+        Mirrors :func:`repro.centrality.closeness.closeness_centrality`:
+        ``classic=True`` gives Bavelas's ``reachable / sum-of-distances``;
+        otherwise ``alpha=None`` means the raw sum of distances.
+        """
+        if classic and (alpha is not None or beta is not None):
+            raise EstimatorError(
+                "classic=True computes (n-1)/sum(d); alpha/beta do not apply"
+            )
+        result: Dict[Hashable, float] = {}
+        offsets = self._offsets
+        for i, label in enumerate(self._labels):
+            result[label] = self._closeness_for_slice(
+                offsets[i], offsets[i + 1], alpha, beta, classic
+            )
+        return result
+
+    def _closeness_for_slice(
+        self,
+        lo: int,
+        hi: int,
+        alpha: Optional[Callable[[float], float]],
+        beta: Optional[Callable[[Hashable], float]],
+        classic: bool,
+    ) -> float:
+        dist, hip = self._dist, self._hip
+        if beta is not None and not classic:
+            # Only a node filter ever consumes the entry labels; skip
+            # the per-entry interner lookups otherwise.
+            label_of = self._labels.__getitem__
+            entry_labels = [label_of(self._node[s]) for s in range(lo, hi)]
+            return closeness_centrality_estimate(
+                entry_labels, dist[lo:hi], hip[lo:hi], alpha=alpha, beta=beta
+            )
+        # beta-free sum, mirroring q_statistic_estimate exactly (same
+        # slot order, same skip-the-source and g >= 0 rules) so the
+        # floats match the per-node estimators bit-for-bit.
+        total = 0.0
+        for slot in range(lo, hi):
+            d = dist[slot]
+            if d == 0.0:
+                continue
+            value = d if alpha is None else float(alpha(d))
+            if value < 0.0:
+                raise EstimatorError(
+                    f"g must be nonnegative (got {value}); HIP "
+                    "unbiasedness and the variance bounds assume g >= 0"
+                )
+            total += hip[slot] * value
+        if classic:
+            reachable = (self._cum_hip[hi - 1] if hi > lo else 0.0) - 1.0
+            return reachable / total if total > 0.0 else 0.0
+        return total
+
+    def node_closeness_centrality(
+        self,
+        label: Hashable,
+        alpha: Optional[Callable[[float], float]] = None,
+        beta: Optional[Callable[[Hashable], float]] = None,
+        classic: bool = False,
+    ) -> float:
+        """One node's C_{alpha,beta}: O(sketch size), same floats as the
+        batch :meth:`closeness_centrality` entry."""
+        if classic and (alpha is not None or beta is not None):
+            raise EstimatorError(
+                "classic=True computes (n-1)/sum(d); alpha/beta do not apply"
+            )
+        lo, hi = self._slice(label)
+        return self._closeness_for_slice(lo, hi, alpha, beta, classic)
+
+    def top_central(
+        self,
+        count: int,
+        alpha: Optional[Callable[[float], float]] = None,
+        beta: Optional[Callable[[Hashable], float]] = None,
+        classic: bool = False,
+        largest: bool = True,
+    ) -> List[Tuple[Hashable, float]]:
+        """The *count* most (or least) central nodes, ties broken by node
+        repr -- same contract as ``top_k_central_nodes``."""
+        # Lazy import: repro.centrality imports repro.ads at module load.
+        from repro.centrality.closeness import top_k_central_nodes
+
+        values = self.closeness_centrality(alpha=alpha, beta=beta, classic=classic)
+        return top_k_central_nodes(values, count, largest=largest)
+
+    # ------------------------------------------------------------------
+    # Backward compatibility: lazy BaseADS materialisation
+    # ------------------------------------------------------------------
+    def __getitem__(self, label: Hashable) -> BaseADS:
+        """Materialise (and cache) the legacy ADS object of one node."""
+        cached = self._materialised.get(label)
+        if cached is not None:
+            return cached
+        lo, hi = self._slice(label)
+        label_of = self._labels.__getitem__
+        entries = []
+        for slot in range(lo, hi):
+            aux = self._aux[slot]
+            entries.append(
+                AdsEntry(
+                    node=label_of(self._node[slot]),
+                    distance=self._dist[slot],
+                    rank=self._rank[slot],
+                    tiebreak=self._tiebreak[slot],
+                    bucket=(
+                        aux if self.flavor == "kpartition" and aux >= 0 else None
+                    ),
+                    permutation=(
+                        aux if self.flavor == "kmins" and aux >= 0 else None
+                    ),
+                )
+            )
+        ads = _FLAVOR_CLASSES[self.flavor](
+            label, self.k, entries, self.family, rank_sup=self.rank_sup
+        )
+        self._materialised[label] = ads
+        return ads
+
+    def get(self, label: Hashable) -> Optional[BaseADS]:
+        return self[label] if label in self._ids else None
+
+    def to_ads_set(self) -> Dict[Hashable, BaseADS]:
+        """Materialise every node's ADS (the legacy ``build_ads_set``
+        return shape)."""
+        return {label: self[label] for label in self._labels}
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the index as a binary file: a JSON header followed by
+        the raw bytes of each column.  Node labels must be ints or
+        strings (anything JSON round-trips exactly)."""
+        for label in self._labels:
+            if not isinstance(label, (int, str)) or isinstance(label, bool):
+                raise EstimatorError(
+                    "AdsIndex.save supports int/str node labels, got "
+                    f"{type(label).__name__}"
+                )
+        header = {
+            "flavor": self.flavor,
+            "k": self.k,
+            "seed": self.seed,
+            "rank_sup": self.rank_sup,
+            "n": self.num_nodes,
+            "entries": self.num_entries,
+            "byteorder": sys.byteorder,
+            "labels": self._labels,
+        }
+        header_bytes = json.dumps(header, ensure_ascii=False).encode("utf-8")
+        with open(path, "wb") as handle:
+            handle.write(_MAGIC)
+            handle.write(len(header_bytes).to_bytes(8, "little"))
+            handle.write(header_bytes)
+            for column in (
+                self._offsets, self._node, self._dist, self._rank,
+                self._tiebreak, self._aux, self._hip,
+            ):
+                handle.write(column.tobytes())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "AdsIndex":
+        """Read an index written by :meth:`save` (byte order corrected
+        when the file came from a different-endian machine)."""
+        with open(path, "rb") as handle:
+            magic = handle.read(len(_MAGIC))
+            if magic != _MAGIC:
+                raise EstimatorError(f"{path}: not an AdsIndex file")
+            header_len = int.from_bytes(handle.read(8), "little")
+            if not 0 < header_len <= (1 << 30):
+                raise EstimatorError(f"{path}: implausible header length")
+            header_bytes = handle.read(header_len)
+            if len(header_bytes) != header_len:
+                raise EstimatorError(f"{path}: truncated header")
+            try:
+                header = json.loads(header_bytes.decode("utf-8"))
+                flavor = header["flavor"]
+                k = header["k"]
+                seed = header["seed"]
+                rank_sup = header["rank_sup"]
+                labels = header["labels"]
+                n = header["n"]
+                entries = header["entries"]
+                swap = header["byteorder"] != sys.byteorder
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+                    TypeError) as error:
+                raise EstimatorError(f"{path}: corrupt header ({error})")
+            if not (isinstance(n, int) and isinstance(entries, int)
+                    and n >= 0 and entries >= 0):
+                raise EstimatorError(f"{path}: corrupt header counts")
+
+            def read_column(typecode: str, count: int) -> array:
+                payload = handle.read(8 * count)
+                if len(payload) != 8 * count:
+                    raise EstimatorError(f"{path}: truncated column")
+                column = array(typecode)
+                column.frombytes(payload)
+                if swap:
+                    column.byteswap()
+                return column
+
+            offsets = read_column("q", n + 1)
+            node_column = read_column("q", entries)
+            dist_column = read_column("d", entries)
+            rank_column = read_column("d", entries)
+            tiebreak_column = read_column("Q", entries)
+            aux_column = read_column("q", entries)
+            hip_column = read_column("d", entries)
+        try:
+            return cls(
+                flavor, k, seed, labels,
+                offsets, node_column, dist_column, rank_column,
+                tiebreak_column, aux_column, hip_column, rank_sup=rank_sup,
+            )
+        except (ParameterError, TypeError, ValueError) as error:
+            # Parseable-but-nonsensical header fields (bogus flavor,
+            # k <= 0, non-numeric values): corruption, not a caller bug.
+            raise EstimatorError(f"{path}: corrupt header ({error})")

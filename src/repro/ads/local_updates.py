@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from collections import deque
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro._util import require
 from repro.ads.entry import AdsEntry
@@ -77,8 +77,8 @@ def local_updates_core(
     tiebreak_of: Callable[[Node], int],
     stats: BuildStats,
     epsilon: float = 0.0,
-    bucket: int = None,
-    permutation: int = None,
+    bucket: Optional[int] = None,
+    permutation: Optional[int] = None,
 ) -> Dict[Node, List[AdsEntry]]:
     """One bottom-k competition among *candidates*, message-passing style.
 

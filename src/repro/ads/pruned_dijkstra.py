@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 from bisect import bisect_left, insort
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ads.entry import AdsEntry
 from repro.graph.digraph import Graph, Node
@@ -46,8 +46,8 @@ def pruned_dijkstra_core(
     rank_of: Callable[[Node], float],
     tiebreak_of: Callable[[Node], int],
     stats: BuildStats,
-    bucket: int = None,
-    permutation: int = None,
+    bucket: Optional[int] = None,
+    permutation: Optional[int] = None,
 ) -> Dict[Node, List[AdsEntry]]:
     """One bottom-k competition among *candidates*, inserting into the
     ADS of every node of *graph* (forward ADS: distances measured from the

@@ -3,11 +3,16 @@
     python -m repro sketch GRAPH.txt --k 16 --out sketches.txt
     python -m repro centrality GRAPH.txt --k 16 --top 10 --kind harmonic
     python -m repro neighborhood GRAPH.txt --node 5 --k 16
+    python -m repro build-index GRAPH.txt --k 16 --out graph.adsidx
+    python -m repro query graph.adsidx --top 10 --kind harmonic
     python -m repro distinct-count < one_element_per_line.txt
     python -m repro figures fig2 --k 10 --runs 100 --max-n 4000
 
 The CLI is a thin veneer over the library; every command prints plain
-text so results can be piped into standard tooling.
+text so results can be piped into standard tooling.  ``build-index`` /
+``query`` split sketch construction from serving: the index is built once
+(on the CSR fast path) and any number of queries run against the saved
+flat-array file without touching the graph again.
 """
 
 from __future__ import annotations
@@ -16,7 +21,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.ads import build_ads_set
+from repro.ads import AdsIndex, build_ads_set
+from repro.errors import ReproError
 from repro.centrality import (
     all_closeness_centralities,
     top_k_central_nodes,
@@ -79,33 +85,125 @@ def cmd_sketch(args) -> int:
     return 0
 
 
+def _centrality_kwargs(args):
+    """Map the shared --kind/--half-life options to estimator kwargs
+    (an unset --kind means classic)."""
+    kind = args.kind or "classic"
+    if kind == "harmonic":
+        return {"alpha": harmonic_kernel()}
+    if kind == "decay":
+        return {"alpha": exponential_decay_kernel(args.half_life)}
+    if kind == "classic":
+        return {"classic": True}
+    return {}  # distsum
+
+
 def cmd_centrality(args) -> int:
     graph, family = _load(args)
     ads_set = build_ads_set(graph, args.k, family=family)
-    if args.kind == "classic":
-        values = all_closeness_centralities(ads_set, classic=True)
-    elif args.kind == "harmonic":
-        values = all_closeness_centralities(ads_set, alpha=harmonic_kernel())
-    elif args.kind == "decay":
-        values = all_closeness_centralities(
-            ads_set, alpha=exponential_decay_kernel(args.half_life)
-        )
-    else:  # sum of distances
-        values = all_closeness_centralities(ads_set)
+    values = all_closeness_centralities(ads_set, **_centrality_kwargs(args))
     for node, value in top_k_central_nodes(values, args.top):
         print(f"{node}\t{value:.6g}")
     return 0
 
 
+def _parse_node(args):
+    """--node as the graph's label type; None when unparseable."""
+    if not args.int_nodes:
+        return args.node
+    try:
+        return int(args.node)
+    except ValueError:
+        return None
+
+
 def cmd_neighborhood(args) -> int:
     graph, family = _load(args)
-    node = int(args.node) if args.int_nodes else args.node
+    node = _parse_node(args)
+    if node is None:
+        print(f"--int-nodes expects an integer node, got {args.node!r}",
+              file=sys.stderr)
+        return 1
     ads_set = build_ads_set(graph, args.k, family=family)
     if node not in ads_set:
         print(f"node {node!r} not in graph", file=sys.stderr)
         return 1
     for distance, estimate in ads_set[node].neighborhood_function():
         print(f"{distance:g}\t{estimate:.2f}")
+    return 0
+
+
+def cmd_build_index(args) -> int:
+    graph, family = _load(args)
+    try:
+        index = AdsIndex.build(
+            graph.to_csr(), args.k, family=family, flavor=args.flavor,
+            method=args.method, direction=args.direction,
+        )
+        index.save(args.out)
+    except (ReproError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(
+        f"# indexed {index.num_nodes} nodes, {index.num_entries} entries "
+        f"(flavor={index.flavor}, k={index.k}) -> {args.out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_query(args) -> int:
+    try:
+        index = AdsIndex.load(args.index)
+    except (ReproError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if args.node is not None:
+        node = _parse_node(args)
+        if node is None:
+            print(f"--int-nodes expects an integer node, got {args.node!r}",
+                  file=sys.stderr)
+            return 1
+        if node not in index:
+            # The index stores the labels, so coerce to the build's
+            # label type (either direction) instead of demanding
+            # --int-nodes re-match it.
+            if isinstance(node, str):
+                try:
+                    coerced = int(node)
+                except ValueError:
+                    coerced = None
+            else:
+                coerced = str(node)
+            if coerced is not None and coerced in index:
+                node = coerced
+        if node not in index:
+            print(f"node {node!r} not in index", file=sys.stderr)
+            return 1
+        if args.cardinality is not None:
+            print(f"{node}\t{index.node_cardinality_at(node, args.cardinality):.2f}")
+            return 0
+        if args.kind is not None and not args.neighborhood:
+            # An explicit --kind with --node asks for that node's
+            # centrality, not its distance distribution.
+            value = index.node_closeness_centrality(
+                node, **_centrality_kwargs(args)
+            )
+            print(f"{node}\t{value:.6g}")
+            return 0
+        for distance, estimate in index.node_neighborhood_function(node):
+            print(f"{distance:g}\t{estimate:.2f}")
+        return 0
+    if args.cardinality is not None:
+        for node, estimate in index.cardinality_at(args.cardinality).items():
+            print(f"{node}\t{estimate:.2f}")
+        return 0
+    if args.neighborhood:
+        for distance, estimate in index.neighborhood_function():
+            print(f"{distance:g}\t{estimate:.2f}")
+        return 0
+    for node, value in index.top_central(args.top, **_centrality_kwargs(args)):
+        print(f"{node}\t{value:.6g}")
     return 0
 
 
@@ -181,6 +279,64 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_graph_args(p)
     p.add_argument("--node", required=True)
     p.set_defaults(func=cmd_neighborhood)
+
+    p = sub.add_parser(
+        "build-index",
+        help="build the flat-array ADS index of every node and save it",
+    )
+    _add_common_graph_args(p)
+    p.add_argument(
+        "--flavor",
+        choices=["bottomk", "kmins", "kpartition"],
+        default="bottomk",
+    )
+    p.add_argument(
+        "--method",
+        choices=["auto", "pruned_dijkstra", "dp"],
+        default="auto",
+    )
+    p.add_argument(
+        "--direction", choices=["forward", "backward"], default="forward"
+    )
+    p.add_argument("--out", required=True, help="index output file")
+    p.set_defaults(func=cmd_build_index)
+
+    p = sub.add_parser(
+        "query", help="serve estimates from a saved ADS index"
+    )
+    p.add_argument("index", help="index file written by build-index")
+    p.add_argument(
+        "--kind",
+        choices=["classic", "harmonic", "decay", "distsum"],
+        default=None,
+        help="centrality kind for the top-central query (default: "
+        "classic), or for one node's centrality with --node",
+    )
+    p.add_argument("--half-life", type=float, default=1.0)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument(
+        "--node",
+        help="restrict to one node (its neighborhood function by "
+        "default; its centrality with --kind; its cardinality with "
+        "--cardinality)",
+    )
+    p.add_argument(
+        "--cardinality",
+        type=float,
+        default=None,
+        metavar="D",
+        help="neighborhood-size estimate at distance D (all nodes, or "
+        "--node's)",
+    )
+    p.add_argument(
+        "--neighborhood",
+        action="store_true",
+        help="whole-graph neighborhood function (or --node's without it)",
+    )
+    p.add_argument(
+        "--int-nodes", action="store_true", help="parse --node as an integer"
+    )
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
         "distinct-count",

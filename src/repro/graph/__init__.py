@@ -8,6 +8,12 @@ truth in tests and benchmarks, seeded random-graph generators for
 workloads, and edge-list IO.
 """
 
+from repro.graph.csr import (
+    CSRGraph,
+    NodeInterner,
+    csr_bfs_distances,
+    csr_dijkstra_distances,
+)
 from repro.graph.digraph import Graph
 from repro.graph.generators import (
     barabasi_albert_graph,
@@ -43,6 +49,10 @@ from repro.graph.traversal import (
 
 __all__ = [
     "Graph",
+    "CSRGraph",
+    "NodeInterner",
+    "csr_bfs_distances",
+    "csr_dijkstra_distances",
     "path_graph",
     "cycle_graph",
     "star_graph",

@@ -1,0 +1,505 @@
+"""Compact integer-ID graph backend: interning plus CSR adjacency.
+
+The adjacency-dict :class:`~repro.graph.digraph.Graph` is convenient but
+every traversal pays dictionary hashing and per-call list allocation, and
+every stored neighbour is a boxed Python object.  For the paper's target
+workloads (Section 6 runs graphs with billions of edges) the useful
+representation is the one every large-graph system converges on: intern
+node labels to dense integers ``0..n-1`` and store the adjacency as three
+flat arrays in Compressed Sparse Row form --
+
+* ``indptr``  (n+1 ints): node i's out-edges live at ``indptr[i]:indptr[i+1]``;
+* ``indices`` (m ints):   the target node id of each edge slot;
+* ``weights`` (m floats): edge weights, omitted entirely when every
+  weight is 1 (the unweighted fast path).
+
+A :class:`CSRGraph` keeps *both* the forward arrays and the transpose
+arrays (undirected graphs share the same objects), because PRUNEDDIJKSTRA
+scans on G^T and the DP builder propagates along in-edges: ``transpose()``
+is an O(1) array swap, not a copy.
+
+The mapping between user-facing labels and ids is a :class:`NodeInterner`;
+ids are assigned in first-seen order, so a ``Graph`` converted with
+``to_csr()`` numbers nodes in insertion order.  All label-level methods
+(``out_neighbors``, ``edges`` ...) mirror the ``Graph`` API so estimator
+code and the CLI can treat the two backends interchangeably.
+"""
+
+from __future__ import annotations
+
+from array import array
+from heapq import heappop, heappush
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.errors import GraphError
+
+Node = Hashable
+Edge = Tuple[Node, Node, float]
+
+
+class NodeInterner:
+    """Bijection between arbitrary hashable node labels and ids 0..n-1.
+
+    Ids are dense and assigned in first-seen order, which makes them
+    usable directly as indices into the flat per-node arrays every CSR
+    algorithm allocates.
+    """
+
+    __slots__ = ("_ids", "_labels")
+
+    def __init__(self, labels: Iterable[Node] = ()):
+        self._ids: Dict[Node, int] = {}
+        self._labels: List[Node] = []
+        for label in labels:
+            self.intern(label)
+
+    def intern(self, label: Node) -> int:
+        """Return the id of *label*, assigning the next free id if new."""
+        existing = self._ids.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._labels)
+        self._ids[label] = new_id
+        self._labels.append(label)
+        return new_id
+
+    def id_of(self, label: Node) -> int:
+        try:
+            return self._ids[label]
+        except KeyError:
+            raise GraphError(f"node {label!r} is not in the graph")
+
+    def label_of(self, node_id: int) -> Node:
+        if not 0 <= node_id < len(self._labels):
+            raise GraphError(f"node id {node_id} outside [0, {len(self)})")
+        return self._labels[node_id]
+
+    def labels(self) -> List[Node]:
+        """All labels in id order (id ``i`` maps to ``labels()[i]``)."""
+        return list(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: Node) -> bool:
+        return label in self._ids
+
+    def __repr__(self) -> str:
+        return f"NodeInterner(n={len(self)})"
+
+
+def _pack_adjacency(
+    adjacency: Sequence[Dict[int, float]],
+) -> Tuple[array, array, Optional[array]]:
+    """Pack per-node ``{target_id: weight}`` dicts into CSR arrays.
+
+    Returns ``(indptr, indices, weights)`` with ``weights`` None when all
+    weights are 1 (the unweighted representation).
+    """
+    indptr = array("q", [0])
+    indices = array("q")
+    weights = array("d")
+    weighted = False
+    total = 0
+    for targets in adjacency:
+        total += len(targets)
+        indptr.append(total)
+        for target, weight in targets.items():
+            indices.append(target)
+            weights.append(weight)
+            if weight != 1.0:
+                weighted = True
+    return indptr, indices, (weights if weighted else None)
+
+
+def _transpose_arrays(
+    n: int, indptr: array, indices: array, weights: Optional[array]
+) -> Tuple[array, array, Optional[array]]:
+    """Counting-sort transpose of a CSR adjacency."""
+    in_degree = [0] * n
+    for target in indices:
+        in_degree[target] += 1
+    t_indptr = array("q", [0] * (n + 1))
+    running = 0
+    for i in range(n):
+        t_indptr[i + 1] = running = running + in_degree[i]
+    cursor = list(t_indptr[:n])
+    t_indices = array("q", bytes(8 * len(indices)))
+    t_weights = array("d", bytes(8 * len(indices))) if weights is not None else None
+    for source in range(n):
+        for slot in range(indptr[source], indptr[source + 1]):
+            target = indices[slot]
+            position = cursor[target]
+            cursor[target] = position + 1
+            t_indices[position] = source
+            if t_weights is not None:
+                t_weights[position] = weights[slot]
+    return t_indptr, t_indices, t_weights
+
+
+class CSRGraph:
+    """Array-backed graph over dense integer node ids.
+
+    Construct with :meth:`from_edges` / :meth:`from_graph` (or
+    ``Graph.to_csr()``); the raw constructor wires pre-packed arrays and
+    is what :meth:`transpose` uses to build an O(1) view.
+
+    Semantics match :class:`~repro.graph.digraph.Graph`: no self-loops,
+    positive weights, parallel edges collapse to the minimum weight, and
+    an undirected edge is stored in both adjacency rows but counted once
+    by :attr:`num_edges`.
+    """
+
+    __slots__ = (
+        "directed",
+        "interner",
+        "_indptr",
+        "_indices",
+        "_weights",
+        "_t_indptr",
+        "_t_indices",
+        "_t_weights",
+        "_num_edges",
+        "_t_adjacency_cache",
+        "_transpose_view",
+    )
+
+    def __init__(
+        self,
+        directed: bool,
+        interner: NodeInterner,
+        indptr: array,
+        indices: array,
+        weights: Optional[array],
+        t_indptr: array,
+        t_indices: array,
+        t_weights: Optional[array],
+        num_edges: int,
+    ):
+        self.directed = bool(directed)
+        self.interner = interner
+        self._indptr = indptr
+        self._indices = indices
+        self._weights = weights
+        self._t_indptr = t_indptr
+        self._t_indices = t_indices
+        self._t_weights = t_weights
+        self._num_edges = int(num_edges)
+        self._t_adjacency_cache = None
+        self._transpose_view = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple],
+        directed: bool = False,
+        nodes: Iterable[Node] = (),
+    ) -> "CSRGraph":
+        """Build from ``(u, v)`` / ``(u, v, weight)`` tuples.
+
+        *nodes* pre-interns labels (useful for isolated nodes or to pin
+        the id order); edge endpoints are interned in first-seen order
+        after that.
+        """
+        interner = NodeInterner(nodes)
+        adjacency: List[Dict[int, float]] = [dict() for _ in range(len(interner))]
+
+        def _ensure(label: Node) -> int:
+            node_id = interner.intern(label)
+            while len(adjacency) < len(interner):
+                adjacency.append(dict())
+            return node_id
+
+        num_edges = 0
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                w = 1.0
+            elif len(edge) == 3:
+                u, v = edge[0], edge[1]
+                w = float(edge[2])
+            else:
+                raise GraphError(f"edge tuple must have 2 or 3 fields: {edge!r}")
+            if u == v:
+                raise GraphError(f"self-loop on node {u!r} is not allowed")
+            if not w > 0.0:
+                raise GraphError(f"edge weight must be positive, got {w}")
+            uid, vid = _ensure(u), _ensure(v)
+            existing = adjacency[uid].get(vid)
+            if existing is None:
+                num_edges += 1
+            elif existing <= w:
+                continue
+            adjacency[uid][vid] = w
+            if not directed:
+                adjacency[vid][uid] = w
+        return cls._from_adjacency(directed, interner, adjacency, num_edges)
+
+    @classmethod
+    def from_graph(cls, graph) -> "CSRGraph":
+        """Convert an adjacency-dict :class:`Graph` (insertion-order ids)."""
+        interner = NodeInterner(graph.nodes())
+        adjacency: List[Dict[int, float]] = [dict() for _ in range(len(interner))]
+        for u in graph.nodes():
+            uid = interner.id_of(u)
+            row = adjacency[uid]
+            for v, w in graph.out_neighbors(u):
+                row[interner.id_of(v)] = w
+        return cls._from_adjacency(
+            graph.directed, interner, adjacency, graph.num_edges
+        )
+
+    @classmethod
+    def _from_adjacency(
+        cls,
+        directed: bool,
+        interner: NodeInterner,
+        adjacency: Sequence[Dict[int, float]],
+        num_edges: int,
+    ) -> "CSRGraph":
+        indptr, indices, weights = _pack_adjacency(adjacency)
+        if directed:
+            t_indptr, t_indices, t_weights = _transpose_arrays(
+                len(interner), indptr, indices, weights
+            )
+        else:
+            t_indptr, t_indices, t_weights = indptr, indices, weights
+        return cls(
+            directed, interner, indptr, indices, weights,
+            t_indptr, t_indices, t_weights, num_edges,
+        )
+
+    # ------------------------------------------------------------------
+    # Array access (the contract hot paths build on)
+    # ------------------------------------------------------------------
+    def forward_arrays(self) -> Tuple[array, array, Optional[array]]:
+        """``(indptr, indices, weights)``; weights is None when unweighted."""
+        return self._indptr, self._indices, self._weights
+
+    def transpose_arrays(self) -> Tuple[array, array, Optional[array]]:
+        """The same three arrays for G^T (shared objects when undirected)."""
+        return self._t_indptr, self._t_indices, self._t_weights
+
+    def transpose_adjacency_lists(self) -> list:
+        """Per-node transpose neighbor lists for scan-heavy cores, built
+        once per graph and cached (the graph is immutable): a list of
+        target-id lists when unweighted, of ``(target, weight)`` pair
+        lists when weighted.  The ADS cores run one competition per
+        permutation/bucket over the same arrays, so the O(m) unboxing
+        must not be paid per run.
+        """
+        cached = self._t_adjacency_cache
+        if cached is None:
+            indptr = self._t_indptr.tolist()
+            indices = self._t_indices.tolist()
+            if self._t_weights is None:
+                cached = [
+                    indices[indptr[i]:indptr[i + 1]]
+                    for i in range(self.num_nodes)
+                ]
+            else:
+                weights = self._t_weights.tolist()
+                cached = [
+                    list(zip(indices[indptr[i]:indptr[i + 1]],
+                             weights[indptr[i]:indptr[i + 1]]))
+                    for i in range(self.num_nodes)
+                ]
+            self._t_adjacency_cache = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Queries (Graph-compatible, label-level)
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.interner)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def nodes(self) -> List[Node]:
+        return self.interner.labels()
+
+    def has_node(self, u: Node) -> bool:
+        return u in self.interner
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        if u not in self.interner or v not in self.interner:
+            return False
+        uid, vid = self.interner.id_of(u), self.interner.id_of(v)
+        for slot in range(self._indptr[uid], self._indptr[uid + 1]):
+            if self._indices[slot] == vid:
+                return True
+        return False
+
+    def edge_weight(self, u: Node, v: Node) -> float:
+        uid, vid = self.interner.id_of(u), self.interner.id_of(v)
+        for slot in range(self._indptr[uid], self._indptr[uid + 1]):
+            if self._indices[slot] == vid:
+                return self._weights[slot] if self._weights is not None else 1.0
+        raise GraphError(f"no edge {u!r} -> {v!r}")
+
+    def out_neighbors(self, u: Node) -> List[Tuple[Node, float]]:
+        uid = self.interner.id_of(u)
+        label_of = self.interner.label_of
+        lo, hi = self._indptr[uid], self._indptr[uid + 1]
+        if self._weights is None:
+            return [(label_of(self._indices[s]), 1.0) for s in range(lo, hi)]
+        return [
+            (label_of(self._indices[s]), self._weights[s]) for s in range(lo, hi)
+        ]
+
+    def in_neighbors(self, u: Node) -> List[Tuple[Node, float]]:
+        uid = self.interner.id_of(u)
+        label_of = self.interner.label_of
+        lo, hi = self._t_indptr[uid], self._t_indptr[uid + 1]
+        if self._t_weights is None:
+            return [(label_of(self._t_indices[s]), 1.0) for s in range(lo, hi)]
+        return [
+            (label_of(self._t_indices[s]), self._t_weights[s])
+            for s in range(lo, hi)
+        ]
+
+    def out_degree(self, u: Node) -> int:
+        uid = self.interner.id_of(u)
+        return self._indptr[uid + 1] - self._indptr[uid]
+
+    def in_degree(self, u: Node) -> int:
+        uid = self.interner.id_of(u)
+        return self._t_indptr[uid + 1] - self._t_indptr[uid]
+
+    def is_weighted(self) -> bool:
+        return self._weights is not None
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate ``(u, v, weight)``; each undirected edge appears once."""
+        label_of = self.interner.label_of
+        for uid in range(self.num_nodes):
+            for slot in range(self._indptr[uid], self._indptr[uid + 1]):
+                vid = self._indices[slot]
+                if not self.directed and vid < uid:
+                    continue  # the uid < vid orientation already yielded it
+                w = self._weights[slot] if self._weights is not None else 1.0
+                yield (label_of(uid), label_of(vid), w)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def transpose(self) -> "CSRGraph":
+        """G^T as an O(1) view: forward and transpose arrays swapped.
+
+        The view is memoized (and points back at this graph), so
+        repeated ``transpose()`` calls share one object -- and with it
+        the lazily built adjacency-list cache.
+        """
+        view = self._transpose_view
+        if view is None:
+            view = CSRGraph(
+                self.directed, self.interner,
+                self._t_indptr, self._t_indices, self._t_weights,
+                self._indptr, self._indices, self._weights,
+                self._num_edges,
+            )
+            view._transpose_view = self
+            self._transpose_view = view
+        return view
+
+    def to_graph(self):
+        """Materialise an adjacency-dict :class:`Graph` (legacy backend)."""
+        from repro.graph.digraph import Graph
+
+        result = Graph(directed=self.directed)
+        for label in self.nodes():
+            result.add_node(label)
+        for u, v, w in self.edges():
+            result.add_edge(u, v, w)
+        return result
+
+    def __contains__(self, u: Node) -> bool:
+        return u in self.interner
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return f"CSRGraph({kind}, n={self.num_nodes}, m={self.num_edges})"
+
+
+# ----------------------------------------------------------------------
+# CSR-specialised traversal
+# ----------------------------------------------------------------------
+def csr_bfs_distance_list(graph: CSRGraph, source_id: int) -> List[float]:
+    """Hop distances from id *source_id*; ``inf`` marks unreachable ids."""
+    indptr, indices, _ = graph.forward_arrays()
+    dist = [float("inf")] * graph.num_nodes
+    dist[source_id] = 0.0
+    frontier = [source_id]
+    level = 0.0
+    inf = float("inf")
+    while frontier:
+        level += 1.0
+        nxt = []
+        for u in frontier:
+            for slot in range(indptr[u], indptr[u + 1]):
+                v = indices[slot]
+                if dist[v] == inf:
+                    dist[v] = level
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def csr_dijkstra_distance_list(graph: CSRGraph, source_id: int) -> List[float]:
+    """Weighted distances from id *source_id*; ``inf`` marks unreachable."""
+    indptr, indices, weights = graph.forward_arrays()
+    if weights is None:
+        return csr_bfs_distance_list(graph, source_id)
+    inf = float("inf")
+    dist = [inf] * graph.num_nodes
+    settled = [False] * graph.num_nodes
+    heap: List[Tuple[float, int]] = [(0.0, source_id)]
+    while heap:
+        d, u = heappop(heap)
+        if settled[u]:
+            continue
+        settled[u] = True
+        dist[u] = d
+        for slot in range(indptr[u], indptr[u + 1]):
+            v = indices[slot]
+            if not settled[v]:
+                candidate = d + weights[slot]
+                if candidate < dist[v]:
+                    dist[v] = candidate
+                    heappush(heap, (candidate, v))
+    return dist
+
+
+def _distance_dict(graph: CSRGraph, dist: List[float]) -> Dict[Node, float]:
+    label_of = graph.interner.label_of
+    inf = float("inf")
+    return {
+        label_of(i): d for i, d in enumerate(dist) if d != inf
+    }
+
+
+def csr_bfs_distances(graph: CSRGraph, source: Node) -> Dict[Node, float]:
+    """Label-level BFS distances (API parity with ``bfs_distances``)."""
+    sid = graph.interner.id_of(source)
+    return _distance_dict(graph, csr_bfs_distance_list(graph, sid))
+
+
+def csr_dijkstra_distances(graph: CSRGraph, source: Node) -> Dict[Node, float]:
+    """Label-level Dijkstra distances (parity with ``dijkstra_distances``)."""
+    sid = graph.interner.id_of(source)
+    return _distance_dict(graph, csr_dijkstra_distance_list(graph, sid))

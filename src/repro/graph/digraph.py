@@ -110,16 +110,25 @@ class Graph:
         return list(self._succ)
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate ``(u, v, weight)``; each undirected edge appears once."""
-        seen = set()
+        """Iterate ``(u, v, weight)``; each undirected edge appears once.
+
+        Undirected dedup tracks *emitted source nodes* (self-loops are
+        rejected at insertion, so an edge {u, v} is yielded exactly when
+        its first-scanned endpoint reaches the other): no ``repr`` calls,
+        and distinct nodes with colliding reprs stay distinct.
+        """
+        if self.directed:
+            for u, nbrs in self._succ.items():
+                for v, w in nbrs.items():
+                    yield (u, v, w)
+            return
+        emitted_sources = set()
         for u, nbrs in self._succ.items():
             for v, w in nbrs.items():
-                if not self.directed:
-                    key = (u, v) if repr(u) <= repr(v) else (v, u)
-                    if key in seen:
-                        continue
-                    seen.add(key)
+                if v in emitted_sources:
+                    continue
                 yield (u, v, w)
+            emitted_sources.add(u)
 
     def has_node(self, u: Node) -> bool:
         return u in self._succ
@@ -169,6 +178,13 @@ class Graph:
             else:
                 result.add_edge(u, v, w)
         return result
+
+    def to_csr(self):
+        """Convert to the integer-ID :class:`~repro.graph.csr.CSRGraph`
+        backend (ids follow node insertion order)."""
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_graph(self)
 
     def copy(self) -> "Graph":
         result = Graph(directed=self.directed)

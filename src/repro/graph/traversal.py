@@ -15,11 +15,22 @@ from collections import deque
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import GraphError
+from repro.graph.csr import (
+    CSRGraph,
+    csr_bfs_distances,
+    csr_dijkstra_distances,
+)
 from repro.graph.digraph import Graph, Node
 
 
 def bfs_distances(graph: Graph, source: Node) -> Dict[Node, float]:
-    """Hop distances from *source*, ignoring edge weights."""
+    """Hop distances from *source*, ignoring edge weights.
+
+    Dispatches to the flat-array scan when *graph* is a
+    :class:`~repro.graph.csr.CSRGraph`.
+    """
+    if isinstance(graph, CSRGraph):
+        return csr_bfs_distances(graph, source)
     if not graph.has_node(source):
         raise GraphError(f"source {source!r} is not in the graph")
     dist: Dict[Node, float] = {source: 0.0}
@@ -34,7 +45,13 @@ def bfs_distances(graph: Graph, source: Node) -> Dict[Node, float]:
 
 
 def dijkstra_distances(graph: Graph, source: Node) -> Dict[Node, float]:
-    """Weighted distances from *source* (non-negative weights)."""
+    """Weighted distances from *source* (non-negative weights).
+
+    Dispatches to the flat-array scan when *graph* is a
+    :class:`~repro.graph.csr.CSRGraph`.
+    """
+    if isinstance(graph, CSRGraph):
+        return csr_dijkstra_distances(graph, source)
     return dict(dijkstra_order(graph, source))
 
 

@@ -27,6 +27,8 @@ class TestParser:
             ["sketch", "g.txt"],
             ["centrality", "g.txt"],
             ["neighborhood", "g.txt", "--node", "1"],
+            ["build-index", "g.txt", "--out", "g.adsidx"],
+            ["query", "g.adsidx"],
             ["distinct-count"],
             ["figures", "fig2"],
         ):
@@ -82,6 +84,127 @@ class TestNeighborhood:
             ["neighborhood", graph_file, "--k", "4", "--int-nodes",
              "--node", "9999"]
         ) == 1
+
+
+class TestIndexWorkflow:
+    @pytest.fixture
+    def index_file(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "graph.adsidx"
+        assert main(
+            ["build-index", graph_file, "--k", "8", "--int-nodes",
+             "--out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        return str(path)
+
+    def test_build_index_writes_file(self, index_file, tmp_path):
+        import os
+
+        assert os.path.getsize(index_file) > 0
+
+    def test_build_index_clean_errors(self, tmp_path, capsys):
+        from repro.graph import random_geometric_graph, write_edge_list
+
+        weighted = tmp_path / "weighted.txt"
+        write_edge_list(random_geometric_graph(20, 0.3, seed=1), weighted)
+        assert main(
+            ["build-index", str(weighted), "--method", "dp", "--int-nodes",
+             "--out", str(tmp_path / "w.adsidx")]
+        ) == 1
+        assert "unweighted" in capsys.readouterr().err
+        assert main(
+            ["build-index", str(weighted), "--int-nodes",
+             "--out", str(tmp_path / "no-such-dir" / "w.adsidx")]
+        ) == 1
+
+    def test_query_top_central_matches_centrality_command(
+        self, graph_file, index_file, capsys
+    ):
+        assert main(
+            ["centrality", graph_file, "--k", "8", "--int-nodes",
+             "--kind", "harmonic", "--top", "5"]
+        ) == 0
+        direct = capsys.readouterr().out
+        assert main(
+            ["query", index_file, "--kind", "harmonic", "--top", "5"]
+        ) == 0
+        via_index = capsys.readouterr().out
+        assert via_index == direct
+
+    def test_query_node_neighborhood(self, index_file, capsys):
+        assert main(
+            ["query", index_file, "--node", "0", "--int-nodes"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        values = [float(line.split("\t")[1]) for line in lines]
+        assert values == sorted(values)
+
+    def test_query_cardinality_all_nodes(self, index_file, capsys):
+        assert main(["query", index_file, "--cardinality", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 50
+
+    def test_query_graph_neighborhood(self, index_file, capsys):
+        assert main(["query", index_file, "--neighborhood"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        values = [float(line.split("\t")[1]) for line in lines]
+        assert values == sorted(values)
+
+    def test_query_unknown_node(self, index_file, capsys):
+        assert main(
+            ["query", index_file, "--node", "9999", "--int-nodes"]
+        ) == 1
+
+    def test_query_single_node_centrality(
+        self, graph_file, index_file, capsys
+    ):
+        assert main(
+            ["query", index_file, "--node", "0", "--int-nodes",
+             "--kind", "harmonic"]
+        ) == 0
+        node, value = capsys.readouterr().out.strip().split("\t")
+        assert node == "0"
+        assert main(
+            ["centrality", graph_file, "--k", "8", "--int-nodes",
+             "--kind", "harmonic", "--top", "50"]
+        ) == 0
+        table = dict(
+            line.split("\t")
+            for line in capsys.readouterr().out.strip().splitlines()
+        )
+        assert value == table["0"]
+
+    def test_query_non_index_file(self, graph_file, capsys):
+        assert main(["query", graph_file]) == 1
+        assert "not an AdsIndex file" in capsys.readouterr().err
+
+    def test_query_bad_int_node(self, index_file, capsys):
+        assert main(
+            ["query", index_file, "--node", "abc", "--int-nodes"]
+        ) == 1
+
+    def test_query_node_coerces_to_stored_label_type(
+        self, index_file, capsys
+    ):
+        # index built with --int-nodes; --node works without the flag
+        assert main(["query", index_file, "--node", "0"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("0\t")
+
+    def test_query_node_coerces_string_labels_too(
+        self, graph_file, tmp_path, capsys
+    ):
+        # index built WITHOUT --int-nodes (string labels); --int-nodes
+        # queries still resolve
+        path = tmp_path / "str.adsidx"
+        assert main(
+            ["build-index", graph_file, "--k", "4", "--out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["query", str(path), "--node", "0", "--int-nodes"]
+        ) == 0
+        assert capsys.readouterr().out.strip()
 
 
 class TestDistinctCount:

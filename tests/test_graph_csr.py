@@ -1,0 +1,145 @@
+"""CSR backend: interning, construction, views, traversal equivalence."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    CSRGraph,
+    Graph,
+    NodeInterner,
+    barabasi_albert_graph,
+    bfs_distances,
+    dijkstra_distances,
+    gnp_random_graph,
+    random_geometric_graph,
+)
+from repro.graph.csr import csr_bfs_distance_list, csr_dijkstra_distance_list
+from repro.graph.traversal import single_source_distances
+
+
+class TestNodeInterner:
+    def test_dense_first_seen_ids(self):
+        interner = NodeInterner()
+        assert interner.intern("b") == 0
+        assert interner.intern("a") == 1
+        assert interner.intern("b") == 0  # idempotent
+        assert interner.id_of("a") == 1
+        assert interner.label_of(0) == "b"
+        assert interner.labels() == ["b", "a"]
+        assert len(interner) == 2 and "a" in interner and "z" not in interner
+
+    def test_unknown_lookups_raise(self):
+        interner = NodeInterner(["x"])
+        with pytest.raises(GraphError):
+            interner.id_of("y")
+        with pytest.raises(GraphError):
+            interner.label_of(5)
+
+
+class TestConstruction:
+    def test_from_edges_matches_graph_semantics(self):
+        edges = [("a", "b", 2.0), ("b", "c"), ("a", "b", 1.0), ("c", "a", 3.0)]
+        csr = CSRGraph.from_edges(edges, directed=True)
+        ref = Graph.from_edges(edges, directed=True)
+        assert csr.num_nodes == ref.num_nodes
+        assert csr.num_edges == ref.num_edges
+        assert csr.edge_weight("a", "b") == 1.0  # parallel edge keeps min
+        assert sorted(map(repr, csr.edges())) == sorted(map(repr, ref.edges()))
+
+    def test_rejects_self_loops_and_bad_weights(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges([("a", "a")])
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges([("a", "b", 0.0)])
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges([("a", "b", 1.0, 2.0)])
+
+    def test_to_csr_preserves_insertion_order_ids(self):
+        graph = Graph(directed=True)
+        graph.add_edge("z", "y")
+        graph.add_edge("y", "x")
+        graph.add_node("iso")
+        csr = graph.to_csr()
+        assert csr.nodes() == graph.nodes()
+        assert csr.interner.id_of("z") == 0
+        assert csr.has_node("iso") and csr.out_degree("iso") == 0
+
+    def test_roundtrip_to_graph(self):
+        graph = random_geometric_graph(40, 0.3, seed=1)
+        back = graph.to_csr().to_graph()
+        assert sorted(map(repr, back.edges())) == sorted(map(repr, graph.edges()))
+        assert back.directed == graph.directed
+
+    def test_unweighted_graph_drops_weight_column(self):
+        csr = barabasi_albert_graph(30, 2, seed=0).to_csr()
+        assert not csr.is_weighted()
+        assert csr.forward_arrays()[2] is None
+        assert csr.edge_weight(*list(csr.edges())[0][:2]) == 1.0
+
+
+class TestViews:
+    def test_transpose_is_an_array_swap(self):
+        csr = gnp_random_graph(30, 0.1, seed=4, directed=True).to_csr()
+        t = csr.transpose()
+        assert t.forward_arrays() == csr.transpose_arrays()
+        assert t.transpose_arrays() == csr.forward_arrays()
+        node = csr.nodes()[5]
+        assert sorted(t.out_neighbors(node)) == sorted(csr.in_neighbors(node))
+
+    def test_undirected_shares_forward_and_transpose(self):
+        csr = barabasi_albert_graph(20, 2, seed=1).to_csr()
+        fwd, tr = csr.forward_arrays(), csr.transpose_arrays()
+        assert fwd[0] is tr[0] and fwd[1] is tr[1]
+
+    def test_degrees_match_legacy(self):
+        ref = gnp_random_graph(40, 0.1, seed=7, directed=True)
+        csr = ref.to_csr()
+        for u in ref.nodes():
+            assert csr.out_degree(u) == ref.out_degree(u)
+            assert csr.in_degree(u) == ref.in_degree(u)
+
+
+class TestTraversal:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_bfs_equivalence(self, seed):
+        ref = gnp_random_graph(50, 0.07, seed=seed, directed=seed % 2 == 0)
+        csr = ref.to_csr()
+        for source in list(ref.nodes())[:8]:
+            assert bfs_distances(csr, source) == bfs_distances(ref, source)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_dijkstra_equivalence(self, seed):
+        ref = random_geometric_graph(40, 0.25, seed=seed)
+        csr = ref.to_csr()
+        for source in list(ref.nodes())[:8]:
+            assert dijkstra_distances(csr, source) == dijkstra_distances(
+                ref, source
+            )
+
+    def test_single_source_dispatch(self):
+        ref = barabasi_albert_graph(30, 2, seed=2)
+        csr = ref.to_csr()
+        source = ref.nodes()[0]
+        assert single_source_distances(csr, source) == single_source_distances(
+            ref, source
+        )
+
+    def test_distance_lists_mark_unreachable_with_inf(self):
+        csr = CSRGraph.from_edges([("a", "b")], directed=True, nodes=["a", "b", "c"])
+        hops = csr_bfs_distance_list(csr, 0)
+        assert hops == [0.0, 1.0, math.inf]
+        weighted = CSRGraph.from_edges(
+            [("a", "b", 2.5)], directed=True, nodes=["a", "b", "c"]
+        )
+        dist = csr_dijkstra_distance_list(weighted, 0)
+        assert dist == [0.0, 2.5, math.inf]
+
+    def test_missing_source_raises(self):
+        csr = CSRGraph.from_edges([("a", "b")])
+        with pytest.raises(GraphError):
+            bfs_distances(csr, "nope")

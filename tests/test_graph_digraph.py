@@ -81,6 +81,28 @@ class TestQueries:
         g.add_edge(2, 1)
         assert len(list(g.edges())) == 2
 
+    def test_edges_dedup_survives_repr_collisions(self):
+        class Opaque:
+            """Distinct nodes whose reprs collide."""
+
+            def __repr__(self):
+                return "<opaque>"
+
+        a, b, c = Opaque(), Opaque(), Opaque()
+        g = Graph.from_edges([(a, b), (b, c), (a, c)])
+        assert len(list(g.edges())) == 3
+        # every undirected edge appears exactly once, as objects
+        seen = {frozenset({id(u), id(v)}) for u, v, _ in g.edges()}
+        assert len(seen) == 3
+
+    def test_edges_yield_each_undirected_edge_once_on_larger_graph(self):
+        from repro.graph import gnp_random_graph
+
+        g = gnp_random_graph(40, 0.2, seed=6)
+        edges = list(g.edges())
+        assert len(edges) == g.num_edges
+        assert len({frozenset({u, v}) for u, v, _ in edges}) == g.num_edges
+
     def test_neighbors(self):
         g = Graph(directed=True)
         g.add_edge(1, 2, 1.0)
