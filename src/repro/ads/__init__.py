@@ -37,6 +37,7 @@ from repro.ads.entry import AdsEntry
 from repro.ads.index import AdsIndex
 from repro.ads.local_updates import local_updates_core
 from repro.ads.no_tiebreak import NoTiebreakADS, build_no_tiebreak_ads
+from repro.ads.parallel import build_flat_entries_sharded, plan_shards
 from repro.ads.pruned_dijkstra import BuildStats, pruned_dijkstra_core
 from repro.ads.streaming import (
     FirstOccurrenceStreamADS,
@@ -61,6 +62,8 @@ __all__ = [
     "build_no_tiebreak_ads",
     "BuildStats",
     "build_ads_set",
+    "build_flat_entries_sharded",
+    "plan_shards",
     "dp_core_csr",
     "pruned_dijkstra_core_csr",
     "FirstOccurrenceStreamADS",
@@ -87,6 +90,8 @@ def build_ads_set(
     seed: int = 0,
     stats: Optional[BuildStats] = None,
     backend: str = "auto",
+    workers: int = 1,
+    shards: Optional[int] = None,
 ) -> Dict[Node, BaseADS]:
     """Build the ADS of every node of *graph*.
 
@@ -126,10 +131,21 @@ def build_ads_set(
         backends produce *identical* sketches; the CSR backend is the
         fast path but does not cover ``method='local_updates'``,
         ``epsilon > 0``, or ``node_weights``.
+    workers / shards:
+        ``workers > 1`` runs the sharded multi-process CSR build
+        (:mod:`repro.ads.parallel`): candidates are split into *shards*
+        shards (default: one per worker), scanned in worker processes,
+        and merged by exact competition replay into the bit-identical
+        serial sketch set.  Requires a CSR-capable request
+        (``backend != 'legacy'``, exact methods, no node weights).
 
     Returns a dict mapping each node to its ADS object.
     """
     require(k >= 1, f"k must be >= 1, got {k}")
+    require(workers >= 1, f"workers must be >= 1, got {workers}")
+    if shards is not None:
+        require(shards >= 1, f"shards must be >= 1, got {shards}")
+    parallel_requested = workers > 1 or shards is not None
     if family is None:
         family = HashFamily(seed)
     if direction not in ("forward", "backward"):
@@ -174,13 +190,28 @@ def build_ads_set(
             + (", node_weights" if node_weights is not None else "")
         )
     use_csr = csr_capable and backend in ("csr", "auto")
+    if parallel_requested and not use_csr:
+        raise ParameterError(
+            "workers/shards require the CSR backend (exact builders "
+            f"{sorted(CSR_METHODS)}, no node_weights, backend != 'legacy'); "
+            f"requested backend={backend!r}, method={method!r}"
+            + (", node_weights" if node_weights is not None else "")
+        )
     if use_csr:
         csr_graph = graph if isinstance(graph, CSRGraph) else graph.to_csr()
         if method_was_auto:
             # Both exact cores emit identical sketches; on the CSR
             # backend the scan-based core is the faster of the two.
             method = "pruned_dijkstra"
-        flat = build_flat_entries(csr_graph, k, family, flavor, method, stats)
+        if parallel_requested:
+            flat = build_flat_entries_sharded(
+                csr_graph, k, family, flavor, method, stats,
+                workers=workers, shards=shards,
+            )
+        else:
+            flat = build_flat_entries(
+                csr_graph, k, family, flavor, method, stats
+            )
         labels = csr_graph.nodes()
         flavor_class = _FLAVOR_CLASSES[flavor]
         return {

@@ -227,6 +227,61 @@ _CSR_CORES = {
 
 CSR_METHODS = frozenset(_CSR_CORES)
 
+# One rank-ordered bottom-k' competition of a flavor's fan-out:
+# (k_eff, candidates, ranks, bucket, permutation).  The full flavor
+# build is the concatenation of its competitions in list order.
+Competition = Tuple[int, Sequence[int], Sequence[float], Optional[int],
+                    Optional[int]]
+
+
+def core_for_method(method: str):
+    """The CSR builder core for *method* (ParameterError otherwise)."""
+    if method not in _CSR_CORES:
+        raise ParameterError(
+            f"the CSR backend supports methods {sorted(_CSR_CORES)}, "
+            f"got {method!r}"
+        )
+    return _CSR_CORES[method]
+
+
+def flavor_competitions(
+    graph: CSRGraph, k: int, family: HashFamily, flavor: str
+) -> Tuple[List[int], List[Competition]]:
+    """The per-id tiebreaks and the competition plan of one flavor.
+
+    Mirrors the flavor fan-out of :func:`repro.ads.build_ads_set`:
+    bottom-k is a single k-competition over all nodes, k-mins runs k
+    bottom-1 competitions with per-permutation ranks, k-partition runs
+    one bottom-1 competition per non-empty hash bucket.  Both the serial
+    and the sharded builders execute exactly this plan, in this order --
+    which is what makes their merged outputs comparable entry-for-entry.
+    """
+    labels = graph.nodes()
+    n = graph.num_nodes
+    tiebreaks = [family.tiebreak(label) for label in labels]
+    competitions: List[Competition] = []
+    if flavor == "bottomk":
+        ranks = [family.rank(label, 0) for label in labels]
+        competitions.append((k, range(n), ranks, None, None))
+    elif flavor == "kmins":
+        for h in range(k):
+            ranks = [family.rank(label, h) for label in labels]
+            competitions.append((1, range(n), ranks, None, h))
+    elif flavor == "kpartition":
+        ranks = [family.rank(label, 0) for label in labels]
+        buckets: List[List[int]] = [[] for _ in range(k)]
+        for node_id, label in enumerate(labels):
+            buckets[family.bucket(label, k)].append(node_id)
+        for h in range(k):
+            if buckets[h]:
+                competitions.append((1, buckets[h], ranks, h, None))
+    else:
+        raise ParameterError(
+            f"unknown flavor {flavor!r}; expected 'bottomk', 'kmins', or "
+            "'kpartition'"
+        )
+    return tiebreaks, competitions
+
 
 def build_flat_entries(
     graph: CSRGraph,
@@ -239,52 +294,30 @@ def build_flat_entries(
     """All-nodes flat ADS build: one record list per node id, sorted in
     the scan total order (distance, tiebreak).
 
-    Mirrors the flavor fan-out of :func:`repro.ads.build_ads_set`:
-    bottom-k is a single k-competition, k-mins runs k bottom-1
-    competitions with per-permutation ranks, k-partition runs one
-    bottom-1 competition per hash bucket.
+    Runs the :func:`flavor_competitions` plan serially; the sharded
+    counterpart (:func:`repro.ads.parallel.build_flat_entries_sharded`)
+    executes the same plan across worker processes and merges to the
+    bit-identical result.
     """
-    if method not in _CSR_CORES:
-        raise ParameterError(
-            f"the CSR backend supports methods {sorted(_CSR_CORES)}, "
-            f"got {method!r}"
-        )
-    core = _CSR_CORES[method]
-    labels = graph.nodes()
+    core = core_for_method(method)
     n = graph.num_nodes
-    tiebreaks = [family.tiebreak(label) for label in labels]
+    tiebreaks, competitions = flavor_competitions(graph, k, family, flavor)
 
-    if flavor == "bottomk":
-        ranks = [family.rank(label, 0) for label in labels]
-        per_node = core(graph, range(n), k, ranks, tiebreaks, stats)
-    elif flavor == "kmins":
-        per_node = [[] for _ in range(n)]
-        for h in range(k):
-            ranks = [family.rank(label, h) for label in labels]
-            run = core(
-                graph, range(n), 1, ranks, tiebreaks, stats, permutation=h
-            )
-            for v in range(n):
-                per_node[v].extend(run[v])
-    elif flavor == "kpartition":
-        ranks = [family.rank(label, 0) for label in labels]
-        buckets: List[List[int]] = [[] for _ in range(k)]
-        for node_id, label in enumerate(labels):
-            buckets[family.bucket(label, k)].append(node_id)
-        per_node = [[] for _ in range(n)]
-        for h in range(k):
-            if not buckets[h]:
-                continue
-            run = core(
-                graph, buckets[h], 1, ranks, tiebreaks, stats, bucket=h
-            )
-            for v in range(n):
-                per_node[v].extend(run[v])
-    else:
-        raise ParameterError(
-            f"unknown flavor {flavor!r}; expected 'bottomk', 'kmins', or "
-            "'kpartition'"
+    if len(competitions) == 1:
+        k_eff, candidates, ranks, bucket, permutation = competitions[0]
+        per_node = core(
+            graph, candidates, k_eff, ranks, tiebreaks, stats,
+            bucket, permutation,
         )
+    else:
+        per_node = [[] for _ in range(n)]
+        for k_eff, candidates, ranks, bucket, permutation in competitions:
+            run = core(
+                graph, candidates, k_eff, ranks, tiebreaks, stats,
+                bucket, permutation,
+            )
+            for v in range(n):
+                per_node[v].extend(run[v])
 
     for records in per_node:
         records.sort(key=_SCAN_KEY)  # stable: k-mins permutations stay ordered

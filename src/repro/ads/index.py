@@ -26,6 +26,7 @@ legacy ``BaseADS`` object for full backward compatibility.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import sys
@@ -47,6 +48,7 @@ from repro._util import require
 from repro.ads.base import FLAVOR_CLASSES as _FLAVOR_CLASSES, BaseADS
 from repro.ads.csr_cores import build_flat_entries
 from repro.ads.entry import AdsEntry
+from repro.ads.parallel import build_flat_entries_sharded
 from repro.ads.pruned_dijkstra import BuildStats
 from repro.errors import EstimatorError, ParameterError
 from repro.estimators.hip import (
@@ -59,6 +61,145 @@ from repro.graph.csr import CSRGraph
 from repro.rand.hashing import HashFamily
 
 _MAGIC = b"ADSIDX01"
+_SHARD_MAGIC = b"ADSSHD01"
+MANIFEST_NAME = "manifest.json"
+_MANIFEST_FORMAT = "adsidx-sharded"
+_COLUMN_TYPECODES = ("q", "d", "d", "Q", "q", "d")  # entry columns
+
+
+def _labels_digest(labels: Sequence[Hashable]) -> str:
+    """Stable fingerprint of the node label list (id order included).
+
+    Shard files embed it so a loader can reject shards that were built
+    against a different graph or interning order -- entry node ids are
+    global, so mixing shards from different builds would silently
+    mislabel entries otherwise.
+    """
+    payload = json.dumps(
+        list(labels), ensure_ascii=False, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+def shard_ranges(n: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ids ``0..n`` into *shards* contiguous, balanced ranges."""
+    require(shards >= 1, f"shards must be >= 1, got {shards}")
+    base, extra = divmod(n, shards)
+    ranges = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def _read_exact(handle, count: int, path) -> bytes:
+    payload = handle.read(count)
+    if len(payload) != count:
+        raise EstimatorError(f"{path}: truncated file")
+    return payload
+
+
+def _read_json_header(handle, path, magic: bytes, kind: str) -> dict:
+    got = handle.read(len(magic))
+    if got != magic:
+        raise EstimatorError(f"{path}: not an {kind} file")
+    header_len = int.from_bytes(_read_exact(handle, 8, path), "little")
+    if not 0 < header_len <= (1 << 30):
+        raise EstimatorError(f"{path}: implausible header length")
+    header_bytes = _read_exact(handle, header_len, path)
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise EstimatorError(f"{path}: corrupt header ({error})")
+    if not isinstance(header, dict):
+        raise EstimatorError(f"{path}: corrupt header (not an object)")
+    return header
+
+
+def _read_column(handle, path, typecode: str, count: int, swap: bool) -> array:
+    column = array(typecode)
+    column.frombytes(_read_exact(handle, 8 * count, path))
+    if swap:
+        column.byteswap()
+    return column
+
+
+def _parse_manifest(manifest_path: Path) -> dict:
+    """Read and structurally validate a sharded-layout manifest.
+
+    Raises :class:`EstimatorError` for anything a corrupted or
+    hand-edited manifest could get wrong: bad JSON, wrong format tag,
+    missing fields, and shard ranges that do not tile ``0..n`` exactly.
+    """
+    try:
+        text = manifest_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        raise EstimatorError(f"{manifest_path}: unreadable manifest ({error})")
+    try:
+        manifest = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise EstimatorError(f"{manifest_path}: corrupt manifest ({error})")
+    if not isinstance(manifest, dict):
+        raise EstimatorError(f"{manifest_path}: manifest is not an object")
+    if manifest.get("format") != _MANIFEST_FORMAT:
+        raise EstimatorError(
+            f"{manifest_path}: not an {_MANIFEST_FORMAT} manifest "
+            f"(format={manifest.get('format')!r})"
+        )
+    if manifest.get("version") != 1:
+        raise EstimatorError(
+            f"{manifest_path}: unsupported manifest version "
+            f"{manifest.get('version')!r}"
+        )
+    for field in ("flavor", "k", "seed", "rank_sup", "n", "entries",
+                  "labels_digest", "shards"):
+        if field not in manifest:
+            raise EstimatorError(
+                f"{manifest_path}: manifest is missing {field!r}"
+            )
+    n, shards = manifest["n"], manifest["shards"]
+    if not (isinstance(n, int) and n >= 0 and isinstance(shards, list)
+            and isinstance(manifest["entries"], int)
+            and manifest["entries"] >= 0):
+        raise EstimatorError(f"{manifest_path}: corrupt manifest counts")
+    position = 0
+    for shard in shards:
+        if not isinstance(shard, dict):
+            raise EstimatorError(f"{manifest_path}: corrupt shard entry")
+        for field in ("file", "start", "stop", "entries"):
+            if field not in shard:
+                raise EstimatorError(
+                    f"{manifest_path}: shard entry is missing {field!r}"
+                )
+        start, stop = shard["start"], shard["stop"]
+        if not (isinstance(shard["entries"], int) and shard["entries"] >= 0):
+            raise EstimatorError(
+                f"{manifest_path}: corrupt shard entry count "
+                f"{shard['entries']!r}"
+            )
+        if not (isinstance(start, int) and isinstance(stop, int)
+                and start == position and stop >= start):
+            raise EstimatorError(
+                f"{manifest_path}: shard ranges must tile 0..{n} "
+                f"contiguously (got [{start}, {stop}) at position "
+                f"{position})"
+            )
+        if not isinstance(shard["file"], str) or "/" in shard["file"] or (
+            "\\" in shard["file"] or shard["file"].startswith(".")
+        ):
+            raise EstimatorError(
+                f"{manifest_path}: suspicious shard file name "
+                f"{shard['file']!r}"
+            )
+        position = stop
+    if position != n:
+        raise EstimatorError(
+            f"{manifest_path}: shard ranges cover 0..{position}, "
+            f"manifest claims n={n}"
+        )
+    return manifest
 
 
 class AdsIndex:
@@ -150,6 +291,8 @@ class AdsIndex:
         direction: str = "forward",
         seed: int = 0,
         stats: Optional[BuildStats] = None,
+        workers: int = 1,
+        shards: Optional[int] = None,
     ) -> "AdsIndex":
         """Build the index for every node of *graph* in one pass.
 
@@ -158,8 +301,19 @@ class AdsIndex:
         CSR builders: 'pruned_dijkstra', 'dp', or 'auto' (=
         'pruned_dijkstra', the faster core on this backend; both emit
         identical sketches).
+
+        ``workers > 1`` runs the sharded multi-process build
+        (:mod:`repro.ads.parallel`): candidates are dealt into *shards*
+        shards (default: one per worker), scanned in worker processes,
+        and merged by exact competition replay -- the resulting index is
+        bit-identical to the serial build, columns included.
+        ``workers=1`` with ``shards > 1`` runs the same shard/replay
+        pipeline in-process.
         """
         require(k >= 1, f"k must be >= 1, got {k}")
+        require(workers >= 1, f"workers must be >= 1, got {workers}")
+        if shards is not None:
+            require(shards >= 1, f"shards must be >= 1, got {shards}")
         if family is None:
             family = HashFamily(seed)
         if direction not in ("forward", "backward"):
@@ -176,7 +330,15 @@ class AdsIndex:
             method = "pruned_dijkstra"
         if stats is None:
             stats = BuildStats()
-        per_node = build_flat_entries(csr, k, family, flavor, method, stats)
+        if workers > 1 or shards is not None:
+            per_node = build_flat_entries_sharded(
+                csr, k, family, flavor, method, stats,
+                workers=workers, shards=shards,
+            )
+        else:
+            per_node = build_flat_entries(
+                csr, k, family, flavor, method, stats
+            )
         labels = csr.nodes()
 
         total = sum(len(records) for records in per_node)
@@ -492,16 +654,24 @@ class AdsIndex:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
-        """Write the index as a binary file: a JSON header followed by
-        the raw bytes of each column.  Node labels must be ints or
-        strings (anything JSON round-trips exactly)."""
-        for label in self._labels:
-            if not isinstance(label, (int, str)) or isinstance(label, bool):
-                raise EstimatorError(
-                    "AdsIndex.save supports int/str node labels, got "
-                    f"{type(label).__name__}"
-                )
+    def save(
+        self, path: Union[str, Path], shards: Optional[int] = None
+    ) -> None:
+        """Persist the index.
+
+        With ``shards=None`` (default) *path* becomes a single binary
+        file: a JSON header followed by the raw bytes of each column.
+        With ``shards=N`` *path* becomes a **directory** holding a
+        ``manifest.json`` plus N shard files, each carrying a contiguous
+        node-id range's slice of every column -- the layout
+        :meth:`write_shard` can refresh one shard of at a time.  Node
+        labels must be ints or strings (anything JSON round-trips
+        exactly) in both layouts.
+        """
+        self._check_saveable_labels()
+        if shards is not None:
+            self._save_sharded(Path(path), shards)
+            return
         header = {
             "flavor": self.flavor,
             "k": self.k,
@@ -523,22 +693,139 @@ class AdsIndex:
             ):
                 handle.write(column.tobytes())
 
+    def _check_saveable_labels(self) -> None:
+        for label in self._labels:
+            if not isinstance(label, (int, str)) or isinstance(label, bool):
+                raise EstimatorError(
+                    "AdsIndex.save supports int/str node labels, got "
+                    f"{type(label).__name__}"
+                )
+
+    # -- sharded directory layout --------------------------------------
+    def _save_sharded(self, directory: Path, shards: int) -> None:
+        require(shards >= 1, f"shards must be >= 1, got {shards}")
+        directory.mkdir(parents=True, exist_ok=True)
+        digest = _labels_digest(self._labels)
+        manifest_shards = []
+        for i, (start, stop) in enumerate(shard_ranges(len(self._labels),
+                                                       shards)):
+            file_name = f"shard-{i:05d}.adsshd"
+            self._write_shard_file(directory / file_name, start, stop, digest)
+            manifest_shards.append({
+                "file": file_name,
+                "start": start,
+                "stop": stop,
+                "entries": self._offsets[stop] - self._offsets[start],
+            })
+        manifest = {
+            "format": _MANIFEST_FORMAT,
+            "version": 1,
+            "flavor": self.flavor,
+            "k": self.k,
+            "seed": self.seed,
+            "rank_sup": self.rank_sup,
+            "n": self.num_nodes,
+            "entries": self.num_entries,
+            "labels_digest": digest,
+            "shards": manifest_shards,
+        }
+        # The manifest lands last: a crashed save leaves shard files but
+        # no manifest, which the loader refuses instead of half-loading.
+        (directory / MANIFEST_NAME).write_text(
+            json.dumps(manifest, ensure_ascii=False, indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    def _write_shard_file(
+        self, path: Path, start: int, stop: int, digest: str
+    ) -> None:
+        lo, hi = self._offsets[start], self._offsets[stop]
+        header = {
+            "format": "adsidx-shard",
+            "version": 1,
+            "flavor": self.flavor,
+            "k": self.k,
+            "seed": self.seed,
+            "rank_sup": self.rank_sup,
+            "n": self.num_nodes,
+            "start": start,
+            "stop": stop,
+            "entries": hi - lo,
+            "byteorder": sys.byteorder,
+            "labels": self._labels[start:stop],
+            "labels_digest": digest,
+        }
+        header_bytes = json.dumps(header, ensure_ascii=False).encode("utf-8")
+        offsets = array("q", (self._offsets[i] - lo
+                              for i in range(start, stop + 1)))
+        with open(path, "wb") as handle:
+            handle.write(_SHARD_MAGIC)
+            handle.write(len(header_bytes).to_bytes(8, "little"))
+            handle.write(header_bytes)
+            handle.write(offsets.tobytes())
+            for column in (
+                self._node, self._dist, self._rank,
+                self._tiebreak, self._aux, self._hip,
+            ):
+                handle.write(column[lo:hi].tobytes())
+
+    def write_shard(
+        self, directory: Union[str, Path], shard_index: int
+    ) -> None:
+        """Refresh one shard file of an existing sharded layout from
+        this index (incremental per-shard rebuild).
+
+        The manifest must describe the same sketch set parameters and
+        the same node labels in the same id order (entry node ids are
+        global); only that shard's file and the manifest entry counts
+        are rewritten.
+        """
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        manifest = _parse_manifest(manifest_path)
+        self._check_saveable_labels()
+        digest = _labels_digest(self._labels)
+        for field, mine in (
+            ("flavor", self.flavor), ("k", self.k), ("seed", self.seed),
+            ("rank_sup", self.rank_sup), ("n", self.num_nodes),
+            ("labels_digest", digest),
+        ):
+            if manifest[field] != mine:
+                raise EstimatorError(
+                    f"{manifest_path}: layout was built with "
+                    f"{field}={manifest[field]!r}, index has {mine!r}"
+                )
+        entries = manifest["shards"]
+        if not 0 <= shard_index < len(entries):
+            raise ParameterError(
+                f"shard_index {shard_index} outside [0, {len(entries)})"
+            )
+        shard = entries[shard_index]
+        start, stop = shard["start"], shard["stop"]
+        self._write_shard_file(directory / shard["file"], start, stop, digest)
+        shard["entries"] = self._offsets[stop] - self._offsets[start]
+        manifest["entries"] = sum(s["entries"] for s in entries)
+        manifest_path.write_text(
+            json.dumps(manifest, ensure_ascii=False, indent=2) + "\n",
+            encoding="utf-8",
+        )
+
     @classmethod
     def load(cls, path: Union[str, Path]) -> "AdsIndex":
         """Read an index written by :meth:`save` (byte order corrected
-        when the file came from a different-endian machine)."""
+        when the file came from a different-endian machine).
+
+        *path* may be a single-file index, a sharded layout directory,
+        or that directory's ``manifest.json``.
+        """
+        path = Path(path)
+        if path.is_dir():
+            return cls._load_sharded(path / MANIFEST_NAME)
+        if path.name == MANIFEST_NAME:
+            return cls._load_sharded(path)
         with open(path, "rb") as handle:
-            magic = handle.read(len(_MAGIC))
-            if magic != _MAGIC:
-                raise EstimatorError(f"{path}: not an AdsIndex file")
-            header_len = int.from_bytes(handle.read(8), "little")
-            if not 0 < header_len <= (1 << 30):
-                raise EstimatorError(f"{path}: implausible header length")
-            header_bytes = handle.read(header_len)
-            if len(header_bytes) != header_len:
-                raise EstimatorError(f"{path}: truncated header")
+            header = _read_json_header(handle, path, _MAGIC, "AdsIndex")
             try:
-                header = json.loads(header_bytes.decode("utf-8"))
                 flavor = header["flavor"]
                 k = header["k"]
                 seed = header["seed"]
@@ -547,37 +834,104 @@ class AdsIndex:
                 n = header["n"]
                 entries = header["entries"]
                 swap = header["byteorder"] != sys.byteorder
-            except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
-                    TypeError) as error:
+            except KeyError as error:
                 raise EstimatorError(f"{path}: corrupt header ({error})")
             if not (isinstance(n, int) and isinstance(entries, int)
                     and n >= 0 and entries >= 0):
                 raise EstimatorError(f"{path}: corrupt header counts")
-
-            def read_column(typecode: str, count: int) -> array:
-                payload = handle.read(8 * count)
-                if len(payload) != 8 * count:
-                    raise EstimatorError(f"{path}: truncated column")
-                column = array(typecode)
-                column.frombytes(payload)
-                if swap:
-                    column.byteswap()
-                return column
-
-            offsets = read_column("q", n + 1)
-            node_column = read_column("q", entries)
-            dist_column = read_column("d", entries)
-            rank_column = read_column("d", entries)
-            tiebreak_column = read_column("Q", entries)
-            aux_column = read_column("q", entries)
-            hip_column = read_column("d", entries)
+            offsets = _read_column(handle, path, "q", n + 1, swap)
+            columns = [
+                _read_column(handle, path, typecode, entries, swap)
+                for typecode in _COLUMN_TYPECODES
+            ]
         try:
             return cls(
-                flavor, k, seed, labels,
-                offsets, node_column, dist_column, rank_column,
-                tiebreak_column, aux_column, hip_column, rank_sup=rank_sup,
+                flavor, k, seed, labels, offsets, *columns,
+                rank_sup=rank_sup,
             )
         except (ParameterError, TypeError, ValueError) as error:
             # Parseable-but-nonsensical header fields (bogus flavor,
             # k <= 0, non-numeric values): corruption, not a caller bug.
             raise EstimatorError(f"{path}: corrupt header ({error})")
+
+    @classmethod
+    def _load_sharded(cls, manifest_path: Path) -> "AdsIndex":
+        manifest = _parse_manifest(manifest_path)
+        n = manifest["n"]
+        offsets = array("q", [0])
+        columns = [array(typecode) for typecode in _COLUMN_TYPECODES]
+        labels: List[Hashable] = []
+        base = 0
+        for shard in manifest["shards"]:
+            shard_path = manifest_path.parent / shard["file"]
+            try:
+                handle = open(shard_path, "rb")
+            except OSError as error:
+                raise EstimatorError(
+                    f"{manifest_path}: missing shard file ({error})"
+                )
+            with handle:
+                header = _read_json_header(
+                    handle, shard_path, _SHARD_MAGIC, "AdsIndex shard"
+                )
+                try:
+                    swap = header["byteorder"] != sys.byteorder
+                    shard_labels = header["labels"]
+                    count = header["entries"]
+                    claimed = {
+                        field: header[field]
+                        for field in ("flavor", "k", "seed", "rank_sup", "n",
+                                      "start", "stop", "labels_digest")
+                    }
+                except KeyError as error:
+                    raise EstimatorError(
+                        f"{shard_path}: corrupt shard header ({error})"
+                    )
+                expected = {
+                    "flavor": manifest["flavor"], "k": manifest["k"],
+                    "seed": manifest["seed"],
+                    "rank_sup": manifest["rank_sup"], "n": n,
+                    "start": shard["start"], "stop": shard["stop"],
+                    "labels_digest": manifest["labels_digest"],
+                }
+                if claimed != expected:
+                    raise EstimatorError(
+                        f"{shard_path}: shard/manifest mismatch "
+                        f"(shard claims {claimed}, manifest expects "
+                        f"{expected})"
+                    )
+                if not (isinstance(count, int) and count >= 0):
+                    raise EstimatorError(f"{shard_path}: corrupt entry count")
+                span = shard["stop"] - shard["start"]
+                if len(shard_labels) != span:
+                    raise EstimatorError(
+                        f"{shard_path}: {len(shard_labels)} labels for a "
+                        f"{span}-node range"
+                    )
+                shard_offsets = _read_column(
+                    handle, shard_path, "q", span + 1, swap
+                )
+                if shard_offsets[0] != 0 or shard_offsets[-1] != count:
+                    raise EstimatorError(
+                        f"{shard_path}: shard offsets do not span its "
+                        "entries"
+                    )
+                offsets.extend(value + base for value in shard_offsets[1:])
+                for column, typecode in zip(columns, _COLUMN_TYPECODES):
+                    column.extend(_read_column(
+                        handle, shard_path, typecode, count, swap
+                    ))
+                labels.extend(shard_labels)
+                base += count
+        if _labels_digest(labels) != manifest["labels_digest"]:
+            raise EstimatorError(
+                f"{manifest_path}: assembled labels do not match the "
+                "manifest digest"
+            )
+        try:
+            return cls(
+                manifest["flavor"], manifest["k"], manifest["seed"], labels,
+                offsets, *columns, rank_sup=manifest["rank_sup"],
+            )
+        except (ParameterError, TypeError, ValueError) as error:
+            raise EstimatorError(f"{manifest_path}: corrupt layout ({error})")

@@ -134,19 +134,31 @@ def cmd_neighborhood(args) -> int:
 
 
 def cmd_build_index(args) -> int:
-    graph, family = _load(args)
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.shards is not None and args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
     try:
+        graph, family = _load(args)
         index = AdsIndex.build(
             graph.to_csr(), args.k, family=family, flavor=args.flavor,
             method=args.method, direction=args.direction,
+            workers=args.workers,
         )
-        index.save(args.out)
+        index.save(args.out, shards=args.shards)
     except (ReproError, OSError) as error:
         print(str(error), file=sys.stderr)
         return 1
+    layout = (
+        f"{args.shards}-shard layout" if args.shards is not None
+        else "single file"
+    )
     print(
         f"# indexed {index.num_nodes} nodes, {index.num_entries} entries "
-        f"(flavor={index.flavor}, k={index.k}) -> {args.out}",
+        f"(flavor={index.flavor}, k={index.k}, workers={args.workers}, "
+        f"{layout}) -> {args.out}",
         file=sys.stderr,
     )
     return 0
@@ -298,13 +310,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--direction", choices=["forward", "backward"], default="forward"
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sharded parallel build (default 1; "
+        "the result is bit-identical at any worker count)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="M",
+        help="save a sharded on-disk layout: --out becomes a directory of "
+        "M shard files plus a manifest (default: one flat file)",
+    )
     p.add_argument("--out", required=True, help="index output file")
     p.set_defaults(func=cmd_build_index)
 
     p = sub.add_parser(
         "query", help="serve estimates from a saved ADS index"
     )
-    p.add_argument("index", help="index file written by build-index")
+    p.add_argument(
+        "index",
+        help="index file written by build-index (or a sharded layout "
+        "directory / its manifest.json)",
+    )
     p.add_argument(
         "--kind",
         choices=["classic", "harmonic", "decay", "distsum"],
@@ -361,7 +392,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as error:
+        # Commands handle their own expected failures; this guard turns
+        # anything that escapes (unreadable graph file, bad parameters)
+        # into a clean non-zero exit instead of a traceback.
+        print(str(error), file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -15,8 +15,11 @@ stream simulators:
 * k-mins (Equation 7):   tau = 1 - prod_h (1 - min_h);
 * k-partition (Eq. 8):   tau = (1/k) sum_h min over scanned in bucket h.
 
-All three give the first k scanned nodes weight exactly 1 and weights that
-are non-decreasing in distance (inclusion gets harder further out).
+Bottom-k gives the first k scanned nodes weight exactly 1 (tau is the
+k-th smallest scanned rank, 1 while fewer than k are scanned); k-mins and
+k-partition condition on per-permutation / per-bucket minima, so only the
+first scanned node is certain.  All three produce weights non-decreasing
+in distance (inclusion gets harder further out).
 """
 
 from __future__ import annotations

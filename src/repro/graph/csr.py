@@ -396,6 +396,43 @@ class CSRGraph:
                 yield (label_of(uid), label_of(vid), w)
 
     # ------------------------------------------------------------------
+    # Worker shipping (parallel ADS builds)
+    # ------------------------------------------------------------------
+    def to_arrays_payload(self) -> tuple:
+        """The graph as a compact picklable tuple of its raw arrays.
+
+        This is what the sharded ADS builder ships to worker processes:
+        labels plus the six CSR arrays (``array`` objects pickle as raw
+        bytes), *without* the derived adjacency-list cache, which each
+        worker rebuilds lazily.  For undirected graphs the transpose
+        entries are the same objects, and pickle's memo keeps them
+        shared on the other side.
+        """
+        return (
+            self.directed,
+            self.interner.labels(),
+            self._indptr,
+            self._indices,
+            self._weights,
+            self._t_indptr,
+            self._t_indices,
+            self._t_weights,
+            self._num_edges,
+        )
+
+    @classmethod
+    def from_arrays_payload(cls, payload: tuple) -> "CSRGraph":
+        """Rebuild a graph from :meth:`to_arrays_payload` (worker side)."""
+        (
+            directed, labels, indptr, indices, weights,
+            t_indptr, t_indices, t_weights, num_edges,
+        ) = payload
+        return cls(
+            directed, NodeInterner(labels), indptr, indices, weights,
+            t_indptr, t_indices, t_weights, num_edges,
+        )
+
+    # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------
     def transpose(self) -> "CSRGraph":

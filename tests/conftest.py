@@ -17,6 +17,15 @@ from repro.graph import (
 from repro.rand.hashing import HashFamily
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "statistical: seeded multi-trial tests asserting the paper's "
+        "unbiasedness and CV bounds empirically (select with "
+        "-m statistical, skip with -m 'not statistical')",
+    )
+
+
 class FixedRankFamily(HashFamily):
     """A hash family whose index-0 ranks are prescribed per node.
 

@@ -207,6 +207,104 @@ class TestIndexWorkflow:
         assert capsys.readouterr().out.strip()
 
 
+class TestParallelAndShardedIndex:
+    def test_workers_build_matches_serial(self, graph_file, tmp_path, capsys):
+        serial, parallel = tmp_path / "s.adsidx", tmp_path / "p.adsidx"
+        assert main(
+            ["build-index", graph_file, "--k", "6", "--int-nodes",
+             "--out", str(serial)]
+        ) == 0
+        assert main(
+            ["build-index", graph_file, "--k", "6", "--int-nodes",
+             "--workers", "2", "--out", str(parallel)]
+        ) == 0
+        assert "workers=2" in capsys.readouterr().err
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_sharded_layout_roundtrips_through_query(
+        self, graph_file, tmp_path, capsys
+    ):
+        flat, sharded = tmp_path / "flat.adsidx", tmp_path / "sharded.adsidx"
+        assert main(
+            ["build-index", graph_file, "--k", "6", "--int-nodes",
+             "--out", str(flat)]
+        ) == 0
+        assert main(
+            ["build-index", graph_file, "--k", "6", "--int-nodes",
+             "--shards", "3", "--out", str(sharded)]
+        ) == 0
+        assert sharded.is_dir() and (sharded / "manifest.json").is_file()
+        capsys.readouterr()
+        assert main(["query", str(flat), "--top", "5"]) == 0
+        from_flat = capsys.readouterr().out
+        assert main(["query", str(sharded), "--top", "5"]) == 0
+        assert capsys.readouterr().out == from_flat
+
+
+class TestErrorPaths:
+    """build-index / query failure modes: non-zero exit, clear message,
+    never a traceback."""
+
+    def test_build_index_missing_input_file(self, tmp_path, capsys):
+        assert main(
+            ["build-index", str(tmp_path / "missing.txt"),
+             "--out", str(tmp_path / "x.adsidx")]
+        ) == 1
+        assert "missing.txt" in capsys.readouterr().err
+
+    def test_build_index_rejects_nonpositive_workers(
+        self, graph_file, tmp_path, capsys
+    ):
+        for bad in ("0", "-3"):
+            assert main(
+                ["build-index", graph_file, "--workers", bad,
+                 "--out", str(tmp_path / "x.adsidx")]
+            ) == 2
+            assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_build_index_rejects_nonpositive_shards(
+        self, graph_file, tmp_path, capsys
+    ):
+        assert main(
+            ["build-index", graph_file, "--shards", "0",
+             "--out", str(tmp_path / "x.adsidx")]
+        ) == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+    def test_build_index_non_integer_workers_is_usage_error(
+        self, graph_file, tmp_path
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["build-index", graph_file, "--workers", "many",
+                 "--out", str(tmp_path / "x.adsidx")]
+            )
+        assert excinfo.value.code == 2
+
+    def test_query_missing_index_file(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "missing.adsidx")]) == 1
+        assert capsys.readouterr().err.strip()
+
+    def test_query_label_absent_from_index(self, graph_file, tmp_path,
+                                           capsys):
+        path = tmp_path / "graph.adsidx"
+        assert main(
+            ["build-index", graph_file, "--k", "4", "--int-nodes",
+             "--out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["query", str(path), "--node", "777", "--int-nodes"]
+        ) == 1
+        assert "not in index" in capsys.readouterr().err
+
+    def test_sketch_missing_input_file(self, tmp_path, capsys):
+        # Commands without bespoke handlers still exit cleanly via the
+        # main()-level guard.
+        assert main(["sketch", str(tmp_path / "missing.txt")]) == 1
+        assert "missing.txt" in capsys.readouterr().err
+
+
 class TestDistinctCount:
     def test_counts_distinct_lines(self, tmp_path, capsys):
         stream = tmp_path / "stream.txt"
