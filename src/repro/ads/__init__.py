@@ -139,7 +139,22 @@ def build_ads_set(
         serial sketch set.  Requires a CSR-capable request
         (``backend != 'legacy'``, exact methods, no node weights).
 
-    Returns a dict mapping each node to its ADS object.
+    Returns:
+        A dict mapping each node to its ADS object (flavor class per
+        the ``flavor`` argument).
+
+    Raises:
+        ParameterError: out-of-domain arguments or impossible
+            method/flavor/backend combinations (each message names the
+            offending argument).
+
+    Example:
+        >>> from repro.graph import path_graph
+        >>> ads_set = build_ads_set(path_graph(4), k=4)
+        >>> sorted(ads_set)
+        [0, 1, 2, 3]
+        >>> ads_set[0].cardinality_at(1.0)  # k >= n: estimates exact
+        2.0
     """
     require(k >= 1, f"k must be >= 1, got {k}")
     require(workers >= 1, f"workers must be >= 1, got {workers}")

@@ -20,7 +20,10 @@ Queries: :meth:`cardinality_at` (all nodes at once),
 node), all bit-identical to the per-node ``BaseADS`` estimators.
 :meth:`save` / :meth:`load` persist the columns as raw little/big-endian
 array bytes behind a JSON header, so an index built on a big graph is
-built once and served many times.  ``index[node]`` lazily materialises a
+built once and served many times; ``load(path, mmap=True)`` skips the
+deserialisation copy entirely and serves queries off memory-mapped
+column views (:mod:`repro.ads.mmap_io`), mapping sharded layouts one
+shard at a time on first touch.  ``index[node]`` lazily materialises a
 legacy ``BaseADS`` object for full backward compatibility.
 """
 
@@ -29,7 +32,9 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import os
 import sys
+import threading
 from array import array
 from bisect import bisect_right
 from pathlib import Path
@@ -48,6 +53,8 @@ from repro._util import require
 from repro.ads.base import FLAVOR_CLASSES as _FLAVOR_CLASSES, BaseADS
 from repro.ads.csr_cores import build_flat_entries
 from repro.ads.entry import AdsEntry
+from repro.ads.mmap_io import ShardMaps, ShardSpec, ShardedColumn, \
+    map_file_columns
 from repro.ads.parallel import build_flat_entries_sharded
 from repro.ads.pruned_dijkstra import BuildStats
 from repro.errors import EstimatorError, ParameterError
@@ -223,6 +230,7 @@ class AdsIndex:
         aux_column: array,
         hip_column: array,
         rank_sup: float = 1.0,
+        validate_columns: bool = True,
     ):
         if flavor not in _FLAVOR_CLASSES:
             raise ParameterError(
@@ -252,30 +260,67 @@ class AdsIndex:
                    aux_column, hip_column)
         if len({len(c) for c in columns}) != 1:
             raise EstimatorError("entry columns must have equal lengths")
-        if (
-            offsets[0] != 0
-            or offsets[-1] != len(hip_column)
-            or any(
-                offsets[i] > offsets[i + 1] for i in range(len(offsets) - 1)
-            )
-        ):
+        if offsets[0] != 0 or offsets[-1] != len(hip_column):
             raise EstimatorError("offsets must rise from 0 to the entry count")
-        if len(node_column) and not (
-            0 <= min(node_column) and max(node_column) < len(self._labels)
-        ):
-            raise EstimatorError("entry node ids must lie in [0, n)")
+        if validate_columns:
+            # Full-column sanity scans.  mmap-backed loads skip these --
+            # walking every entry would page the whole file in, which is
+            # exactly what mmap=True exists to avoid; the header,
+            # manifest, and byte-length checks still ran.
+            if any(
+                offsets[i] > offsets[i + 1] for i in range(len(offsets) - 1)
+            ):
+                raise EstimatorError(
+                    "offsets must rise from 0 to the entry count"
+                )
+            if len(node_column) and not (
+                0 <= min(node_column) and max(node_column) < len(self._labels)
+            ):
+                raise EstimatorError("entry node ids must lie in [0, n)")
+            self._cum_cache: Optional[array] = self._compute_cum_hip()
+        else:
+            self._cum_cache = None
+        self.mmap_backed = False
+        self._mmap_paths: frozenset = frozenset()
+        self._cum_lock = threading.Lock()
+        self._materialised: Dict[Hashable, BaseADS] = {}
+
+    def _compute_cum_hip(self) -> array:
         # Per-node running prefix sums of the HIP column: cardinality
         # queries become one bisect plus one lookup.  Summation order is
         # left-to-right within each slice, exactly like BaseADS, so the
         # floats agree bit-for-bit.
+        offsets, hip_column = self._offsets, self._hip
         cumulative = array("d", bytes(8 * len(hip_column)))
         for i in range(len(self._labels)):
+            lo, hi = offsets[i], offsets[i + 1]
             running = 0.0
-            for slot in range(offsets[i], offsets[i + 1]):
-                running += hip_column[slot]
+            slot = lo
+            # Per-slice iteration: a lazily loaded ShardedColumn hands
+            # back one zero-copy per-shard view per node instead of
+            # paying a shard lookup on every single slot.
+            for value in hip_column[lo:hi]:
+                running += value
                 cumulative[slot] = running
-        self._cum_hip = cumulative
-        self._materialised: Dict[Hashable, BaseADS] = {}
+                slot += 1
+        return cumulative
+
+    @property
+    def _cum_hip(self) -> array:
+        """Prefix-sum column, computed on first use for lazy loads.
+
+        Locked: concurrent first batch queries from a threaded server
+        must not each run the O(entries) pass (and each allocate the
+        full 8-bytes-per-entry array) on a freshly mapped index.
+        """
+        cumulative = self._cum_cache
+        if cumulative is None:
+            with self._cum_lock:
+                cumulative = self._cum_cache
+                if cumulative is None:
+                    cumulative = self._compute_cum_hip()
+                    self._cum_cache = cumulative
+        return cumulative
 
     # ------------------------------------------------------------------
     # Construction
@@ -309,6 +354,18 @@ class AdsIndex:
         bit-identical to the serial build, columns included.
         ``workers=1`` with ``shards > 1`` runs the same shard/replay
         pipeline in-process.
+
+        Returns:
+            The fully built index (every node, HIP column included).
+
+        Raises:
+            ParameterError: unknown flavor/method/direction, ``k < 1``,
+                or a parallel request the CSR cores cannot serve.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> AdsIndex.build(path_graph(4).to_csr(), k=4)
+            AdsIndex(flavor='bottomk', k=4, n=4, entries=16)
         """
         require(k >= 1, f"k must be >= 1, got {k}")
         require(workers >= 1, f"workers must be >= 1, got {workers}")
@@ -438,6 +495,16 @@ class AdsIndex:
     def num_entries(self) -> int:
         return len(self._node)
 
+    @property
+    def mapped_shards(self) -> Optional[int]:
+        """How many shard files a lazy sharded load has mapped so far.
+
+        ``None`` for eager and single-file-mmap backings, where the
+        notion does not apply; serving dashboards surface it to show a
+        cold index warming up.
+        """
+        return getattr(self._node, "mapped_shards", None)
+
     def nodes(self) -> List[Hashable]:
         return list(self._labels)
 
@@ -464,8 +531,26 @@ class AdsIndex:
     # Batch queries
     # ------------------------------------------------------------------
     def cardinality_at(self, d: float = math.inf) -> Dict[Hashable, float]:
-        """HIP estimate of n_d(v) for *every* node v: one bisect per node
-        over the distance column plus a prefix-sum lookup (Section 5)."""
+        """HIP estimate of n_d(v) for *every* node v.
+
+        One bisect per node over the distance column plus a prefix-sum
+        lookup (Section 5); exact (not just unbiased) whenever a node's
+        d-neighborhood fits in the sketch.
+
+        Args:
+            d: Distance threshold; the default ``inf`` counts every
+                reachable node.
+
+        Returns:
+            ``{label: estimated |N_d(label)|}`` for every indexed node,
+            the node itself included.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.cardinality_at(1.0)
+            {0: 2.0, 1: 3.0, 2: 3.0, 3: 2.0}
+        """
         dist, cumulative, offsets = self._dist, self._cum_hip, self._offsets
         result: Dict[Hashable, float] = {}
         for i, label in enumerate(self._labels):
@@ -475,25 +560,81 @@ class AdsIndex:
         return result
 
     def reachable_counts(self) -> Dict[Hashable, float]:
-        """HIP estimate of the reachable-set size of every node."""
+        """HIP estimate of the reachable-set size of every node.
+
+        Returns:
+            ``{label: estimated |reachable(label)|}``, i.e.
+            :meth:`cardinality_at` at ``d=inf``.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(3).to_csr(), k=4)
+            >>> index.reachable_counts()
+            {0: 3.0, 1: 3.0, 2: 3.0}
+        """
         return self.cardinality_at(math.inf)
 
     def node_cardinality_at(self, label: Hashable, d: float = math.inf) -> float:
-        """HIP estimate of n_d(label) (single-node form)."""
+        """HIP estimate of n_d(label) (single-node form).
+
+        Args:
+            label: An indexed node label.
+            d: Distance threshold (default: all reachable nodes).
+
+        Returns:
+            The estimated number of nodes within distance *d* of
+            *label* -- same float as ``cardinality_at(d)[label]``.
+
+        Raises:
+            EstimatorError: if *label* is not in the index.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.node_cardinality_at(0, 1.0)
+            2.0
+        """
         lo, hi = self._slice(label)
         cutoff = bisect_right(self._dist, d, lo, hi)
-        return self._cum_hip[cutoff - 1] if cutoff > lo else 0.0
+        return self._slice_hip_sum(lo, cutoff)
+
+    def _slice_hip_sum(self, lo: int, hi: int) -> float:
+        """Left-to-right sum of ``hip[lo:hi]`` -- ``cum_hip[hi - 1]`` by
+        construction, summed locally when the prefix column has not been
+        materialised (a lazy load serving one node must not pay an
+        all-entries pass)."""
+        if hi <= lo:
+            return 0.0
+        cumulative = self._cum_cache
+        if cumulative is not None:
+            return cumulative[hi - 1]
+        running = 0.0
+        for weight in self._hip[lo:hi]:
+            running += weight
+        return running
 
     def neighborhood_function(self) -> List[Tuple[float, float]]:
-        """Whole-graph neighborhood function (the ANF statistic):
-        estimated ordered pairs within distance d, per distinct d."""
+        """Whole-graph neighborhood function (the ANF statistic).
+
+        Returns:
+            ``[(d, estimate), ...]`` for every distinct positive
+            distance, where *estimate* is the estimated number of
+            ordered node pairs within distance *d*, cumulatively.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.neighborhood_function()
+            [(1.0, 6.0), (2.0, 10.0), (3.0, 12.0)]
+        """
         jumps: Dict[float, float] = {}
-        dist, hip = self._dist, self._hip
-        for slot in range(len(dist)):
-            d = dist[slot]
+        # zip iteration, not per-slot indexing: a lazily loaded
+        # ShardedColumn yields its per-shard views without paying a
+        # shard lookup per entry.
+        for d, weight in zip(self._dist, self._hip):
             if d <= 0.0:
                 continue
-            jumps[d] = jumps.get(d, 0.0) + hip[slot]
+            jumps[d] = jumps.get(d, 0.0) + weight
         series: List[Tuple[float, float]] = []
         running = 0.0
         for d in sorted(jumps):
@@ -504,13 +645,29 @@ class AdsIndex:
     def node_neighborhood_function(
         self, label: Hashable
     ) -> List[Tuple[float, float]]:
-        """Estimated cumulative distance distribution of one node."""
+        """Estimated cumulative distance distribution of one node.
+
+        Args:
+            label: An indexed node label.
+
+        Returns:
+            ``[(d, estimated |N_d(label)|), ...]`` per distinct
+            distance, the node itself included at ``d = 0``.
+
+        Raises:
+            EstimatorError: if *label* is not in the index.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.node_neighborhood_function(0)
+            [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0), (3.0, 4.0)]
+        """
         lo, hi = self._slice(label)
         series: List[Tuple[float, float]] = []
         running = 0.0
-        for slot in range(lo, hi):
-            running += self._hip[slot]
-            d = self._dist[slot]
+        for d, weight in zip(self._dist[lo:hi], self._hip[lo:hi]):
+            running += weight
             if series and series[-1][0] == d:
                 series[-1] = (d, running)
             else:
@@ -525,9 +682,29 @@ class AdsIndex:
     ) -> Dict[Hashable, float]:
         """C_{alpha,beta} (Equation 2) for every node in one sweep.
 
-        Mirrors :func:`repro.centrality.closeness.closeness_centrality`:
-        ``classic=True`` gives Bavelas's ``reachable / sum-of-distances``;
-        otherwise ``alpha=None`` means the raw sum of distances.
+        Mirrors :func:`repro.centrality.closeness.closeness_centrality`
+        float-for-float.
+
+        Args:
+            alpha: Non-increasing nonnegative distance kernel; ``None``
+                means the raw sum of distances.
+            beta: Per-node filter weight applied to the *other* node
+                (decided after the build -- Corollary 5.2).
+            classic: Bavelas's ``reachable / sum-of-distances`` instead
+                of the kernel form; excludes ``alpha``/``beta``.
+
+        Returns:
+            ``{label: estimated centrality}`` for every indexed node.
+
+        Raises:
+            EstimatorError: for ``classic=True`` combined with
+                ``alpha``/``beta``, or a kernel that goes negative.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.closeness_centrality(classic=True)
+            {0: 0.5, 1: 0.75, 2: 0.75, 3: 0.5}
         """
         if classic and (alpha is not None or beta is not None):
             raise EstimatorError(
@@ -554,7 +731,8 @@ class AdsIndex:
             # Only a node filter ever consumes the entry labels; skip
             # the per-entry interner lookups otherwise.
             label_of = self._labels.__getitem__
-            entry_labels = [label_of(self._node[s]) for s in range(lo, hi)]
+            entry_labels = [label_of(node_id) for node_id in
+                            self._node[lo:hi]]
             return closeness_centrality_estimate(
                 entry_labels, dist[lo:hi], hip[lo:hi], alpha=alpha, beta=beta
             )
@@ -562,8 +740,7 @@ class AdsIndex:
         # slot order, same skip-the-source and g >= 0 rules) so the
         # floats match the per-node estimators bit-for-bit.
         total = 0.0
-        for slot in range(lo, hi):
-            d = dist[slot]
+        for d, weight in zip(dist[lo:hi], hip[lo:hi]):
             if d == 0.0:
                 continue
             value = d if alpha is None else float(alpha(d))
@@ -572,9 +749,9 @@ class AdsIndex:
                     f"g must be nonnegative (got {value}); HIP "
                     "unbiasedness and the variance bounds assume g >= 0"
                 )
-            total += hip[slot] * value
+            total += weight * value
         if classic:
-            reachable = (self._cum_hip[hi - 1] if hi > lo else 0.0) - 1.0
+            reachable = self._slice_hip_sum(lo, hi) - 1.0
             return reachable / total if total > 0.0 else 0.0
         return total
 
@@ -586,7 +763,25 @@ class AdsIndex:
         classic: bool = False,
     ) -> float:
         """One node's C_{alpha,beta}: O(sketch size), same floats as the
-        batch :meth:`closeness_centrality` entry."""
+        batch :meth:`closeness_centrality` entry.
+
+        Args:
+            label: An indexed node label; the remaining arguments are
+                those of :meth:`closeness_centrality`.
+
+        Returns:
+            The node's estimated centrality.
+
+        Raises:
+            EstimatorError: unknown *label*, or invalid
+                ``classic``/``alpha``/``beta`` combinations.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.node_closeness_centrality(1, classic=True)
+            0.75
+        """
         if classic and (alpha is not None or beta is not None):
             raise EstimatorError(
                 "classic=True computes (n-1)/sum(d); alpha/beta do not apply"
@@ -602,8 +797,29 @@ class AdsIndex:
         classic: bool = False,
         largest: bool = True,
     ) -> List[Tuple[Hashable, float]]:
-        """The *count* most (or least) central nodes, ties broken by node
-        repr -- same contract as ``top_k_central_nodes``."""
+        """The *count* most (or least) central nodes.
+
+        Args:
+            count: How many nodes to return (fewer when the graph is
+                smaller).
+            alpha / beta / classic: Centrality form, exactly as in
+                :meth:`closeness_centrality`.
+            largest: ``False`` ranks ascending instead.
+
+        Returns:
+            ``[(label, value), ...]`` sorted by value, ties broken by
+            node repr -- same contract as ``top_k_central_nodes``.
+
+        Raises:
+            EstimatorError: invalid ``classic``/``alpha``/``beta``
+                combinations.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.top_central(2, classic=True)
+            [(1, 0.75), (2, 0.75)]
+        """
         # Lazy import: repro.centrality imports repro.ads at module load.
         from repro.centrality.closeness import top_k_central_nodes
 
@@ -621,14 +837,16 @@ class AdsIndex:
         lo, hi = self._slice(label)
         label_of = self._labels.__getitem__
         entries = []
-        for slot in range(lo, hi):
-            aux = self._aux[slot]
+        for node_id, distance, rank, tiebreak, aux in zip(
+            self._node[lo:hi], self._dist[lo:hi], self._rank[lo:hi],
+            self._tiebreak[lo:hi], self._aux[lo:hi],
+        ):
             entries.append(
                 AdsEntry(
-                    node=label_of(self._node[slot]),
-                    distance=self._dist[slot],
-                    rank=self._rank[slot],
-                    tiebreak=self._tiebreak[slot],
+                    node=label_of(node_id),
+                    distance=distance,
+                    rank=rank,
+                    tiebreak=tiebreak,
                     bucket=(
                         aux if self.flavor == "kpartition" and aux >= 0 else None
                     ),
@@ -667,6 +885,15 @@ class AdsIndex:
         :meth:`write_shard` can refresh one shard of at a time.  Node
         labels must be ints or strings (anything JSON round-trips
         exactly) in both layouts.
+
+        Args:
+            path: Output file (or directory, with ``shards``).
+            shards: Shard count for the directory layout; ``None``
+                writes one flat file.
+
+        Raises:
+            EstimatorError: non-int/str node labels.
+            OSError: unwritable destination.
         """
         self._check_saveable_labels()
         if shards is not None:
@@ -683,6 +910,7 @@ class AdsIndex:
             "labels": self._labels,
         }
         header_bytes = json.dumps(header, ensure_ascii=False).encode("utf-8")
+        self._guard_mmap_overwrite(Path(path))
         with open(path, "wb") as handle:
             handle.write(_MAGIC)
             handle.write(len(header_bytes).to_bytes(8, "little"))
@@ -700,6 +928,27 @@ class AdsIndex:
                     "AdsIndex.save supports int/str node labels, got "
                     f"{type(label).__name__}"
                 )
+
+    def _guard_mmap_overwrite(self, destination: Path) -> None:
+        """Refuse to write a file this index's columns are mapped from.
+
+        Truncating a memory-mapped file makes the next column read a
+        SIGBUS -- a hard interpreter crash, not an exception -- and the
+        write would be reading its own half-clobbered source anyway.
+        Save to a different path, or reload eagerly first.
+        """
+        if not self._mmap_paths:
+            return
+        try:
+            resolved = destination.resolve()
+        except OSError:  # pragma: no cover - unresolvable exotic paths
+            return
+        if resolved in self._mmap_paths:
+            raise EstimatorError(
+                f"{destination}: this index is memory-mapped from that "
+                "file; save to a different path or reload with "
+                "mmap=False before overwriting it"
+            )
 
     # -- sharded directory layout --------------------------------------
     def _save_sharded(self, directory: Path, shards: int) -> None:
@@ -758,6 +1007,7 @@ class AdsIndex:
         header_bytes = json.dumps(header, ensure_ascii=False).encode("utf-8")
         offsets = array("q", (self._offsets[i] - lo
                               for i in range(start, stop + 1)))
+        self._guard_mmap_overwrite(path)
         with open(path, "wb") as handle:
             handle.write(_SHARD_MAGIC)
             handle.write(len(header_bytes).to_bytes(8, "little"))
@@ -811,18 +1061,46 @@ class AdsIndex:
         )
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "AdsIndex":
-        """Read an index written by :meth:`save` (byte order corrected
-        when the file came from a different-endian machine).
+    def load(cls, path: Union[str, Path], mmap: bool = False) -> "AdsIndex":
+        """Read an index written by :meth:`save`.
 
-        *path* may be a single-file index, a sharded layout directory,
-        or that directory's ``manifest.json``.
+        Args:
+            path: A single-file index, a sharded layout directory, or
+                that directory's ``manifest.json``.
+            mmap: With the default ``False``, every column is copied
+                into process-owned ``array`` objects (byte order
+                corrected when the file came from a different-endian
+                machine).  With ``True``, load time is O(header +
+                manifest): columns become zero-copy views over
+                memory-mapped file bytes (:mod:`repro.ads.mmap_io`),
+                sharded layouts map each shard lazily on first touch,
+                and the HIP prefix-sum column is computed on first
+                batch-query use.  Every query returns bit-identical
+                floats in both modes.  A foreign-endian file cannot be
+                viewed zero-copy and silently falls back to the eager
+                path.
+
+        Returns:
+            The reloaded :class:`AdsIndex`.
+
+        Raises:
+            EstimatorError: missing/truncated/corrupt files, or a
+                shard/manifest mismatch.
+
+        Example:
+            >>> import tempfile, os
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> path = os.path.join(tempfile.mkdtemp(), "tiny.adsidx")
+            >>> index.save(path)
+            >>> AdsIndex.load(path, mmap=True).node_cardinality_at(0, 1.0)
+            2.0
         """
         path = Path(path)
         if path.is_dir():
-            return cls._load_sharded(path / MANIFEST_NAME)
+            return cls._load_sharded(path / MANIFEST_NAME, mmap=mmap)
         if path.name == MANIFEST_NAME:
-            return cls._load_sharded(path)
+            return cls._load_sharded(path, mmap=mmap)
         with open(path, "rb") as handle:
             header = _read_json_header(handle, path, _MAGIC, "AdsIndex")
             try:
@@ -839,27 +1117,51 @@ class AdsIndex:
             if not (isinstance(n, int) and isinstance(entries, int)
                     and n >= 0 and entries >= 0):
                 raise EstimatorError(f"{path}: corrupt header counts")
-            offsets = _read_column(handle, path, "q", n + 1, swap)
-            columns = [
-                _read_column(handle, path, typecode, entries, swap)
-                for typecode in _COLUMN_TYPECODES
-            ]
+            if mmap and not swap:
+                counts = [n + 1] + [entries] * len(_COLUMN_TYPECODES)
+                views = map_file_columns(
+                    path, handle.fileno(), handle.tell(), counts,
+                    ("q",) + _COLUMN_TYPECODES,
+                )
+                offsets, columns = views[0], views[1:]
+            else:
+                offsets = _read_column(handle, path, "q", n + 1, swap)
+                columns = [
+                    _read_column(handle, path, typecode, entries, swap)
+                    for typecode in _COLUMN_TYPECODES
+                ]
+                mmap = False
         try:
-            return cls(
+            index = cls(
                 flavor, k, seed, labels, offsets, *columns,
-                rank_sup=rank_sup,
+                rank_sup=rank_sup, validate_columns=not mmap,
             )
         except (ParameterError, TypeError, ValueError) as error:
             # Parseable-but-nonsensical header fields (bogus flavor,
             # k <= 0, non-numeric values): corruption, not a caller bug.
             raise EstimatorError(f"{path}: corrupt header ({error})")
+        index.mmap_backed = mmap
+        if mmap:
+            index._mmap_paths = frozenset({path.resolve()})
+        return index
 
     @classmethod
-    def _load_sharded(cls, manifest_path: Path) -> "AdsIndex":
+    def _load_sharded(
+        cls, manifest_path: Path, mmap: bool = False
+    ) -> "AdsIndex":
+        """Assemble an index from a sharded layout.
+
+        Eager mode concatenates every shard's columns into owned
+        arrays.  ``mmap=True`` reads only the manifest, the per-shard
+        JSON headers, and the small per-node offset columns; the six
+        entry columns become :class:`~repro.ads.mmap_io.ShardedColumn`
+        views that map each shard file on the first query touching it.
+        """
         manifest = _parse_manifest(manifest_path)
         n = manifest["n"]
         offsets = array("q", [0])
         columns = [array(typecode) for typecode in _COLUMN_TYPECODES]
+        shard_specs: List[ShardSpec] = []
         labels: List[Hashable] = []
         base = 0
         for shard in manifest["shards"]:
@@ -902,6 +1204,10 @@ class AdsIndex:
                     )
                 if not (isinstance(count, int) and count >= 0):
                     raise EstimatorError(f"{shard_path}: corrupt entry count")
+                if mmap and swap:
+                    # A foreign-endian shard cannot be viewed zero-copy;
+                    # reload the whole layout eagerly (byteswapping).
+                    return cls._load_sharded(manifest_path, mmap=False)
                 span = shard["stop"] - shard["start"]
                 if len(shard_labels) != span:
                     raise EstimatorError(
@@ -917,10 +1223,21 @@ class AdsIndex:
                         "entries"
                     )
                 offsets.extend(value + base for value in shard_offsets[1:])
-                for column, typecode in zip(columns, _COLUMN_TYPECODES):
-                    column.extend(_read_column(
-                        handle, shard_path, typecode, count, swap
-                    ))
+                if mmap:
+                    data_start = handle.tell()
+                    file_size = os.fstat(handle.fileno()).st_size
+                    if file_size < data_start + 8 * count * len(
+                        _COLUMN_TYPECODES
+                    ):
+                        raise EstimatorError(f"{shard_path}: truncated file")
+                    shard_specs.append(
+                        ShardSpec(shard_path, data_start, count, base)
+                    )
+                else:
+                    for column, typecode in zip(columns, _COLUMN_TYPECODES):
+                        column.extend(_read_column(
+                            handle, shard_path, typecode, count, swap
+                        ))
                 labels.extend(shard_labels)
                 base += count
         if _labels_digest(labels) != manifest["labels_digest"]:
@@ -928,10 +1245,23 @@ class AdsIndex:
                 f"{manifest_path}: assembled labels do not match the "
                 "manifest digest"
             )
+        if mmap:
+            maps = ShardMaps(shard_specs, _COLUMN_TYPECODES)
+            columns = [
+                ShardedColumn(maps, position, typecode)
+                for position, typecode in enumerate(_COLUMN_TYPECODES)
+            ]
         try:
-            return cls(
+            index = cls(
                 manifest["flavor"], manifest["k"], manifest["seed"], labels,
                 offsets, *columns, rank_sup=manifest["rank_sup"],
+                validate_columns=not mmap,
             )
         except (ParameterError, TypeError, ValueError) as error:
             raise EstimatorError(f"{manifest_path}: corrupt layout ({error})")
+        index.mmap_backed = mmap
+        if mmap:
+            index._mmap_paths = frozenset(
+                spec.path.resolve() for spec in shard_specs
+            )
+        return index

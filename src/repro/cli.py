@@ -5,20 +5,25 @@
     python -m repro neighborhood GRAPH.txt --node 5 --k 16
     python -m repro build-index GRAPH.txt --k 16 --out graph.adsidx
     python -m repro query graph.adsidx --top 10 --kind harmonic
+    python -m repro serve --index graph.adsidx --port 8080
     python -m repro distinct-count < one_element_per_line.txt
     python -m repro figures fig2 --k 10 --runs 100 --max-n 4000
 
 The CLI is a thin veneer over the library; every command prints plain
 text so results can be piped into standard tooling.  ``build-index`` /
-``query`` split sketch construction from serving: the index is built once
-(on the CSR fast path) and any number of queries run against the saved
-flat-array file without touching the graph again.
+``query`` / ``serve`` split sketch construction from serving: the index
+is built once (on the CSR fast path) and any number of queries run
+against the saved flat-array file without touching the graph again --
+either ad hoc from the shell (``query``) or as a long-lived HTTP JSON
+daemon (``serve``, memory-mapping the index by default so startup cost
+does not scale with index size).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.ads import AdsIndex, build_ads_set
@@ -29,8 +34,8 @@ from repro.centrality import (
 )
 from repro.counters import HipDistinctCounter
 from repro.estimators.statistics import (
-    exponential_decay_kernel,
-    harmonic_kernel,
+    CENTRALITY_KINDS,
+    centrality_kind_kwargs,
 )
 from repro.graph.io import read_edge_list
 from repro.rand.hashing import HashFamily
@@ -65,6 +70,25 @@ def _load(args) -> tuple:
 
 
 def cmd_sketch(args) -> int:
+    """Build and dump every node's ADS (the ``sketch`` subcommand).
+
+    Writes one ``node\\tentries`` line per node to ``--out`` (default:
+    stdout), each entry as ``node:distance:rank``, plus a sketch-count
+    summary on stderr.
+
+    Returns:
+        0 on success; unreadable graph files exit 1 via ``main``.
+
+    Example:
+        >>> import tempfile, os
+        >>> d = tempfile.mkdtemp()
+        >>> graph = os.path.join(d, "g.txt")
+        >>> with open(graph, "w") as fh:
+        ...     _ = fh.write("0 1\\n1 2\\n")
+        >>> main(["sketch", graph, "--int-nodes", "--k", "8",
+        ...       "--out", os.path.join(d, "sketches.txt")])
+        0
+    """
     graph, family = _load(args)
     ads_set = build_ads_set(graph, args.k, family=family)
     out = open(args.out, "w") if args.out else sys.stdout
@@ -88,17 +112,29 @@ def cmd_sketch(args) -> int:
 def _centrality_kwargs(args):
     """Map the shared --kind/--half-life options to estimator kwargs
     (an unset --kind means classic)."""
-    kind = args.kind or "classic"
-    if kind == "harmonic":
-        return {"alpha": harmonic_kernel()}
-    if kind == "decay":
-        return {"alpha": exponential_decay_kernel(args.half_life)}
-    if kind == "classic":
-        return {"classic": True}
-    return {}  # distsum
+    return centrality_kind_kwargs(args.kind or "classic", args.half_life)
 
 
 def cmd_centrality(args) -> int:
+    """Rank nodes by estimated centrality (the ``centrality`` command).
+
+    Builds the sketch set, evaluates the ``--kind`` centrality
+    (classic/harmonic/decay/distsum) for every node, and prints the
+    ``--top`` ranked ``node\\tvalue`` lines.
+
+    Returns:
+        0 on success.
+
+    Example:
+        >>> import tempfile, os
+        >>> graph = os.path.join(tempfile.mkdtemp(), "g.txt")
+        >>> with open(graph, "w") as fh:
+        ...     _ = fh.write("0 1\\n1 2\\n")
+        >>> main(["centrality", graph, "--int-nodes", "--k", "8",
+        ...       "--top", "1"])  # doctest: +NORMALIZE_WHITESPACE
+        1 1
+        0
+    """
     graph, family = _load(args)
     ads_set = build_ads_set(graph, args.k, family=family)
     values = all_closeness_centralities(ads_set, **_centrality_kwargs(args))
@@ -118,6 +154,25 @@ def _parse_node(args):
 
 
 def cmd_neighborhood(args) -> int:
+    """One node's distance distribution (the ``neighborhood`` command).
+
+    Prints the estimated cumulative neighborhood size per distance as
+    ``distance\\testimate`` lines for ``--node``.
+
+    Returns:
+        0 on success, 1 for an unknown or unparseable node.
+
+    Example:
+        >>> import tempfile, os
+        >>> graph = os.path.join(tempfile.mkdtemp(), "g.txt")
+        >>> with open(graph, "w") as fh:
+        ...     _ = fh.write("0 1\\n1 2\\n")
+        >>> main(["neighborhood", graph, "--int-nodes", "--k", "8",
+        ...       "--node", "1"])  # doctest: +NORMALIZE_WHITESPACE
+        0 1.00
+        1 3.00
+        0
+    """
     graph, family = _load(args)
     node = _parse_node(args)
     if node is None:
@@ -134,6 +189,27 @@ def cmd_neighborhood(args) -> int:
 
 
 def cmd_build_index(args) -> int:
+    """Build and persist the flat-array index (``build-index``).
+
+    Runs the CSR build (optionally sharded across ``--workers``
+    processes) and saves a single-file index, or a sharded directory
+    layout with ``--shards``.  The saved artifact is what ``query`` and
+    ``serve`` consume.
+
+    Returns:
+        0 on success, 1 for build/save failures, 2 for invalid
+        ``--workers``/``--shards``.
+
+    Example:
+        >>> import tempfile, os
+        >>> d = tempfile.mkdtemp()
+        >>> graph = os.path.join(d, "g.txt")
+        >>> with open(graph, "w") as fh:
+        ...     _ = fh.write("0 1\\n1 2\\n")
+        >>> main(["build-index", graph, "--int-nodes", "--k", "8",
+        ...       "--out", os.path.join(d, "g.adsidx")])
+        0
+    """
     if args.workers < 1:
         print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
@@ -165,6 +241,32 @@ def cmd_build_index(args) -> int:
 
 
 def cmd_query(args) -> int:
+    """Serve estimates from a saved index (the ``query`` subcommand).
+
+    Without ``--node``: the ``--top`` centrality ranking, an all-nodes
+    ``--cardinality D`` sweep, or the whole-graph ``--neighborhood``
+    series.  With ``--node``: that node's neighborhood function,
+    centrality (with ``--kind``), or cardinality (with
+    ``--cardinality``).
+
+    Returns:
+        0 on success, 1 for a missing/corrupt index or unknown node.
+
+    Example:
+        >>> import tempfile, os
+        >>> d = tempfile.mkdtemp()
+        >>> graph = os.path.join(d, "g.txt")
+        >>> with open(graph, "w") as fh:
+        ...     _ = fh.write("0 1\\n1 2\\n")
+        >>> index = os.path.join(d, "g.adsidx")
+        >>> main(["build-index", graph, "--int-nodes", "--k", "8",
+        ...       "--out", index])
+        0
+        >>> main(["query", index, "--node", "1",
+        ...       "--cardinality", "1"])  # doctest: +NORMALIZE_WHITESPACE
+        1 3.00
+        0
+    """
     try:
         index = AdsIndex.load(args.index)
     except (ReproError, OSError) as error:
@@ -219,7 +321,83 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve a saved index over HTTP (the ``serve`` subcommand).
+
+    Loads ``--index`` (memory-mapped by default, so a multi-GB index
+    starts serving in milliseconds) and blocks answering the JSON API
+    until interrupted.  See :mod:`repro.serve.server` for the endpoint
+    reference.
+
+    Returns:
+        0 after a clean shutdown (Ctrl-C), 1 when the index cannot be
+        loaded, 2 for invalid parameters.
+
+    Example:
+        >>> from repro.cli import main
+        >>> main(["serve", "--index", "/nonexistent.adsidx"])
+        1
+    """
+    from repro.serve import AdsServer
+
+    if args.cache_size < 0:
+        print(f"--cache-size must be >= 0, got {args.cache_size}",
+              file=sys.stderr)
+        return 2
+    if args.threads < 1:
+        print(f"--threads must be >= 1, got {args.threads}", file=sys.stderr)
+        return 2
+    index_path = Path(args.index)
+    if not index_path.exists():
+        # An unloadable index is a load failure (1), matching `query`;
+        # exit 2 is reserved for invalid flag values.
+        print(f"index {args.index!r} does not exist", file=sys.stderr)
+        return 1
+    try:
+        index = AdsIndex.load(index_path, mmap=args.mmap)
+        server = AdsServer(
+            index, host=args.host, port=args.port,
+            cache_size=args.cache_size, threads=args.threads,
+        )
+    except (ReproError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    mode = "mmap" if index.mmap_backed else "eager"
+    print(
+        f"# serving {index.num_nodes} nodes ({index.num_entries} entries, "
+        f"flavor={index.flavor}, k={index.k}, {mode} load) on {server.url} "
+        f"with {args.threads} threads, cache={args.cache_size}",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("# shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
 def cmd_distinct_count(args) -> int:
+    """HIP + HLL distinct count of a stream (``distinct-count``).
+
+    Reads newline-separated elements from ``--input`` (default: stdin)
+    and prints both the HIP estimate and the raw HyperLogLog estimate.
+
+    Returns:
+        0 on success.
+
+    Example:
+        >>> import tempfile, os
+        >>> stream = os.path.join(tempfile.mkdtemp(), "els.txt")
+        >>> with open(stream, "w") as fh:
+        ...     _ = fh.write("a\\nb\\na\\nc\\n")
+        >>> main(["distinct-count", "--input", stream,
+        ...       "--k", "16"])  # doctest: +NORMALIZE_WHITESPACE
+        hip 3.1
+        hll 3.3
+        0
+    """
     counter = HipDistinctCounter(
         HyperLogLog(args.k, HashFamily(args.seed), args.register_bits)
     )
@@ -239,6 +417,22 @@ def cmd_distinct_count(args) -> int:
 
 
 def cmd_figures(args) -> int:
+    """Regenerate a paper figure panel (the ``figures`` subcommand).
+
+    Runs the fig2 (HIP vs basic estimator NRMSE) or fig3 (distinct
+    counting) simulation harness at the requested scale and prints the
+    rendered series table.
+
+    Returns:
+        0 on success.
+
+    Example:
+        >>> from repro.cli import main
+        >>> main(["figures", "fig2", "--k", "4", "--runs", "2",
+        ...       "--max-n", "40"])  # doctest: +ELLIPSIS
+        fig2 k=4 runs=2 max_n=40...
+        0
+    """
     from repro.eval.fig2 import Fig2Config, run_figure2
     from repro.eval.fig3 import Fig3Config, run_figure3
     from repro.eval.reporting import render_table
@@ -278,7 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_graph_args(p)
     p.add_argument(
         "--kind",
-        choices=["classic", "harmonic", "decay", "distsum"],
+        choices=list(CENTRALITY_KINDS),
         default="classic",
     )
     p.add_argument("--half-life", type=float, default=1.0)
@@ -338,7 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--kind",
-        choices=["classic", "harmonic", "decay", "distsum"],
+        choices=list(CENTRALITY_KINDS),
         default=None,
         help="centrality kind for the top-central query (default: "
         "classic), or for one node's centrality with --node",
@@ -368,6 +562,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--int-nodes", action="store_true", help="parse --node as an integer"
     )
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a saved ADS index over an HTTP JSON API",
+    )
+    p.add_argument(
+        "--index",
+        required=True,
+        help="index file written by build-index (or a sharded layout "
+        "directory / its manifest.json)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (0 picks a free port)",
+    )
+    p.add_argument(
+        "--mmap",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="memory-map the index columns (zero-copy, lazy per-shard "
+        "paging) instead of reading them eagerly",
+    )
+    p.add_argument(
+        "--cache-size", type=int, default=256,
+        help="LRU capacity for whole-graph query results (0 disables)",
+    )
+    p.add_argument(
+        "--threads", type=int, default=8,
+        help="worker threads handling requests",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
         "distinct-count",

@@ -48,6 +48,32 @@ def harmonic_kernel() -> Kernel:
     return lambda x: 1.0 / x if x > 0 else 0.0
 
 
+CENTRALITY_KINDS = ("classic", "harmonic", "decay", "distsum")
+
+
+def centrality_kind_kwargs(kind: str, half_life: float = 1.0) -> dict:
+    """Map a centrality *kind* name to closeness-estimator kwargs.
+
+    The single source of truth behind the CLI's ``--kind`` option and
+    the HTTP API's ``kind`` parameter, so shell and wire queries agree
+    number-for-number: ``classic`` -> Bavelas closeness, ``harmonic`` ->
+    the harmonic kernel, ``decay`` -> exponential decay with
+    *half_life*, ``distsum`` -> the raw sum of distances.
+    """
+    if kind == "classic":
+        return {"classic": True}
+    if kind == "harmonic":
+        return {"alpha": harmonic_kernel()}
+    if kind == "decay":
+        return {"alpha": exponential_decay_kernel(half_life)}
+    if kind == "distsum":
+        return {}
+    raise EstimatorError(
+        f"unknown centrality kind {kind!r}; expected one of "
+        f"{list(CENTRALITY_KINDS)}"
+    )
+
+
 def inverse_polynomial_kernel(power: float) -> Kernel:
     """alpha(x) = 1/x^power for x > 0 (generalised distance decay)."""
     if power <= 0:

@@ -1,0 +1,28 @@
+"""Query serving: a long-lived HTTP daemon over a (mmap-loaded) index.
+
+The build pipeline ends with an :class:`~repro.ads.index.AdsIndex` on
+disk; this package is the layer that takes traffic against it:
+
+* :class:`AdsServer` -- stdlib ``http.server`` JSON API with a bounded
+  worker pool and an LRU cache for whole-graph results
+  (:mod:`repro.serve.server`);
+* :class:`QueryClient` -- keep-alive stdlib client
+  (:mod:`repro.serve.client`);
+* :class:`LruCache` -- the cache primitive (:mod:`repro.serve.cache`);
+* :mod:`repro.serve.schemas` -- wire-format parsing and shaping.
+
+Shell entry point: ``python -m repro serve --index graph.adsidx``.
+"""
+
+from repro.serve.cache import LruCache
+from repro.serve.client import QueryClient, ServeClientError
+from repro.serve.schemas import WireError
+from repro.serve.server import AdsServer
+
+__all__ = [
+    "AdsServer",
+    "LruCache",
+    "QueryClient",
+    "ServeClientError",
+    "WireError",
+]

@@ -1,0 +1,116 @@
+"""Thread-safe LRU result cache for the query server.
+
+The hot serving queries are the whole-graph ones -- the ANF series,
+top-central rankings, all-nodes cardinality sweeps -- which cost O(total
+entries) to recompute but are identical for every caller.
+:class:`LruCache` memoises them keyed on (endpoint, canonical params)
+and exposes hit/miss/eviction counters that the server surfaces at
+``/stats``.
+
+Invalidation story: an :class:`~repro.ads.index.AdsIndex` is immutable
+once built, so cached results can never go stale for the lifetime of a
+server process.  Refreshing an index on disk (``write_shard``, a
+rebuild) means starting a new server -- or calling :meth:`LruCache.clear`
+from an embedding application that swapped the index object.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+from repro._util import require
+
+_MISS = object()
+
+
+class LruCache:
+    """A bounded least-recently-used map with hit/miss counters.
+
+    Args:
+        capacity: Maximum number of cached results; ``0`` disables
+            caching entirely (every ``get`` misses, ``put`` is a no-op).
+
+    Raises:
+        ParameterError: if *capacity* is negative.
+
+    Example:
+        >>> cache = LruCache(2)
+        >>> cache.put("a", 1); cache.put("b", 2); cache.put("c", 3)
+        >>> cache.get("a") is None  # evicted: capacity 2, LRU order
+        True
+        >>> cache.get("c")
+        3
+        >>> cache.stats()["evictions"]
+        1
+    """
+
+    def __init__(self, capacity: int):
+        require(capacity >= 0, f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """The cached value for *key*, or *default*; counts hit/miss."""
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert (or refresh) *key*, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """``(value, was_hit)``: the cached value, computing and storing
+        it on a miss.
+
+        The computation runs outside the lock -- queries are pure
+        functions of the immutable index, so two threads racing the same
+        miss at worst compute the identical result twice.
+        """
+        value = self.get(key, _MISS)
+        if value is not _MISS:
+            return value, True
+        value = compute()
+        self.put(key, value)
+        return value, False
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for ``/stats``: hits, misses, evictions, size, capacity."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }

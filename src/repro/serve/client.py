@@ -1,0 +1,222 @@
+"""``QueryClient``: a thin stdlib client for the ``repro serve`` API.
+
+Built straight on :mod:`http.client` so the connection is kept alive
+across calls -- the difference between a few hundred and a few thousand
+queries per second against a localhost daemon.  One client owns one
+socket and is **not** thread-safe; give each thread its own client.
+
+Example::
+
+    client = QueryClient("http://127.0.0.1:8080")
+    client.healthz()                      # {"status": "ok", ...}
+    client.cardinality(node=5, d=2.0)     # one node
+    client.cardinality_batch([1, 2, 3])   # many nodes, one round trip
+    client.top_central(count=10, kind="harmonic")
+
+Server-side refusals (unknown node, malformed parameter) raise
+:class:`ServeClientError` carrying the HTTP status and the server's
+``error`` message; transport failures raise it with ``status=None``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import socket
+from typing import Any, Dict, Hashable, Optional, Sequence
+from urllib.parse import quote, urlencode, urlsplit
+
+from repro.errors import ReproError
+
+
+class ServeClientError(ReproError):
+    """An HTTP query failed; ``status`` is None for transport faults."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class QueryClient:
+    """Keep-alive JSON client for one :class:`~repro.serve.AdsServer`.
+
+    Args:
+        base_url: Server root, e.g. ``"http://127.0.0.1:8080"``.
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        if "://" not in base_url:
+            # "localhost:8080" would otherwise urlsplit as scheme
+            # "localhost"; scheme-less inputs are always host[:port].
+            base_url = f"http://{base_url}"
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.netloc:
+            raise ServeClientError(f"unsupported server URL {base_url!r}")
+        host, _, port = split.netloc.partition(":")
+        self.host = host
+        self.port = int(port) if port else 80
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Dict[str, Any]] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        if params:
+            path = f"{path}?{urlencode(params)}"
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error: Optional[Exception] = None
+        # One retry on a fresh socket: a kept-alive connection the
+        # server has since closed fails only on its next use.
+        for attempt in range(2):
+            conn = self._conn
+            if conn is None:
+                conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+                try:
+                    conn.connect()
+                    conn.sock.setsockopt(
+                        socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                    )
+                except OSError as error:
+                    conn.close()
+                    raise ServeClientError(
+                        f"cannot reach server ({error})"
+                    )
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (http.client.HTTPException, OSError) as error:
+                conn.close()
+                self._conn = None
+                last_error = error
+                continue
+            self._conn = conn
+            try:
+                data = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise ServeClientError(
+                    f"non-JSON response ({response.status})",
+                    status=response.status,
+                )
+            if response.status >= 400:
+                message = (
+                    data.get("error", "request failed")
+                    if isinstance(data, dict) else "request failed"
+                )
+                raise ServeClientError(message, status=response.status)
+            return data
+        raise ServeClientError(f"cannot reach server ({last_error})")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def cardinality(
+        self, node: Optional[Hashable] = None, d: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """n_d estimates: every node, or just *node* when given."""
+        params: Dict[str, Any] = {}
+        if d is not None and d != math.inf:
+            # +inf is the server default; anything else (-inf included)
+            # must travel, not silently widen to all-reachable.
+            params["d"] = d
+        if node is not None:
+            params["node"] = node
+        return self._request("GET", "/cardinality", params=params)
+
+    def cardinality_batch(
+        self, nodes: Sequence[Hashable], d: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """One round trip answering n_d for every node in *nodes*."""
+        payload: Dict[str, Any] = {"nodes": list(nodes)}
+        if d is not None and d != math.inf:
+            payload["d"] = d
+        return self._request("POST", "/cardinality", payload=payload)
+
+    def closeness(
+        self,
+        node: Optional[Hashable] = None,
+        kind: str = "classic",
+        half_life: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {"kind": kind}
+        if half_life is not None:
+            params["half_life"] = half_life
+        if node is not None:
+            params["node"] = node
+        return self._request("GET", "/closeness", params=params)
+
+    def closeness_batch(
+        self,
+        nodes: Sequence[Hashable],
+        kind: str = "classic",
+        half_life: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"nodes": list(nodes), "kind": kind}
+        if half_life is not None:
+            payload["half_life"] = half_life
+        return self._request("POST", "/closeness", payload=payload)
+
+    def neighborhood(
+        self, node: Optional[Hashable] = None
+    ) -> Dict[str, Any]:
+        """The ANF series -- whole graph, or one node's distribution."""
+        params = {"node": node} if node is not None else None
+        return self._request("GET", "/neighborhood", params=params)
+
+    def top_central(
+        self,
+        count: int = 10,
+        kind: str = "classic",
+        half_life: Optional[float] = None,
+        largest: bool = True,
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {
+            "count": count,
+            "kind": kind,
+            "largest": "true" if largest else "false",
+        }
+        if half_life is not None:
+            params["half_life"] = half_life
+        return self._request("GET", "/top-central", params=params)
+
+    def node(self, label: Hashable) -> Dict[str, Any]:
+        """One node's summary: sketch size, reachability, centrality."""
+        return self._request(
+            "GET", f"/node/{quote(str(label), safe='')}"
+        )
+
+
+__all__ = ["QueryClient", "ServeClientError"]

@@ -1,0 +1,161 @@
+"""Wire schemas: request parsing and response shaping for the server.
+
+Everything the HTTP layer needs to turn query strings and JSON bodies
+into typed :class:`~repro.ads.index.AdsIndex` query arguments lives
+here, so :mod:`repro.serve.server` stays a thin router and the
+validation rules are unit-testable without sockets.
+
+Conventions:
+
+* malformed parameters raise :class:`WireError` with status 400,
+  unknown nodes status 404; the server serialises them as
+  ``{"error": message}`` with that HTTP status.
+* node labels keep their index-side type (int or str) in JSON; batch
+  results are ``[label, value]`` pairs rather than objects, because an
+  int label is not a valid JSON object key.
+* ``kind`` selects the centrality kernel exactly like the CLI:
+  ``classic`` (Bavelas closeness), ``harmonic``, ``decay`` (with
+  ``half_life``), or ``distsum`` (raw sum of distances).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.estimators.statistics import (
+    CENTRALITY_KINDS,
+    centrality_kind_kwargs,
+)
+
+
+class WireError(ReproError):
+    """A request the server must refuse, carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def bad_request(message: str) -> WireError:
+    return WireError(400, message)
+
+
+def not_found(message: str) -> WireError:
+    return WireError(404, message)
+
+
+def parse_float(
+    params: Dict[str, str], name: str, default: float
+) -> float:
+    """A float query parameter; NaN and unparseable values are 400s."""
+    raw = params.get(name)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise bad_request(f"{name} must be a number, got {raw!r}")
+    if math.isnan(value):
+        raise bad_request(f"{name} must not be NaN")
+    return value
+
+
+def parse_int(
+    params: Dict[str, str], name: str, default: int, minimum: int
+) -> int:
+    raw = params.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise bad_request(f"{name} must be an integer, got {raw!r}")
+    if value < minimum:
+        raise bad_request(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def parse_bool(params: Dict[str, str], name: str, default: bool) -> bool:
+    raw = params.get(name)
+    if raw is None:
+        return default
+    lowered = raw.lower()
+    if lowered in ("1", "true", "yes"):
+        return True
+    if lowered in ("0", "false", "no"):
+        return False
+    raise bad_request(f"{name} must be a boolean, got {raw!r}")
+
+
+def centrality_kwargs(params: Dict[str, str]) -> Dict[str, Any]:
+    """Map ``kind``/``half_life`` parameters to estimator kwargs.
+
+    Delegates to the shared
+    :func:`repro.estimators.statistics.centrality_kind_kwargs` mapping
+    (the same one behind the CLI's ``--kind``) so HTTP and shell
+    queries agree number-for-number; this wrapper only adds the wire
+    validation (400s instead of library errors).
+    """
+    kind = params.get("kind", "classic")
+    if kind not in CENTRALITY_KINDS:
+        raise bad_request(
+            f"kind must be one of {list(CENTRALITY_KINDS)}, got {kind!r}"
+        )
+    half_life = parse_float(params, "half_life", 1.0)
+    if kind == "decay" and half_life <= 0.0:
+        raise bad_request(f"half_life must be > 0, got {half_life}")
+    return centrality_kind_kwargs(kind, half_life)
+
+
+def resolve_node(index, raw: Hashable) -> Hashable:
+    """Map a request-supplied node to an index label, or raise 404.
+
+    HTTP query strings carry every label as text, so a string that
+    misses is retried as an int (and vice versa for typed JSON bodies)
+    -- the same coercion the CLI ``query`` command applies.
+    """
+    # Saved indexes only ever carry int/str labels; anything else in a
+    # JSON body (lists, objects, bools, null) is a malformed request,
+    # not a miss -- and must not reach the dict lookup (unhashable).
+    if isinstance(raw, bool) or not isinstance(raw, (int, str)):
+        raise bad_request(f"invalid node {raw!r}")
+    if raw in index:
+        return raw
+    coerced: Optional[Hashable] = None
+    if isinstance(raw, str):
+        try:
+            coerced = int(raw)
+        except ValueError:
+            coerced = None
+    elif isinstance(raw, int):
+        coerced = str(raw)
+    if coerced is not None and coerced in index:
+        return coerced
+    raise not_found(f"node {raw!r} not in index")
+
+
+def resolve_nodes(index, raw_nodes: Any) -> List[Hashable]:
+    """Resolve a JSON batch ``nodes`` field; malformed shapes are 400s."""
+    if not isinstance(raw_nodes, list):
+        raise bad_request("nodes must be a JSON array of node labels")
+    if not raw_nodes:
+        raise bad_request("nodes must not be empty")
+    return [resolve_node(index, raw) for raw in raw_nodes]
+
+
+def label_value_pairs(values: Dict[Hashable, float]) -> List[List[Any]]:
+    """``{label: value}`` as JSON-safe ``[label, value]`` rows."""
+    return [[label, value] for label, value in values.items()]
+
+
+def series_pairs(series: Sequence[Tuple[float, float]]) -> List[List[float]]:
+    """A ``(distance, estimate)`` series as JSON rows."""
+    return [[distance, estimate] for distance, estimate in series]
+
+
+def json_safe_number(value: float) -> Optional[float]:
+    """Finite floats pass through; infinities become None (JSON null)."""
+    return value if math.isfinite(value) else None

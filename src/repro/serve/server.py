@@ -1,0 +1,543 @@
+"""``AdsServer``: a long-lived JSON query daemon over one ``AdsIndex``.
+
+The paper's workflow is build-once / query-forever (Section 1); this is
+the query-forever half as an actual network service.  A single immutable
+:class:`~repro.ads.index.AdsIndex` -- ideally loaded with ``mmap=True``
+so the process starts serving in milliseconds -- is shared by a bounded
+pool of worker threads behind stdlib ``http.server`` plumbing.  Pure
+Python threads suffice here because every query is read-only over flat
+columns and the hot whole-graph results are LRU-cached.
+
+Endpoints (all JSON):
+
+=====================  ====================================================
+``GET  /healthz``      liveness probe
+``GET  /stats``        request/cache counters, index metadata, uptime
+``GET  /cardinality``  all-nodes n_d sweep (``?d=``), or one ``?node=``
+``POST /cardinality``  batch: ``{"nodes": [...], "d": 2.0}``
+``GET  /closeness``    all-nodes C_{alpha,beta} (``?kind=``), or one node
+``POST /closeness``    batch: ``{"nodes": [...], "kind": "harmonic"}``
+``GET  /neighborhood`` whole-graph ANF series, or one ``?node=``
+``GET  /top-central``  ``?count=&kind=&largest=`` ranking
+``GET  /node/<label>`` one node's summary (sketch size, estimates)
+=====================  ====================================================
+
+Unknown nodes are 404s, malformed parameters 400s, unexpected faults
+500s -- always with an ``{"error": ...}`` body.  Handlers speak
+HTTP/1.1 with explicit ``Content-Length``, so clients can keep
+connections alive and batch thousands of queries per second over one
+socket (``benchmarks/bench_serve.py`` measures exactly that).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import queue
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro._util import require
+from repro.ads.index import AdsIndex
+from repro.errors import ReproError
+from repro.serve.cache import LruCache
+from repro.serve.schemas import (
+    WireError,
+    bad_request,
+    centrality_kwargs,
+    json_safe_number,
+    label_value_pairs,
+    not_found,
+    parse_bool,
+    parse_float,
+    parse_int,
+    resolve_node,
+    resolve_nodes,
+    series_pairs,
+)
+
+_MAX_BODY_BYTES = 8 << 20  # refuse absurd batch payloads outright
+
+
+class _PooledHTTPServer(HTTPServer):
+    """An ``HTTPServer`` that handles connections on a bounded pool of
+    daemon worker threads.
+
+    ``ThreadingHTTPServer`` spawns an unbounded thread per connection; a
+    serving daemon wants backpressure instead, so accepted connections
+    queue once all ``threads`` workers are busy.  Workers are daemon
+    threads -- a client holding a keep-alive connection open can never
+    block process exit -- and each connection read carries the handler's
+    idle timeout, after which the connection is dropped and the worker
+    moves on.
+    """
+
+    allow_reuse_address = True
+
+    def __init__(self, address, handler_class, app: "AdsServer",
+                 threads: int):
+        self.app = app
+        # Bounded: once every worker is busy and the backlog is full,
+        # new connections are shed immediately instead of accumulating
+        # open file descriptors without limit.
+        self._work: "queue.Queue" = queue.Queue(maxsize=threads * 8 + 16)
+        self._workers = [
+            threading.Thread(
+                target=self._worker, name=f"repro-serve-worker-{i}",
+                daemon=True,
+            )
+            for i in range(threads)
+        ]
+        super().__init__(address, handler_class)
+        for worker in self._workers:
+            worker.start()
+
+    def process_request(self, request, client_address):
+        try:
+            self._work.put_nowait((request, client_address))
+        except queue.Full:
+            self.shutdown_request(request)  # shed load under overload
+
+    def _worker(self):
+        while True:
+            item = self._work.get()
+            if item is None:
+                return
+            request, client_address = item
+            try:
+                self.finish_request(request, client_address)
+            except Exception:
+                self.handle_error(request, client_address)
+            finally:
+                self.shutdown_request(request)
+
+    def handle_error(self, request, client_address):
+        # Client disconnects mid-response are routine, not stack traces.
+        pass
+
+    def server_close(self):
+        super().server_close()
+        for _ in self._workers:
+            self._work.put(None)
+
+
+class _AdsRequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"  # keep-alive; Content-Length always sent
+    server_version = "repro-serve/1.0"
+    timeout = 30.0  # idle keep-alive connections release their worker
+    # Responses go out as two small writes (headers, then body); with
+    # Nagle on, the second write stalls ~40ms behind the client's
+    # delayed ACK, capping a keep-alive connection at ~25 queries/sec.
+    disable_nagle_algorithm = True
+
+    def do_GET(self):  # noqa: N802 (http.server naming contract)
+        self.server.app.dispatch(self, "GET")
+
+    def do_POST(self):  # noqa: N802
+        self.server.app.dispatch(self, "POST")
+
+    def log_message(self, format, *args):
+        """Silence per-request stderr chatter; /stats has the counters."""
+
+
+class AdsServer:
+    """The serving daemon: routing, caching, and counters over an index.
+
+    Args:
+        index: The (immutable) sketch index to serve.
+        host / port: Bind address; ``port=0`` picks a free port, read it
+            back from :attr:`port`.
+        cache_size: LRU capacity for whole-graph query results
+            (``0`` disables caching).
+        threads: Worker-thread pool size.
+
+    Example:
+        >>> from repro.graph import path_graph
+        >>> from repro.ads import AdsIndex
+        >>> server = AdsServer(AdsIndex.build(path_graph(4).to_csr(), k=4))
+        >>> with server:  # starts a background thread, shuts down on exit
+        ...     from repro.serve.client import QueryClient
+        ...     QueryClient(server.url).cardinality(node=0, d=1.0)["value"]
+        2.0
+    """
+
+    def __init__(
+        self,
+        index: AdsIndex,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 256,
+        threads: int = 8,
+    ):
+        require(threads >= 1, f"threads must be >= 1, got {threads}")
+        self.index = index
+        self.cache = LruCache(cache_size)
+        self.threads = int(threads)
+        self.started_at = time.time()
+        self._requests = 0
+        self._internal_errors = 0
+        self._counter_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._serving = threading.Event()
+        self._routes = {
+            "/healthz": (self._healthz, ("GET",)),
+            "/stats": (self._stats, ("GET",)),
+            "/cardinality": (self._cardinality, ("GET", "POST")),
+            "/closeness": (self._closeness, ("GET", "POST")),
+            "/neighborhood": (self._neighborhood, ("GET",)),
+            "/top-central": (self._top_central, ("GET",)),
+        }
+        self._httpd = _PooledHTTPServer(
+            (host, port), _AdsRequestHandler, self, threads
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Block and serve until :meth:`shutdown` (or KeyboardInterrupt)."""
+        self._serving.set()
+        try:
+            self._httpd.serve_forever(poll_interval=0.1)
+        finally:
+            self._serving.clear()
+
+    def start(self) -> "AdsServer":
+        """Serve on a daemon background thread (tests, examples, embeds)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="repro-serve-acceptor",
+                daemon=True,
+            )
+            self._thread.start()
+            # Wait for the accept loop to go live so an immediate
+            # shutdown() cannot race serve_forever's startup (it would
+            # skip the shutdown handshake and strand the loop).
+            self._serving.wait(timeout=5.0)
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting, join the acceptor thread, release the socket.
+
+        Safe to call whether or not the server ever started: the
+        ``serve_forever`` handshake only runs when an accept loop is
+        actually live (``HTTPServer.shutdown`` would otherwise wait
+        forever on an event that only ``serve_forever`` sets).
+        """
+        if self._serving.is_set():
+            self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.close()
+
+    def close(self) -> None:
+        """Release the listening socket and the worker pool.
+
+        The public teardown for a server that was never (or is no
+        longer) serving; :meth:`shutdown` calls it automatically.
+        """
+        self._httpd.server_close()
+
+    def __enter__(self) -> "AdsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, handler: _AdsRequestHandler, method: str) -> None:
+        """Route one HTTP request and write its JSON response."""
+        with self._counter_lock:
+            self._requests += 1
+        try:
+            split = urlsplit(handler.path)
+            path = unquote(split.path)
+            # keep_blank_values: "?node=" must reach resolve_node (404)
+            # rather than silently becoming an all-nodes sweep.
+            params = {
+                name: values[-1]
+                for name, values in parse_qs(
+                    split.query, keep_blank_values=True
+                ).items()
+            }
+            body = self._read_body(handler) if method == "POST" else None
+            status, payload = self._route(method, path, params, body)
+        except WireError as error:
+            status, payload = error.status, {"error": error.message}
+        except ReproError as error:
+            # Request validation all happens in the schemas layer
+            # (WireError above); a library error surfacing here means
+            # the *served index* failed mid-query -- a vanished shard
+            # file, a truncated layout -- which is a server fault, not
+            # a malformed request.
+            with self._counter_lock:
+                self._internal_errors += 1
+            status, payload = 500, {"error": str(error)}
+        except Exception:  # pragma: no cover - defensive
+            with self._counter_lock:
+                self._internal_errors += 1
+            status, payload = 500, {"error": "internal server error"}
+        self._write_json(handler, status, payload)
+
+    @staticmethod
+    def _read_body(handler: _AdsRequestHandler) -> Any:
+        # Refusals raised BEFORE the body is fully consumed must also
+        # drop the connection: otherwise the unread body bytes would be
+        # parsed as the next request on this keep-alive socket.
+        try:
+            length = int(handler.headers.get("Content-Length", "0"))
+        except ValueError:
+            handler.close_connection = True
+            raise bad_request("invalid Content-Length")
+        if length < 0:
+            handler.close_connection = True
+            raise bad_request("invalid Content-Length")
+        if length > _MAX_BODY_BYTES:
+            handler.close_connection = True
+            raise bad_request("request body too large")
+        raw = handler.rfile.read(length) if length else b""
+        if not raw:
+            # Covers chunked posts too (no Content-Length, body unread).
+            handler.close_connection = True
+            raise bad_request("POST requires a JSON body")
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise bad_request(f"malformed JSON body ({error})")
+        if not isinstance(body, dict):
+            raise bad_request("JSON body must be an object")
+        return body
+
+    @staticmethod
+    def _write_json(
+        handler: _AdsRequestHandler, status: int, payload: Dict[str, Any]
+    ) -> None:
+        data = json.dumps(payload).encode("utf-8")
+        try:
+            handler.send_response(status)
+            handler.send_header("Content-Type", "application/json")
+            handler.send_header("Content-Length", str(len(data)))
+            if handler.close_connection:
+                # Tell the client, don't just drop the socket (set when
+                # a refused request left body bytes unread).
+                handler.send_header("Connection", "close")
+            handler.end_headers()
+            handler.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to salvage
+
+    def _route(
+        self,
+        method: str,
+        path: str,
+        params: Dict[str, str],
+        body: Optional[Dict[str, Any]],
+    ) -> Tuple[int, Dict[str, Any]]:
+        if path.startswith("/node/"):
+            if method != "GET":
+                raise bad_request(f"{path} only supports GET")
+            return 200, self._node_summary(path[len("/node/"):])
+        entry = self._routes.get(path)
+        if entry is None:
+            raise not_found(f"no such endpoint: {path}")
+        target, methods = entry
+        if method not in methods:
+            raise bad_request(f"{path} only supports {'/'.join(methods)}")
+        if method == "POST":
+            return 200, target(params, body)
+        return 200, target(params, None)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self, params, body) -> Dict[str, Any]:
+        return {"status": "ok", "nodes": self.index.num_nodes}
+
+    def _stats(self, params, body) -> Dict[str, Any]:
+        index = self.index
+        with self._counter_lock:
+            requests, internal = self._requests, self._internal_errors
+        return {
+            "requests": requests,
+            "internal_errors": internal,
+            "uptime_seconds": time.time() - self.started_at,
+            "threads": self.threads,
+            "cache": self.cache.stats(),
+            "index": {
+                "flavor": index.flavor,
+                "k": index.k,
+                "nodes": index.num_nodes,
+                "entries": index.num_entries,
+                "mmap": index.mmap_backed,
+                "mapped_shards": index.mapped_shards,
+            },
+        }
+
+    def _cached(self, key: Tuple, compute) -> Tuple[Any, bool]:
+        """Memoise a whole-graph result under a *parsed*-value key, so
+        ``?d=2`` and ``?d=2.0`` (or spelled-out defaults) share one
+        entry instead of fragmenting the LRU."""
+        return self.cache.get_or_compute(key, compute)
+
+    @staticmethod
+    def _centrality_key(params: Dict[str, str]) -> Tuple[str, Any]:
+        """Canonical (kind, half_life) pair: half_life only matters for
+        the decay kernel, so other kinds collapse it to None."""
+        kind = params.get("kind", "classic")
+        half_life = (
+            parse_float(params, "half_life", 1.0)
+            if kind == "decay" else None
+        )
+        return kind, half_life
+
+    def _cardinality(self, params, body) -> Dict[str, Any]:
+        if body is not None:
+            d = _batch_float(body, "d", math.inf)
+            labels = resolve_nodes(self.index, body.get("nodes"))
+            return {
+                "d": json_safe_number(d),
+                "results": [
+                    [label, self.index.node_cardinality_at(label, d)]
+                    for label in labels
+                ],
+            }
+        d = parse_float(params, "d", math.inf)
+        if "node" in params:
+            label = resolve_node(self.index, params["node"])
+            return {
+                "node": label,
+                "d": json_safe_number(d),
+                "value": self.index.node_cardinality_at(label, d),
+            }
+        if d == math.inf:
+            # Only the default all-reachable sweep is cached: d is a
+            # continuous parameter, so caching every distinct threshold
+            # would let a d-sweeping client pin cache-size O(n) result
+            # lists in RAM.  Arbitrary-d sweeps stay O(n log k) per
+            # request off the (once-materialised) prefix sums.
+            results, cached = self._cached(
+                ("/cardinality", d),
+                lambda: label_value_pairs(self.index.cardinality_at(d)),
+            )
+        else:
+            results = label_value_pairs(self.index.cardinality_at(d))
+            cached = False
+        return {"d": json_safe_number(d), "results": results,
+                "cached": cached}
+
+    def _closeness(self, params, body) -> Dict[str, Any]:
+        if body is not None:
+            string_params = {
+                name: str(body[name])
+                for name in ("kind", "half_life") if name in body
+            }
+            kwargs = centrality_kwargs(string_params)
+            labels = resolve_nodes(self.index, body.get("nodes"))
+            return {
+                "kind": string_params.get("kind", "classic"),
+                "results": [
+                    [label,
+                     self.index.node_closeness_centrality(label, **kwargs)]
+                    for label in labels
+                ],
+            }
+        kwargs = centrality_kwargs(params)
+        if "node" in params:
+            label = resolve_node(self.index, params["node"])
+            return {
+                "node": label,
+                "kind": params.get("kind", "classic"),
+                "value": self.index.node_closeness_centrality(
+                    label, **kwargs
+                ),
+            }
+        results, cached = self._cached(
+            ("/closeness",) + self._centrality_key(params),
+            lambda: label_value_pairs(
+                self.index.closeness_centrality(**kwargs)
+            ),
+        )
+        return {"kind": params.get("kind", "classic"), "results": results,
+                "cached": cached}
+
+    def _neighborhood(self, params, body) -> Dict[str, Any]:
+        if "node" in params:
+            label = resolve_node(self.index, params["node"])
+            return {
+                "node": label,
+                "series": series_pairs(
+                    self.index.node_neighborhood_function(label)
+                ),
+            }
+        series, cached = self._cached(
+            ("/neighborhood",),
+            lambda: series_pairs(self.index.neighborhood_function()),
+        )
+        return {"series": series, "cached": cached}
+
+    def _top_central(self, params, body) -> Dict[str, Any]:
+        count = parse_int(params, "count", 10, minimum=1)
+        largest = parse_bool(params, "largest", True)
+        kwargs = centrality_kwargs(params)
+        results, cached = self._cached(
+            ("/top-central", count, largest) + self._centrality_key(params),
+            lambda: [
+                [label, value]
+                for label, value in self.index.top_central(
+                    count, largest=largest, **kwargs
+                )
+            ],
+        )
+        return {
+            "kind": params.get("kind", "classic"),
+            "count": count,
+            "largest": largest,
+            "results": results,
+            "cached": cached,
+        }
+
+    def _node_summary(self, raw: str) -> Dict[str, Any]:
+        if not raw:
+            raise bad_request("/node/<label> requires a label")
+        label = resolve_node(self.index, raw)
+        lo, hi = self.index._slice(label)
+        return {
+            "node": label,
+            "sketch_size": hi - lo,
+            "reachable": self.index.node_cardinality_at(label),
+            "closeness_classic": self.index.node_closeness_centrality(
+                label, classic=True
+            ),
+            "neighborhood": series_pairs(
+                self.index.node_neighborhood_function(label)
+            ),
+        }
+
+
+def _batch_float(body: Dict[str, Any], name: str, default: float) -> float:
+    """A float field of a JSON batch body (ints allowed, bools are not)."""
+    value = body.get(name, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise bad_request(f"{name} must be a number, got {value!r}")
+    value = float(value)
+    if math.isnan(value):
+        raise bad_request(f"{name} must not be NaN")
+    return value

@@ -29,11 +29,21 @@ class TestParser:
             ["neighborhood", "g.txt", "--node", "1"],
             ["build-index", "g.txt", "--out", "g.adsidx"],
             ["query", "g.adsidx"],
+            ["serve", "--index", "g.adsidx"],
+            ["serve", "--index", "g.adsidx", "--no-mmap", "--port", "0",
+             "--cache-size", "64", "--threads", "2"],
             ["distinct-count"],
             ["figures", "fig2"],
         ):
             args = parser.parse_args(command)
             assert callable(args.func)
+
+    def test_serve_mmap_flag_pair(self):
+        parser = build_parser()
+        assert parser.parse_args(["serve", "--index", "x"]).mmap is True
+        assert parser.parse_args(
+            ["serve", "--index", "x", "--no-mmap"]
+        ).mmap is False
 
 
 class TestSketch:
@@ -303,6 +313,28 @@ class TestErrorPaths:
         # main()-level guard.
         assert main(["sketch", str(tmp_path / "missing.txt")]) == 1
         assert "missing.txt" in capsys.readouterr().err
+
+    def test_serve_missing_index(self, tmp_path, capsys):
+        assert main(
+            ["serve", "--index", str(tmp_path / "missing.adsidx")]
+        ) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_serve_non_index_file(self, graph_file, capsys):
+        assert main(["serve", "--index", graph_file, "--port", "0"]) == 1
+        assert "not an AdsIndex file" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_parameters(self, tmp_path, capsys):
+        target = tmp_path / "x.adsidx"
+        target.write_bytes(b"")
+        assert main(
+            ["serve", "--index", str(target), "--threads", "0"]
+        ) == 2
+        assert "--threads" in capsys.readouterr().err
+        assert main(
+            ["serve", "--index", str(target), "--cache-size", "-1"]
+        ) == 2
+        assert "--cache-size" in capsys.readouterr().err
 
 
 class TestDistinctCount:

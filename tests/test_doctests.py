@@ -1,0 +1,45 @@
+"""Doctests of the public query surface, wired into the tier-1 run.
+
+Every runnable example in the docstrings of the serving-facing modules
+(``AdsIndex`` queries, ``build_ads_set``, the CLI handlers, the serve
+layer) is executed here, so the documented outputs can never drift from
+the code.  CI additionally runs ``pytest --doctest-modules`` over the
+same files in the doc-integrity job; this in-suite version keeps the
+examples honest on every local ``pytest`` invocation too.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.ads
+import repro.ads.index
+import repro.cli
+import repro.serve.cache
+import repro.serve.server
+
+MODULES = (
+    repro,
+    repro.ads,
+    repro.ads.index,
+    repro.cli,
+    repro.serve.cache,
+    repro.serve.server,
+)
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=lambda module: module.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE,
+        verbose=False,
+    )
+    assert results.failed == 0
+    assert results.attempted > 0, (
+        f"{module.__name__} documents no runnable examples; the "
+        "docstring pass promises at least one per public surface module"
+    )

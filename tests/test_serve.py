@@ -1,0 +1,456 @@
+"""The ``repro.serve`` layer: server endpoints, cache, client, wiring.
+
+A real ``AdsServer`` is bound to a loopback port once per module and
+exercised through :class:`repro.serve.client.QueryClient` -- the same
+wire path production traffic takes.  Estimates returned over HTTP must
+equal the in-process ``AdsIndex`` queries exactly (JSON round-trips
+IEEE doubles losslessly via repr-level serialisation).
+"""
+
+import json
+import socket
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.ads import AdsIndex
+from repro.errors import ParameterError
+from repro.estimators.statistics import harmonic_kernel
+from repro.graph import barabasi_albert_graph
+from repro.rand.hashing import HashFamily
+from repro.serve import AdsServer, LruCache, QueryClient, ServeClientError
+from repro.serve.schemas import WireError, centrality_kwargs, resolve_node
+
+
+@pytest.fixture(scope="module")
+def index():
+    graph = barabasi_albert_graph(120, 3, seed=21).to_csr()
+    return AdsIndex.build(graph, 8, family=HashFamily(4))
+
+
+@pytest.fixture(scope="module")
+def server(index):
+    with AdsServer(index, port=0, cache_size=16, threads=4) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    with QueryClient(server.url) as running:
+        yield running
+
+
+class TestHappyPath:
+    def test_healthz(self, client, index):
+        assert client.healthz() == {
+            "status": "ok", "nodes": index.num_nodes
+        }
+
+    def test_single_node_cardinality_matches_index(self, client, index):
+        response = client.cardinality(node=5, d=2.0)
+        assert response["node"] == 5
+        assert response["value"] == index.node_cardinality_at(5, 2.0)
+
+    def test_all_nodes_cardinality_matches_index(self, client, index):
+        response = client.cardinality(d=2.0)
+        assert dict(
+            (label, value) for label, value in response["results"]
+        ) == index.cardinality_at(2.0)
+
+    def test_batch_cardinality(self, client, index):
+        nodes = [0, 7, 23, 119]
+        response = client.cardinality_batch(nodes, d=3.0)
+        assert response["results"] == [
+            [label, index.node_cardinality_at(label, 3.0)]
+            for label in nodes
+        ]
+
+    def test_default_d_is_infinite_reach(self, client, index):
+        response = client.cardinality(node=9)
+        assert response["d"] is None  # JSON null encodes the inf default
+        assert response["value"] == index.node_cardinality_at(9)
+
+    def test_negative_infinity_d_travels(self, client):
+        # -inf must reach the server (an empty threshold), not silently
+        # widen to the all-reachable default.
+        import math
+
+        assert client.cardinality(node=9, d=-math.inf)["value"] == 0.0
+        batch = client.cardinality_batch([1, 2], d=-math.inf)
+        assert [value for _, value in batch["results"]] == [0.0, 0.0]
+
+    def test_closeness_kinds_match_index(self, client, index):
+        classic = client.closeness(node=11, kind="classic")
+        assert classic["value"] == index.node_closeness_centrality(
+            11, classic=True
+        )
+        harmonic = client.closeness(node=11, kind="harmonic")
+        assert harmonic["value"] == index.node_closeness_centrality(
+            11, alpha=harmonic_kernel()
+        )
+
+    def test_batch_closeness(self, client, index):
+        response = client.closeness_batch([1, 2], kind="classic")
+        assert response["results"] == [
+            [1, index.node_closeness_centrality(1, classic=True)],
+            [2, index.node_closeness_centrality(2, classic=True)],
+        ]
+
+    def test_neighborhood_series(self, client, index):
+        whole = client.neighborhood()
+        assert whole["series"] == [
+            [d, value] for d, value in index.neighborhood_function()
+        ]
+        one = client.neighborhood(node=17)
+        assert one["series"] == [
+            [d, value]
+            for d, value in index.node_neighborhood_function(17)
+        ]
+
+    def test_top_central(self, client, index):
+        response = client.top_central(count=5, kind="harmonic")
+        assert response["results"] == [
+            [label, value]
+            for label, value in index.top_central(
+                5, alpha=harmonic_kernel()
+            )
+        ]
+
+    def test_node_summary(self, client, index):
+        response = client.node(42)
+        lo, hi = index._slice(42)
+        assert response["node"] == 42
+        assert response["sketch_size"] == hi - lo
+        assert response["reachable"] == index.node_cardinality_at(42)
+
+    def test_string_label_coerces_to_int_index_label(self, client, index):
+        # HTTP query strings are text; the index stores ints.
+        assert client.cardinality(node="5", d=2.0)["node"] == 5
+
+    def test_stats_shape(self, client, index):
+        stats = client.stats()
+        assert stats["index"]["nodes"] == index.num_nodes
+        assert stats["index"]["entries"] == index.num_entries
+        assert stats["index"]["mmap"] is False
+        assert stats["requests"] >= 1
+        assert set(stats["cache"]) == {
+            "hits", "misses", "evictions", "size", "capacity"
+        }
+
+
+class TestErrors:
+    def test_unknown_node_is_404(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client.cardinality(node=99999)
+        assert excinfo.value.status == 404
+
+    def test_unknown_node_in_batch_is_404(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client.cardinality_batch([1, 99999])
+        assert excinfo.value.status == 404
+
+    def test_unknown_node_summary_is_404(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client.node("nope")
+        assert excinfo.value.status == 404
+
+    def test_blank_node_param_is_404_not_full_sweep(self, client):
+        # parse_qs would drop "node=" entirely without
+        # keep_blank_values, silently answering the all-nodes sweep.
+        for endpoint in ("/cardinality", "/closeness", "/neighborhood"):
+            with pytest.raises(ServeClientError) as excinfo:
+                client._request("GET", endpoint + "?node=")
+            assert excinfo.value.status == 404
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("GET", "/no-such-endpoint")
+        assert excinfo.value.status == 404
+
+    @pytest.mark.parametrize("params", [
+        {"d": "two"},
+        {"d": "nan"},
+        {"node": "5", "d": "x"},
+    ])
+    def test_malformed_cardinality_params_are_400(
+        self, client, params
+    ):
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("GET", "/cardinality", params=params)
+        assert excinfo.value.status == 400
+
+    @pytest.mark.parametrize("params", [
+        {"kind": "bogus"},
+        {"kind": "decay", "half_life": "0"},
+        {"count": "0"},
+        {"count": "x"},
+        {"largest": "maybe"},
+    ])
+    def test_malformed_top_central_params_are_400(self, client, params):
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("GET", "/top-central", params=params)
+        assert excinfo.value.status == 400
+
+    @pytest.mark.parametrize("payload", [
+        {},                          # nodes missing
+        {"nodes": []},               # empty batch
+        {"nodes": 5},                # not a list
+        {"nodes": [1], "d": "x"},    # non-numeric d
+        {"nodes": [None]},           # unresolvable label shape
+        {"nodes": [[1], 2]},         # unhashable label must be a 400
+        {"nodes": [{"a": 1}]},       # ... not an internal error
+        {"nodes": [True]},           # bools are not labels
+    ])
+    def test_malformed_batch_bodies_are_400(self, client, payload):
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("POST", "/cardinality", payload=payload)
+        assert excinfo.value.status == 400
+
+    def test_non_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/cardinality", data=b"this is not json",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        assert "error" in json.load(excinfo.value)
+
+    def test_post_to_get_only_endpoint_is_400(self, client):
+        with pytest.raises(ServeClientError) as excinfo:
+            client._request("POST", "/top-central", payload={"count": 3})
+        assert excinfo.value.status == 400
+
+    def test_malformed_requests_do_not_count_as_internal_errors(
+        self, client
+    ):
+        with pytest.raises(ServeClientError):
+            client._request("POST", "/cardinality",
+                            payload={"nodes": [[1]]})
+        assert client.stats()["internal_errors"] == 0
+
+
+class TestCaching:
+    def test_repeat_whole_graph_query_hits_cache(self, index):
+        with AdsServer(index, port=0, cache_size=8) as server:
+            with QueryClient(server.url) as client:
+                first = client.top_central(count=4)
+                assert first["cached"] is False
+                second = client.top_central(count=4)
+                assert second["cached"] is True
+                assert second["results"] == first["results"]
+                stats = client.stats()["cache"]
+                assert stats["hits"] == 1
+                assert stats["misses"] == 1
+
+    def test_distinct_params_are_distinct_entries(self, index):
+        with AdsServer(index, port=0, cache_size=8) as server:
+            with QueryClient(server.url) as client:
+                client.closeness(kind="classic")
+                client.closeness(kind="harmonic")
+                assert client.stats()["cache"]["misses"] == 2
+
+    def test_finite_d_sweeps_are_not_cached(self, index):
+        # d is a continuous parameter: caching every threshold would
+        # let a d-sweeping client pin cache-size O(n) lists in RAM.
+        # Only the default all-reachable sweep is memoised.
+        with AdsServer(index, port=0, cache_size=8) as server:
+            with QueryClient(server.url) as client:
+                assert client.cardinality(d=2.0)["cached"] is False
+                assert client.cardinality(d=2.0)["cached"] is False
+                client.cardinality()
+                assert client.cardinality()["cached"] is True
+
+    def test_equivalent_spellings_share_one_entry(self, index):
+        # Keys are parsed values: "?d=inf" == the omitted default, and
+        # explicit defaults == omitted defaults.
+        with AdsServer(index, port=0, cache_size=8) as server:
+            with QueryClient(server.url) as client:
+                client._request("GET", "/cardinality")
+                assert client._request(
+                    "GET", "/cardinality?d=inf"
+                )["cached"] is True
+                client._request("GET", "/top-central")
+                assert client._request(
+                    "GET",
+                    "/top-central?count=10&kind=classic&largest=true",
+                )["cached"] is True
+
+    def test_cache_size_zero_disables(self, index):
+        with AdsServer(index, port=0, cache_size=0) as server:
+            with QueryClient(server.url) as client:
+                client.neighborhood()
+                assert client.neighborhood()["cached"] is False
+
+
+class TestLruCache:
+    def test_eviction_order(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a; b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_zero_never_stores(self):
+        cache = LruCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        value, hit = cache.get_or_compute("a", lambda: 7)
+        assert (value, hit) == (7, False)
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ParameterError):
+            LruCache(-1)
+
+    def test_get_or_compute_caches(self):
+        cache = LruCache(4)
+        calls = []
+        compute = lambda: calls.append(1) or 42  # noqa: E731
+        assert cache.get_or_compute("k", compute) == (42, False)
+        assert cache.get_or_compute("k", compute) == (42, True)
+        assert len(calls) == 1
+
+
+class TestSchemas:
+    def test_centrality_kwargs_mirror_cli(self):
+        assert centrality_kwargs({}) == {"classic": True}
+        assert centrality_kwargs({"kind": "distsum"}) == {}
+        assert "alpha" in centrality_kwargs({"kind": "harmonic"})
+        with pytest.raises(WireError):
+            centrality_kwargs({"kind": "pagerank"})
+
+    def test_resolve_node_coercion(self, index):
+        assert resolve_node(index, 5) == 5
+        assert resolve_node(index, "5") == 5
+        with pytest.raises(WireError) as excinfo:
+            resolve_node(index, "missing")
+        assert excinfo.value.status == 404
+        with pytest.raises(WireError) as excinfo:
+            resolve_node(index, True)
+        assert excinfo.value.status == 400
+
+
+class TestKeepAliveHygiene:
+    def test_oversized_post_closes_the_connection(self, server):
+        # The 9 MB body is never read; keeping the socket alive would
+        # feed it to the parser as the next request line.
+        with socket.create_connection(
+            (server.host, server.port), timeout=10
+        ) as raw:
+            raw.sendall(
+                b"POST /cardinality HTTP/1.1\r\n"
+                b"Host: x\r\nContent-Length: 9000000\r\n\r\n"
+            )
+            raw.settimeout(10)
+            head = raw.recv(4096).decode("latin-1")
+            assert " 400 " in head.splitlines()[0]
+            assert "connection: close" in head.lower()
+
+    def test_client_recovers_after_refused_post(self, server):
+        with QueryClient(server.url) as client:
+            with pytest.raises(ServeClientError) as excinfo:
+                client._request("POST", "/cardinality", payload=None)
+            assert excinfo.value.status == 400
+            assert client.healthz()["status"] == "ok"  # fresh socket
+
+    def test_scheme_less_client_urls(self, server):
+        for spelling in (f"{server.host}:{server.port}",
+                         f"localhost:{server.port}"):
+            with QueryClient(spelling) as client:
+                assert client.healthz()["status"] == "ok"
+
+
+class TestLifecycle:
+    def test_start_then_immediate_shutdown(self, index):
+        # __exit__ microseconds after start() must not strand the
+        # accept loop or burn the join timeout.
+        start = time.perf_counter()
+        with AdsServer(index, port=0):
+            pass
+        assert time.perf_counter() - start < 4.0
+    def test_shutdown_before_start_returns_promptly(self, index):
+        # A bound-but-never-started server must tear down cleanly
+        # instead of waiting on the serve_forever handshake.
+        server = AdsServer(index, port=0)
+        server.shutdown()
+
+    def test_close_is_public_and_idempotent(self, index):
+        server = AdsServer(index, port=0)
+        server.close()
+        server.close()
+
+    def test_port_reusable_after_shutdown(self, index):
+        first = AdsServer(index, port=0)
+        port = first.port
+        first.shutdown()
+        second = AdsServer(index, port=port)
+        second.shutdown()
+
+
+class TestConcurrency:
+    def test_parallel_clients_agree(self, server, index):
+        expected = index.node_cardinality_at(3, 2.0)
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                with QueryClient(server.url) as mine:
+                    for _ in range(5):
+                        results.append(
+                            mine.cardinality(node=3, d=2.0)["value"]
+                        )
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert results == [expected] * 30
+
+
+class TestServerStateFaults:
+    def test_vanished_shard_is_500_not_400(self, index, tmp_path):
+        # An index file failing under a *valid* request is a server
+        # fault: 500 + internal_errors, never "malformed request".
+        layout = tmp_path / "layout"
+        index.save(layout, shards=3)
+        loaded = AdsIndex.load(layout, mmap=True)
+        with AdsServer(loaded, port=0, cache_size=0) as server:
+            with QueryClient(server.url) as client:
+                for shard in layout.glob("shard-*.adsshd"):
+                    shard.unlink()
+                with pytest.raises(ServeClientError) as excinfo:
+                    client.neighborhood()
+                assert excinfo.value.status == 500
+                assert "vanished" in excinfo.value.message
+                assert client.stats()["internal_errors"] == 1
+
+
+class TestServingMmapIndex:
+    def test_server_over_lazily_loaded_layout(self, index, tmp_path):
+        layout = tmp_path / "layout"
+        index.save(layout, shards=3)
+        loaded = AdsIndex.load(layout, mmap=True)
+        with AdsServer(loaded, port=0) as server:
+            with QueryClient(server.url) as client:
+                stats = client.stats()["index"]
+                assert stats["mmap"] is True
+                assert stats["mapped_shards"] == 0
+                value = client.cardinality(node=2, d=2.0)["value"]
+                assert value == index.node_cardinality_at(2, 2.0)
+                assert client.stats()["index"]["mapped_shards"] == 1
+                top = client.top_central(count=3)["results"]
+                assert top == [
+                    [label, v]
+                    for label, v in index.top_central(3, classic=True)
+                ]
