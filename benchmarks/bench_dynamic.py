@@ -1,0 +1,125 @@
+"""Dynamic-maintenance benchmark (ISSUE 4 acceptance series).
+
+The claim: absorbing a *small* edge batch with
+:meth:`AdsIndex.apply_edges` must beat rebuilding the index from the
+updated graph -- that is the entire point of incremental maintenance.
+Measured on ``barabasi_albert_graph(REPRO_BENCH_DYN_N, 3)`` (default
+1500 nodes) for a sweep of batch sizes; each point times
+
+* ``incremental``: one ``apply_edges`` call on a fresh copy of the
+  built index (the graph mutation included), and
+* ``rebuild``: ``AdsIndex.build`` on the updated graph (the edge
+  insertion itself excluded -- rebuild gets the cheapest possible
+  accounting),
+
+and records the speedup plus the dirty-node fraction that explains it
+(the incremental path only rewrites the sketches the batch touched).
+The series lands in ``BENCH_dynamic.json`` at the repository root and
+is tracked by the CI bench-regression gate.  ``REPRO_BENCH_NO_ASSERT=1``
+opts out of the hard assertions on loaded or throttled machines.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from conftest import write_output
+from repro.ads import AdsIndex
+from repro.graph import barabasi_albert_graph
+from repro.graph.csr import CSRGraph
+from repro.rand.hashing import HashFamily
+
+DYN_BENCH_N = int(os.environ.get("REPRO_BENCH_DYN_N", "1500"))
+K = 8
+FAMILY = HashFamily(2024)
+BATCH_SIZES = (1, 8, 32, 128)
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _random_batch(rng, n, size):
+    batch = []
+    while len(batch) < size:
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            batch.append((u, v))
+    return batch
+
+
+def _fresh_state(base_edges, nodes):
+    graph = CSRGraph.from_edges(base_edges, directed=False, nodes=nodes)
+    index = AdsIndex.build(graph, K, family=FAMILY)
+    return graph, index
+
+
+def test_incremental_apply_vs_rebuild(benchmark):
+    base = barabasi_albert_graph(DYN_BENCH_N, 3, seed=7)
+    base_edges = list(base.edges())
+    nodes = base.nodes()
+    rng = random.Random(13)
+
+    def run():
+        series = {"batches": []}
+        build_start = time.perf_counter()
+        graph, index = _fresh_state(base_edges, nodes)
+        build_seconds = time.perf_counter() - build_start
+        series["initial_build_seconds"] = build_seconds
+        for size in BATCH_SIZES:
+            batch = _random_batch(rng, graph.num_nodes, size)
+
+            graph_inc, index_inc = _fresh_state(base_edges, nodes)
+            start = time.perf_counter()
+            result = index_inc.apply_edges(graph_inc, batch)
+            incremental = time.perf_counter() - start
+
+            updated_edges = list(graph_inc.edges())
+            rebuild_graph = CSRGraph.from_edges(
+                updated_edges, directed=False, nodes=graph_inc.nodes()
+            )
+            start = time.perf_counter()
+            rebuilt = AdsIndex.build(rebuild_graph, K, family=FAMILY)
+            rebuild = time.perf_counter() - start
+
+            assert (
+                index_inc.cardinality_at() == rebuilt.cardinality_at()
+            ), "incremental apply diverged from the rebuild"
+            series["batches"].append({
+                "batch_edges": size,
+                "applied_arcs": result.applied_arcs,
+                "dirty_nodes": result.dirty_nodes,
+                "dirty_fraction": result.dirty_nodes / index_inc.num_nodes,
+                "incremental_seconds": incremental,
+                "rebuild_seconds": rebuild,
+                "speedup": rebuild / incremental if incremental > 0
+                else float("inf"),
+            })
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    series.update({
+        "benchmark": "incremental apply_edges vs full rebuild",
+        "n": DYN_BENCH_N,
+        "m": len(base_edges),
+        "k": K,
+        "graph": f"barabasi_albert_graph({DYN_BENCH_N}, 3, seed=7)",
+        "cpu_count": os.cpu_count() or 1,
+        "note": (
+            "each batch point mutates a fresh copy of the built index; "
+            "rebuild times exclude the graph mutation itself"
+        ),
+    })
+    payload = json.dumps(series, indent=2) + "\n"
+    (REPO_ROOT / "BENCH_dynamic.json").write_text(payload, encoding="utf-8")
+    write_output("BENCH_dynamic.json", payload)
+
+    if os.environ.get("REPRO_BENCH_NO_ASSERT") != "1":
+        # Small batches are where incremental maintenance must win.
+        for point in series["batches"]:
+            if point["batch_edges"] <= 32:
+                assert point["speedup"] > 1.0, (
+                    f"batch of {point['batch_edges']}: incremental "
+                    f"({point['incremental_seconds']:.3f}s) did not beat "
+                    f"rebuild ({point['rebuild_seconds']:.3f}s)"
+                )
+        assert series["batches"][0]["speedup"] >= 5.0

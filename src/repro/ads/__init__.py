@@ -14,8 +14,7 @@ differ only in work profile, which :class:`BuildStats` exposes.
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Optional
 
 from repro._util import require
 from repro.ads.base import (
@@ -32,6 +31,7 @@ from repro.ads.csr_cores import (
     pruned_dijkstra_core_csr,
     records_to_entries,
 )
+from repro.ads.dynamic import UpdateResult, propagate_edge_insertions
 from repro.ads.dynamic_programming import dp_core
 from repro.ads.entry import AdsEntry
 from repro.ads.index import AdsIndex
@@ -68,6 +68,8 @@ __all__ = [
     "pruned_dijkstra_core_csr",
     "FirstOccurrenceStreamADS",
     "RecentOccurrenceStreamADS",
+    "UpdateResult",
+    "propagate_edge_insertions",
     "exponential_rank_assignment",
 ]
 

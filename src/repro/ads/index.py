@@ -39,9 +39,11 @@ from array import array
 from bisect import bisect_right
 from pathlib import Path
 from typing import (
+    Any,
     Callable,
     Dict,
     Hashable,
+    Iterable,
     List,
     Optional,
     Sequence,
@@ -51,7 +53,8 @@ from typing import (
 
 from repro._util import require
 from repro.ads.base import FLAVOR_CLASSES as _FLAVOR_CLASSES, BaseADS
-from repro.ads.csr_cores import build_flat_entries
+from repro.ads.csr_cores import Record, build_flat_entries
+from repro.ads.dynamic import UpdateResult, propagate_edge_insertions
 from repro.ads.entry import AdsEntry
 from repro.ads.mmap_io import ShardMaps, ShardSpec, ShardedColumn, \
     map_file_columns
@@ -284,6 +287,11 @@ class AdsIndex:
         self._mmap_paths: frozenset = frozenset()
         self._cum_lock = threading.Lock()
         self._materialised: Dict[Hashable, BaseADS] = {}
+        # Dynamic-update bookkeeping: one delta-log entry per applied
+        # batch, plus the node ids rewritten since the last compaction
+        # (what compact() uses to pick the shards to refresh).
+        self.delta_log: List[Dict[str, int]] = []
+        self._dirty_ids: set = set()
 
     def _compute_cum_hip(self) -> array:
         # Per-node running prefix sums of the HIP column: cardinality
@@ -507,6 +515,26 @@ class AdsIndex:
 
     def nodes(self) -> List[Hashable]:
         return list(self._labels)
+
+    def label_type(self) -> Optional[type]:
+        """``int`` when every label is a (non-bool) int, ``str`` when
+        every label is a str, ``None`` for empty or mixed label sets.
+
+        The single source of truth for label-type inference: the CLI
+        parses graph/edge-batch files with this type, and the serve
+        layer coerces JSON batch labels to it, so the two surfaces can
+        never disagree about what ``"7"`` names.
+        """
+        if not self._labels:
+            return None
+        if all(
+            isinstance(label, int) and not isinstance(label, bool)
+            for label in self._labels
+        ):
+            return int
+        if all(isinstance(label, str) for label in self._labels):
+            return str
+        return None
 
     def __len__(self) -> int:
         return len(self._labels)
@@ -868,6 +896,306 @@ class AdsIndex:
         """Materialise every node's ADS (the legacy ``build_ads_set``
         return shape)."""
         return {label: self[label] for label in self._labels}
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance: incremental edge application
+    # ------------------------------------------------------------------
+    def _slice_records(self, i: int) -> List[Record]:
+        """Node id *i*'s entries as builder records (scan order)."""
+        lo, hi = self._offsets[i], self._offsets[i + 1]
+        flavor = self.flavor
+        records: List[Record] = []
+        for node_id, distance, rank, tiebreak, aux in zip(
+            self._node[lo:hi], self._dist[lo:hi], self._rank[lo:hi],
+            self._tiebreak[lo:hi], self._aux[lo:hi],
+        ):
+            records.append((
+                distance, tiebreak, node_id, rank,
+                aux if flavor == "kpartition" and aux >= 0 else None,
+                aux if flavor == "kmins" and aux >= 0 else None,
+            ))
+        return records
+
+    def _hip_weights_for_records(
+        self, records: Sequence[Record], labels: Sequence[Hashable]
+    ) -> List[float]:
+        """Section-5 adjusted weights of one rewritten slice.
+
+        Must agree float-for-float with :meth:`_compute_hip_column` on
+        the same slice -- it runs the identical per-flavor estimator
+        over the identical scan order, so a patched slice carries the
+        same weights a from-scratch build would.
+        """
+        if not records:
+            return []
+        k = self.k
+        if self.flavor == "bottomk":
+            return bottom_k_adjusted_weights(
+                [record[3] for record in records], k
+            )
+        if self.flavor == "kpartition":
+            return k_partition_adjusted_weights(
+                [(record[4], record[3]) for record in records], k
+            )
+        # kmins: weights live on the merged first-occurrence view;
+        # duplicate per-permutation slots get weight 0.
+        family = self.family
+        seen = set()
+        merged_positions: List[int] = []
+        for position, record in enumerate(records):
+            entry_node = record[2]
+            if entry_node in seen:
+                continue
+            seen.add(entry_node)
+            merged_positions.append(position)
+        vectors = [
+            [family.rank(labels[records[position][2]], h) for h in range(k)]
+            for position in merged_positions
+        ]
+        merged_weights = k_mins_adjusted_weights(vectors, k)
+        weights = [0.0] * len(records)
+        for position, weight in zip(merged_positions, merged_weights):
+            weights[position] = weight
+        return weights
+
+    def apply_edges(self, graph, edges: Iterable[Tuple]) -> UpdateResult:
+        """Absorb an edge-insertion batch without a full rebuild.
+
+        Adds *edges* (``(u, v)`` / ``(u, v, weight)`` label tuples) to
+        *graph* -- the :class:`~repro.graph.csr.CSRGraph` this index was
+        built from, in the build orientation -- and patches the index
+        columns in place by pruned re-propagation seeded from the
+        inserted arcs' endpoint sketches
+        (:func:`repro.ads.dynamic.propagate_edge_insertions`).  The
+        result is bit-identical to rebuilding the index from the
+        updated graph; only the touched node slices are rewritten.
+        New endpoint labels are appended to both graph and index.
+
+        The batch is recorded in :attr:`delta_log` and the rewritten
+        node ids accumulate until :meth:`compact` flushes them to disk.
+
+        Args:
+            graph: The index's graph (same labels in the same id
+                order); mutated in place via
+                :meth:`~repro.graph.csr.CSRGraph.add_edges`.
+            edges: Edge tuples to insert; duplicates of existing edges
+                (at no smaller weight) are no-ops.
+
+        Returns:
+            An :class:`~repro.ads.dynamic.UpdateResult` with dirty/new
+            node counts and propagation work counters.
+
+        Raises:
+            EstimatorError: read-only (mmap-backed) index, a graph
+                whose labels disagree with the index, or an index
+                flavor/rank assignment the dynamic path does not cover.
+            GraphError: malformed edge tuples (self-loops, non-positive
+                weights).
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> graph = path_graph(4).to_csr()
+            >>> index = AdsIndex.build(graph, k=4)
+            >>> index.apply_edges(graph, [(0, 3)]).applied_arcs
+            2
+            >>> index.cardinality_at(1.0)
+            {0: 3.0, 1: 3.0, 2: 3.0, 3: 3.0}
+        """
+        if self.mmap_backed:
+            raise EstimatorError(
+                "this index is memory-mapped read-only; reload it with "
+                "mmap=False to apply updates"
+            )
+        if self.rank_sup != 1.0:
+            raise EstimatorError(
+                "dynamic updates support indexes built by AdsIndex.build "
+                f"(uniform ranks); this index has rank_sup={self.rank_sup}"
+            )
+        if not isinstance(graph, CSRGraph):
+            raise ParameterError(
+                "apply_edges requires the CSRGraph the index was built "
+                f"from, got {type(graph).__name__}"
+            )
+        if graph.nodes() != self._labels:
+            raise EstimatorError(
+                "graph/index mismatch: the graph must carry exactly the "
+                "index's node labels in id order (build the index from "
+                "this graph, or reload the matching graph)"
+            )
+        old_n = self.num_nodes
+        arcs = graph.add_edges(edges)
+        labels_after = graph.nodes()
+        new_labels = labels_after[old_n:]
+        stats = BuildStats()
+        if not arcs:
+            result = UpdateResult()
+        else:
+            dirty_records = propagate_edge_insertions(
+                graph, self.flavor, self.k, self.family, old_n,
+                self._slice_records, arcs, stats,
+            )
+            self._splice_slices(dirty_records, labels_after, old_n)
+            for label in new_labels:
+                self._ids[label] = len(self._labels)
+                self._labels.append(label)
+            self._cum_cache = None
+            for vid in dirty_records:
+                if vid < old_n:
+                    self._materialised.pop(labels_after[vid], None)
+            self._dirty_ids.update(dirty_records)
+            result = UpdateResult(
+                applied_arcs=len(arcs),
+                dirty_nodes=len(dirty_records),
+                new_nodes=len(new_labels),
+                insertions=stats.insertions,
+                evictions=stats.evictions,
+                relaxations=stats.relaxations,
+            )
+        self.delta_log.append({
+            "batch": len(self.delta_log) + 1,
+            **result.to_dict(),
+        })
+        return result
+
+    def _splice_slices(
+        self,
+        dirty_records: Dict[int, List[Record]],
+        labels_after: Sequence[Hashable],
+        old_n: int,
+    ) -> None:
+        """Rewrite the flat columns with *dirty_records* patched in.
+
+        Unchanged slices are block-copied (C-speed ``array`` slicing);
+        dirty slices are refilled from their replacement records with
+        freshly derived HIP weights.
+        """
+        old_offsets = self._offsets
+        old_columns = (self._node, self._dist, self._rank, self._tiebreak,
+                       self._aux, self._hip)
+        new_n = len(labels_after)
+        new_offsets = array("q", bytes(8 * (new_n + 1)))
+        new_columns = tuple(
+            array(typecode) for typecode in _COLUMN_TYPECODES
+        )
+        (node_column, dist_column, rank_column, tiebreak_column,
+         aux_column, hip_column) = new_columns
+        for i in range(new_n):
+            records = dirty_records.get(i)
+            if records is None:
+                if i < old_n:
+                    lo, hi = old_offsets[i], old_offsets[i + 1]
+                    if hi > lo:
+                        for column, old in zip(new_columns, old_columns):
+                            column.extend(old[lo:hi])
+                # else: an untouched new node (cannot arise from
+                # add_edges, which only interns edge endpoints) gets an
+                # empty slice.
+            else:
+                weights = self._hip_weights_for_records(
+                    records, labels_after
+                )
+                for record, weight in zip(records, weights):
+                    distance, tiebreak, node_id, rank, bucket, permutation \
+                        = record
+                    node_column.append(node_id)
+                    dist_column.append(distance)
+                    rank_column.append(rank)
+                    tiebreak_column.append(tiebreak)
+                    aux = bucket if bucket is not None else permutation
+                    aux_column.append(-1 if aux is None else aux)
+                    hip_column.append(weight)
+            new_offsets[i + 1] = len(node_column)
+        self._offsets = new_offsets
+        (self._node, self._dist, self._rank, self._tiebreak,
+         self._aux, self._hip) = new_columns
+
+    def compact(
+        self, path: Union[str, Path], shards: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Flush applied updates to the persisted layout at *path*.
+
+        When *path* is an existing sharded layout (directory or its
+        ``manifest.json``) still describing this index's node set, only
+        the shards holding dirty node ids are rewritten, via
+        :meth:`write_shard`.  Anything else -- a single-file index, a
+        fresh path, or a layout whose node count changed because the
+        batch added nodes -- is rewritten in full (``shards`` picks the
+        layout for fresh paths; an incompatible existing layout keeps
+        its shard count).  Clears the dirty set and the delta log.
+
+        Returns:
+            A summary dict: ``layout`` ('single' or 'sharded'),
+            ``full_rewrite``, ``rewritten_shards`` (sharded only), and
+            ``flushed_batches``.
+
+        Raises:
+            EstimatorError: read-only (mmap-backed) index, or an
+                unwritable/corrupt destination layout.
+        """
+        if self.mmap_backed:
+            raise EstimatorError(
+                "this index is memory-mapped read-only; reload it with "
+                "mmap=False before compacting"
+            )
+        path = Path(path)
+        manifest_path: Optional[Path] = None
+        directory = path
+        if path.is_dir():
+            candidate = path / MANIFEST_NAME
+            if candidate.exists():
+                manifest_path = candidate
+        elif path.name == MANIFEST_NAME and path.exists():
+            manifest_path = path
+            directory = path.parent
+        flushed = len(self.delta_log)
+        info: Dict[str, Any]
+        if manifest_path is not None:
+            manifest = _parse_manifest(manifest_path)
+            compatible = (
+                manifest["n"] == self.num_nodes
+                and manifest["flavor"] == self.flavor
+                and manifest["k"] == self.k
+                and manifest["seed"] == self.seed
+                and manifest["rank_sup"] == self.rank_sup
+                and manifest["labels_digest"] == _labels_digest(self._labels)
+            )
+            shard_entries = manifest["shards"]
+            if compatible:
+                starts = [shard["start"] for shard in shard_entries]
+                dirty_shards = sorted({
+                    bisect_right(starts, vid) - 1 for vid in self._dirty_ids
+                })
+                for shard_index in dirty_shards:
+                    self.write_shard(directory, shard_index)
+                info = {
+                    "layout": "sharded",
+                    "full_rewrite": False,
+                    "rewritten_shards": dirty_shards,
+                    "total_shards": len(shard_entries),
+                }
+            else:
+                self.save(directory, shards=len(shard_entries))
+                info = {
+                    "layout": "sharded",
+                    "full_rewrite": True,
+                    "rewritten_shards": list(range(len(shard_entries))),
+                    "total_shards": len(shard_entries),
+                }
+        elif shards is not None:
+            self.save(path, shards=shards)
+            info = {
+                "layout": "sharded",
+                "full_rewrite": True,
+                "rewritten_shards": list(range(shards)),
+                "total_shards": shards,
+            }
+        else:
+            self.save(path)
+            info = {"layout": "single", "full_rewrite": True}
+        self._dirty_ids.clear()
+        self.delta_log.clear()
+        info["flushed_batches"] = flushed
+        return info
 
     # ------------------------------------------------------------------
     # Persistence

@@ -38,8 +38,14 @@ from repro.graph.digraph import Graph, Node
 Key = Tuple[float, int]  # (distance, tiebreak)
 
 
-class _NodeState:
-    """Per-node sketch state: parallel sorted arrays keyed by (d, tb)."""
+class NodeState:
+    """Per-node sketch state: parallel sorted arrays keyed by (d, tb).
+
+    Shared between this module's from-scratch LOCALUPDATES core and the
+    incremental maintenance in :mod:`repro.ads.dynamic`, which runs the
+    same insert / supersede / clean-up machinery seeded from an existing
+    sketch set instead of from scratch.
+    """
 
     __slots__ = ("keys", "nodes", "ranks", "held")
 
@@ -68,6 +74,48 @@ class _NodeState:
             index += 1
         self.remove_at(index)
 
+    def exact_kth_competitor_rank(
+        self, k: int, key: Key, exclude: int = -1
+    ) -> float:
+        """k-th smallest rank among entries strictly below *key* (the
+        exact, eps = 0 insertion threshold).  ``exclude`` skips one
+        index, used when re-validating an entry against its own sketch.
+        """
+        limit = bisect_left(self.keys, key)
+        competitors = self.ranks[:limit]
+        if 0 <= exclude < limit:
+            competitors = (
+                self.ranks[:exclude] + self.ranks[exclude + 1: limit]
+            )
+        if len(competitors) < k:
+            return float("inf")
+        return sorted(competitors)[k - 1]
+
+
+def exact_cleanup(
+    state: NodeState, k: int, inserted_key: Key, stats: BuildStats
+) -> int:
+    """Algorithm 2 clean-up under the exact (eps = 0) insertion rule.
+
+    Re-validates every entry farther than *inserted_key*, in increasing
+    distance, evicting entries whose rank no longer beats their k-th
+    competitor rank.  Returns the eviction count (also added to
+    *stats*).
+    """
+    index = bisect_right(state.keys, inserted_key)
+    evicted = 0
+    while index < len(state.keys):
+        key = state.keys[index]
+        if state.ranks[index] < state.exact_kth_competitor_rank(
+            k, key, exclude=index
+        ):
+            index += 1
+        else:
+            state.remove_at(index)
+            evicted += 1
+    stats.evictions += evicted
+    return evicted
+
 
 def local_updates_core(
     graph: Graph,
@@ -87,7 +135,7 @@ def local_updates_core(
     transpose; see DESIGN.md).
     """
     require(epsilon >= 0.0, f"epsilon must be >= 0, got {epsilon}")
-    state: Dict[Node, _NodeState] = {v: _NodeState() for v in graph.nodes()}
+    state: Dict[Node, NodeState] = {v: NodeState() for v in graph.nodes()}
     queue: deque = deque()
 
     def send_updates(v: Node, x: Node, r_x: float, tb_x: int, d: float) -> None:
@@ -96,24 +144,18 @@ def local_updates_core(
             stats.relaxations += 1
 
     def kth_competitor_rank(
-        st: _NodeState, d: float, tb: int, exclude: int = -1
+        st: NodeState, d: float, tb: int, exclude: int = -1
     ) -> float:
         """k-th smallest rank among the competitors of a candidate at
         (d, tb): strictly-closer entries when exact (eps=0), entries
         within d(1+eps) when approximate.  ``exclude`` skips one index
         (used when re-validating an entry against its own sketch)."""
         if epsilon == 0.0:
-            limit = bisect_left(st.keys, (d, tb))
-            competitors = st.ranks[:limit]
-            if 0 <= exclude < limit:
-                competitors = (
-                    st.ranks[:exclude] + st.ranks[exclude + 1: limit]
-                )
-        else:
-            limit = bisect_right(st.keys, (d * (1.0 + epsilon), float("inf")))
-            competitors = [
-                st.ranks[i] for i in range(limit) if i != exclude
-            ]
+            return st.exact_kth_competitor_rank(k, (d, tb), exclude=exclude)
+        limit = bisect_right(st.keys, (d * (1.0 + epsilon), float("inf")))
+        competitors = [
+            st.ranks[i] for i in range(limit) if i != exclude
+        ]
         if len(competitors) < k:
             return float("inf")
         return sorted(competitors)[k - 1]
@@ -123,6 +165,9 @@ def local_updates_core(
         newly inserted one, in increasing distance, evicting entries whose
         rank no longer beats their k-th competitor rank."""
         st = state[v]
+        if epsilon == 0.0:
+            exact_cleanup(st, k, inserted_key, stats)
+            return
         index = bisect_right(st.keys, inserted_key)
         while index < len(st.keys):
             d, tb = st.keys[index]

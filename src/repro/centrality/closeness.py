@@ -8,7 +8,6 @@ in the sketch size, with CV at most 1/sqrt(2(k-1)).
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.ads.base import BaseADS

@@ -13,7 +13,6 @@ basic estimate exposed after each round.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Tuple
 
 from repro._util import require

@@ -18,7 +18,6 @@ Two estimators are provided:
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Hashable, List, Optional, Sequence, Tuple
 
 from repro._util import require

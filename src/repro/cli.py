@@ -6,6 +6,7 @@
     python -m repro build-index GRAPH.txt --k 16 --out graph.adsidx
     python -m repro query graph.adsidx --top 10 --kind harmonic
     python -m repro serve --index graph.adsidx --port 8080
+    python -m repro update-index graph.adsidx --graph GRAPH.txt --edges NEW.txt
     python -m repro distinct-count < one_element_per_line.txt
     python -m repro figures fig2 --k 10 --runs 100 --max-n 4000
 
@@ -16,7 +17,10 @@ is built once (on the CSR fast path) and any number of queries run
 against the saved flat-array file without touching the graph again --
 either ad hoc from the shell (``query``) or as a long-lived HTTP JSON
 daemon (``serve``, memory-mapping the index by default so startup cost
-does not scale with index size).
+does not scale with index size).  Graphs change: ``update-index``
+absorbs an edge batch into a saved index incrementally (no rebuild),
+and ``serve --graph GRAPH.txt --no-mmap`` accepts the same batches live
+over ``POST /update``.
 """
 
 from __future__ import annotations
@@ -37,7 +41,7 @@ from repro.estimators.statistics import (
     CENTRALITY_KINDS,
     centrality_kind_kwargs,
 )
-from repro.graph.io import read_edge_list
+from repro.graph.io import read_edge_batch, read_edge_list
 from repro.rand.hashing import HashFamily
 from repro.sketches import HyperLogLog
 
@@ -321,13 +325,111 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _index_node_type(index) -> type:
+    """int when every index label is an int, str otherwise.
+
+    Saved indexes carry int/str labels only; graph and edge-batch files
+    for ``update-index``/``serve --graph`` are parsed to match
+    (:meth:`AdsIndex.label_type`), so the loaded labels line up with
+    the index's without a --int-nodes flag.
+    """
+    return int if index.label_type() is int else str
+
+
+def cmd_update_index(args) -> int:
+    """Apply an edge batch to a saved index (``update-index``).
+
+    Loads the index and its graph, applies the ``--edges`` batch by
+    incremental re-propagation (no rebuild; only touched sketch slices
+    are rewritten), and flushes the result -- in place by default,
+    rewriting only the dirty shards of a sharded layout.  In-place
+    updates also rewrite ``--graph`` (node order pinned) so index and
+    edge list stay in lockstep; a stale graph file would make the next
+    update silently diverge from a rebuild.
+
+    Returns:
+        0 on success, 1 for load/apply/save failures.
+
+    Example:
+        >>> import tempfile, os
+        >>> d = tempfile.mkdtemp()
+        >>> graph = os.path.join(d, "g.txt")
+        >>> with open(graph, "w") as fh:
+        ...     _ = fh.write("0 1\\n1 2\\n")
+        >>> batch = os.path.join(d, "new.txt")
+        >>> with open(batch, "w") as fh:
+        ...     _ = fh.write("0 3\\n")
+        >>> index = os.path.join(d, "g.adsidx")
+        >>> main(["build-index", graph, "--int-nodes", "--k", "8",
+        ...       "--out", index])
+        0
+        >>> main(["update-index", index, "--graph", graph,
+        ...       "--edges", batch])
+        0
+        >>> main(["query", index, "--node", "3",
+        ...       "--cardinality", "1"])  # doctest: +NORMALIZE_WHITESPACE
+        3 2.00
+        0
+    """
+    try:
+        index = AdsIndex.load(args.index)
+    except (ReproError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    node_type = _index_node_type(index)
+    try:
+        graph = read_edge_list(
+            args.graph,
+            directed=True if args.directed else None,
+            node_type=node_type,
+        ).to_csr()
+        edges = read_edge_batch(args.edges, node_type=node_type)
+        result = index.apply_edges(graph, edges)
+        out = args.out or args.index
+        info = index.compact(out, shards=args.shards)
+        # When updating the index in place, the graph file must follow
+        # (default --write-graph): a stale edge list would make the
+        # *next* update propagate over a graph missing this batch's
+        # edges and silently diverge from a rebuild.  --out leaves the
+        # original index/graph pair intact, so there the default is to
+        # not touch the graph file.
+        write_graph = (
+            args.write_graph if args.write_graph is not None
+            else args.out is None
+        )
+        if write_graph:
+            # The index's entry ids are positional, so the node order
+            # must be pinned (all_nodes), not merely the edge set.
+            from repro.graph.io import write_edge_list
+
+            write_edge_list(graph, args.graph, all_nodes=True)
+    except (ReproError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    layout = info["layout"]
+    if layout == "sharded" and not info["full_rewrite"]:
+        layout = (
+            f"sharded, rewrote {len(info['rewritten_shards'])}/"
+            f"{info['total_shards']} shards"
+        )
+    print(
+        f"# applied {result.applied_arcs} arcs "
+        f"({result.dirty_nodes} sketches rewritten, "
+        f"{result.new_nodes} new nodes) -> {out} ({layout})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Serve a saved index over HTTP (the ``serve`` subcommand).
 
     Loads ``--index`` (memory-mapped by default, so a multi-GB index
     starts serving in milliseconds) and blocks answering the JSON API
     until interrupted.  See :mod:`repro.serve.server` for the endpoint
-    reference.
+    reference.  ``--graph GRAPH.txt`` (with ``--no-mmap``) attaches the
+    index's graph and enables live edge updates via ``POST /update`` /
+    ``POST /compact``.
 
     Returns:
         0 after a clean shutdown (Ctrl-C), 1 when the index cannot be
@@ -347,6 +449,11 @@ def cmd_serve(args) -> int:
     if args.threads < 1:
         print(f"--threads must be >= 1, got {args.threads}", file=sys.stderr)
         return 2
+    if args.graph is not None and args.mmap:
+        # Updates splice the index columns in place; a memory-mapped
+        # load is read-only by construction.
+        print("--graph (live updates) requires --no-mmap", file=sys.stderr)
+        return 2
     index_path = Path(args.index)
     if not index_path.exists():
         # An unloadable index is a load failure (1), matching `query`;
@@ -355,18 +462,27 @@ def cmd_serve(args) -> int:
         return 1
     try:
         index = AdsIndex.load(index_path, mmap=args.mmap)
+        graph = None
+        if args.graph is not None:
+            graph = read_edge_list(
+                args.graph,
+                directed=True if args.directed else None,
+                node_type=_index_node_type(index),
+            ).to_csr()
         server = AdsServer(
             index, host=args.host, port=args.port,
             cache_size=args.cache_size, threads=args.threads,
+            graph=graph, index_path=index_path, graph_path=args.graph,
         )
     except (ReproError, OSError) as error:
         print(str(error), file=sys.stderr)
         return 1
     mode = "mmap" if index.mmap_backed else "eager"
+    writable = ", updates enabled" if graph is not None else ""
     print(
         f"# serving {index.num_nodes} nodes ({index.num_entries} entries, "
         f"flavor={index.flavor}, k={index.k}, {mode} load) on {server.url} "
-        f"with {args.threads} threads, cache={args.cache_size}",
+        f"with {args.threads} threads, cache={args.cache_size}{writable}",
         file=sys.stderr,
     )
     try:
@@ -593,7 +709,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--threads", type=int, default=8,
         help="worker threads handling requests",
     )
+    p.add_argument(
+        "--graph",
+        default=None,
+        help="edge-list file of the index's graph; enables POST /update "
+        "live edge insertions (requires --no-mmap)",
+    )
+    p.add_argument(
+        "--directed",
+        action="store_true",
+        help="force directed interpretation of --graph",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "update-index",
+        help="apply an edge batch to a saved ADS index incrementally",
+    )
+    p.add_argument(
+        "index",
+        help="index file written by build-index (or a sharded layout "
+        "directory / its manifest.json)",
+    )
+    p.add_argument(
+        "--graph",
+        required=True,
+        help="edge-list file of the graph the index was built from "
+        "(node labels must match the index)",
+    )
+    p.add_argument(
+        "--edges",
+        required=True,
+        help="edge-batch file to insert (u v [weight] per line)",
+    )
+    p.add_argument(
+        "--directed",
+        action="store_true",
+        help="force directed interpretation of --graph",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="destination index (default: update INDEX in place, "
+        "rewriting only dirty shards of a sharded layout)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="M",
+        help="write a fresh M-shard layout when --out is a new path",
+    )
+    p.add_argument(
+        "--write-graph",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="rewrite --graph with the inserted edges, keeping the "
+        "edge-list file in lockstep with the index (default: on when "
+        "updating INDEX in place, off with --out)",
+    )
+    p.set_defaults(func=cmd_update_index)
 
     p = sub.add_parser(
         "distinct-count",

@@ -12,7 +12,6 @@ highlights over beta-specific sketch constructions.
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Hashable, Optional, Sequence
 
 from repro.errors import EstimatorError

@@ -18,6 +18,17 @@ arrays (undirected graphs share the same objects), because PRUNEDDIJKSTRA
 scans on G^T and the DP builder propagates along in-edges: ``transpose()``
 is an O(1) array swap, not a copy.
 
+CSR arrays are immutable, but the *graph* no longer is: :meth:`add_edges`
+absorbs edge arrivals into a small per-node overlay buffer (a dict of
+pending arcs per endpoint) without touching the packed arrays, and the
+graph re-CSRs itself periodically -- :meth:`consolidate` folds the buffer
+back into fresh arrays, and runs automatically once the buffer outgrows a
+fraction of the packed edge count.  Every label-level query
+(``out_neighbors``, ``has_edge``, ``edges`` ...) merges the overlay on
+the fly, so readers always see the up-to-date graph; the raw array
+accessors (``forward_arrays`` ...) consolidate first, because the builder
+cores they feed scan arrays, not overlays.
+
 The mapping between user-facing labels and ids is a :class:`NodeInterner`;
 ids are assigned in first-seen order, so a ``Graph`` converted with
 ``to_csr()`` numbers nodes in insertion order.  All label-level methods
@@ -171,6 +182,10 @@ class CSRGraph:
         "_num_edges",
         "_t_adjacency_cache",
         "_transpose_view",
+        "_pending_out",
+        "_pending_in",
+        "_pending_meta",
+        "_base_n",
     )
 
     def __init__(
@@ -196,6 +211,18 @@ class CSRGraph:
         self._num_edges = int(num_edges)
         self._t_adjacency_cache = None
         self._transpose_view = None
+        # Pending-edge overlay: arcs accepted by add_edges but not yet
+        # folded into the packed arrays.  For undirected graphs the two
+        # dicts are the same object (an undirected arc is its own
+        # reverse), mirroring the shared base arrays.  _pending_meta is
+        # shared with the transpose view so edge counts and the
+        # weighted flag stay consistent across both orientations.
+        self._pending_out: Dict[int, Dict[int, float]] = {}
+        self._pending_in: Dict[int, Dict[int, float]] = (
+            {} if directed else self._pending_out
+        )
+        self._pending_meta: Dict[str, int] = {"edges": 0, "weighted": 0}
+        self._base_n = len(indptr) - 1
 
     # ------------------------------------------------------------------
     # Construction
@@ -282,14 +309,216 @@ class CSRGraph:
         )
 
     # ------------------------------------------------------------------
+    # Dynamic edges: the append buffer and its periodic re-CSR
+    # ------------------------------------------------------------------
+    @property
+    def pending_edges(self) -> int:
+        """Edges accepted by :meth:`add_edges` but not yet re-CSRed."""
+        return self._pending_meta["edges"]
+
+    def _current_weight(self, uid: int, vid: int) -> Optional[float]:
+        """The weight of arc uid->vid right now (overlay wins), or None."""
+        row = self._pending_out.get(uid)
+        if row is not None and vid in row:
+            return row[vid]
+        if uid < self._base_n:
+            for slot in range(self._indptr[uid], self._indptr[uid + 1]):
+                if self._indices[slot] == vid:
+                    return (
+                        self._weights[slot]
+                        if self._weights is not None else 1.0
+                    )
+        return None
+
+    def add_edges(
+        self,
+        edges: Iterable[Tuple],
+        auto_consolidate: bool = True,
+    ) -> List[Tuple[int, int, float]]:
+        """Absorb ``(u, v)`` / ``(u, v, weight)`` arrivals into the buffer.
+
+        Semantics match :meth:`from_edges`: new labels are interned in
+        first-seen order, self-loops and non-positive weights are
+        :class:`GraphError`, and a parallel edge collapses to the
+        minimum weight (an arrival no lighter than the current edge is
+        a no-op).  Undirected edges land in both adjacency directions.
+
+        Returns the list of *directed arcs* ``(uid, vid, weight)`` that
+        were inserted or whose weight decreased -- both orientations for
+        an undirected edge -- which is exactly the seed set an
+        incremental sketch update must re-propagate from
+        (:mod:`repro.ads.dynamic`).
+
+        With ``auto_consolidate`` (the default) the buffer re-CSRs
+        itself once it outgrows ``max(64, num_edges // 8)`` pending
+        edges, keeping overlay lookups O(1)-ish; pass ``False`` to
+        keep the overlay until an explicit :meth:`consolidate`.
+        """
+        interner = self.interner
+        applied: List[Tuple[int, int, float]] = []
+        meta = self._pending_meta
+        # Validate the whole batch BEFORE touching any state: a
+        # malformed tuple mid-batch must not leave earlier edges half
+        # applied (the caller would retry the fixed batch and the
+        # already-inserted edges would silently no-op as duplicates --
+        # fatal when an index update is replaying the same batch).
+        normalized: List[Tuple[Node, Node, float]] = []
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge
+                w = 1.0
+            elif len(edge) == 3:
+                u, v = edge[0], edge[1]
+                w = float(edge[2])
+            else:
+                raise GraphError(
+                    f"edge tuple must have 2 or 3 fields: {edge!r}"
+                )
+            if u == v:
+                raise GraphError(f"self-loop on node {u!r} is not allowed")
+            if not w > 0.0:
+                raise GraphError(f"edge weight must be positive, got {w}")
+            normalized.append((u, v, w))
+        for u, v, w in normalized:
+            uid, vid = interner.intern(u), interner.intern(v)
+            existing = self._current_weight(uid, vid)
+            if existing is not None and existing <= w:
+                continue
+            if existing is None:
+                self._num_edges += 1
+            meta["edges"] += 1
+            if w != 1.0:
+                meta["weighted"] = 1
+            self._pending_out.setdefault(uid, {})[vid] = w
+            self._pending_in.setdefault(vid, {})[uid] = w
+            applied.append((uid, vid, w))
+            if not self.directed:
+                self._pending_out.setdefault(vid, {})[uid] = w
+                self._pending_in.setdefault(uid, {})[vid] = w
+                applied.append((vid, uid, w))
+        view = self._transpose_view
+        if view is not None:
+            view._num_edges = self._num_edges
+        if auto_consolidate and meta["edges"] > max(64, self._num_edges // 8):
+            self.consolidate()
+        return applied
+
+    def consolidate(self) -> "CSRGraph":
+        """Fold the pending-edge buffer back into packed CSR arrays.
+
+        O(n + m); afterwards ``pending_edges == 0`` and every array
+        accessor serves the updated graph.  The memoized transpose view
+        (if one exists) is refreshed in place, so references obtained
+        from :meth:`transpose` stay valid.  Returns ``self``.
+        """
+        n = self.num_nodes
+        if self._pending_meta["edges"] == 0 and self._base_n == n:
+            return self
+        adjacency: List[Dict[int, float]] = [
+            dict(self._merged_row_pairs(uid, transpose=False))
+            for uid in range(n)
+        ]
+        indptr, indices, weights = _pack_adjacency(adjacency)
+        self._indptr, self._indices, self._weights = indptr, indices, weights
+        if self.directed:
+            self._t_indptr, self._t_indices, self._t_weights = (
+                _transpose_arrays(n, indptr, indices, weights)
+            )
+        else:
+            self._t_indptr, self._t_indices, self._t_weights = (
+                indptr, indices, weights
+            )
+        # clear() in place: the dict objects are shared with the
+        # transpose view (and with each other when undirected).
+        self._pending_out.clear()
+        self._pending_in.clear()
+        self._pending_meta["edges"] = 0
+        self._pending_meta["weighted"] = 0
+        self._base_n = n
+        self._t_adjacency_cache = None
+        view = self._transpose_view
+        if view is not None:
+            view._indptr = self._t_indptr
+            view._indices = self._t_indices
+            view._weights = self._t_weights
+            view._t_indptr = self._indptr
+            view._t_indices = self._indices
+            view._t_weights = self._weights
+            view._num_edges = self._num_edges
+            view._base_n = n
+            view._t_adjacency_cache = None
+        return self
+
+    def _merged_row_pairs(
+        self, uid: int, transpose: bool
+    ) -> List[Tuple[int, float]]:
+        """One node's ``(target_id, weight)`` pairs, overlay merged in.
+
+        Base-array order first (overridden weights substituted in
+        place), then buffered additions in insertion order -- the order
+        :meth:`from_edges` would have packed them in.
+        """
+        if transpose:
+            indptr, indices, weights = (
+                self._t_indptr, self._t_indices, self._t_weights
+            )
+            row = self._pending_in.get(uid)
+        else:
+            indptr, indices, weights = (
+                self._indptr, self._indices, self._weights
+            )
+            row = self._pending_out.get(uid)
+        pairs: List[Tuple[int, float]] = []
+        if uid < self._base_n:
+            if row:
+                remaining = dict(row)
+                for slot in range(indptr[uid], indptr[uid + 1]):
+                    vid = indices[slot]
+                    if vid in remaining:
+                        pairs.append((vid, remaining.pop(vid)))
+                    else:
+                        pairs.append((
+                            vid,
+                            weights[slot] if weights is not None else 1.0,
+                        ))
+                pairs.extend(remaining.items())
+                return pairs
+            for slot in range(indptr[uid], indptr[uid + 1]):
+                pairs.append((
+                    indices[slot],
+                    weights[slot] if weights is not None else 1.0,
+                ))
+            return pairs
+        return list(row.items()) if row else []
+
+    def out_neighbor_id_pairs(self, uid: int) -> List[Tuple[int, float]]:
+        """``(target_id, weight)`` out-arcs of id *uid*, buffer included."""
+        return self._merged_row_pairs(uid, transpose=False)
+
+    def in_neighbor_id_pairs(self, uid: int) -> List[Tuple[int, float]]:
+        """``(source_id, weight)`` in-arcs of id *uid*, buffer included.
+
+        This is the adjacency view incremental sketch maintenance
+        propagates over (forward ADS updates travel along in-arcs), so
+        it must see buffered arcs without forcing a consolidation.
+        """
+        return self._merged_row_pairs(uid, transpose=True)
+
+    # ------------------------------------------------------------------
     # Array access (the contract hot paths build on)
     # ------------------------------------------------------------------
     def forward_arrays(self) -> Tuple[array, array, Optional[array]]:
-        """``(indptr, indices, weights)``; weights is None when unweighted."""
+        """``(indptr, indices, weights)``; weights is None when unweighted.
+
+        Consolidates the pending-edge buffer first: array consumers
+        (builder cores, payload shipping) scan arrays, not overlays.
+        """
+        self.consolidate()
         return self._indptr, self._indices, self._weights
 
     def transpose_arrays(self) -> Tuple[array, array, Optional[array]]:
         """The same three arrays for G^T (shared objects when undirected)."""
+        self.consolidate()
         return self._t_indptr, self._t_indices, self._t_weights
 
     def transpose_adjacency_lists(self) -> list:
@@ -300,6 +529,7 @@ class CSRGraph:
         permutation/bucket over the same arrays, so the O(m) unboxing
         must not be paid per run.
         """
+        self.consolidate()
         cached = self._t_adjacency_cache
         if cached is None:
             indptr = self._t_indptr.tolist()
@@ -340,59 +570,55 @@ class CSRGraph:
         if u not in self.interner or v not in self.interner:
             return False
         uid, vid = self.interner.id_of(u), self.interner.id_of(v)
-        for slot in range(self._indptr[uid], self._indptr[uid + 1]):
-            if self._indices[slot] == vid:
-                return True
-        return False
+        return self._current_weight(uid, vid) is not None
 
     def edge_weight(self, u: Node, v: Node) -> float:
         uid, vid = self.interner.id_of(u), self.interner.id_of(v)
-        for slot in range(self._indptr[uid], self._indptr[uid + 1]):
-            if self._indices[slot] == vid:
-                return self._weights[slot] if self._weights is not None else 1.0
-        raise GraphError(f"no edge {u!r} -> {v!r}")
+        weight = self._current_weight(uid, vid)
+        if weight is None:
+            raise GraphError(f"no edge {u!r} -> {v!r}")
+        return weight
 
     def out_neighbors(self, u: Node) -> List[Tuple[Node, float]]:
         uid = self.interner.id_of(u)
         label_of = self.interner.label_of
-        lo, hi = self._indptr[uid], self._indptr[uid + 1]
-        if self._weights is None:
-            return [(label_of(self._indices[s]), 1.0) for s in range(lo, hi)]
         return [
-            (label_of(self._indices[s]), self._weights[s]) for s in range(lo, hi)
+            (label_of(vid), w)
+            for vid, w in self._merged_row_pairs(uid, transpose=False)
         ]
 
     def in_neighbors(self, u: Node) -> List[Tuple[Node, float]]:
         uid = self.interner.id_of(u)
         label_of = self.interner.label_of
-        lo, hi = self._t_indptr[uid], self._t_indptr[uid + 1]
-        if self._t_weights is None:
-            return [(label_of(self._t_indices[s]), 1.0) for s in range(lo, hi)]
         return [
-            (label_of(self._t_indices[s]), self._t_weights[s])
-            for s in range(lo, hi)
+            (label_of(vid), w)
+            for vid, w in self._merged_row_pairs(uid, transpose=True)
         ]
 
     def out_degree(self, u: Node) -> int:
         uid = self.interner.id_of(u)
-        return self._indptr[uid + 1] - self._indptr[uid]
+        if not self._pending_out and uid < self._base_n:
+            return self._indptr[uid + 1] - self._indptr[uid]
+        return len(self._merged_row_pairs(uid, False))
 
     def in_degree(self, u: Node) -> int:
         uid = self.interner.id_of(u)
-        return self._t_indptr[uid + 1] - self._t_indptr[uid]
+        if not self._pending_in and uid < self._base_n:
+            return self._t_indptr[uid + 1] - self._t_indptr[uid]
+        return len(self._merged_row_pairs(uid, True))
 
     def is_weighted(self) -> bool:
-        return self._weights is not None
+        return self._weights is not None or bool(
+            self._pending_meta["weighted"]
+        )
 
     def edges(self) -> Iterator[Edge]:
         """Iterate ``(u, v, weight)``; each undirected edge appears once."""
         label_of = self.interner.label_of
         for uid in range(self.num_nodes):
-            for slot in range(self._indptr[uid], self._indptr[uid + 1]):
-                vid = self._indices[slot]
+            for vid, w in self._merged_row_pairs(uid, transpose=False):
                 if not self.directed and vid < uid:
                     continue  # the uid < vid orientation already yielded it
-                w = self._weights[slot] if self._weights is not None else 1.0
                 yield (label_of(uid), label_of(vid), w)
 
     # ------------------------------------------------------------------
@@ -408,6 +634,7 @@ class CSRGraph:
         entries are the same objects, and pickle's memo keeps them
         shared on the other side.
         """
+        self.consolidate()
         return (
             self.directed,
             self.interner.labels(),
@@ -450,6 +677,13 @@ class CSRGraph:
                 self._indptr, self._indices, self._weights,
                 self._num_edges,
             )
+            # The view shares the pending-edge buffer, orientation
+            # swapped, so arcs buffered through either object are
+            # visible (and consolidated) through both.
+            view._pending_out = self._pending_in
+            view._pending_in = self._pending_out
+            view._pending_meta = self._pending_meta
+            view._base_n = self._base_n
             view._transpose_view = self
             self._transpose_view = view
         return view

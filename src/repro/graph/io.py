@@ -14,20 +14,38 @@ from repro.errors import GraphError
 from repro.graph.digraph import Graph
 
 
-def write_edge_list(graph: Graph, path: Union[str, Path]) -> None:
-    """Write *graph* to *path*; weights are included only when not all 1."""
+def write_edge_list(
+    graph, path: Union[str, Path], all_nodes: bool = False
+) -> None:
+    """Write *graph* to *path*; weights are included only when not all 1.
+
+    Accepts either backend (:class:`Graph` or
+    :class:`~repro.graph.csr.CSRGraph`) -- only the shared query
+    surface is used, so a CSR graph need not be copied into adjacency
+    dicts just to be persisted.
+
+    With ``all_nodes=True`` every node is listed as a ``#node`` line in
+    iteration order *before* the edges, which pins the node order a
+    reader reconstructs -- required when the file must stay in lockstep
+    with an :class:`~repro.ads.index.AdsIndex` whose entry ids are
+    positional (``repro update-index --write-graph``).  The default
+    lists only isolated nodes (edges imply the rest).
+    """
     weighted = graph.is_weighted()
     lines = [
         "# adsketch edge list",
         f"# directed={graph.directed} weighted={weighted}",
         f"# nodes={graph.num_nodes} edges={graph.num_edges}",
     ]
-    isolated = [
-        u
-        for u in graph.nodes()
-        if graph.out_degree(u) == 0 and graph.in_degree(u) == 0
-    ]
-    for u in isolated:
+    if all_nodes:
+        listed = graph.nodes()
+    else:
+        listed = [
+            u
+            for u in graph.nodes()
+            if graph.out_degree(u) == 0 and graph.in_degree(u) == 0
+        ]
+    for u in listed:
         lines.append(f"#node {u}")
     for u, v, w in graph.edges():
         if weighted:
@@ -74,3 +92,38 @@ def read_edge_list(
         else:
             raise GraphError(f"malformed edge-list line: {raw!r}")
     return graph
+
+
+def read_edge_batch(
+    path: Union[str, Path], node_type: type = str
+) -> list:
+    """Read an edge *batch* file: ``u v [weight]`` tuples, no graph.
+
+    The update-stream counterpart of :func:`read_edge_list` -- the same
+    line format (blank lines and ``#`` comments skipped), but returning
+    plain edge tuples for :meth:`repro.ads.index.AdsIndex.apply_edges`
+    / :meth:`repro.graph.csr.CSRGraph.add_edges` instead of
+    materialising a graph.
+    """
+    edges = []
+    for raw in Path(path).read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if len(fields) not in (2, 3):
+            raise GraphError(f"malformed edge-batch line: {raw!r}")
+        try:
+            u, v = node_type(fields[0]), node_type(fields[1])
+        except ValueError as error:
+            raise GraphError(f"malformed edge-batch line: {raw!r} ({error})")
+        if len(fields) == 3:
+            try:
+                edges.append((u, v, float(fields[2])))
+            except ValueError as error:
+                raise GraphError(
+                    f"malformed edge-batch line: {raw!r} ({error})"
+                )
+        else:
+            edges.append((u, v))
+    return edges

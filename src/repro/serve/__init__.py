@@ -9,13 +9,17 @@ disk; this package is the layer that takes traffic against it:
 * :class:`QueryClient` -- keep-alive stdlib client
   (:mod:`repro.serve.client`);
 * :class:`LruCache` -- the cache primitive (:mod:`repro.serve.cache`);
+* :class:`ReadWriteLock` -- readers/writer exclusion for live updates
+  (:mod:`repro.serve.locks`);
 * :mod:`repro.serve.schemas` -- wire-format parsing and shaping.
 
-Shell entry point: ``python -m repro serve --index graph.adsidx``.
+Shell entry point: ``python -m repro serve --index graph.adsidx``
+(add ``--graph graph.txt`` to accept ``POST /update``).
 """
 
 from repro.serve.cache import LruCache
 from repro.serve.client import QueryClient, ServeClientError
+from repro.serve.locks import ReadWriteLock
 from repro.serve.schemas import WireError
 from repro.serve.server import AdsServer
 
@@ -23,6 +27,7 @@ __all__ = [
     "AdsServer",
     "LruCache",
     "QueryClient",
+    "ReadWriteLock",
     "ServeClientError",
     "WireError",
 ]

@@ -218,5 +218,23 @@ class QueryClient:
             "GET", f"/node/{quote(str(label), safe='')}"
         )
 
+    def update(self, edges: Sequence[Sequence[Any]]) -> Dict[str, Any]:
+        """Apply an edge batch: ``[[u, v], [u, v, w], ...]``.
+
+        Requires a server started with the index's graph (``repro serve
+        --graph``) and an eagerly loaded index; 409 otherwise.
+        """
+        payload = {"edges": [list(edge) for edge in edges]}
+        return self._request("POST", "/update", payload=payload)
+
+    def compact(self) -> Dict[str, Any]:
+        """Flush applied updates to the server's own index path.
+
+        The destination is fixed server-side (a client-chosen path
+        would be an arbitrary-file-write primitive); 409 when the
+        server has no index path or is read-only.
+        """
+        return self._request("POST", "/compact", payload={})
+
 
 __all__ = ["QueryClient", "ServeClientError"]

@@ -1,0 +1,82 @@
+"""A writer-preferring read/write lock for the serving daemon.
+
+Queries over an :class:`~repro.ads.index.AdsIndex` are pure reads and
+run concurrently; a ``POST /update`` rewrites the index columns in
+place, which readers must never observe half-spliced.  The classic
+answer is a read/write lock: any number of readers *or* one writer.
+Writers are preferred -- new readers queue once a writer is waiting --
+so a steady query stream cannot starve updates forever.
+
+Kept deliberately tiny (one condition variable, two counters) and
+dependency-free; stdlib ``threading`` has no RW lock of its own.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ReadWriteLock:
+    """Many concurrent readers xor one writer; writers preferred.
+
+    Example:
+        >>> lock = ReadWriteLock()
+        >>> with lock.read_locked():
+        ...     pass  # any number of readers in here concurrently
+        >>> with lock.write_locked():
+        ...     pass  # exclusive
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+__all__ = ["ReadWriteLock"]

@@ -47,6 +47,100 @@ def not_found(message: str) -> WireError:
     return WireError(404, message)
 
 
+def conflict(message: str) -> WireError:
+    """409: the request is well-formed but this server cannot serve it
+    (read-only index, no graph attached)."""
+    return WireError(409, message)
+
+
+def parse_edges(body: Dict[str, Any]) -> List[Tuple]:
+    """The ``edges`` field of a ``POST /update`` body, as edge tuples.
+
+    Accepts ``[[u, v], [u, v, w], ...]``; labels must be ints or
+    strings (the only types a saved index carries -- *new* labels are
+    allowed, updates may grow the graph), weights positive numbers.
+    Anything else is a 400.
+    """
+    raw_edges = body.get("edges")
+    if not isinstance(raw_edges, list):
+        raise bad_request("edges must be a JSON array of [u, v(, weight)]")
+    if not raw_edges:
+        raise bad_request("edges must not be empty")
+    edges: List[Tuple] = []
+    for row in raw_edges:
+        if not isinstance(row, list) or len(row) not in (2, 3):
+            raise bad_request(
+                f"each edge must be [u, v] or [u, v, weight], got {row!r}"
+            )
+        for label in row[:2]:
+            if isinstance(label, bool) or not isinstance(label, (int, str)):
+                raise bad_request(f"invalid node {label!r}")
+        if row[0] == row[1]:
+            raise bad_request(f"self-loop on node {row[0]!r} is not allowed")
+        if len(row) == 3:
+            weight = row[2]
+            if isinstance(weight, bool) or not isinstance(
+                weight, (int, float)
+            ):
+                raise bad_request(f"edge weight must be a number, got "
+                                  f"{weight!r}")
+            if not weight > 0.0 or math.isnan(weight) or math.isinf(weight):
+                raise bad_request(
+                    f"edge weight must be positive and finite, got {weight}"
+                )
+            edges.append((row[0], row[1], float(weight)))
+        else:
+            edges.append((row[0], row[1]))
+    return edges
+
+
+def coerce_edge_labels(
+    index, edges: List[Tuple], label_type: Optional[type] = None
+) -> List[Tuple]:
+    """Align batch edge labels with the index's label type.
+
+    JSON carries ``[0, 2]`` as ints even when the index labels are the
+    strings ``"0"``/``"2"`` (an edge list parsed without --int-nodes).
+    Without coercion such a batch would intern *phantom* int nodes next
+    to the real string ones and the intended edge would never touch the
+    real sketches -- so labels are converted to the index's type
+    (:meth:`AdsIndex.label_type`; pass *label_type* precomputed to
+    skip the O(n) scan per request).  A label that cannot convert
+    (``"alice"`` on an int-labeled index) is a 400: accepting it would
+    poison the index with a mixed int/str label set that no edge-list
+    file can ever represent, permanently locking out ``update-index``
+    and ``serve --graph``.  Mirrors :func:`resolve_node` and the CLI's
+    node-type inference.
+    """
+    if label_type is None:
+        label_type = index.label_type()
+
+    def coerce(label):
+        if label_type is int and isinstance(label, str):
+            try:
+                return int(label)
+            except ValueError:
+                raise bad_request(
+                    f"node {label!r} cannot join this index: its labels "
+                    "are ints, and a mixed label set cannot be "
+                    "represented in an edge-list file"
+                )
+        if label_type is str and isinstance(label, int):
+            return str(label)
+        return label
+
+    coerced: List[Tuple] = []
+    for edge in edges:
+        u, v = coerce(edge[0]), coerce(edge[1])
+        if u == v:
+            raise bad_request(
+                f"self-loop on node {u!r} is not allowed (labels "
+                f"{edge[0]!r} and {edge[1]!r} name the same index node)"
+            )
+        coerced.append((u, v, *edge[2:]))
+    return coerced
+
+
 def parse_float(
     params: Dict[str, str], name: str, default: float
 ) -> float:

@@ -20,6 +20,8 @@ Endpoints (all JSON):
 ``GET  /neighborhood`` whole-graph ANF series, or one ``?node=``
 ``GET  /top-central``  ``?count=&kind=&largest=`` ranking
 ``GET  /node/<label>`` one node's summary (sketch size, estimates)
+``POST /update``       apply an edge batch: ``{"edges": [[u, v], ...]}``
+``POST /compact``      flush applied updates to the on-disk layout
 =====================  ====================================================
 
 Unknown nodes are 404s, malformed parameters 400s, unexpected faults
@@ -27,6 +29,14 @@ Unknown nodes are 404s, malformed parameters 400s, unexpected faults
 HTTP/1.1 with explicit ``Content-Length``, so clients can keep
 connections alive and batch thousands of queries per second over one
 socket (``benchmarks/bench_serve.py`` measures exactly that).
+
+Writes are optional: ``/update`` needs the server started with the
+index's *graph* (``repro serve --graph``) and an eagerly loaded
+(non-mmap) index, and answers 409 otherwise.  A
+:class:`~repro.serve.locks.ReadWriteLock` keeps queries fully
+concurrent while an update holds the exclusive side, and every applied
+batch invalidates the whole-graph result cache (sketches changed; the
+cached sweeps are stale by definition).
 """
 
 from __future__ import annotations
@@ -40,18 +50,25 @@ from http.server import BaseHTTPRequestHandler, HTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, unquote, urlsplit
 
+from pathlib import Path
+from typing import Union
+
 from repro._util import require
 from repro.ads.index import AdsIndex
 from repro.errors import ReproError
 from repro.serve.cache import LruCache
+from repro.serve.locks import ReadWriteLock
 from repro.serve.schemas import (
     WireError,
     bad_request,
     centrality_kwargs,
+    coerce_edge_labels,
+    conflict,
     json_safe_number,
     label_value_pairs,
     not_found,
     parse_bool,
+    parse_edges,
     parse_float,
     parse_int,
     resolve_node,
@@ -147,12 +164,22 @@ class AdsServer:
     """The serving daemon: routing, caching, and counters over an index.
 
     Args:
-        index: The (immutable) sketch index to serve.
+        index: The sketch index to serve.
         host / port: Bind address; ``port=0`` picks a free port, read it
             back from :attr:`port`.
         cache_size: LRU capacity for whole-graph query results
             (``0`` disables caching).
         threads: Worker-thread pool size.
+        graph: The index's :class:`~repro.graph.csr.CSRGraph` (same
+            labels, same id order).  Enables ``POST /update``; without
+            it the index is served read-only and updates answer 409.
+        index_path: Where the served index lives on disk; the
+            ``POST /compact`` destination.
+        graph_path: Where the graph's edge list lives; ``POST
+            /compact`` rewrites it alongside the index (node order
+            pinned), so a restarted server loads a graph that matches
+            -- a stale edge list would make post-restart updates
+            silently diverge from a rebuild.
 
     Example:
         >>> from repro.graph import path_graph
@@ -164,6 +191,9 @@ class AdsServer:
         2.0
     """
 
+    # Paths that take the exclusive side of the read/write lock.
+    _WRITE_PATHS = frozenset({"/update", "/compact"})
+
     def __init__(
         self,
         index: AdsIndex,
@@ -171,15 +201,37 @@ class AdsServer:
         port: int = 0,
         cache_size: int = 256,
         threads: int = 8,
+        graph=None,
+        index_path: Optional[Union[str, Path]] = None,
+        graph_path: Optional[Union[str, Path]] = None,
     ):
         require(threads >= 1, f"threads must be >= 1, got {threads}")
+        if graph is not None and graph.nodes() != index.nodes():
+            raise ReproError(
+                "graph/index mismatch: the attached graph must carry "
+                "exactly the index's node labels in id order"
+            )
         self.index = index
+        self.graph = graph
+        self.index_path = (
+            Path(index_path) if index_path is not None else None
+        )
+        self.graph_path = (
+            Path(graph_path) if graph_path is not None else None
+        )
+        # Computed once: coerce_edge_labels would otherwise scan every
+        # label per update, under the exclusive lock.  Sound to cache
+        # because coercion rejects any label that would break type
+        # uniformity, so the type can never change over updates.
+        self._label_type = index.label_type()
         self.cache = LruCache(cache_size)
         self.threads = int(threads)
         self.started_at = time.time()
         self._requests = 0
         self._internal_errors = 0
+        self._updates_applied = 0
         self._counter_lock = threading.Lock()
+        self._rw_lock = ReadWriteLock()
         self._thread: Optional[threading.Thread] = None
         self._serving = threading.Event()
         self._routes = {
@@ -189,6 +241,8 @@ class AdsServer:
             "/closeness": (self._closeness, ("GET", "POST")),
             "/neighborhood": (self._neighborhood, ("GET",)),
             "/top-central": (self._top_central, ("GET",)),
+            "/update": (self._update, ("POST",)),
+            "/compact": (self._compact, ("POST",)),
         }
         self._httpd = _PooledHTTPServer(
             (host, port), _AdsRequestHandler, self, threads
@@ -279,7 +333,15 @@ class AdsServer:
                 ).items()
             }
             body = self._read_body(handler) if method == "POST" else None
-            status, payload = self._route(method, path, params, body)
+            # Reads share the lock (queries stay fully concurrent);
+            # the update/compact endpoints take the exclusive side so
+            # no query ever observes a half-spliced index.
+            if path in self._WRITE_PATHS:
+                with self._rw_lock.write_locked():
+                    status, payload = self._route(method, path, params, body)
+            else:
+                with self._rw_lock.read_locked():
+                    status, payload = self._route(method, path, params, body)
         except WireError as error:
             status, payload = error.status, {"error": error.message}
         except ReproError as error:
@@ -375,12 +437,18 @@ class AdsServer:
         index = self.index
         with self._counter_lock:
             requests, internal = self._requests, self._internal_errors
+            updates = self._updates_applied
         return {
             "requests": requests,
             "internal_errors": internal,
             "uptime_seconds": time.time() - self.started_at,
             "threads": self.threads,
             "cache": self.cache.stats(),
+            "updates": {
+                "writable": self._writable(),
+                "applied_batches": updates,
+                "pending_batches": len(index.delta_log),
+            },
             "index": {
                 "flavor": index.flavor,
                 "k": index.k,
@@ -390,6 +458,76 @@ class AdsServer:
                 "mapped_shards": index.mapped_shards,
             },
         }
+
+    # -- write endpoints -----------------------------------------------
+    def _writable(self) -> bool:
+        return self.graph is not None and not self.index.mmap_backed
+
+    def _require_writable(self) -> None:
+        if self.index.mmap_backed:
+            raise conflict(
+                "index is memory-mapped read-only; restart the server "
+                "with --no-mmap to accept updates"
+            )
+        if self.graph is None:
+            raise conflict(
+                "server was started without the index's graph; restart "
+                "with --graph to accept updates"
+            )
+
+    def _update(self, params, body) -> Dict[str, Any]:
+        """Apply an edge batch to the live index (exclusive lock held)."""
+        self._require_writable()
+        edges = coerce_edge_labels(
+            self.index, parse_edges(body), label_type=self._label_type
+        )
+        result = self.index.apply_edges(self.graph, edges)
+        # Whole-graph sweeps cached before this batch are stale now.
+        self.cache.clear()
+        with self._counter_lock:
+            self._updates_applied += 1
+        return {
+            **result.to_dict(),
+            "nodes": self.index.num_nodes,
+            "entries": self.index.num_entries,
+        }
+
+    def _compact(self, params, body) -> Dict[str, Any]:
+        """Flush applied batches to the server's on-disk layout.
+
+        The destination is pinned to the path the server was started
+        with: accepting a client-supplied path would hand anyone who
+        can reach the socket an arbitrary-file-write primitive (and a
+        way to silently redirect flushes away from the real index).
+        """
+        if self.index.mmap_backed:
+            raise conflict(
+                "index is memory-mapped read-only; restart the server "
+                "with --no-mmap to accept updates"
+            )
+        if body and "path" in body:
+            raise bad_request(
+                "compact always flushes to the server's own index path; "
+                "a client-writable destination is not accepted"
+            )
+        if self.index_path is None:
+            raise conflict(
+                "server does not know its index path; restart via "
+                "`repro serve --index ...` (or pass index_path= when "
+                "embedding AdsServer)"
+            )
+        info = self.index.compact(self.index_path)
+        info["path"] = str(self.index_path)
+        if self.graph is not None and self.graph_path is not None:
+            # The edge list must follow the index (node order pinned):
+            # restarting against a stale graph file would pass the
+            # label check but propagate the *next* update over a graph
+            # missing these batches' edges -- silent divergence.
+            from repro.graph.io import write_edge_list
+
+            write_edge_list(self.graph, self.graph_path, all_nodes=True)
+            info["graph_path"] = str(self.graph_path)
+        return info
 
     def _cached(self, key: Tuple, compute) -> Tuple[Any, bool]:
         """Memoise a whole-graph result under a *parsed*-value key, so

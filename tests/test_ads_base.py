@@ -9,7 +9,6 @@ from repro.errors import EstimatorError
 from repro.graph import barabasi_albert_graph, gnp_random_graph, path_graph
 from repro.graph.properties import (
     closeness_centrality_exact,
-    exact_neighborhood_function,
     neighborhood_cardinality,
     reachable_set,
 )

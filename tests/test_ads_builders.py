@@ -13,14 +13,11 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ads import BuildStats, build_ads_set
-from repro.ads.pruned_dijkstra import pruned_dijkstra_core
 from repro.errors import GraphError, ParameterError
 from repro.graph import (
     Graph,
     gnp_random_graph,
-    grid_graph,
     path_graph,
-    random_geometric_graph,
 )
 from repro.graph.traversal import dijkstra_order
 from repro.rand.hashing import HashFamily

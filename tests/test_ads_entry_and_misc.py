@@ -1,13 +1,11 @@
 """Small-surface tests: entry ordering, build stats, weighted-graph
 builder equivalence, and exponential-rank estimation plumbing."""
 
-import math
 
 import pytest
 
 from repro.ads import BuildStats, build_ads_set
 from repro.ads.entry import AdsEntry
-from repro.estimators.basic import bottom_k_cardinality
 from repro.graph import random_geometric_graph
 from repro.rand.hashing import HashFamily
 from repro.rand.ranks import ExponentialRanks

@@ -1,6 +1,5 @@
 """Tests for streaming ADS (Section 3.1)."""
 
-import math
 import statistics
 
 import pytest

@@ -1,7 +1,6 @@
 """Tests for the ADS variants: (1+eps)-approximate (Section 3),
 no-tie-breaking (Appendix A), and weighted nodes (Section 9)."""
 
-import math
 import statistics
 
 import pytest

@@ -1,6 +1,5 @@
 """Tests for ADS-based centralities and neighborhood functions."""
 
-import math
 import statistics
 
 import pytest

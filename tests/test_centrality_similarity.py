@@ -11,7 +11,7 @@ from repro.centrality import (
     neighborhood_jaccard,
 )
 from repro.errors import EstimatorError
-from repro.graph import Graph, gnp_random_graph, grid_graph, path_graph
+from repro.graph import gnp_random_graph, grid_graph, path_graph
 from repro.graph.traversal import bfs_distances
 from repro.rand.hashing import HashFamily
 

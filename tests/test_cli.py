@@ -1,6 +1,5 @@
 """Tests for the command-line interface."""
 
-import io
 
 import pytest
 
@@ -32,6 +31,13 @@ class TestParser:
             ["serve", "--index", "g.adsidx"],
             ["serve", "--index", "g.adsidx", "--no-mmap", "--port", "0",
              "--cache-size", "64", "--threads", "2"],
+            ["serve", "--index", "g.adsidx", "--no-mmap",
+             "--graph", "g.txt"],
+            ["update-index", "g.adsidx", "--graph", "g.txt",
+             "--edges", "new.txt"],
+            ["update-index", "g.adsidx", "--graph", "g.txt",
+             "--edges", "new.txt", "--out", "h.adsidx", "--shards", "4",
+             "--write-graph"],
             ["distinct-count"],
             ["figures", "fig2"],
         ):
@@ -366,3 +372,128 @@ class TestFigures:
         ) == 0
         out = capsys.readouterr().out
         assert "hll_raw" in out
+
+
+class TestUpdateIndex:
+    """The update-index subcommand: incremental apply from the shell."""
+
+    def _build(self, tmp_path, graph_file, extra=()):
+        index = str(tmp_path / "g.adsidx")
+        assert main([
+            "build-index", graph_file, "--int-nodes", "--k", "4",
+            "--out", index, *extra,
+        ]) == 0
+        return index
+
+    def test_applies_batch_in_place(self, graph_file, tmp_path, capsys):
+        index = self._build(tmp_path, graph_file)
+        batch = tmp_path / "batch.txt"
+        batch.write_text("0 49\n1 50\n", encoding="utf-8")
+        code = main([
+            "update-index", index, "--graph", graph_file,
+            "--edges", str(batch), "--write-graph",
+        ])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "applied" in err and "1 new nodes" in err
+        assert main([
+            "query", index, "--node", "50", "--cardinality", "1",
+        ]) == 0
+        assert capsys.readouterr().out.startswith("50\t2.00")
+        # --write-graph pinned the node order: a second run loads a
+        # matching graph and is a clean no-op.
+        assert main([
+            "update-index", index, "--graph", graph_file,
+            "--edges", str(batch),
+        ]) == 0
+        assert "applied 0 arcs" in capsys.readouterr().err
+
+    def test_sharded_layout_partial_rewrite(self, graph_file, tmp_path,
+                                            capsys):
+        layout = str(tmp_path / "layout")
+        assert main([
+            "build-index", graph_file, "--int-nodes", "--k", "4",
+            "--out", layout, "--shards", "4",
+        ]) == 0
+        batch = tmp_path / "batch.txt"
+        batch.write_text("0 7\n", encoding="utf-8")
+        code = main([
+            "update-index", layout, "--graph", graph_file,
+            "--edges", str(batch),
+        ])
+        err = capsys.readouterr().err
+        assert code == 0
+        assert "sharded" in err
+
+    def test_out_writes_elsewhere(self, graph_file, tmp_path, capsys):
+        index = self._build(tmp_path, graph_file)
+        batch = tmp_path / "batch.txt"
+        batch.write_text("3 9\n", encoding="utf-8")
+        out = str(tmp_path / "updated.adsidx")
+        assert main([
+            "update-index", index, "--graph", graph_file,
+            "--edges", str(batch), "--out", out,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["query", out, "--top", "3"]) == 0
+
+    def test_missing_index_fails_cleanly(self, graph_file, tmp_path,
+                                         capsys):
+        batch = tmp_path / "batch.txt"
+        batch.write_text("0 1\n", encoding="utf-8")
+        assert main([
+            "update-index", str(tmp_path / "nope.adsidx"),
+            "--graph", graph_file, "--edges", str(batch),
+        ]) == 1
+        assert capsys.readouterr().err
+
+    def test_malformed_batch_fails_cleanly(self, graph_file, tmp_path,
+                                           capsys):
+        index = self._build(tmp_path, graph_file)
+        batch = tmp_path / "batch.txt"
+        batch.write_text("0 1 2 3\n", encoding="utf-8")
+        assert main([
+            "update-index", index, "--graph", graph_file,
+            "--edges", str(batch),
+        ]) == 1
+        assert "malformed" in capsys.readouterr().err
+
+    def test_serve_graph_requires_no_mmap(self, graph_file, tmp_path,
+                                          capsys):
+        index = self._build(tmp_path, graph_file)
+        assert main([
+            "serve", "--index", index, "--graph", graph_file,
+        ]) == 2
+        assert "--no-mmap" in capsys.readouterr().err
+
+    def test_inplace_updates_stay_rebuild_exact_by_default(
+        self, tmp_path, capsys
+    ):
+        """Two successive in-place updates (no --write-graph flag) must
+        keep matching a rebuild: the graph file follows the index by
+        default, so the second propagation sees the first batch."""
+        graph_file = str(tmp_path / "chain.txt")
+        with open(graph_file, "w") as fh:
+            fh.write("".join(f"{i} {i+1}\n" for i in range(9)))
+        index = str(tmp_path / "chain.adsidx")
+        assert main([
+            "build-index", graph_file, "--int-nodes", "--k", "16",
+            "--out", index,
+        ]) == 0
+        for edge in ("5 9", "0 5"):
+            batch = tmp_path / "batch.txt"
+            batch.write_text(edge + "\n", encoding="utf-8")
+            assert main([
+                "update-index", index, "--graph", graph_file,
+                "--edges", str(batch),
+            ]) == 0
+        rebuilt = str(tmp_path / "rebuilt.adsidx")
+        assert main([
+            "build-index", graph_file, "--int-nodes", "--k", "16",
+            "--out", rebuilt,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["query", index, "--cardinality", "2"]) == 0
+        incremental = capsys.readouterr().out
+        assert main(["query", rebuilt, "--cardinality", "2"]) == 0
+        assert incremental == capsys.readouterr().out

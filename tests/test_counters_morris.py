@@ -1,6 +1,5 @@
 """Tests for Morris/Flajolet approximate counters (Section 7)."""
 
-import math
 import statistics
 
 import pytest

@@ -17,6 +17,7 @@ import repro.ads
 import repro.ads.index
 import repro.cli
 import repro.serve.cache
+import repro.serve.locks
 import repro.serve.server
 
 MODULES = (
@@ -25,6 +26,7 @@ MODULES = (
     repro.ads.index,
     repro.cli,
     repro.serve.cache,
+    repro.serve.locks,
     repro.serve.server,
 )
 

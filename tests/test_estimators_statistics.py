@@ -1,6 +1,5 @@
 """Tests for Q_g / C_{alpha,beta} estimation and the naive baseline."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the lemma/constant validation tables and reporting."""
 
-import math
 
 import pytest
 

@@ -1,7 +1,5 @@
 """End-to-end integration tests across subpackages."""
 
-import math
-import statistics
 
 import pytest
 

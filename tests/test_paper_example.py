@@ -4,7 +4,7 @@ driven through the public builder API with the figure's rank values."""
 import pytest
 
 from repro.ads import build_ads_set
-from repro.graph import figure1_graph, figure1_ranks
+from repro.graph import figure1_ranks
 
 
 def _content(ads):

@@ -5,7 +5,6 @@ module test covers: stream/graph duality, ADS prefix consistency,
 order-insensitivity of sketches, and coordination invariants.
 """
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

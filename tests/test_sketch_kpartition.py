@@ -1,6 +1,5 @@
 """Tests for the k-partition MinHash sketch (full and rounded ranks)."""
 
-import math
 import statistics
 
 import pytest
