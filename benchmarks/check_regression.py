@@ -42,6 +42,11 @@ TRACKED = [
     # cpu_count on runners varies; workers-vs-serial only has to not
     # collapse relative to the (single-core, pessimistic) baseline.
     ("BENCH_parallel.json", "speedup_workers_2_vs_1", "higher"),
+    # NumPy kernel backend: batch sweeps must stay an order of
+    # magnitude ahead of the pure loops (ISSUE 5 acceptance).
+    ("BENCH_kernels.json", "speedups.closeness_batch_eager", "higher"),
+    ("BENCH_kernels.json", "speedups.closeness_batch_mmap", "higher"),
+    ("BENCH_kernels.json", "speedups.cardinality_batch_mmap", "higher"),
 ]
 
 _STEP = re.compile(r"([^.\[\]]+)(?:\[(\d+)\])?")

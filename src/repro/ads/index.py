@@ -18,6 +18,12 @@ Queries: :meth:`cardinality_at` (all nodes at once),
 :meth:`neighborhood_function` (whole-graph ANF series),
 :meth:`closeness_centrality` / :meth:`top_central` (Equation 2 for every
 node), all bit-identical to the per-node ``BaseADS`` estimators.
+Batch queries and the cum-hip materialisation run on a pluggable
+estimator kernel (:mod:`repro.ads.kernels`): the stdlib reference
+loops, or a NumPy backend that vectorises the same arithmetic over
+zero-copy views of these columns -- selected per index
+(``backend="auto"|"numpy"|"python"``, ``REPRO_BACKEND`` env override)
+and bit-identical across backends by construction.
 :meth:`save` / :meth:`load` persist the columns as raw little/big-endian
 array bytes behind a JSON header, so an index built on a big graph is
 built once and served many times; ``load(path, mmap=True)`` skips the
@@ -52,6 +58,7 @@ from typing import (
 )
 
 from repro._util import require
+from repro.ads import kernels
 from repro.ads.base import FLAVOR_CLASSES as _FLAVOR_CLASSES, BaseADS
 from repro.ads.csr_cores import Record, build_flat_entries
 from repro.ads.dynamic import UpdateResult, propagate_edge_insertions
@@ -234,6 +241,7 @@ class AdsIndex:
         hip_column: array,
         rank_sup: float = 1.0,
         validate_columns: bool = True,
+        backend: str = "auto",
     ):
         if flavor not in _FLAVOR_CLASSES:
             raise ParameterError(
@@ -241,6 +249,13 @@ class AdsIndex:
                 f"{sorted(_FLAVOR_CLASSES)}"
             )
         require(k >= 1, f"k must be >= 1, got {k}")
+        # The estimator kernel behind every batch query: the pure
+        # reference loops, or the NumPy backend (bit-identical floats;
+        # see repro.ads.kernels).  Resolved before validation -- the
+        # eager cum-hip pass below already runs on it.
+        self._kernel = kernels.resolve(backend)
+        self.backend = self._kernel.NAME
+        self._views_cache: Optional[Any] = None
         self.flavor = flavor
         self.k = int(k)
         self.seed = int(seed)
@@ -293,25 +308,29 @@ class AdsIndex:
         self.delta_log: List[Dict[str, int]] = []
         self._dirty_ids: set = set()
 
+    def _kernel_views(self):
+        """The active kernel's prepared view of the entry columns.
+
+        Cached until a dynamic update splices the columns.  For the
+        pure kernel this is a free wrapper; the NumPy kernel builds
+        zero-copy ``frombuffer`` views (assembling sharded-mmap columns
+        once).  Unlocked: a racing first touch builds the same
+        immutable views twice and one copy wins, which is benign.
+        """
+        views = self._views_cache
+        if views is None:
+            views = self._kernel.prepare_views(
+                self._offsets, self._dist, self._hip
+            )
+            self._views_cache = views
+        return views
+
     def _compute_cum_hip(self) -> array:
         # Per-node running prefix sums of the HIP column: cardinality
         # queries become one bisect plus one lookup.  Summation order is
         # left-to-right within each slice, exactly like BaseADS, so the
-        # floats agree bit-for-bit.
-        offsets, hip_column = self._offsets, self._hip
-        cumulative = array("d", bytes(8 * len(hip_column)))
-        for i in range(len(self._labels)):
-            lo, hi = offsets[i], offsets[i + 1]
-            running = 0.0
-            slot = lo
-            # Per-slice iteration: a lazily loaded ShardedColumn hands
-            # back one zero-copy per-shard view per node instead of
-            # paying a shard lookup on every single slot.
-            for value in hip_column[lo:hi]:
-                running += value
-                cumulative[slot] = running
-                slot += 1
-        return cumulative
+        # floats agree bit-for-bit -- on either kernel backend.
+        return self._kernel.compute_cum_hip(self._kernel_views())
 
     @property
     def _cum_hip(self) -> array:
@@ -346,6 +365,7 @@ class AdsIndex:
         stats: Optional[BuildStats] = None,
         workers: int = 1,
         shards: Optional[int] = None,
+        backend: str = "auto",
     ) -> "AdsIndex":
         """Build the index for every node of *graph* in one pass.
 
@@ -362,6 +382,12 @@ class AdsIndex:
         bit-identical to the serial build, columns included.
         ``workers=1`` with ``shards > 1`` runs the same shard/replay
         pipeline in-process.
+
+        ``backend`` picks the estimator kernel the built index answers
+        batch queries with (:mod:`repro.ads.kernels`): ``"auto"``
+        (NumPy when installed, honouring ``REPRO_BACKEND``),
+        ``"numpy"``, or ``"python"``.  The sketch columns themselves
+        are backend-independent.
 
         Returns:
             The fully built index (every node, HIP column included).
@@ -431,7 +457,7 @@ class AdsIndex:
         return cls(
             flavor, k, family.seed, labels, offsets, node_column,
             dist_column, rank_column, tiebreak_column, aux_column,
-            hip_column,
+            hip_column, backend=backend,
         )
 
     @staticmethod
@@ -579,13 +605,10 @@ class AdsIndex:
             >>> index.cardinality_at(1.0)
             {0: 2.0, 1: 3.0, 2: 3.0, 3: 2.0}
         """
-        dist, cumulative, offsets = self._dist, self._cum_hip, self._offsets
-        result: Dict[Hashable, float] = {}
-        for i, label in enumerate(self._labels):
-            lo, hi = offsets[i], offsets[i + 1]
-            cutoff = bisect_right(dist, d, lo, hi)
-            result[label] = cumulative[cutoff - 1] if cutoff > lo else 0.0
-        return result
+        values = self._kernel.batch_cardinality(
+            self._kernel_views(), self._cum_hip, d
+        )
+        return dict(zip(self._labels, values))
 
     def reachable_counts(self) -> Dict[Hashable, float]:
         """HIP estimate of the reachable-set size of every node.
@@ -631,15 +654,9 @@ class AdsIndex:
         construction, summed locally when the prefix column has not been
         materialised (a lazy load serving one node must not pay an
         all-entries pass)."""
-        if hi <= lo:
-            return 0.0
-        cumulative = self._cum_cache
-        if cumulative is not None:
-            return cumulative[hi - 1]
-        running = 0.0
-        for weight in self._hip[lo:hi]:
-            running += weight
-        return running
+        return kernels.pure.slice_hip_sum(
+            self._hip, self._cum_cache, lo, hi
+        )
 
     def neighborhood_function(self) -> List[Tuple[float, float]]:
         """Whole-graph neighborhood function (the ANF statistic).
@@ -655,20 +672,7 @@ class AdsIndex:
             >>> index.neighborhood_function()
             [(1.0, 6.0), (2.0, 10.0), (3.0, 12.0)]
         """
-        jumps: Dict[float, float] = {}
-        # zip iteration, not per-slot indexing: a lazily loaded
-        # ShardedColumn yields its per-shard views without paying a
-        # shard lookup per entry.
-        for d, weight in zip(self._dist, self._hip):
-            if d <= 0.0:
-                continue
-            jumps[d] = jumps.get(d, 0.0) + weight
-        series: List[Tuple[float, float]] = []
-        running = 0.0
-        for d in sorted(jumps):
-            running += jumps[d]
-            series.append((d, running))
-        return series
+        return self._kernel.neighborhood_series(self._kernel_views())
 
     def node_neighborhood_function(
         self, label: Hashable
@@ -738,13 +742,21 @@ class AdsIndex:
             raise EstimatorError(
                 "classic=True computes (n-1)/sum(d); alpha/beta do not apply"
             )
-        result: Dict[Hashable, float] = {}
-        offsets = self._offsets
-        for i, label in enumerate(self._labels):
-            result[label] = self._closeness_for_slice(
-                offsets[i], offsets[i + 1], alpha, beta, classic
-            )
-        return result
+        if beta is not None:
+            # A node filter consumes entry labels through a Python
+            # callable; that stays on the per-slice reference loop
+            # whatever the kernel backend.
+            offsets = self._offsets
+            return {
+                label: self._closeness_for_slice(
+                    offsets[i], offsets[i + 1], alpha, beta, classic
+                )
+                for i, label in enumerate(self._labels)
+            }
+        values = self._kernel.batch_closeness(
+            self._kernel_views(), alpha, classic, cum=self._cum_cache
+        )
+        return dict(zip(self._labels, values))
 
     def _closeness_for_slice(
         self,
@@ -754,7 +766,6 @@ class AdsIndex:
         beta: Optional[Callable[[Hashable], float]],
         classic: bool,
     ) -> float:
-        dist, hip = self._dist, self._hip
         if beta is not None and not classic:
             # Only a node filter ever consumes the entry labels; skip
             # the per-entry interner lookups otherwise.
@@ -762,26 +773,15 @@ class AdsIndex:
             entry_labels = [label_of(node_id) for node_id in
                             self._node[lo:hi]]
             return closeness_centrality_estimate(
-                entry_labels, dist[lo:hi], hip[lo:hi], alpha=alpha, beta=beta
+                entry_labels, self._dist[lo:hi], self._hip[lo:hi],
+                alpha=alpha, beta=beta,
             )
-        # beta-free sum, mirroring q_statistic_estimate exactly (same
-        # slot order, same skip-the-source and g >= 0 rules) so the
-        # floats match the per-node estimators bit-for-bit.
-        total = 0.0
-        for d, weight in zip(dist[lo:hi], hip[lo:hi]):
-            if d == 0.0:
-                continue
-            value = d if alpha is None else float(alpha(d))
-            if value < 0.0:
-                raise EstimatorError(
-                    f"g must be nonnegative (got {value}); HIP "
-                    "unbiasedness and the variance bounds assume g >= 0"
-                )
-            total += weight * value
-        if classic:
-            reachable = self._slice_hip_sum(lo, hi) - 1.0
-            return reachable / total if total > 0.0 else 0.0
-        return total
+        # beta-free sum: the reference slice loop (single-node queries
+        # are O(sketch size); the batch sweep above vectorises the same
+        # arithmetic and returns the same floats).
+        return kernels.pure.closeness_for_slice(
+            self._dist, self._hip, lo, hi, alpha, classic, self._cum_cache
+        )
 
     def node_closeness_centrality(
         self,
@@ -836,7 +836,9 @@ class AdsIndex:
 
         Returns:
             ``[(label, value), ...]`` sorted by value, ties broken by
-            node repr -- same contract as ``top_k_central_nodes``.
+            node repr -- same contract as ``top_k_central_nodes``
+            (which heap-selects the *count* winners in O(n log count)
+            instead of fully sorting all n values).
 
         Raises:
             EstimatorError: invalid ``classic``/``alpha``/``beta``
@@ -923,18 +925,20 @@ class AdsIndex:
 
         Must agree float-for-float with :meth:`_compute_hip_column` on
         the same slice -- it runs the identical per-flavor estimator
-        over the identical scan order, so a patched slice carries the
-        same weights a from-scratch build would.
+        over the identical scan order (on the active kernel backend,
+        whose weight functions are bit-identical to the pure
+        estimators), so a patched slice carries the same weights a
+        from-scratch build would.
         """
         if not records:
             return []
         k = self.k
         if self.flavor == "bottomk":
-            return bottom_k_adjusted_weights(
+            return self._kernel.bottom_k_hip_weights(
                 [record[3] for record in records], k
             )
         if self.flavor == "kpartition":
-            return k_partition_adjusted_weights(
+            return self._kernel.k_partition_hip_weights(
                 [(record[4], record[3]) for record in records], k
             )
         # kmins: weights live on the merged first-occurrence view;
@@ -952,7 +956,7 @@ class AdsIndex:
             [family.rank(labels[records[position][2]], h) for h in range(k)]
             for position in merged_positions
         ]
-        merged_weights = k_mins_adjusted_weights(vectors, k)
+        merged_weights = self._kernel.k_mins_hip_weights(vectors, k)
         weights = [0.0] * len(records)
         for position, weight in zip(merged_positions, merged_weights):
             weights[position] = weight
@@ -1038,7 +1042,6 @@ class AdsIndex:
             for label in new_labels:
                 self._ids[label] = len(self._labels)
                 self._labels.append(label)
-            self._cum_cache = None
             for vid in dirty_records:
                 if vid < old_n:
                     self._materialised.pop(labels_after[vid], None)
@@ -1068,10 +1071,20 @@ class AdsIndex:
         Unchanged slices are block-copied (C-speed ``array`` slicing);
         dirty slices are refilled from their replacement records with
         freshly derived HIP weights.
+
+        The cached ``_cum_hip`` prefix column is spliced alongside
+        instead of being dropped: an unchanged slice's prefix sums
+        restart at 0.0 per slice, so they are position-shifted copies,
+        and only the dirty slices' prefixes are recomputed (from the
+        very weights being written).  Without this, every batch would
+        re-run the O(entries) cum-hip pass on the next query.  An
+        unmaterialised cache stays unmaterialised.
         """
         old_offsets = self._offsets
         old_columns = (self._node, self._dist, self._rank, self._tiebreak,
                        self._aux, self._hip)
+        old_cum = self._cum_cache
+        new_cum = None if old_cum is None else array("d")
         new_n = len(labels_after)
         new_offsets = array("q", bytes(8 * (new_n + 1)))
         new_columns = tuple(
@@ -1087,6 +1100,8 @@ class AdsIndex:
                     if hi > lo:
                         for column, old in zip(new_columns, old_columns):
                             column.extend(old[lo:hi])
+                        if new_cum is not None:
+                            new_cum.extend(old_cum[lo:hi])
                 # else: an untouched new node (cannot arise from
                 # add_edges, which only interns edge endpoints) gets an
                 # empty slice.
@@ -1094,6 +1109,7 @@ class AdsIndex:
                 weights = self._hip_weights_for_records(
                     records, labels_after
                 )
+                running = 0.0
                 for record, weight in zip(records, weights):
                     distance, tiebreak, node_id, rank, bucket, permutation \
                         = record
@@ -1104,10 +1120,17 @@ class AdsIndex:
                     aux = bucket if bucket is not None else permutation
                     aux_column.append(-1 if aux is None else aux)
                     hip_column.append(weight)
+                    if new_cum is not None:
+                        running += weight
+                        new_cum.append(running)
             new_offsets[i + 1] = len(node_column)
         self._offsets = new_offsets
         (self._node, self._dist, self._rank, self._tiebreak,
          self._aux, self._hip) = new_columns
+        self._cum_cache = new_cum
+        # The spliced columns are new objects; any kernel views over
+        # the old ones are stale.
+        self._views_cache = None
 
     def compact(
         self, path: Union[str, Path], shards: Optional[int] = None
@@ -1389,12 +1412,24 @@ class AdsIndex:
         )
 
     @classmethod
-    def load(cls, path: Union[str, Path], mmap: bool = False) -> "AdsIndex":
+    def load(
+        cls,
+        path: Union[str, Path],
+        mmap: bool = False,
+        backend: str = "auto",
+    ) -> "AdsIndex":
         """Read an index written by :meth:`save`.
 
         Args:
             path: A single-file index, a sharded layout directory, or
                 that directory's ``manifest.json``.
+            backend: Estimator kernel for batch queries
+                (:mod:`repro.ads.kernels`): ``"auto"`` (NumPy when
+                installed, honouring ``REPRO_BACKEND``), ``"numpy"``,
+                or ``"python"``.  Queries return bit-identical floats
+                either way.  On a lazily mapped sharded layout the
+                NumPy kernel assembles all shards on the first batch
+                query; single-node queries stay lazy.
             mmap: With the default ``False``, every column is copied
                 into process-owned ``array`` objects (byte order
                 corrected when the file came from a different-endian
@@ -1424,11 +1459,17 @@ class AdsIndex:
             >>> AdsIndex.load(path, mmap=True).node_cardinality_at(0, 1.0)
             2.0
         """
+        # Validate the backend request up front: the constructor call
+        # below sits inside a corrupt-header guard, and a bad backend
+        # argument is a caller error, not file corruption.
+        kernels.resolve(backend)
         path = Path(path)
         if path.is_dir():
-            return cls._load_sharded(path / MANIFEST_NAME, mmap=mmap)
+            return cls._load_sharded(
+                path / MANIFEST_NAME, mmap=mmap, backend=backend
+            )
         if path.name == MANIFEST_NAME:
-            return cls._load_sharded(path, mmap=mmap)
+            return cls._load_sharded(path, mmap=mmap, backend=backend)
         with open(path, "rb") as handle:
             header = _read_json_header(handle, path, _MAGIC, "AdsIndex")
             try:
@@ -1463,6 +1504,7 @@ class AdsIndex:
             index = cls(
                 flavor, k, seed, labels, offsets, *columns,
                 rank_sup=rank_sup, validate_columns=not mmap,
+                backend=backend,
             )
         except (ParameterError, TypeError, ValueError) as error:
             # Parseable-but-nonsensical header fields (bogus flavor,
@@ -1475,7 +1517,7 @@ class AdsIndex:
 
     @classmethod
     def _load_sharded(
-        cls, manifest_path: Path, mmap: bool = False
+        cls, manifest_path: Path, mmap: bool = False, backend: str = "auto"
     ) -> "AdsIndex":
         """Assemble an index from a sharded layout.
 
@@ -1535,7 +1577,9 @@ class AdsIndex:
                 if mmap and swap:
                     # A foreign-endian shard cannot be viewed zero-copy;
                     # reload the whole layout eagerly (byteswapping).
-                    return cls._load_sharded(manifest_path, mmap=False)
+                    return cls._load_sharded(
+                        manifest_path, mmap=False, backend=backend
+                    )
                 span = shard["stop"] - shard["start"]
                 if len(shard_labels) != span:
                     raise EstimatorError(
@@ -1583,7 +1627,7 @@ class AdsIndex:
             index = cls(
                 manifest["flavor"], manifest["k"], manifest["seed"], labels,
                 offsets, *columns, rank_sup=manifest["rank_sup"],
-                validate_columns=not mmap,
+                validate_columns=not mmap, backend=backend,
             )
         except (ParameterError, TypeError, ValueError) as error:
             raise EstimatorError(f"{manifest_path}: corrupt layout ({error})")

@@ -1,0 +1,135 @@
+"""Estimator kernel backends for :class:`~repro.ads.index.AdsIndex`.
+
+Every batch query the index serves -- the all-nodes cardinality sweep,
+the closeness sweep, the whole-graph neighborhood function, the HIP
+prefix-sum (cum-hip) materialisation, and the per-slice HIP-weight
+recompute behind dynamic updates -- reduces to bulk arithmetic over the
+flat entry columns.  This package holds that arithmetic twice:
+
+* :mod:`repro.ads.kernels.pure` -- the reference loops, stdlib only.
+  Always importable; the authority on every float.
+* :mod:`repro.ads.kernels.np_kernel` -- the same operations vectorised
+  over zero-copy ``np.frombuffer`` views of the columns.  Importable
+  only when NumPy is installed (``pip install adsketch[fast]``).
+
+Both kernels expose one module-level API (``NAME``, ``prepare_views``,
+``compute_cum_hip``, ``batch_cardinality``, ``batch_closeness``,
+``neighborhood_series``, and the three per-flavor HIP-weight
+functions), so the index dispatches by holding a module reference.
+
+**Float contract.**  The NumPy kernel is not merely "close": it
+performs every floating-point addition in the same left-to-right
+per-slice order as the pure loops (``np.cumsum`` and the padded
+segmented scans are sequential scans, unlike ``np.sum``'s pairwise
+tree), so cum-hip columns, cardinalities, closeness sums, neighborhood
+series, and recomputed HIP weights are bit-identical across backends.
+The guarantee the rest of the system may *rely* on is: exact equality
+for cum-hip and cardinality, and <= 1e-9 relative error for aggregated
+closeness/neighborhood sums.
+
+**Selection.**  ``resolve(backend)`` maps a backend name to a kernel
+module:
+
+* ``"python"`` -- the pure kernel, always.
+* ``"numpy"``  -- the NumPy kernel, or :class:`ParameterError` when
+  NumPy is not importable (an explicit request must not silently
+  degrade).
+* ``"auto"`` (the default) -- consults the ``REPRO_BACKEND``
+  environment variable (same three values) and otherwise picks NumPy
+  when available, falling back to pure Python.
+
+``AdsIndex(backend=...)``, the CLI ``--backend`` flag, and the serve
+daemon's ``/stats`` report make the choice observable end to end.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.errors import ParameterError
+from repro.ads.kernels import pure
+
+BACKEND_CHOICES = ("auto", "numpy", "python")
+ENV_VAR = "REPRO_BACKEND"
+
+_UNSET = object()
+_NUMPY_KERNEL = _UNSET  # import-once cache: module, or None when missing
+
+
+def load_numpy_kernel():
+    """The NumPy kernel module, or ``None`` when NumPy is missing.
+
+    The import is attempted once and cached (``None`` included), so a
+    NumPy-less deployment pays one failed import, not one per index.
+    """
+    global _NUMPY_KERNEL
+    if _NUMPY_KERNEL is _UNSET:
+        try:
+            from repro.ads.kernels import np_kernel
+        except ImportError:
+            _NUMPY_KERNEL = None
+        else:
+            _NUMPY_KERNEL = np_kernel
+    return _NUMPY_KERNEL
+
+
+def _reset_numpy_cache() -> None:
+    """Forget the cached import attempt (tests simulating a missing
+    NumPy re-resolve after blocking the import)."""
+    global _NUMPY_KERNEL
+    _NUMPY_KERNEL = _UNSET
+
+
+def numpy_available() -> bool:
+    """Whether the accelerated kernel can actually be loaded here."""
+    return load_numpy_kernel() is not None
+
+
+def available_backends() -> List[str]:
+    """The backend names :func:`resolve` would accept *and* satisfy."""
+    names = ["auto", "python"]
+    if numpy_available():
+        names.insert(1, "numpy")
+    return names
+
+
+def resolve(backend: Optional[str] = None):
+    """Map a backend name to its kernel module (see module docs).
+
+    Args:
+        backend: ``"auto"`` / ``"numpy"`` / ``"python"``; ``None``
+            means ``"auto"``.
+
+    Raises:
+        ParameterError: an unknown name (argument or ``REPRO_BACKEND``
+            value), or ``"numpy"`` requested where NumPy is not
+            importable.
+    """
+    name = "auto" if backend is None else backend
+    if name not in BACKEND_CHOICES:
+        raise ParameterError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{list(BACKEND_CHOICES)}"
+        )
+    if name == "auto":
+        env = os.environ.get(ENV_VAR, "").strip().lower()
+        if env:
+            if env not in BACKEND_CHOICES:
+                raise ParameterError(
+                    f"unknown {ENV_VAR}={env!r}; expected one of "
+                    f"{list(BACKEND_CHOICES)}"
+                )
+            name = env
+    if name == "auto":
+        name = "numpy" if numpy_available() else "python"
+    if name == "python":
+        return pure
+    kernel = load_numpy_kernel()
+    if kernel is None:
+        raise ParameterError(
+            "backend='numpy' requested but NumPy is not importable; "
+            "install the extra (pip install adsketch[fast]) or use "
+            "backend='auto' to fall back to the pure-Python kernel"
+        )
+    return kernel

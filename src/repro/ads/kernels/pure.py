@@ -1,0 +1,183 @@
+"""The reference estimator kernel: stdlib-only loops over flat columns.
+
+These are the batch-query loops ``AdsIndex`` has always run, extracted
+behind the kernel API (see the package docs) so the NumPy backend can
+be verified against them function for function.  Every float produced
+here is authoritative: the accelerated kernel must reproduce the same
+left-to-right per-slice summation order.
+
+A *views* object for this kernel (:class:`Columns`) is just the raw
+column references -- ``array.array`` for eager indexes, zero-copy
+``memoryview`` / :class:`~repro.ads.mmap_io.ShardedColumn` for
+memory-mapped loads.  Per-slice work iterates slice copies (``zip`` of
+``column[lo:hi]``), which a lazily loaded ``ShardedColumn`` serves as
+one zero-copy per-shard view per node instead of paying a Python-level
+shard lookup on every slot.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_right
+from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import EstimatorError
+from repro.estimators.hip import (
+    bottom_k_adjusted_weights,
+    k_mins_adjusted_weights,
+    k_partition_adjusted_weights,
+)
+
+NAME = "python"
+
+
+class Columns(NamedTuple):
+    """The pure kernel's prepared view: the columns themselves."""
+
+    offsets: Sequence[int]
+    dist: Sequence[float]
+    hip: Sequence[float]
+    n: int
+
+
+def prepare_views(offsets, dist, hip) -> Columns:
+    """Wrap the raw columns; nothing is copied or converted."""
+    return Columns(offsets, dist, hip, len(offsets) - 1)
+
+
+def compute_cum_hip(views: Columns) -> array:
+    """Per-node running prefix sums of the HIP column.
+
+    Cardinality queries become one bisect plus one lookup.  Summation
+    order is left-to-right within each slice, exactly like ``BaseADS``,
+    so the floats agree bit-for-bit.
+    """
+    offsets, hip_column = views.offsets, views.hip
+    cumulative = array("d", bytes(8 * len(hip_column)))
+    for i in range(views.n):
+        lo, hi = offsets[i], offsets[i + 1]
+        running = 0.0
+        slot = lo
+        for value in hip_column[lo:hi]:
+            running += value
+            cumulative[slot] = running
+            slot += 1
+    return cumulative
+
+
+def slice_hip_sum(
+    hip, cum: Optional[Sequence[float]], lo: int, hi: int
+) -> float:
+    """Left-to-right sum of ``hip[lo:hi]`` -- ``cum[hi - 1]`` by
+    construction, summed locally when the prefix column has not been
+    materialised (a lazy load serving one node must not pay an
+    all-entries pass)."""
+    if hi <= lo:
+        return 0.0
+    if cum is not None:
+        return cum[hi - 1]
+    running = 0.0
+    for weight in hip[lo:hi]:
+        running += weight
+    return running
+
+
+def batch_cardinality(views: Columns, cum, d: float) -> List[float]:
+    """n_d(v) for every node id, in id order: one bisect over the
+    distance column plus a prefix-sum lookup per node."""
+    offsets, dist = views.offsets, views.dist
+    result: List[float] = []
+    for i in range(views.n):
+        lo, hi = offsets[i], offsets[i + 1]
+        cutoff = bisect_right(dist, d, lo, hi)
+        result.append(cum[cutoff - 1] if cutoff > lo else 0.0)
+    return result
+
+
+def closeness_for_slice(
+    dist,
+    hip,
+    lo: int,
+    hi: int,
+    alpha: Optional[Callable[[float], float]],
+    classic: bool,
+    cum: Optional[Sequence[float]],
+) -> float:
+    """One node's beta-free closeness sum, mirroring
+    ``q_statistic_estimate`` exactly (same slot order, same
+    skip-the-source and g >= 0 rules) so the floats match the per-node
+    estimators bit-for-bit."""
+    total = 0.0
+    for d, weight in zip(dist[lo:hi], hip[lo:hi]):
+        if d == 0.0:
+            continue
+        value = d if alpha is None else float(alpha(d))
+        if value < 0.0:
+            raise EstimatorError(
+                f"g must be nonnegative (got {value}); HIP "
+                "unbiasedness and the variance bounds assume g >= 0"
+            )
+        total += weight * value
+    if classic:
+        reachable = slice_hip_sum(hip, cum, lo, hi) - 1.0
+        return reachable / total if total > 0.0 else 0.0
+    return total
+
+
+def batch_closeness(
+    views: Columns,
+    alpha: Optional[Callable[[float], float]],
+    classic: bool,
+    cum: Optional[Sequence[float]] = None,
+) -> List[float]:
+    """The beta-free closeness sum of every node id, in id order.
+
+    ``cum`` is the materialised prefix-sum column when the caller has
+    one (classic mode reads each slice's reachable count from it);
+    ``None`` sums reachability locally, preserving lazy loads.
+    """
+    offsets, dist, hip = views.offsets, views.dist, views.hip
+    return [
+        closeness_for_slice(
+            dist, hip, offsets[i], offsets[i + 1], alpha, classic, cum
+        )
+        for i in range(views.n)
+    ]
+
+
+def neighborhood_series(views: Columns) -> List[Tuple[float, float]]:
+    """The whole-graph ANF series: per-distance HIP mass accumulated in
+    entry order, then summed cumulatively over sorted distances."""
+    jumps: dict = {}
+    # zip iteration, not per-slot indexing: a lazily loaded
+    # ShardedColumn yields its per-shard views without paying a
+    # shard lookup per entry.
+    for d, weight in zip(views.dist, views.hip):
+        if d <= 0.0:
+            continue
+        jumps[d] = jumps.get(d, 0.0) + weight
+    series: List[Tuple[float, float]] = []
+    running = 0.0
+    for d in sorted(jumps):
+        running += jumps[d]
+        series.append((d, running))
+    return series
+
+
+def bottom_k_hip_weights(ranks: Sequence[float], k: int) -> List[float]:
+    """Section-5 adjusted weights of one bottom-k slice (Lemma 5.1)."""
+    return bottom_k_adjusted_weights(ranks, k)
+
+
+def k_mins_hip_weights(
+    rank_vectors: Sequence[Sequence[float]], k: int
+) -> List[float]:
+    """Adjusted weights of one k-mins merged view (Equation 7)."""
+    return k_mins_adjusted_weights(rank_vectors, k)
+
+
+def k_partition_hip_weights(
+    entries: Sequence[Tuple[int, float]], k: int
+) -> List[float]:
+    """Adjusted weights of one k-partition slice (Equation 8)."""
+    return k_partition_adjusted_weights(entries, k)

@@ -217,6 +217,19 @@ class ShardedColumn:
             if spec.count:
                 yield from self._shard_view(shard)
 
+    def shard_views(self):
+        """Yield each nonempty shard's zero-copy column view, in global
+        entry order, mapping shard files on first touch.
+
+        The public assembly surface for consumers that want the whole
+        column as one contiguous buffer (the NumPy kernel concatenates
+        these once per loaded index); views follow the lifetime rules
+        in the module docs.
+        """
+        for shard, spec in enumerate(self._maps.specs):
+            if spec.count:
+                yield self._shard_view(shard)
+
     def tobytes(self) -> bytes:
         return b"".join(
             self._shard_view(shard).tobytes()

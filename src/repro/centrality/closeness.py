@@ -8,6 +8,7 @@ in the sketch size, with CV at most 1/sqrt(2(k-1)).
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.ads.base import BaseADS
@@ -66,9 +67,17 @@ def top_k_central_nodes(
     centralities: Dict[Node, float], count: int, largest: bool = True
 ) -> List[Tuple[Node, float]]:
     """The *count* most (or least) central nodes, ties broken by node repr
-    for determinism."""
-    ordered = sorted(
-        centralities.items(),
-        key=lambda item: (-item[1] if largest else item[1], repr(item[0])),
-    )
-    return ordered[:count]
+    for determinism.
+
+    Heap selection (``heapq.nsmallest`` over the ranking key), not a
+    full sort: O(n log count) and O(count) extra memory, which matters
+    when a serving index asks for the top 10 of millions of nodes.
+    Output order is exactly what sorting by the same key would give.
+    """
+    if count <= 0:
+        return []
+    if largest:
+        key = lambda item: (-item[1], repr(item[0]))  # noqa: E731
+    else:
+        key = lambda item: (item[1], repr(item[0]))  # noqa: E731
+    return heapq.nsmallest(count, centralities.items(), key=key)

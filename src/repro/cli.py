@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.ads import AdsIndex, build_ads_set
+from repro.ads.kernels import BACKEND_CHOICES
 from repro.errors import ReproError
 from repro.centrality import (
     all_closeness_centralities,
@@ -44,6 +45,19 @@ from repro.estimators.statistics import (
 from repro.graph.io import read_edge_batch, read_edge_list
 from repro.rand.hashing import HashFamily
 from repro.sketches import HyperLogLog
+
+
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKEND_CHOICES),
+        default="auto",
+        help="estimator kernel for batch queries: 'numpy' (vectorised, "
+        "requires the [fast] extra), 'python' (stdlib loops), or 'auto' "
+        "(numpy when available; the REPRO_BACKEND env var overrides). "
+        "Same estimates either way (cardinalities exactly, aggregated "
+        "sums to 1e-9 relative).",
+    )
 
 
 def _add_common_graph_args(parser: argparse.ArgumentParser) -> None:
@@ -225,7 +239,7 @@ def cmd_build_index(args) -> int:
         index = AdsIndex.build(
             graph.to_csr(), args.k, family=family, flavor=args.flavor,
             method=args.method, direction=args.direction,
-            workers=args.workers,
+            workers=args.workers, backend=args.backend,
         )
         index.save(args.out, shards=args.shards)
     except (ReproError, OSError) as error:
@@ -272,7 +286,7 @@ def cmd_query(args) -> int:
         0
     """
     try:
-        index = AdsIndex.load(args.index)
+        index = AdsIndex.load(args.index, backend=args.backend)
     except (ReproError, OSError) as error:
         print(str(error), file=sys.stderr)
         return 1
@@ -461,7 +475,7 @@ def cmd_serve(args) -> int:
         print(f"index {args.index!r} does not exist", file=sys.stderr)
         return 1
     try:
-        index = AdsIndex.load(index_path, mmap=args.mmap)
+        index = AdsIndex.load(index_path, mmap=args.mmap, backend=args.backend)
         graph = None
         if args.graph is not None:
             graph = read_edge_list(
@@ -481,7 +495,8 @@ def cmd_serve(args) -> int:
     writable = ", updates enabled" if graph is not None else ""
     print(
         f"# serving {index.num_nodes} nodes ({index.num_entries} entries, "
-        f"flavor={index.flavor}, k={index.k}, {mode} load) on {server.url} "
+        f"flavor={index.flavor}, k={index.k}, {mode} load, "
+        f"{index.backend} kernel) on {server.url} "
         f"with {args.threads} threads, cache={args.cache_size}{writable}",
         file=sys.stderr,
     )
@@ -537,21 +552,32 @@ def cmd_figures(args) -> int:
 
     Runs the fig2 (HIP vs basic estimator NRMSE) or fig3 (distinct
     counting) simulation harness at the requested scale and prints the
-    rendered series table.
+    rendered series table.  The harness is a NumPy simulation, so this
+    command needs the ``[fast]`` extra (everything else in the CLI
+    falls back to pure Python without it).
 
     Returns:
-        0 on success.
+        0 on success, 1 when NumPy is not installed.
 
-    Example:
+    Example (needs NumPy, hence skipped in the no-NumPy doctest runs;
+    ``tests/test_cli.py::TestFigures`` executes it when available):
         >>> from repro.cli import main
         >>> main(["figures", "fig2", "--k", "4", "--runs", "2",
-        ...       "--max-n", "40"])  # doctest: +ELLIPSIS
+        ...       "--max-n", "40"])  # doctest: +SKIP
         fig2 k=4 runs=2 max_n=40...
         0
     """
-    from repro.eval.fig2 import Fig2Config, run_figure2
-    from repro.eval.fig3 import Fig3Config, run_figure3
-    from repro.eval.reporting import render_table
+    try:
+        from repro.eval.fig2 import Fig2Config, run_figure2
+        from repro.eval.fig3 import Fig3Config, run_figure3
+        from repro.eval.reporting import render_table
+    except ImportError as error:
+        print(
+            "the figures harness needs NumPy "
+            f"(pip install adsketch[fast]): {error}",
+            file=sys.stderr,
+        )
+        return 1
 
     if args.figure == "fig2":
         result = run_figure2(
@@ -635,6 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="save a sharded on-disk layout: --out becomes a directory of "
         "M shard files plus a manifest (default: one flat file)",
     )
+    _add_backend_arg(p)
     p.add_argument("--out", required=True, help="index output file")
     p.set_defaults(func=cmd_build_index)
 
@@ -677,6 +704,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--int-nodes", action="store_true", help="parse --node as an integer"
     )
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
@@ -720,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force directed interpretation of --graph",
     )
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

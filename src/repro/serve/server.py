@@ -456,6 +456,7 @@ class AdsServer:
                 "entries": index.num_entries,
                 "mmap": index.mmap_backed,
                 "mapped_shards": index.mapped_shards,
+                "backend": index.backend,
             },
         }
 

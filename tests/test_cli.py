@@ -1,6 +1,8 @@
 """Tests for the command-line interface."""
 
 
+import sys
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -357,6 +359,10 @@ class TestDistinctCount:
 
 
 class TestFigures:
+    @pytest.fixture(autouse=True)
+    def _needs_numpy(self):
+        pytest.importorskip("numpy")
+
     def test_fig2_small(self, capsys):
         assert main(
             ["figures", "fig2", "--k", "5", "--runs", "10",
@@ -372,6 +378,15 @@ class TestFigures:
         ) == 0
         out = capsys.readouterr().out
         assert "hll_raw" in out
+
+
+class TestFiguresWithoutNumpy:
+    def test_clean_error_when_harness_unimportable(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setitem(sys.modules, "repro.eval.fig2", None)
+        assert main(["figures", "fig2"]) == 1
+        assert "NumPy" in capsys.readouterr().err
 
 
 class TestUpdateIndex:

@@ -4,16 +4,20 @@ paper's qualitative shapes."""
 
 import math
 
-import numpy as np
 import pytest
 
-from repro.estimators.basic import (
+# repro.eval's fast paths are NumPy simulations; without the [fast]
+# extra this whole module skips (the library's serving stack does not
+# need NumPy -- see repro.ads.kernels for the fallback story).
+np = pytest.importorskip("numpy")
+
+from repro.estimators.basic import (  # noqa: E402
     bottom_k_cardinality,
     k_mins_cardinality,
     k_partition_cardinality,
 )
-from repro.estimators.hip import bottom_k_adjusted_weights
-from repro.eval.fig2 import (
+from repro.estimators.hip import bottom_k_adjusted_weights  # noqa: E402
+from repro.eval.fig2 import (  # noqa: E402
     Fig2Config,
     PAPER_FIG2_PANELS,
     bottomk_basic_estimates,

@@ -3,21 +3,25 @@
 
 import pytest
 
-from repro.eval.metrics import (
+# repro.eval.tables is a NumPy simulation harness; without the [fast]
+# extra this whole module skips.
+pytest.importorskip("numpy")
+
+from repro.eval.metrics import (  # noqa: E402
     error_summary,
     mean_relative_error,
     nrmse,
     relative_bias,
 )
-from repro.eval.reporting import render_table
-from repro.eval.tables import (
+from repro.eval.reporting import render_table  # noqa: E402
+from repro.eval.tables import (  # noqa: E402
     ads_size_table,
     baseb_variance_table,
     distinct_counter_constants_table,
     morris_counter_table,
     qg_variance_table,
 )
-from repro.errors import ParameterError
+from repro.errors import ParameterError  # noqa: E402
 
 
 class TestMetrics:

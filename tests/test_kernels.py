@@ -1,0 +1,433 @@
+"""Kernel-equivalence property suite (repro.ads.kernels).
+
+The acceptance bar mirrors the package contract: the NumPy kernel must
+agree with the pure reference loops *exactly* for cum-hip columns and
+cardinality estimates, and to <= 1e-9 relative error for aggregated
+closeness/neighborhood sums -- across all three sketch flavors, both
+persisted layouts (eager and memory-mapped loads), and weighted and
+unweighted graphs.  Alongside live the backend-selection rules
+(explicit argument, REPRO_BACKEND, forced fallback with the NumPy
+import blocked) and the heap-selection contract of
+``top_k_central_nodes``.
+
+Every NumPy-dependent test skips cleanly when NumPy is missing, so the
+suite passes identically on a pure-Python deployment.
+"""
+
+import math
+import random
+import sys
+
+import pytest
+
+from repro.ads import AdsIndex, kernels
+from repro.ads.kernels import pure
+from repro.errors import EstimatorError, ParameterError
+from repro.estimators.statistics import (
+    exponential_decay_kernel,
+    harmonic_kernel,
+)
+from repro.centrality.closeness import top_k_central_nodes
+from repro.graph import gnp_random_graph, random_geometric_graph
+from repro.graph.csr import CSRGraph
+from repro.rand.hashing import HashFamily
+
+FLAVORS = ("bottomk", "kmins", "kpartition")
+STORAGES = ("eager", "mmap-single", "mmap-sharded")
+
+requires_numpy = pytest.mark.skipif(
+    not kernels.numpy_available(), reason="NumPy not installed"
+)
+
+
+def _graph(weighted: bool):
+    if weighted:
+        return random_geometric_graph(40, 0.35, seed=11).to_csr()
+    return gnp_random_graph(48, 0.09, seed=5).to_csr()
+
+
+def _index_pair(flavor, weighted, storage, tmp_path, k=4):
+    """The same persisted sketch set loaded on both backends."""
+    graph = _graph(weighted)
+    built = AdsIndex.build(
+        graph, k, family=HashFamily(99), flavor=flavor, backend="python"
+    )
+    if storage == "eager":
+        destination = tmp_path / "kernel-eq.adsidx"
+        built.save(destination)
+        load = lambda backend: AdsIndex.load(  # noqa: E731
+            destination, backend=backend
+        )
+    else:
+        if storage == "mmap-single":
+            destination = tmp_path / "kernel-eq.adsidx"
+            built.save(destination)
+        else:
+            destination = tmp_path / "kernel-eq-sharded"
+            built.save(destination, shards=3)
+        load = lambda backend: AdsIndex.load(  # noqa: E731
+            destination, mmap=True, backend=backend
+        )
+    return load("python"), load("numpy")
+
+
+def _approx(reference, candidate):
+    assert candidate == pytest.approx(reference, rel=1e-9, abs=1e-12)
+
+
+@requires_numpy
+@pytest.mark.parametrize("storage", STORAGES)
+@pytest.mark.parametrize("weighted", (False, True))
+@pytest.mark.parametrize("flavor", FLAVORS)
+class TestBackendEquivalence:
+    def test_cum_hip_and_cardinality_exact(
+        self, flavor, weighted, storage, tmp_path
+    ):
+        py, np_ = _index_pair(flavor, weighted, storage, tmp_path)
+        assert py.backend == "python" and np_.backend == "numpy"
+        assert bytes(py._cum_hip) == bytes(np_._cum_hip)
+        for d in (0.0, 0.4, 1.0, 2.5, math.inf):
+            assert py.cardinality_at(d) == np_.cardinality_at(d)
+        for label in list(py.nodes())[:5]:
+            assert py.node_cardinality_at(label, 1.5) == \
+                np_.node_cardinality_at(label, 1.5)
+
+    def test_closeness_all_kinds(self, flavor, weighted, storage, tmp_path):
+        py, np_ = _index_pair(flavor, weighted, storage, tmp_path)
+        kind_kwargs = (
+            {"classic": True},
+            {},  # raw sum of distances
+            {"alpha": harmonic_kernel()},
+            {"alpha": exponential_decay_kernel(2.0)},
+            {"beta": lambda node: 1.5 if node % 2 else 0.5},
+        )
+        for kwargs in kind_kwargs:
+            reference = py.closeness_centrality(**kwargs)
+            candidate = np_.closeness_centrality(**kwargs)
+            assert list(reference) == list(candidate)
+            _approx(list(reference.values()), list(candidate.values()))
+
+    def test_neighborhood_function(self, flavor, weighted, storage, tmp_path):
+        py, np_ = _index_pair(flavor, weighted, storage, tmp_path)
+        reference = py.neighborhood_function()
+        candidate = np_.neighborhood_function()
+        assert [d for d, _ in reference] == [d for d, _ in candidate]
+        _approx([v for _, v in reference], [v for _, v in candidate])
+        for label in list(py.nodes())[:5]:
+            assert py.node_neighborhood_function(label) == \
+                np_.node_neighborhood_function(label)
+
+    def test_top_central_agrees(self, flavor, weighted, storage, tmp_path):
+        py, np_ = _index_pair(flavor, weighted, storage, tmp_path)
+        reference = py.top_central(7, classic=True)
+        candidate = np_.top_central(7, classic=True)
+        assert [label for label, _ in reference] == \
+            [label for label, _ in candidate]
+        _approx([v for _, v in reference], [v for _, v in candidate])
+
+
+@requires_numpy
+class TestBatchVsNodeQueries:
+    """The NumPy batch sweeps must agree with the (always pure)
+    single-node estimators -- the docstring promise predating kernels."""
+
+    def test_batch_matches_per_node(self):
+        index = AdsIndex.build(
+            _graph(weighted=True), 4, family=HashFamily(3), backend="numpy"
+        )
+        batch_card = index.cardinality_at(1.2)
+        batch_close = index.closeness_centrality(alpha=harmonic_kernel())
+        for label in index.nodes():
+            assert batch_card[label] == index.node_cardinality_at(label, 1.2)
+            _approx(
+                index.node_closeness_centrality(
+                    label, alpha=harmonic_kernel()
+                ),
+                batch_close[label],
+            )
+
+    def test_negative_kernel_rejected(self):
+        index = AdsIndex.build(
+            _graph(weighted=False), 4, family=HashFamily(3), backend="numpy"
+        )
+        with pytest.raises(EstimatorError, match="nonnegative"):
+            index.closeness_centrality(alpha=lambda d: -1.0)
+
+
+@requires_numpy
+@pytest.mark.parametrize("weighted", (False, True))
+@pytest.mark.parametrize("flavor", FLAVORS)
+class TestDynamicUpdatesAcrossBackends:
+    """apply_edges must splice bit-identical columns (HIP weights
+    included) whichever kernel recomputes the dirty slices."""
+
+    def _apply_case(self, flavor, weighted, backend, seed=17):
+        rng = random.Random(seed)
+        n = 12
+
+        def weight():
+            return round(rng.uniform(0.5, 3.0), 2) if weighted else 1.0
+
+        base = [
+            (u, v, weight())
+            for u, v in (
+                (rng.randrange(n), rng.randrange(n)) for _ in range(2 * n)
+            )
+            if u != v
+        ]
+        batch = [
+            (u, v, weight())
+            for u, v in (
+                (rng.randrange(n + 2), rng.randrange(n + 2))
+                for _ in range(6)
+            )
+            if u != v
+        ]
+        graph = CSRGraph.from_edges(base, directed=False, nodes=range(n))
+        index = AdsIndex.build(
+            graph, 4, family=HashFamily(7), flavor=flavor, backend=backend
+        )
+        index.cardinality_at(1.0)  # materialise the prefix cache
+        index.apply_edges(graph, batch)
+        return graph, index
+
+    def test_columns_bit_identical(self, flavor, weighted):
+        graph_py, index_py = self._apply_case(flavor, weighted, "python")
+        graph_np, index_np = self._apply_case(flavor, weighted, "numpy")
+        for name in ("_offsets", "_node", "_dist", "_rank", "_tiebreak",
+                     "_aux", "_hip"):
+            assert bytes(getattr(index_py, name)) == \
+                bytes(getattr(index_np, name)), name
+        rebuilt = AdsIndex.build(
+            CSRGraph.from_edges(
+                list(graph_np.edges()), directed=False,
+                nodes=graph_np.nodes(),
+            ),
+            4, family=HashFamily(7), flavor=flavor, backend="python",
+        )
+        assert bytes(index_np._hip) == bytes(rebuilt._hip)
+
+    def test_cum_cache_spliced_not_dropped(self, flavor, weighted):
+        _, index = self._apply_case(flavor, weighted, "numpy")
+        spliced = index._cum_cache
+        assert spliced is not None  # updates splice instead of dropping
+        assert bytes(spliced) == bytes(index._compute_cum_hip())
+        _, reference = self._apply_case(flavor, weighted, "python")
+        assert index.cardinality_at(math.inf) == \
+            reference.cardinality_at(math.inf)
+
+
+class TestCumHipSplice:
+    """Satellite contract: apply_edges patches the cached prefix column
+    in place; only an unmaterialised cache stays lazy."""
+
+    def _setup(self, materialise):
+        graph = gnp_random_graph(20, 0.15, seed=2).to_csr()
+        index = AdsIndex.build(
+            graph, 4, family=HashFamily(5), backend="python"
+        )
+        if not materialise:
+            # Simulate a lazy load: drop the eager-built cache.
+            index._cum_cache = None
+        return graph, index
+
+    def test_materialised_cache_is_spliced(self):
+        graph, index = self._setup(materialise=True)
+        index.apply_edges(graph, [(0, 19), (3, 17)])
+        assert index._cum_cache is not None
+        assert bytes(index._cum_cache) == bytes(index._compute_cum_hip())
+
+    def test_unmaterialised_cache_stays_lazy(self):
+        graph, index = self._setup(materialise=False)
+        index.apply_edges(graph, [(0, 19)])
+        assert index._cum_cache is None
+        # ... and still materialises correctly on demand.
+        assert bytes(index._cum_hip) == bytes(index._compute_cum_hip())
+
+    def test_spliced_queries_match_rebuild(self):
+        graph, index = self._setup(materialise=True)
+        index.apply_edges(graph, [(0, 19), (5, 12), (2, 18)])
+        rebuilt = AdsIndex.build(
+            CSRGraph.from_edges(
+                list(graph.edges()), directed=False, nodes=graph.nodes()
+            ),
+            4, family=HashFamily(5), backend="python",
+        )
+        assert index.cardinality_at(2.0) == rebuilt.cardinality_at(2.0)
+        assert index.closeness_centrality(classic=True) == \
+            rebuilt.closeness_centrality(classic=True)
+
+
+class TestBackendSelection:
+    def test_default_is_auto(self):
+        index = AdsIndex.build(_graph(False), 4, family=HashFamily(1))
+        expected = "numpy" if kernels.numpy_available() else "python"
+        assert index.backend == expected
+
+    def test_explicit_python(self):
+        index = AdsIndex.build(
+            _graph(False), 4, family=HashFamily(1), backend="python"
+        )
+        assert index.backend == "python"
+        assert index._kernel is pure
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ParameterError, match="unknown backend"):
+            AdsIndex.build(
+                _graph(False), 4, family=HashFamily(1), backend="fortran"
+            )
+
+    def test_env_override_applies_to_auto(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "python")
+        index = AdsIndex.build(
+            _graph(False), 4, family=HashFamily(1), backend="auto"
+        )
+        assert index.backend == "python"
+
+    @requires_numpy
+    def test_explicit_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "python")
+        index = AdsIndex.build(
+            _graph(False), 4, family=HashFamily(1), backend="numpy"
+        )
+        assert index.backend == "numpy"
+
+    def test_invalid_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernels.ENV_VAR, "warp-drive")
+        with pytest.raises(ParameterError, match="REPRO_BACKEND"):
+            kernels.resolve("auto")
+
+    def test_available_backends_shape(self):
+        names = kernels.available_backends()
+        assert names[0] == "auto" and names[-1] == "python"
+
+    @requires_numpy
+    def test_load_backend_plumbs_through(self, tmp_path):
+        index = AdsIndex.build(
+            _graph(False), 4, family=HashFamily(1), backend="python"
+        )
+        destination = tmp_path / "plumb.adsidx"
+        index.save(destination)
+        assert AdsIndex.load(destination).backend == "numpy"
+        assert AdsIndex.load(
+            destination, backend="python"
+        ).backend == "python"
+        assert AdsIndex.load(
+            destination, mmap=True, backend="numpy"
+        ).backend == "numpy"
+
+
+class TestForcedFallback:
+    """With the NumPy import blocked, 'auto' degrades to the pure
+    kernel and everything keeps answering the same floats."""
+
+    @pytest.fixture
+    def blocked_numpy(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        monkeypatch.delitem(
+            sys.modules, "repro.ads.kernels.np_kernel", raising=False
+        )
+        monkeypatch.delattr(kernels, "np_kernel", raising=False)
+        kernels._reset_numpy_cache()
+        yield
+        kernels._reset_numpy_cache()
+
+    def test_auto_falls_back_and_matches(self, blocked_numpy):
+        reference = AdsIndex.build(
+            _graph(False), 4, family=HashFamily(1), backend="python"
+        )
+        fallen_back = AdsIndex.build(
+            _graph(False), 4, family=HashFamily(1), backend="auto"
+        )
+        assert fallen_back.backend == "python"
+        assert not kernels.numpy_available()
+        assert "numpy" not in kernels.available_backends()
+        assert fallen_back.cardinality_at(1.0) == \
+            reference.cardinality_at(1.0)
+        assert fallen_back.closeness_centrality(classic=True) == \
+            reference.closeness_centrality(classic=True)
+        assert fallen_back.neighborhood_function() == \
+            reference.neighborhood_function()
+
+    def test_explicit_numpy_refuses_to_degrade(self, blocked_numpy):
+        with pytest.raises(ParameterError, match="not importable"):
+            AdsIndex.build(
+                _graph(False), 4, family=HashFamily(1), backend="numpy"
+            )
+
+    def test_load_reports_backend_error_not_corruption(
+        self, blocked_numpy, tmp_path
+    ):
+        index = AdsIndex.build(
+            _graph(False), 4, family=HashFamily(1), backend="python"
+        )
+        destination = tmp_path / "plain.adsidx"
+        index.save(destination)
+        # A bad backend request must surface as itself, not as a
+        # "corrupt header" from the load-time constructor guard.
+        with pytest.raises(ParameterError, match="not importable"):
+            AdsIndex.load(destination, backend="numpy")
+        with pytest.raises(ParameterError, match="unknown backend"):
+            AdsIndex.load(destination, backend="cuda")
+
+
+class TestTopCentralHeapSelection:
+    def _centralities(self, seed=4):
+        rng = random.Random(seed)
+        values = {i: rng.choice((0.25, 0.5, 0.75, 1.0)) for i in range(40)}
+        return values
+
+    def _sorted_reference(self, values, count, largest):
+        ordered = sorted(
+            values.items(),
+            key=lambda item: (
+                -item[1] if largest else item[1], repr(item[0])
+            ),
+        )
+        return ordered[:count]
+
+    @pytest.mark.parametrize("largest", (True, False))
+    @pytest.mark.parametrize("count", (0, 1, 3, 39, 40, 100))
+    def test_matches_full_sort(self, count, largest):
+        values = self._centralities()
+        assert top_k_central_nodes(values, count, largest=largest) == \
+            self._sorted_reference(values, count, largest)
+
+    def test_tie_break_by_repr(self):
+        values = {10: 1.0, 2: 1.0, 30: 1.0, "x": 0.5}
+        top = top_k_central_nodes(values, 3)
+        assert top == [(10, 1.0), (2, 1.0), (30, 1.0)]
+
+
+@requires_numpy
+class TestServeAndCliSurface:
+    def test_stats_reports_backend(self):
+        from repro.serve import AdsServer
+        from repro.serve.client import QueryClient
+
+        index = AdsIndex.build(
+            _graph(False), 4, family=HashFamily(1), backend="numpy"
+        )
+        with AdsServer(index, cache_size=4, threads=2) as server:
+            stats = QueryClient(server.url).stats()
+        assert stats["index"]["backend"] == "numpy"
+
+    def test_cli_backends_agree(self, tmp_path, capsys):
+        from repro.cli import main
+
+        graph = tmp_path / "g.txt"
+        graph.write_text("0 1\n1 2\n2 3\n0 3\n")
+        destination = tmp_path / "g.adsidx"
+        assert main([
+            "build-index", str(graph), "--int-nodes", "--k", "4",
+            "--backend", "python", "--out", str(destination),
+        ]) == 0
+        capsys.readouterr()
+        outputs = {}
+        for backend in ("python", "numpy"):
+            assert main([
+                "query", str(destination), "--cardinality", "1",
+                "--backend", backend,
+            ]) == 0
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["python"] == outputs["numpy"]
