@@ -47,7 +47,18 @@ TRACKED = [
     ("BENCH_kernels.json", "speedups.closeness_batch_eager", "higher"),
     ("BENCH_kernels.json", "speedups.closeness_batch_mmap", "higher"),
     ("BENCH_kernels.json", "speedups.cardinality_batch_mmap", "higher"),
+    # Shard-parallel kernel tier: fanned batch queries must keep
+    # beating serial (ISSUE 6 acceptance).
+    ("BENCH_kernels.json", "parallel.peak_speedup_vs_serial", "higher"),
 ]
+
+# Metrics that only mean anything with real cores: skipped (with a
+# printed notice) when the *fresh* series reports cpu_count == 1 --
+# a single-core runner cannot show parallel speedup, and failing the
+# gate there would only punish the hardware, not the code.
+SKIP_ON_SINGLE_CPU = {
+    ("BENCH_kernels.json", "parallel.peak_speedup_vs_serial"),
+}
 
 _STEP = re.compile(r"([^.\[\]]+)(?:\[(\d+)\])?")
 
@@ -83,11 +94,20 @@ def check(current_dir: Path, baseline_dir: Path, tolerance: float) -> int:
             failures.append(f"{name}:{dotted}: unreadable baseline ({error})")
             continue
         try:
-            current = extract(json.loads(current_path.read_text()), dotted)
+            current_payload = json.loads(current_path.read_text())
+            current = extract(current_payload, dotted)
         except (OSError, json.JSONDecodeError, KeyError) as error:
             failures.append(
                 f"{name}:{dotted}: missing from the fresh bench run "
                 f"({error}) -- did a bench stop emitting this series?"
+            )
+            continue
+        if (name, dotted) in SKIP_ON_SINGLE_CPU and \
+                current_payload.get("cpu_count") == 1:
+            rows.append(
+                f"  skip {name}:{dotted}: fresh series ran on a "
+                "single-core machine (cpu_count=1); parallel speedup "
+                "not meaningful there"
             )
             continue
         if direction == "higher":

@@ -32,6 +32,13 @@ Entry points:
 * :class:`UpdateResult` -- what a batch changed (dirty counts, work
   counters), the shape :meth:`repro.ads.index.AdsIndex.apply_edges`
   returns and the serve layer reports.
+
+The propagation itself is sequential (the relay is a fixed-point
+computation over a shared frontier), but the per-slice HIP-weight
+recompute it hands back to ``apply_edges`` is per-node independent --
+an index wired with ``kernel_workers > 1`` fans the dirty slices
+across workers (:mod:`repro.ads.kernels.parallel`), byte-identical to
+the serial recompute.
 """
 
 from __future__ import annotations

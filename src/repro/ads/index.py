@@ -59,6 +59,7 @@ from typing import (
 
 from repro._util import require
 from repro.ads import kernels
+from repro.ads.kernels import parallel as kernel_parallel
 from repro.ads.base import FLAVOR_CLASSES as _FLAVOR_CLASSES, BaseADS
 from repro.ads.csr_cores import Record, build_flat_entries
 from repro.ads.dynamic import UpdateResult, propagate_edge_insertions
@@ -242,6 +243,7 @@ class AdsIndex:
         rank_sup: float = 1.0,
         validate_columns: bool = True,
         backend: str = "auto",
+        kernel_workers=None,
     ):
         if flavor not in _FLAVOR_CLASSES:
             raise ParameterError(
@@ -252,9 +254,11 @@ class AdsIndex:
         # The estimator kernel behind every batch query: the pure
         # reference loops, or the NumPy backend (bit-identical floats;
         # see repro.ads.kernels).  Resolved before validation -- the
-        # eager cum-hip pass below already runs on it.
-        self._kernel = kernels.resolve(backend)
-        self.backend = self._kernel.NAME
+        # eager cum-hip pass below already runs on it.  _wire_kernel
+        # below may wrap it in the partition-parallel dispatcher.
+        self._kernel_base = kernels.resolve(backend)
+        self._kernel = self._kernel_base
+        self.backend = self._kernel_base.NAME
         self._views_cache: Optional[Any] = None
         self.flavor = flavor
         self.k = int(k)
@@ -270,6 +274,7 @@ class AdsIndex:
         self._tiebreak = tiebreak_column
         self._aux = aux_column
         self._hip = hip_column
+        self._wire_kernel(kernel_workers)
         # Validate the layout before walking it (a corrupted file must
         # fail with EstimatorError, not an IndexError mid-computation).
         if len(offsets) != len(self._labels) + 1:
@@ -325,6 +330,41 @@ class AdsIndex:
             self._views_cache = views
         return views
 
+    def _wire_kernel(self, kernel_workers) -> None:
+        """Resolve the effective kernel-worker count and (re)wrap the
+        base kernel in the partition-parallel dispatcher when > 1.
+
+        ``kernel_workers`` is ``"auto"``/``None`` (consult
+        ``REPRO_KERNEL_WORKERS``, then size to the hardware and layout;
+        serial below the measured crossover) or an explicit count,
+        which is always honoured.  Results are bit-identical at any
+        worker count; only the wall-clock changes.
+        """
+        workers = kernel_parallel.resolve_workers(
+            kernel_workers,
+            entries=len(self._hip),
+            shards=getattr(self._dist, "shard_count", None),
+        )
+        self.kernel_workers = workers
+        if workers > 1:
+            self._kernel = kernel_parallel.ParallelKernel(
+                self._kernel_base, workers,
+                kernel_parallel.resolve_pool(self.backend),
+            )
+        else:
+            self._kernel = self._kernel_base
+        self._views_cache = None
+
+    def set_kernel_workers(self, kernel_workers) -> None:
+        """Re-wire the kernel worker count on a live index.
+
+        The serving layer uses this to cap oversubscription (request
+        threads x kernel workers); queries in flight keep the views
+        they already hold, new queries see the new fan-out.  Floats are
+        unchanged either way.
+        """
+        self._wire_kernel(kernel_workers)
+
     def _compute_cum_hip(self) -> array:
         # Per-node running prefix sums of the HIP column: cardinality
         # queries become one bisect plus one lookup.  Summation order is
@@ -366,6 +406,7 @@ class AdsIndex:
         workers: int = 1,
         shards: Optional[int] = None,
         backend: str = "auto",
+        kernel_workers=None,
     ) -> "AdsIndex":
         """Build the index for every node of *graph* in one pass.
 
@@ -387,7 +428,10 @@ class AdsIndex:
         batch queries with (:mod:`repro.ads.kernels`): ``"auto"``
         (NumPy when installed, honouring ``REPRO_BACKEND``),
         ``"numpy"``, or ``"python"``.  The sketch columns themselves
-        are backend-independent.
+        are backend-independent.  ``kernel_workers`` fans batch
+        queries out across that many cores (``"auto"``/``None`` sizes
+        to the hardware, honouring ``REPRO_KERNEL_WORKERS``; results
+        are bit-identical at any count).
 
         Returns:
             The fully built index (every node, HIP column included).
@@ -457,7 +501,7 @@ class AdsIndex:
         return cls(
             flavor, k, family.seed, labels, offsets, node_column,
             dist_column, rank_column, tiebreak_column, aux_column,
-            hip_column, backend=backend,
+            hip_column, backend=backend, kernel_workers=kernel_workers,
         )
 
     @staticmethod
@@ -928,39 +972,56 @@ class AdsIndex:
         over the identical scan order (on the active kernel backend,
         whose weight functions are bit-identical to the pure
         estimators), so a patched slice carries the same weights a
-        from-scratch build would.
+        from-scratch build would.  The shared implementation lives in
+        :func:`repro.ads.kernels.parallel.slice_hip_weights` so the
+        parallel dispatcher can run it in worker pools.
         """
-        if not records:
-            return []
-        k = self.k
-        if self.flavor == "bottomk":
-            return self._kernel.bottom_k_hip_weights(
-                [record[3] for record in records], k
+        return kernel_parallel.slice_hip_weights(
+            self._kernel, self.flavor, self.k, records,
+            self._entry_labels(records, labels), self.family,
+        )
+
+    def _entry_labels(
+        self, records: Sequence[Record], labels: Sequence[Hashable]
+    ) -> Optional[List[Hashable]]:
+        """Each record's node label, resolved up front -- only k-mins
+        hashes labels, and pre-resolving keeps worker-process payloads
+        free of the whole label list."""
+        if self.flavor != "kmins":
+            return None
+        return [labels[record[2]] for record in records]
+
+    def _dirty_slice_weights(
+        self,
+        dirty_records: Dict[int, List[Record]],
+        labels_after: Sequence[Hashable],
+    ) -> Dict[int, List[float]]:
+        """HIP weights for every dirty slice, fanned out across kernel
+        workers when the active kernel is the parallel dispatcher (the
+        dominant cost of a splice for large batches); the serial
+        per-slice path otherwise -- same floats either way."""
+        items = [
+            (
+                vid,
+                dirty_records[vid],
+                self._entry_labels(dirty_records[vid], labels_after),
             )
-        if self.flavor == "kpartition":
-            return self._kernel.k_partition_hip_weights(
-                [(record[4], record[3]) for record in records], k
-            )
-        # kmins: weights live on the merged first-occurrence view;
-        # duplicate per-permutation slots get weight 0.
-        family = self.family
-        seen = set()
-        merged_positions: List[int] = []
-        for position, record in enumerate(records):
-            entry_node = record[2]
-            if entry_node in seen:
-                continue
-            seen.add(entry_node)
-            merged_positions.append(position)
-        vectors = [
-            [family.rank(labels[records[position][2]], h) for h in range(k)]
-            for position in merged_positions
+            for vid in sorted(dirty_records)
         ]
-        merged_weights = self._kernel.k_mins_hip_weights(vectors, k)
-        weights = [0.0] * len(records)
-        for position, weight in zip(merged_positions, merged_weights):
-            weights[position] = weight
-        return weights
+        kernel = self._kernel
+        if isinstance(kernel, kernel_parallel.ParallelKernel):
+            weights_map = kernel.slice_weights_map(
+                self.flavor, self.k, self.family, items
+            )
+            if weights_map is not None:
+                return weights_map
+        return {
+            vid: kernel_parallel.slice_hip_weights(
+                kernel, self.flavor, self.k, records, entry_labels,
+                self.family,
+            )
+            for vid, records, entry_labels in items
+        }
 
     def apply_edges(self, graph, edges: Iterable[Tuple]) -> UpdateResult:
         """Absorb an edge-insertion batch without a full rebuild.
@@ -1085,6 +1146,11 @@ class AdsIndex:
                        self._aux, self._hip)
         old_cum = self._cum_cache
         new_cum = None if old_cum is None else array("d")
+        # All dirty slices' weights up front: one parallel fan-out over
+        # the slices instead of one serial recompute per splice step.
+        dirty_weights = self._dirty_slice_weights(
+            dirty_records, labels_after
+        )
         new_n = len(labels_after)
         new_offsets = array("q", bytes(8 * (new_n + 1)))
         new_columns = tuple(
@@ -1106,9 +1172,7 @@ class AdsIndex:
                 # add_edges, which only interns edge endpoints) gets an
                 # empty slice.
             else:
-                weights = self._hip_weights_for_records(
-                    records, labels_after
-                )
+                weights = dirty_weights[i]
                 running = 0.0
                 for record, weight in zip(records, weights):
                     distance, tiebreak, node_id, rank, bucket, permutation \
@@ -1417,6 +1481,7 @@ class AdsIndex:
         path: Union[str, Path],
         mmap: bool = False,
         backend: str = "auto",
+        kernel_workers=None,
     ) -> "AdsIndex":
         """Read an index written by :meth:`save`.
 
@@ -1430,6 +1495,11 @@ class AdsIndex:
                 either way.  On a lazily mapped sharded layout the
                 NumPy kernel assembles all shards on the first batch
                 query; single-node queries stay lazy.
+            kernel_workers: Fan batch queries out across this many
+                cores (``"auto"``/``None`` sizes to the hardware and
+                layout, honouring ``REPRO_KERNEL_WORKERS``; sharded
+                mmap loads partition per shard, zero-copy).  Results
+                are bit-identical at any count.
             mmap: With the default ``False``, every column is copied
                 into process-owned ``array`` objects (byte order
                 corrected when the file came from a different-endian
@@ -1463,13 +1533,18 @@ class AdsIndex:
         # below sits inside a corrupt-header guard, and a bad backend
         # argument is a caller error, not file corruption.
         kernels.resolve(backend)
+        kernel_parallel.parse_workers(kernel_workers)
         path = Path(path)
         if path.is_dir():
             return cls._load_sharded(
-                path / MANIFEST_NAME, mmap=mmap, backend=backend
+                path / MANIFEST_NAME, mmap=mmap, backend=backend,
+                kernel_workers=kernel_workers,
             )
         if path.name == MANIFEST_NAME:
-            return cls._load_sharded(path, mmap=mmap, backend=backend)
+            return cls._load_sharded(
+                path, mmap=mmap, backend=backend,
+                kernel_workers=kernel_workers,
+            )
         with open(path, "rb") as handle:
             header = _read_json_header(handle, path, _MAGIC, "AdsIndex")
             try:
@@ -1504,7 +1579,7 @@ class AdsIndex:
             index = cls(
                 flavor, k, seed, labels, offsets, *columns,
                 rank_sup=rank_sup, validate_columns=not mmap,
-                backend=backend,
+                backend=backend, kernel_workers=kernel_workers,
             )
         except (ParameterError, TypeError, ValueError) as error:
             # Parseable-but-nonsensical header fields (bogus flavor,
@@ -1517,7 +1592,8 @@ class AdsIndex:
 
     @classmethod
     def _load_sharded(
-        cls, manifest_path: Path, mmap: bool = False, backend: str = "auto"
+        cls, manifest_path: Path, mmap: bool = False,
+        backend: str = "auto", kernel_workers=None,
     ) -> "AdsIndex":
         """Assemble an index from a sharded layout.
 
@@ -1578,7 +1654,8 @@ class AdsIndex:
                     # A foreign-endian shard cannot be viewed zero-copy;
                     # reload the whole layout eagerly (byteswapping).
                     return cls._load_sharded(
-                        manifest_path, mmap=False, backend=backend
+                        manifest_path, mmap=False, backend=backend,
+                        kernel_workers=kernel_workers,
                     )
                 span = shard["stop"] - shard["start"]
                 if len(shard_labels) != span:
@@ -1628,6 +1705,7 @@ class AdsIndex:
                 manifest["flavor"], manifest["k"], manifest["seed"], labels,
                 offsets, *columns, rank_sup=manifest["rank_sup"],
                 validate_columns=not mmap, backend=backend,
+                kernel_workers=kernel_workers,
             )
         except (ParameterError, TypeError, ValueError) as error:
             raise EstimatorError(f"{manifest_path}: corrupt layout ({error})")

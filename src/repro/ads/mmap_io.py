@@ -170,6 +170,22 @@ class ShardedColumn:
         surface for ``AdsIndex.mapped_shards`` / serving stats)."""
         return self._maps.mapped_shards
 
+    @property
+    def shard_count(self) -> int:
+        """How many shards back this column (parallel kernel sizing)."""
+        return len(self._maps.specs)
+
+    @property
+    def shard_specs(self) -> tuple:
+        """The backing :class:`ShardSpec` objects in global entry order.
+
+        The parallel kernel's partition planner cuts node ranges at
+        these shards' entry bases (within-shard slices stay zero-copy)
+        and hands worker processes the ``(path, data_start, count)``
+        coordinates to re-map shards themselves.
+        """
+        return tuple(self._maps.specs)
+
     def _shard_view(self, shard: int) -> memoryview:
         return self._maps.views(shard)[self._column]
 

@@ -60,6 +60,19 @@ def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_kernel_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel-workers",
+        default=None,
+        metavar="W",
+        help="fan batch queries (and update HIP recomputes) out across "
+        "W cores ('auto' or a positive integer; default: auto, which "
+        "honours the REPRO_KERNEL_WORKERS env var, then sizes to the "
+        "machine and shard layout, staying serial for small indexes). "
+        "Results are bit-identical at any worker count.",
+    )
+
+
 def _add_common_graph_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("graph", help="edge-list file (u v [weight] per line)")
     parser.add_argument("--k", type=int, default=16, help="sketch size")
@@ -240,6 +253,7 @@ def cmd_build_index(args) -> int:
             graph.to_csr(), args.k, family=family, flavor=args.flavor,
             method=args.method, direction=args.direction,
             workers=args.workers, backend=args.backend,
+            kernel_workers=args.kernel_workers,
         )
         index.save(args.out, shards=args.shards)
     except (ReproError, OSError) as error:
@@ -286,7 +300,10 @@ def cmd_query(args) -> int:
         0
     """
     try:
-        index = AdsIndex.load(args.index, backend=args.backend)
+        index = AdsIndex.load(
+            args.index, backend=args.backend,
+            kernel_workers=args.kernel_workers,
+        )
     except (ReproError, OSError) as error:
         print(str(error), file=sys.stderr)
         return 1
@@ -386,7 +403,9 @@ def cmd_update_index(args) -> int:
         0
     """
     try:
-        index = AdsIndex.load(args.index)
+        index = AdsIndex.load(
+            args.index, kernel_workers=args.kernel_workers
+        )
     except (ReproError, OSError) as error:
         print(str(error), file=sys.stderr)
         return 1
@@ -475,7 +494,10 @@ def cmd_serve(args) -> int:
         print(f"index {args.index!r} does not exist", file=sys.stderr)
         return 1
     try:
-        index = AdsIndex.load(index_path, mmap=args.mmap, backend=args.backend)
+        index = AdsIndex.load(
+            index_path, mmap=args.mmap, backend=args.backend,
+            kernel_workers=args.kernel_workers,
+        )
         graph = None
         if args.graph is not None:
             graph = read_edge_list(
@@ -496,7 +518,8 @@ def cmd_serve(args) -> int:
     print(
         f"# serving {index.num_nodes} nodes ({index.num_entries} entries, "
         f"flavor={index.flavor}, k={index.k}, {mode} load, "
-        f"{index.backend} kernel) on {server.url} "
+        f"{index.backend} kernel, {index.kernel_workers} kernel "
+        f"worker{'s' if index.kernel_workers != 1 else ''}) on {server.url} "
         f"with {args.threads} threads, cache={args.cache_size}{writable}",
         file=sys.stderr,
     )
@@ -662,6 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
         "M shard files plus a manifest (default: one flat file)",
     )
     _add_backend_arg(p)
+    _add_kernel_workers_arg(p)
     p.add_argument("--out", required=True, help="index output file")
     p.set_defaults(func=cmd_build_index)
 
@@ -705,6 +729,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--int-nodes", action="store_true", help="parse --node as an integer"
     )
     _add_backend_arg(p)
+    _add_kernel_workers_arg(p)
     p.set_defaults(func=cmd_query)
 
     p = sub.add_parser(
@@ -749,6 +774,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="force directed interpretation of --graph",
     )
     _add_backend_arg(p)
+    _add_kernel_workers_arg(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -797,6 +823,7 @@ def build_parser() -> argparse.ArgumentParser:
         "edge-list file in lockstep with the index (default: on when "
         "updating INDEX in place, off with --out)",
     )
+    _add_kernel_workers_arg(p)
     p.set_defaults(func=cmd_update_index)
 
     p = sub.add_parser(

@@ -22,16 +22,61 @@ Kernel = Callable[[float], float]
 # ----------------------------------------------------------------------
 # Standard kernels from the introduction
 # ----------------------------------------------------------------------
+# Module-level callable classes, not closures: the parallel kernel tier
+# ships alpha callables to worker processes, and a pickled instance of
+# one of these round-trips where a lambda would not.
+class _NeighborhoodKernel:
+    __slots__ = ("d",)
+
+    def __init__(self, d: float):
+        self.d = float(d)
+
+    def __call__(self, x: float) -> float:
+        return 1.0 if x <= self.d else 0.0
+
+
+class _ReachabilityKernel:
+    __slots__ = ()
+
+    def __call__(self, x: float) -> float:
+        return 1.0
+
+
+class _ExponentialDecayKernel:
+    __slots__ = ("half_life",)
+
+    def __init__(self, half_life: float):
+        self.half_life = float(half_life)
+
+    def __call__(self, x: float) -> float:
+        return 2.0 ** (-x / self.half_life)
+
+
+class _HarmonicKernel:
+    __slots__ = ()
+
+    def __call__(self, x: float) -> float:
+        return 1.0 / x if x > 0 else 0.0
+
+
+class _InversePolynomialKernel:
+    __slots__ = ("power",)
+
+    def __init__(self, power: float):
+        self.power = float(power)
+
+    def __call__(self, x: float) -> float:
+        return x**-self.power if x > 0 else 0.0
+
+
 def neighborhood_kernel(d: float) -> Kernel:
     """alpha(x) = 1 for x <= d else 0: C_alpha = d-neighborhood size."""
-    def alpha(x: float) -> float:
-        return 1.0 if x <= d else 0.0
-    return alpha
+    return _NeighborhoodKernel(d)
 
 
 def reachability_kernel() -> Kernel:
     """alpha(x) = 1: C_alpha = number of reachable nodes."""
-    return lambda x: 1.0
+    return _ReachabilityKernel()
 
 
 def exponential_decay_kernel(half_life: float = 1.0) -> Kernel:
@@ -39,12 +84,12 @@ def exponential_decay_kernel(half_life: float = 1.0) -> Kernel:
     half_life=1)."""
     if half_life <= 0:
         raise EstimatorError(f"half_life must be positive, got {half_life}")
-    return lambda x: 2.0 ** (-x / half_life)
+    return _ExponentialDecayKernel(half_life)
 
 
 def harmonic_kernel() -> Kernel:
     """alpha(x) = 1/x for x > 0 (harmonic centrality); alpha(0) = 0."""
-    return lambda x: 1.0 / x if x > 0 else 0.0
+    return _HarmonicKernel()
 
 
 CENTRALITY_KINDS = ("classic", "harmonic", "decay", "distsum")
@@ -77,7 +122,7 @@ def inverse_polynomial_kernel(power: float) -> Kernel:
     """alpha(x) = 1/x^power for x > 0 (generalised distance decay)."""
     if power <= 0:
         raise EstimatorError(f"power must be positive, got {power}")
-    return lambda x: x**-power if x > 0 else 0.0
+    return _InversePolynomialKernel(power)
 
 
 # ----------------------------------------------------------------------

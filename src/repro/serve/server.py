@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import queue
 import threading
 import time
@@ -169,7 +170,15 @@ class AdsServer:
             back from :attr:`port`.
         cache_size: LRU capacity for whole-graph query results
             (``0`` disables caching).
-        threads: Worker-thread pool size.
+        threads: Worker-thread pool size.  Each request thread may
+            itself fan a batch query out across the index's kernel
+            workers, so the server caps the product at
+            ``KERNEL_BUDGET_FACTOR x cpu_count`` concurrent kernel
+            tasks -- an index wired for more workers than
+            ``(KERNEL_BUDGET_FACTOR * cpu_count) // threads`` is
+            re-wired down at construction (results are bit-identical;
+            only the fan-out changes).  The effective count is reported
+            as ``index.kernel_workers`` in ``/stats``.
         graph: The index's :class:`~repro.graph.csr.CSRGraph` (same
             labels, same id order).  Enables ``POST /update``; without
             it the index is served read-only and updates answer 409.
@@ -193,6 +202,12 @@ class AdsServer:
 
     # Paths that take the exclusive side of the read/write lock.
     _WRITE_PATHS = frozenset({"/update", "/compact"})
+
+    # Oversubscription budget: at most this many concurrent kernel
+    # tasks per CPU across all request threads (2 keeps cores busy
+    # while one task waits on page faults without thrashing the
+    # scheduler; see ARCHITECTURE.md "Parallel kernel execution").
+    KERNEL_BUDGET_FACTOR = 2
 
     def __init__(
         self,
@@ -226,6 +241,7 @@ class AdsServer:
         self._label_type = index.label_type()
         self.cache = LruCache(cache_size)
         self.threads = int(threads)
+        self.kernel_workers = self._cap_kernel_workers()
         self.started_at = time.time()
         self._requests = 0
         self._internal_errors = 0
@@ -247,6 +263,26 @@ class AdsServer:
         self._httpd = _PooledHTTPServer(
             (host, port), _AdsRequestHandler, self, threads
         )
+
+    def _cap_kernel_workers(self) -> int:
+        """Cap request-threads x kernel-workers oversubscription.
+
+        The product of concurrently running request threads and each
+        one's kernel fan-out must not exceed
+        ``KERNEL_BUDGET_FACTOR * cpu_count``; an index wired hotter
+        than the per-thread budget is re-wired down (same floats,
+        smaller fan-out).  Returns the effective kernel worker count.
+        """
+        workers = getattr(self.index, "kernel_workers", 1)
+        cap = max(
+            1,
+            (self.KERNEL_BUDGET_FACTOR * (os.cpu_count() or 1))
+            // self.threads,
+        )
+        if workers > cap:
+            self.index.set_kernel_workers(cap)
+            workers = self.index.kernel_workers
+        return workers
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -457,6 +493,7 @@ class AdsServer:
                 "mmap": index.mmap_backed,
                 "mapped_shards": index.mapped_shards,
                 "backend": index.backend,
+                "kernel_workers": getattr(index, "kernel_workers", 1),
             },
         }
 

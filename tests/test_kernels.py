@@ -15,12 +15,14 @@ suite passes identically on a pure-Python deployment.
 """
 
 import math
+import os
 import random
 import sys
 
 import pytest
 
 from repro.ads import AdsIndex, kernels
+from repro.ads.kernels import parallel as kernel_parallel
 from repro.ads.kernels import pure
 from repro.errors import EstimatorError, ParameterError
 from repro.estimators.statistics import (
@@ -154,6 +156,39 @@ class TestBatchVsNodeQueries:
             index.closeness_centrality(alpha=lambda d: -1.0)
 
 
+def _apply_case(flavor, weighted, backend, kernel_workers=None, seed=17):
+    """Build a small index, apply a random edge batch, return both."""
+    rng = random.Random(seed)
+    n = 12
+
+    def weight():
+        return round(rng.uniform(0.5, 3.0), 2) if weighted else 1.0
+
+    base = [
+        (u, v, weight())
+        for u, v in (
+            (rng.randrange(n), rng.randrange(n)) for _ in range(2 * n)
+        )
+        if u != v
+    ]
+    batch = [
+        (u, v, weight())
+        for u, v in (
+            (rng.randrange(n + 2), rng.randrange(n + 2))
+            for _ in range(6)
+        )
+        if u != v
+    ]
+    graph = CSRGraph.from_edges(base, directed=False, nodes=range(n))
+    index = AdsIndex.build(
+        graph, 4, family=HashFamily(7), flavor=flavor, backend=backend,
+        kernel_workers=kernel_workers,
+    )
+    index.cardinality_at(1.0)  # materialise the prefix cache
+    index.apply_edges(graph, batch)
+    return graph, index
+
+
 @requires_numpy
 @pytest.mark.parametrize("weighted", (False, True))
 @pytest.mark.parametrize("flavor", FLAVORS)
@@ -161,39 +196,9 @@ class TestDynamicUpdatesAcrossBackends:
     """apply_edges must splice bit-identical columns (HIP weights
     included) whichever kernel recomputes the dirty slices."""
 
-    def _apply_case(self, flavor, weighted, backend, seed=17):
-        rng = random.Random(seed)
-        n = 12
-
-        def weight():
-            return round(rng.uniform(0.5, 3.0), 2) if weighted else 1.0
-
-        base = [
-            (u, v, weight())
-            for u, v in (
-                (rng.randrange(n), rng.randrange(n)) for _ in range(2 * n)
-            )
-            if u != v
-        ]
-        batch = [
-            (u, v, weight())
-            for u, v in (
-                (rng.randrange(n + 2), rng.randrange(n + 2))
-                for _ in range(6)
-            )
-            if u != v
-        ]
-        graph = CSRGraph.from_edges(base, directed=False, nodes=range(n))
-        index = AdsIndex.build(
-            graph, 4, family=HashFamily(7), flavor=flavor, backend=backend
-        )
-        index.cardinality_at(1.0)  # materialise the prefix cache
-        index.apply_edges(graph, batch)
-        return graph, index
-
     def test_columns_bit_identical(self, flavor, weighted):
-        graph_py, index_py = self._apply_case(flavor, weighted, "python")
-        graph_np, index_np = self._apply_case(flavor, weighted, "numpy")
+        graph_py, index_py = _apply_case(flavor, weighted, "python")
+        graph_np, index_np = _apply_case(flavor, weighted, "numpy")
         for name in ("_offsets", "_node", "_dist", "_rank", "_tiebreak",
                      "_aux", "_hip"):
             assert bytes(getattr(index_py, name)) == \
@@ -208,11 +213,11 @@ class TestDynamicUpdatesAcrossBackends:
         assert bytes(index_np._hip) == bytes(rebuilt._hip)
 
     def test_cum_cache_spliced_not_dropped(self, flavor, weighted):
-        _, index = self._apply_case(flavor, weighted, "numpy")
+        _, index = _apply_case(flavor, weighted, "numpy")
         spliced = index._cum_cache
         assert spliced is not None  # updates splice instead of dropping
         assert bytes(spliced) == bytes(index._compute_cum_hip())
-        _, reference = self._apply_case(flavor, weighted, "python")
+        _, reference = _apply_case(flavor, weighted, "python")
         assert index.cardinality_at(math.inf) == \
             reference.cardinality_at(math.inf)
 
@@ -269,7 +274,9 @@ class TestBackendSelection:
             _graph(False), 4, family=HashFamily(1), backend="python"
         )
         assert index.backend == "python"
-        assert index._kernel is pure
+        # The parallel tier may wrap the kernel (REPRO_KERNEL_WORKERS);
+        # the *base* kernel is what --backend selects.
+        assert index._kernel_base is pure
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ParameterError, match="unknown backend"):
@@ -431,3 +438,321 @@ class TestServeAndCliSurface:
             ]) == 0
             outputs[backend] = capsys.readouterr().out
         assert outputs["python"] == outputs["numpy"]
+
+
+# ----------------------------------------------------------------------
+# Parallel kernel tier (repro.ads.kernels.parallel)
+# ----------------------------------------------------------------------
+BACKENDS = ("python", pytest.param("numpy", marks=requires_numpy))
+WORKER_COUNTS = (2, 4)
+
+
+def _storage_loader(flavor, weighted, storage, tmp_path, k=4):
+    """Persist one sketch set; return ``load(backend, workers)``."""
+    graph = _graph(weighted)
+    built = AdsIndex.build(
+        graph, k, family=HashFamily(99), flavor=flavor, backend="python"
+    )
+    if storage == "mmap-sharded":
+        destination = tmp_path / "parallel-eq-sharded"
+        built.save(destination, shards=3)
+        mmap = True
+    else:
+        destination = tmp_path / "parallel-eq.adsidx"
+        built.save(destination)
+        mmap = storage == "mmap-single"
+
+    def load(backend, workers):
+        return AdsIndex.load(
+            destination, mmap=mmap, backend=backend, kernel_workers=workers
+        )
+
+    return load
+
+
+@pytest.mark.parametrize("storage", STORAGES)
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+class TestParallelEquivalence:
+    """The ISSUE acceptance bar: every batch query returns bit-identical
+    results at any worker count, for every backend x storage layout.
+    Explicit worker counts engage the pools even on tiny indexes."""
+
+    def test_batch_queries_bit_identical(
+        self, storage, backend, workers, tmp_path
+    ):
+        load = _storage_loader("bottomk", True, storage, tmp_path)
+        serial = load(backend, 1)
+        fanned = load(backend, workers)
+        assert serial.kernel_workers == 1
+        assert fanned.kernel_workers == workers
+        assert serial._kernel is serial._kernel_base
+        assert isinstance(fanned._kernel, kernel_parallel.ParallelKernel)
+        assert bytes(serial._cum_hip) == bytes(fanned._cum_hip)
+        for d in (0.0, 0.7, 1.8, math.inf):
+            assert serial.cardinality_at(d) == fanned.cardinality_at(d)
+        kind_kwargs = (
+            {"classic": True},
+            {"alpha": harmonic_kernel()},
+            {"alpha": exponential_decay_kernel(2.0)},
+            # A lambda beta cannot cross a process boundary; the pool
+            # path must quietly hand it back to the serial kernel.
+            {"beta": lambda node: 1.5 if node % 2 else 0.5},
+        )
+        for kwargs in kind_kwargs:
+            assert serial.closeness_centrality(**kwargs) == \
+                fanned.closeness_centrality(**kwargs)
+        assert serial.neighborhood_function() == \
+            fanned.neighborhood_function()
+        assert serial.top_central(7, classic=True) == \
+            fanned.top_central(7, classic=True)
+
+    def test_all_flavors_cum_hip_exact(
+        self, storage, backend, workers, tmp_path
+    ):
+        for flavor in FLAVORS:
+            for weighted in (False, True):
+                subdir = tmp_path / f"{flavor}-{weighted}"
+                subdir.mkdir()
+                load = _storage_loader(flavor, weighted, storage, subdir)
+                serial = load(backend, 1)
+                fanned = load(backend, workers)
+                assert bytes(serial._compute_cum_hip()) == \
+                    bytes(fanned._compute_cum_hip()), (flavor, weighted)
+                assert serial.cardinality_at(1.2) == \
+                    fanned.cardinality_at(1.2), (flavor, weighted)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("flavor", FLAVORS)
+class TestParallelDynamicUpdates:
+    """apply_edges must splice byte-identical columns whichever worker
+    count recomputes the dirty HIP slices (kmins exercises the
+    entry-label merge inside the fanned slice recompute)."""
+
+    def test_apply_edges_bit_identical_across_workers(
+        self, flavor, backend
+    ):
+        _, serial = _apply_case(flavor, True, backend, kernel_workers=1)
+        for workers in WORKER_COUNTS:
+            _, fanned = _apply_case(
+                flavor, True, backend, kernel_workers=workers
+            )
+            assert isinstance(
+                fanned._kernel, kernel_parallel.ParallelKernel
+            )
+            for name in ("_offsets", "_node", "_dist", "_rank",
+                         "_tiebreak", "_aux", "_hip"):
+                assert bytes(getattr(serial, name)) == \
+                    bytes(getattr(fanned, name)), (workers, name)
+            assert bytes(serial._cum_cache) == bytes(fanned._cum_cache)
+
+
+class TestWorkerResolution:
+    def test_parse_workers_accepts_auto_and_counts(self):
+        assert kernel_parallel.parse_workers(None) == "auto"
+        assert kernel_parallel.parse_workers("auto") == "auto"
+        assert kernel_parallel.parse_workers(" AUTO ") == "auto"
+        assert kernel_parallel.parse_workers(3) == 3
+        assert kernel_parallel.parse_workers("4") == 4
+
+    @pytest.mark.parametrize("bad", (0, -2, "zero", "1.5", 2.0, True, []))
+    def test_parse_workers_rejects_garbage(self, bad):
+        with pytest.raises(ParameterError, match="kernel workers"):
+            kernel_parallel.parse_workers(bad)
+
+    def test_explicit_count_honoured_on_tiny_index(self, monkeypatch):
+        monkeypatch.delenv(kernel_parallel.WORKERS_ENV_VAR, raising=False)
+        assert kernel_parallel.resolve_workers(4, entries=10) == 4
+
+    def test_auto_stays_serial_below_crossover(self, monkeypatch):
+        monkeypatch.delenv(kernel_parallel.WORKERS_ENV_VAR, raising=False)
+        entries = kernel_parallel.AUTO_MIN_ENTRIES - 1
+        assert kernel_parallel.resolve_workers(None, entries=entries) == 1
+
+    def test_auto_scales_to_cores_and_shards(self, monkeypatch):
+        monkeypatch.delenv(kernel_parallel.WORKERS_ENV_VAR, raising=False)
+        monkeypatch.setattr(kernel_parallel.os, "cpu_count", lambda: 8)
+        entries = kernel_parallel.AUTO_MIN_ENTRIES
+        resolve = kernel_parallel.resolve_workers
+        assert resolve(None, entries=entries) == 8
+        assert resolve(None, entries=entries, shards=3) == 3
+        assert resolve(None, entries=entries, shards=16) == 8
+
+    def test_env_var_overrides_auto(self, monkeypatch):
+        monkeypatch.setenv(kernel_parallel.WORKERS_ENV_VAR, "3")
+        # The env count bypasses the small-index crossover gate.
+        assert kernel_parallel.resolve_workers(None, entries=10) == 3
+        # ... but an explicit request still beats the environment.
+        assert kernel_parallel.resolve_workers(2, entries=10) == 2
+
+    def test_invalid_env_var_names_itself(self, monkeypatch):
+        monkeypatch.setenv(kernel_parallel.WORKERS_ENV_VAR, "banana")
+        with pytest.raises(
+            ParameterError, match=kernel_parallel.WORKERS_ENV_VAR
+        ):
+            kernel_parallel.resolve_workers(None, entries=10)
+
+    def test_invalid_pool_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernel_parallel.POOL_ENV_VAR, "fibers")
+        with pytest.raises(
+            ParameterError, match=kernel_parallel.POOL_ENV_VAR
+        ):
+            kernel_parallel.resolve_pool("python")
+
+    def test_pool_env_override(self, monkeypatch):
+        monkeypatch.setenv(kernel_parallel.POOL_ENV_VAR, "thread")
+        assert kernel_parallel.resolve_pool("python") == "thread"
+        monkeypatch.delenv(kernel_parallel.POOL_ENV_VAR)
+        assert kernel_parallel.resolve_pool("python") == "process"
+        assert kernel_parallel.resolve_pool("numpy") == "thread"
+
+    def test_build_validates_kernel_workers(self):
+        with pytest.raises(ParameterError, match="kernel workers"):
+            AdsIndex.build(
+                _graph(False), 4, family=HashFamily(1), kernel_workers=0
+            )
+        with pytest.raises(ParameterError, match="kernel workers"):
+            AdsIndex.build(
+                _graph(False), 4, family=HashFamily(1),
+                kernel_workers="lots",
+            )
+
+    def test_load_validates_kernel_workers_up_front(self, tmp_path):
+        index = AdsIndex.build(_graph(False), 4, family=HashFamily(1))
+        destination = tmp_path / "validate.adsidx"
+        index.save(destination)
+        with pytest.raises(ParameterError, match="kernel workers"):
+            AdsIndex.load(destination, kernel_workers=-1)
+
+    def test_set_kernel_workers_rewires(self):
+        index = AdsIndex.build(
+            _graph(False), 4, family=HashFamily(1), backend="python",
+            kernel_workers=1,
+        )
+        reference = index.cardinality_at(1.0)
+        index.set_kernel_workers(3)
+        assert index.kernel_workers == 3
+        assert isinstance(index._kernel, kernel_parallel.ParallelKernel)
+        assert index.cardinality_at(1.0) == reference
+        index.set_kernel_workers(1)
+        assert index.kernel_workers == 1
+        assert index._kernel is index._kernel_base
+        assert index.cardinality_at(1.0) == reference
+
+
+class TestParallelFallback:
+    """When no pool can be created at all, the parallel tier must
+    degrade to the serial base kernel -- same floats, no errors."""
+
+    @pytest.fixture
+    def broken_pools(self, monkeypatch):
+        kernel_parallel._reset_executors()
+
+        def refuse(mode, workers):
+            raise OSError("pools unavailable in this environment")
+
+        monkeypatch.setattr(kernel_parallel, "_create_executor", refuse)
+        yield
+        kernel_parallel._reset_executors()
+
+    def test_serial_fallback_matches(self, broken_pools):
+        reference = AdsIndex.build(
+            _graph(True), 4, family=HashFamily(1), backend="python",
+            kernel_workers=1,
+        )
+        fanned = AdsIndex.build(
+            _graph(True), 4, family=HashFamily(1), backend="python",
+            kernel_workers=2,
+        )
+        assert isinstance(fanned._kernel, kernel_parallel.ParallelKernel)
+        assert bytes(reference._cum_hip) == bytes(fanned._cum_hip)
+        assert reference.cardinality_at(1.0) == fanned.cardinality_at(1.0)
+        assert reference.closeness_centrality(classic=True) == \
+            fanned.closeness_centrality(classic=True)
+        assert reference.neighborhood_function() == \
+            fanned.neighborhood_function()
+
+    @requires_numpy
+    def test_estimator_errors_propagate_from_workers(self):
+        index = AdsIndex.build(
+            _graph(False), 4, family=HashFamily(3), backend="numpy",
+            kernel_workers=2,
+        )
+        with pytest.raises(EstimatorError, match="nonnegative"):
+            index.closeness_centrality(alpha=lambda d: -1.0)
+
+
+class TestServeKernelWorkers:
+    def _index(self, workers):
+        return AdsIndex.build(
+            _graph(False), 4, family=HashFamily(1), backend="python",
+            kernel_workers=workers,
+        )
+
+    def test_stats_reports_kernel_workers(self):
+        from repro.serve import AdsServer
+        from repro.serve.client import QueryClient
+
+        index = self._index(2)
+        # One serving thread leaves the budget (2 x cpu_count) intact,
+        # so the wired count survives the oversubscription cap.
+        with AdsServer(index, cache_size=4, threads=1) as server:
+            stats = QueryClient(server.url).stats()
+        assert stats["index"]["kernel_workers"] == 2
+        assert index.kernel_workers == 2
+
+    def test_oversubscribed_index_rewired_down(self):
+        from repro.serve import AdsServer
+
+        cpus = os.cpu_count() or 1
+        # threads = 4 x cpus makes the per-request budget
+        # (2 x cpus) // threads = 0 -> capped at the floor of 1.
+        index = self._index(4)
+        with AdsServer(index, cache_size=0, threads=4 * cpus) as server:
+            assert server.kernel_workers == 1
+        assert index.kernel_workers == 1
+        assert index._kernel is index._kernel_base
+
+
+class TestParallelCliSurface:
+    def _build(self, tmp_path, extra=()):
+        from repro.cli import main
+
+        graph = tmp_path / "g.txt"
+        graph.write_text(
+            "\n".join(f"{u} {(u + 1) % 9}\n{u} {(u + 4) % 9}"
+                      for u in range(9)) + "\n"
+        )
+        destination = tmp_path / "g.adsidx"
+        assert main([
+            "build-index", str(graph), "--int-nodes", "--k", "4",
+            "--backend", "python", "--out", str(destination), *extra,
+        ]) == 0
+        return destination
+
+    def test_cli_worker_counts_agree(self, tmp_path, capsys):
+        from repro.cli import main
+
+        destination = self._build(
+            tmp_path, extra=("--kernel-workers", "2")
+        )
+        capsys.readouterr()
+        outputs = {}
+        for workers in ("1", "2"):
+            assert main([
+                "query", str(destination), "--cardinality", "1",
+                "--kernel-workers", workers,
+            ]) == 0
+            outputs[workers] = capsys.readouterr().out
+        assert outputs["1"] == outputs["2"]
+
+    def test_cli_rejects_bad_worker_count(self, tmp_path, capsys):
+        from repro.cli import main
+
+        destination = self._build(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "query", str(destination), "--kernel-workers", "0",
+        ]) == 1
+        assert "kernel workers" in capsys.readouterr().err
