@@ -1,6 +1,6 @@
-"""Serving-layer benchmark (ISSUE 3 acceptance series).
+"""Serving-layer benchmark (ISSUE 3 + ISSUE 7 acceptance series).
 
-Two claims are measured on the acceptance workload
+Three claims are measured on the acceptance workload
 (``barabasi_albert_graph(2000, 3)``; ``REPRO_BENCH_SERVE_N`` overrides)
 and persisted to ``BENCH_serve.json`` at the repository root:
 
@@ -12,6 +12,12 @@ and persisted to ``BENCH_serve.json`` at the repository root:
    driven through the keep-alive ``QueryClient``, must clear >= 1000
    single-node cardinality queries/sec; batch POSTs and cached
    whole-graph rankings are recorded alongside for context.
+3. **Async transport** -- the asyncio ``AsyncAdsServer`` serving the
+   same index must clear >= 5x the threaded baseline's single-query
+   qps when the client pipelines (the transport the async path was
+   built for); request-response and binary-wire series are recorded
+   alongside, and ``async_vs_threaded`` holds the dimensionless
+   ratios the regression gate tracks.
 
 ``REPRO_BENCH_NO_ASSERT=1`` opts out of the hard assertions on loaded
 or throttled machines, mirroring the other benches.
@@ -19,6 +25,7 @@ or throttled machines, mirroring the other benches.
 
 import json
 import os
+import socket
 import time
 from pathlib import Path
 
@@ -26,7 +33,8 @@ from conftest import write_output
 from repro.ads import AdsIndex
 from repro.graph import barabasi_albert_graph
 from repro.rand.hashing import HashFamily
-from repro.serve import AdsServer, QueryClient
+from repro.serve import AdsServer, AsyncAdsServer, QueryClient
+from repro.serve import wire
 
 SERVE_BENCH_N = int(os.environ.get("REPRO_BENCH_SERVE_N", "2000"))
 K = 8
@@ -35,6 +43,7 @@ SINGLE_QUERIES = 2000
 BATCH_SIZE = 100
 BATCH_ROUNDS = 20
 CACHED_QUERIES = 500
+PIPELINE_DEPTH = 64
 REPO_ROOT = Path(__file__).parent.parent
 
 
@@ -58,6 +67,95 @@ def _load_timings(path):
     }
 
 
+def _read_responses(conn, count, buf):
+    """Consume *count* Content-Length-framed responses from *conn*."""
+    seen = 0
+    while seen < count:
+        while True:
+            head_end = buf.find(b"\r\n\r\n")
+            if head_end == -1:
+                break
+            length = 0
+            for line in bytes(buf[:head_end]).split(b"\r\n")[1:]:
+                name, _, value = line.partition(b":")
+                if name.strip().lower() == b"content-length":
+                    length = int(value)
+            if len(buf) < head_end + 4 + length:
+                break
+            del buf[:head_end + 4 + length]
+            seen += 1
+            if seen == count:
+                return
+        chunk = conn.recv(1 << 20)
+        if not chunk:
+            raise ConnectionError("server closed mid-benchmark")
+        buf += chunk
+
+
+def _single_node_qps(server, nodes, queries):
+    """Request-response qps through the stock ``QueryClient``."""
+    with QueryClient(server.url) as client:
+        client.cardinality(node=nodes[0], d=3.0)  # warm
+        start = time.perf_counter()
+        for i in range(queries):
+            client.cardinality(node=nodes[i % len(nodes)], d=3.0)
+        elapsed = time.perf_counter() - start
+    return {
+        "queries": queries,
+        "seconds": elapsed,
+        "queries_per_second": queries / elapsed,
+    }
+
+
+def _pipelined_qps(server, nodes, queries, binary=False):
+    """Single-node qps with *PIPELINE_DEPTH* requests per segment.
+
+    One keep-alive connection, raw HTTP/1.1: each batch goes out in a
+    single ``sendall`` and the responses are drained before the next
+    batch, so throughput reflects the transport's pipelining, not
+    client round trips.
+    """
+    accept = (
+        f"Accept: {wire.WIRE_CONTENT_TYPE}\r\n" if binary else ""
+    )
+    requests = [
+        (
+            f"GET /cardinality?node={node}&d=3.0 HTTP/1.1\r\n"
+            f"Host: bench\r\n{accept}\r\n"
+        ).encode("ascii")
+        for node in nodes
+    ]
+    conn = socket.create_connection(
+        (server.host, server.port), timeout=30
+    )
+    try:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        buf = bytearray()
+        conn.sendall(requests[0])  # warm
+        _read_responses(conn, 1, buf)
+        sent = 0
+        start = time.perf_counter()
+        while sent < queries:
+            depth = min(PIPELINE_DEPTH, queries - sent)
+            batch = b"".join(
+                requests[(sent + j) % len(requests)]
+                for j in range(depth)
+            )
+            conn.sendall(batch)
+            _read_responses(conn, depth, buf)
+            sent += depth
+        elapsed = time.perf_counter() - start
+    finally:
+        conn.close()
+    return {
+        "queries": queries,
+        "depth": PIPELINE_DEPTH,
+        "binary_wire": binary,
+        "seconds": elapsed,
+        "queries_per_second": queries / elapsed,
+    }
+
+
 def test_serve_cold_start_and_throughput(benchmark, tmp_path):
     graph = barabasi_albert_graph(SERVE_BENCH_N, 3, seed=42)
     index = AdsIndex.build(graph.to_csr(), K, family=FAMILY)
@@ -76,19 +174,14 @@ def test_serve_cold_start_and_throughput(benchmark, tmp_path):
         }
         served = AdsIndex.load(single_path, mmap=True)
         with AdsServer(served, port=0, cache_size=64, threads=4) as server:
+            series["single_node_http"] = _single_node_qps(
+                server, nodes, SINGLE_QUERIES
+            )
+            series["pipelined_http"] = _pipelined_qps(
+                server, nodes, SINGLE_QUERIES
+            )
             with QueryClient(server.url) as client:
                 client.healthz()  # connection + handler warm-up
-
-                start = time.perf_counter()
-                for i in range(SINGLE_QUERIES):
-                    client.cardinality(node=nodes[i % len(nodes)], d=3.0)
-                elapsed = time.perf_counter() - start
-                series["single_node_http"] = {
-                    "queries": SINGLE_QUERIES,
-                    "seconds": elapsed,
-                    "queries_per_second": SINGLE_QUERIES / elapsed,
-                }
-
                 start = time.perf_counter()
                 for i in range(BATCH_ROUNDS):
                     lo = (i * BATCH_SIZE) % len(nodes)
@@ -115,11 +208,55 @@ def test_serve_cold_start_and_throughput(benchmark, tmp_path):
                     "queries_per_second": CACHED_QUERIES / elapsed,
                 }
                 series["server_stats"] = client.stats()
+
+        with AsyncAdsServer(served, port=0, cache_size=64) as server:
+            series["async_http"] = {
+                "single_node": _single_node_qps(
+                    server, nodes, SINGLE_QUERIES
+                ),
+                "pipelined": _pipelined_qps(
+                    server, nodes, SINGLE_QUERIES
+                ),
+                "pipelined_binary": _pipelined_qps(
+                    server, nodes, SINGLE_QUERIES, binary=True
+                ),
+            }
+            with QueryClient(server.url) as client:
+                series["async_http"]["server_stats"] = client.stats()
+
+        threaded_qps = series["single_node_http"]["queries_per_second"]
+        threaded_pipe = series["pipelined_http"]["queries_per_second"]
+        async_section = series["async_http"]
+        series["async_vs_threaded"] = {
+            # The acceptance ratio: the async transport's single-query
+            # throughput (pipelined, the workload it exists for) over
+            # the threaded server's request-response single-query qps
+            # on the same index.
+            "single_query_speedup": (
+                async_section["pipelined"]["queries_per_second"]
+                / threaded_qps
+            ),
+            "pipelined_speedup": (
+                async_section["pipelined"]["queries_per_second"]
+                / threaded_pipe
+            ),
+            "request_response_ratio": (
+                async_section["single_node"]["queries_per_second"]
+                / threaded_qps
+            ),
+            "binary_vs_json_pipelined": (
+                async_section["pipelined_binary"]["queries_per_second"]
+                / async_section["pipelined"]["queries_per_second"]
+            ),
+        }
         return series
 
     series = benchmark.pedantic(run, rounds=1, iterations=1)
     series.update({
-        "benchmark": "mmap cold start + HTTP serving throughput",
+        "benchmark": (
+            "mmap cold start + HTTP serving throughput "
+            "(threaded and async transports)"
+        ),
         "n": graph.num_nodes,
         "m": graph.num_edges,
         "k": K,
@@ -127,8 +264,10 @@ def test_serve_cold_start_and_throughput(benchmark, tmp_path):
         "index_bytes": os.path.getsize(single_path),
         "cpu_count": os.cpu_count() or 1,
         "note": (
-            "single-node queries ride one keep-alive connection; the "
-            "mmap cold-start numbers are best-of-3 wall times of "
+            "single-node queries ride one keep-alive connection; "
+            "pipelined series send PIPELINE_DEPTH raw HTTP/1.1 "
+            "requests per segment and drain before the next batch; "
+            "the mmap cold-start numbers are best-of-3 wall times of "
             "AdsIndex.load on each layout"
         ),
     })
@@ -142,4 +281,10 @@ def test_serve_cold_start_and_throughput(benchmark, tmp_path):
         if SERVE_BENCH_N >= 2000:
             assert (
                 series["single_node_http"]["queries_per_second"] >= 1000.0
+            )
+            # ISSUE 7 acceptance: the async transport clears 5x the
+            # threaded baseline's single-query qps on the same index.
+            assert (
+                series["async_vs_threaded"]["single_query_speedup"]
+                >= 5.0
             )

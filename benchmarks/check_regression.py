@@ -50,6 +50,10 @@ TRACKED = [
     # Shard-parallel kernel tier: fanned batch queries must keep
     # beating serial (ISSUE 6 acceptance).
     ("BENCH_kernels.json", "parallel.peak_speedup_vs_serial", "higher"),
+    # Async pipelined transport: single-query throughput over the
+    # threaded request-response baseline (ISSUE 7 acceptance).
+    ("BENCH_serve.json", "async_vs_threaded.single_query_speedup",
+     "higher"),
 ]
 
 # Metrics that only mean anything with real cores: skipped (with a

@@ -693,6 +693,40 @@ class AdsIndex:
         cutoff = bisect_right(self._dist, d, lo, hi)
         return self._slice_hip_sum(lo, cutoff)
 
+    def nodes_cardinality_at(
+        self, labels: Sequence[Hashable], d: float = math.inf
+    ) -> List[float]:
+        """n_d estimates for an explicit subset of nodes, in one call.
+
+        The serving layer's micro-batch entry point: batch POSTs and
+        the async server's coalesced single-node queries resolve here,
+        so a whole batch costs one index call (and one lock
+        acquisition server-side) instead of a round trip per node.
+        Exactly ``[node_cardinality_at(label, d) for label in labels]``
+        -- same bisect over the distance column, same left-to-right
+        HIP summation, bit-identical floats.
+
+        Args:
+            labels: Indexed node labels (order preserved in the result).
+            d: Distance threshold (default: all reachable nodes).
+
+        Raises:
+            EstimatorError: if any label is not in the index.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.nodes_cardinality_at([0, 3], 1.0)
+            [2.0, 2.0]
+        """
+        dist = self._dist
+        values: List[float] = []
+        for label in labels:
+            lo, hi = self._slice(label)
+            cutoff = bisect_right(dist, d, lo, hi)
+            values.append(self._slice_hip_sum(lo, cutoff))
+        return values
+
     def _slice_hip_sum(self, lo: int, hi: int) -> float:
         """Left-to-right sum of ``hip[lo:hi]`` -- ``cum_hip[hi - 1]`` by
         construction, summed locally when the prefix column has not been

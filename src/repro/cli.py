@@ -462,7 +462,11 @@ def cmd_serve(args) -> int:
     until interrupted.  See :mod:`repro.serve.server` for the endpoint
     reference.  ``--graph GRAPH.txt`` (with ``--no-mmap``) attaches the
     index's graph and enables live edge updates via ``POST /update`` /
-    ``POST /compact``.
+    ``POST /compact``.  ``--async-loop`` swaps the threaded transport
+    for the asyncio pipelined one (same API, one event loop;
+    ``--coalesce-window`` micro-batches concurrent single-node
+    queries), and ``--wire json`` pins responses to JSON even for
+    clients that ask for the binary codec.
 
     Returns:
         0 after a clean shutdown (Ctrl-C), 1 when the index cannot be
@@ -473,7 +477,7 @@ def cmd_serve(args) -> int:
         >>> main(["serve", "--index", "/nonexistent.adsidx"])
         1
     """
-    from repro.serve import AdsServer
+    from repro.serve import AdsServer, AsyncAdsServer
 
     if args.cache_size < 0:
         print(f"--cache-size must be >= 0, got {args.cache_size}",
@@ -481,6 +485,14 @@ def cmd_serve(args) -> int:
         return 2
     if args.threads < 1:
         print(f"--threads must be >= 1, got {args.threads}", file=sys.stderr)
+        return 2
+    if args.max_in_flight < 1:
+        print(f"--max-in-flight must be >= 1, got {args.max_in_flight}",
+              file=sys.stderr)
+        return 2
+    if args.coalesce_window < 0:
+        print(f"--coalesce-window must be >= 0, got {args.coalesce_window}",
+              file=sys.stderr)
         return 2
     if args.graph is not None and args.mmap:
         # Updates splice the index columns in place; a memory-mapped
@@ -505,11 +517,27 @@ def cmd_serve(args) -> int:
                 directed=True if args.directed else None,
                 node_type=_index_node_type(index),
             ).to_csr()
-        server = AdsServer(
-            index, host=args.host, port=args.port,
-            cache_size=args.cache_size, threads=args.threads,
-            graph=graph, index_path=index_path, graph_path=args.graph,
-        )
+        if args.async_loop:
+            server = AsyncAdsServer(
+                index, host=args.host, port=args.port,
+                cache_size=args.cache_size,
+                max_in_flight=args.max_in_flight,
+                coalesce_window=args.coalesce_window,
+                wire_mode=args.wire,
+                graph=graph, index_path=index_path, graph_path=args.graph,
+            )
+            transport = (
+                f"asyncio transport (max_in_flight={args.max_in_flight}, "
+                f"coalesce_window={args.coalesce_window})"
+            )
+        else:
+            server = AdsServer(
+                index, host=args.host, port=args.port,
+                cache_size=args.cache_size, threads=args.threads,
+                wire_mode=args.wire,
+                graph=graph, index_path=index_path, graph_path=args.graph,
+            )
+            transport = f"{args.threads} threads"
     except (ReproError, OSError) as error:
         print(str(error), file=sys.stderr)
         return 1
@@ -520,7 +548,8 @@ def cmd_serve(args) -> int:
         f"flavor={index.flavor}, k={index.k}, {mode} load, "
         f"{index.backend} kernel, {index.kernel_workers} kernel "
         f"worker{'s' if index.kernel_workers != 1 else ''}) on {server.url} "
-        f"with {args.threads} threads, cache={args.cache_size}{writable}",
+        f"with {transport}, cache={args.cache_size}, "
+        f"wire={args.wire}{writable}",
         file=sys.stderr,
     )
     try:
@@ -760,7 +789,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--threads", type=int, default=8,
-        help="worker threads handling requests",
+        help="worker threads handling requests (threaded transport)",
+    )
+    p.add_argument(
+        "--async-loop",
+        action="store_true",
+        help="serve on the asyncio pipelined transport instead of the "
+        "worker-thread pool (same API; higher single-query throughput)",
+    )
+    p.add_argument(
+        "--wire",
+        choices=("auto", "json"),
+        default="auto",
+        help="response codec policy: 'auto' answers the compact binary "
+        "codec to clients that send Accept: application/x-repro-wire, "
+        "'json' pins every response to JSON",
+    )
+    p.add_argument(
+        "--max-in-flight", type=int, default=256,
+        help="async transport: bound on concurrently dispatching "
+        "requests before 503 load shedding",
+    )
+    p.add_argument(
+        "--coalesce-window", type=float, default=0.0,
+        help="async transport: seconds to micro-batch concurrent "
+        "single-node cardinality queries into one kernel call "
+        "(0 disables)",
     )
     p.add_argument(
         "--graph",

@@ -6,15 +6,21 @@ disk; this package is the layer that takes traffic against it:
 * :class:`AdsServer` -- stdlib ``http.server`` JSON API with a bounded
   worker pool and an LRU cache for whole-graph results
   (:mod:`repro.serve.server`);
-* :class:`QueryClient` -- keep-alive stdlib client
-  (:mod:`repro.serve.client`);
+* :class:`AsyncAdsServer` -- the asyncio transport over the same
+  routing: pipelined HTTP/1.1 parsing, bounded in-flight backpressure,
+  optional micro-batch coalescing (:mod:`repro.serve.aio`);
+* :class:`QueryClient` -- keep-alive stdlib client, JSON or binary
+  wire mode (:mod:`repro.serve.client`);
+* :mod:`repro.serve.wire` -- the compact binary codec both transports
+  negotiate via ``Accept``/``Content-Type``;
 * :class:`LruCache` -- the cache primitive (:mod:`repro.serve.cache`);
 * :class:`ReadWriteLock` -- readers/writer exclusion for live updates
   (:mod:`repro.serve.locks`);
 * :mod:`repro.serve.schemas` -- wire-format parsing and shaping.
 
 Shell entry point: ``python -m repro serve --index graph.adsidx``
-(add ``--graph graph.txt`` to accept ``POST /update``).
+(add ``--graph graph.txt`` to accept ``POST /update``, and
+``--async-loop`` to serve on the asyncio transport).
 """
 
 from repro.serve.cache import LruCache
@@ -22,12 +28,16 @@ from repro.serve.client import QueryClient, ServeClientError
 from repro.serve.locks import ReadWriteLock
 from repro.serve.schemas import WireError
 from repro.serve.server import AdsServer
+from repro.serve.aio import AsyncAdsServer
+from repro.serve.wire import WireFormatError
 
 __all__ = [
     "AdsServer",
+    "AsyncAdsServer",
     "LruCache",
     "QueryClient",
     "ReadWriteLock",
     "ServeClientError",
     "WireError",
+    "WireFormatError",
 ]

@@ -1,0 +1,578 @@
+"""``AsyncAdsServer``: the asyncio pipelined serving transport.
+
+The threaded daemon (:class:`~repro.serve.server.AdsServer`) spends
+most of each request outside the index: ``http.server`` parses headers
+through :mod:`email`, hands every connection across a worker queue,
+and renders a response through layered ``send_*`` calls.  At ~180 us
+per request that caps single-query throughput in the low thousands of
+qps -- while the same index answers hundreds of thousands of node
+queries per second when they arrive batched.  This module removes the
+per-request transport tax: one event loop, a hand-rolled HTTP/1.1
+keep-alive parser that consumes a whole TCP segment at a time --
+every complete *pipelined* request in the read buffer is parsed and
+dispatched synchronously, and all their responses go out in one
+write -- so a segment of N requests costs two syscalls and one round
+trip, not 2N and N.
+
+Routing, schemas, caching, and locking are exactly the threaded
+server's -- ``AsyncAdsServer`` subclasses ``AdsServer`` and funnels
+every request through the shared
+:meth:`~repro.serve.server.AdsServer.handle_request`, so JSON payloads
+are byte-identical across transports and the binary wire codec
+(:mod:`repro.serve.wire`) is negotiated the same way.
+
+Three serving behaviours are new here:
+
+* **Pipelining** -- the parser consumes requests from the stream as
+  fast as they arrive; a client may write N requests in one segment
+  and read N responses, paying one round trip total.
+* **Backpressure** -- at most ``max_in_flight`` requests may be
+  dispatching concurrently; beyond that the server answers ``503``
+  with ``Retry-After`` and closes (counted as ``transport.load_shed``
+  in ``/stats``, surfaced as ``saturation`` in ``/healthz``).
+* **Coalescing** -- with ``coalesce_window > 0``, single-node
+  ``GET /cardinality`` queries that arrive within the window are
+  micro-batched into one
+  :meth:`~repro.ads.index.AdsIndex.nodes_cardinality_at` call under a
+  single read-lock acquisition.  Values are bit-identical to
+  uncoalesced queries by construction; only the call count changes.
+  Off by default: a window only pays for itself under concurrent
+  load, and it would add pure latency to a lone sequential client.
+
+Queries run inline on the event loop (they are microseconds of bisect
+arithmetic; a thread handoff would cost more than the query), so a
+whole-graph sweep does briefly stall other connections -- the LRU
+cache exists precisely so sweeps amortise to a dict lookup.  Writes
+(``POST /update`` / ``/compact``) take the same writer-preferring lock
+as the threaded server and work identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import socket
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro._util import require
+from repro.ads.index import AdsIndex
+from repro.errors import ReproError
+from repro.serve import wire
+from repro.serve.schemas import (
+    WireError,
+    json_safe_number,
+    parse_float,
+    resolve_node,
+)
+from repro.serve.server import _MAX_BODY_BYTES, AdsServer
+
+_MAX_HEADER_COUNT = 64
+#: A request head (request line + headers) must fit in this many
+#: bytes; mirrors ``http.server``'s 64 KiB request-line ceiling.
+_MAX_HEAD_BYTES = 65536
+#: Read size for the connection loop.  Large enough that a deep
+#: pipeline of single-node queries arrives in one read.
+_READ_CHUNK = 262144
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class _ProtocolError(Exception):
+    """A request the parser must refuse; the connection closes after
+    the error response (unread body bytes would poison the stream)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class _Coalescer:
+    """Micro-batches concurrent single-node cardinality queries.
+
+    Pending ``(label, future)`` pairs are grouped per distance
+    threshold ``d``; the first arrival for a ``d`` arms a
+    ``call_later`` flush after the window, and a bucket that reaches
+    ``coalesce_max_batch`` flushes immediately.  Flushing resolves the
+    whole bucket with one
+    :meth:`~repro.ads.index.AdsIndex.nodes_cardinality_at` call under
+    one read-lock acquisition.  Everything runs on the event loop
+    thread, so no extra synchronisation is needed.
+    """
+
+    def __init__(self, server: "AsyncAdsServer"):
+        self._server = server
+        self._pending: Dict[float, List[Tuple[Any, asyncio.Future]]] = {}
+        self._timers: Dict[float, asyncio.TimerHandle] = {}
+
+    def submit(self, label: Any, d: float) -> "asyncio.Future[float]":
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[float]" = loop.create_future()
+        bucket = self._pending.setdefault(d, [])
+        bucket.append((label, future))
+        if len(bucket) >= self._server.coalesce_max_batch:
+            self._flush(d)
+        elif d not in self._timers:
+            self._timers[d] = loop.call_later(
+                self._server.coalesce_window, self._flush, d
+            )
+        return future
+
+    def _flush(self, d: float) -> None:
+        timer = self._timers.pop(d, None)
+        if timer is not None:
+            timer.cancel()
+        entries = self._pending.pop(d, None)
+        if not entries:
+            return
+        server = self._server
+        labels = [label for label, _ in entries]
+        try:
+            with server._rw_lock.read_locked():
+                values = server.index.nodes_cardinality_at(labels, d)
+        except Exception as error:  # resolved per-request to a 500
+            for _, future in entries:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        server._coalesced_batches += 1
+        server._coalesced_queries += len(entries)
+        for (_, future), value in zip(entries, values):
+            if not future.done():
+                future.set_result(value)
+
+
+class AsyncAdsServer(AdsServer):
+    """The asyncio serving daemon: same API, pipelined transport.
+
+    Args:
+        index: The sketch index to serve.
+        host / port: Bind address; ``port=0`` picks a free port, read
+            it back from :attr:`port` (available immediately -- the
+            listening socket binds at construction, like the threaded
+            server).
+        cache_size: LRU capacity for whole-graph results.
+        max_in_flight: Bound on concurrently dispatching requests;
+            beyond it new requests are shed with ``503`` +
+            ``Retry-After``.
+        coalesce_window: Seconds to hold a single-node cardinality
+            query open for micro-batching (``0`` disables coalescing).
+        coalesce_max_batch: Flush a coalescing bucket early once it
+            holds this many queries.
+        wire_mode: ``"auto"`` negotiates the binary codec per request,
+            ``"json"`` pins responses to JSON.
+        graph / index_path / graph_path: As on
+            :class:`~repro.serve.server.AdsServer` (enable
+            ``POST /update`` / ``/compact``).
+
+    Example:
+        >>> from repro.graph import path_graph
+        >>> from repro.ads import AdsIndex
+        >>> server = AsyncAdsServer(
+        ...     AdsIndex.build(path_graph(4).to_csr(), k=4))
+        >>> with server:  # event loop on a background thread
+        ...     from repro.serve.client import QueryClient
+        ...     QueryClient(server.url).cardinality(node=0, d=1.0)["value"]
+        2.0
+    """
+
+    #: Idle keep-alive connections are dropped after this many seconds
+    #: (doubles as the slow-request ceiling; mirrors the threaded
+    #: handler's ``timeout``).
+    idle_timeout = 30.0
+
+    def __init__(
+        self,
+        index: AdsIndex,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 256,
+        max_in_flight: int = 256,
+        coalesce_window: float = 0.0,
+        coalesce_max_batch: int = 512,
+        wire_mode: str = "auto",
+        graph=None,
+        index_path=None,
+        graph_path=None,
+    ):
+        require(
+            max_in_flight >= 1,
+            f"max_in_flight must be >= 1, got {max_in_flight}",
+        )
+        require(
+            coalesce_window >= 0.0,
+            f"coalesce_window must be >= 0, got {coalesce_window}",
+        )
+        require(
+            coalesce_max_batch >= 1,
+            f"coalesce_max_batch must be >= 1, got {coalesce_max_batch}",
+        )
+        self.max_in_flight = int(max_in_flight)
+        self.coalesce_window = float(coalesce_window)
+        self.coalesce_max_batch = int(coalesce_max_batch)
+        self._in_flight = 0
+        self._coalesced_batches = 0
+        self._coalesced_queries = 0
+        self._coalescer: Optional[_Coalescer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        # threads=1: the event loop is the single request "worker", so
+        # the kernel-oversubscription cap leaves the index its full
+        # fan-out budget.
+        super().__init__(
+            index,
+            host=host,
+            port=port,
+            cache_size=cache_size,
+            threads=1,
+            graph=graph,
+            index_path=index_path,
+            graph_path=graph_path,
+            wire_mode=wire_mode,
+        )
+
+    # ------------------------------------------------------------------
+    # Transport lifecycle (overrides the _PooledHTTPServer plumbing)
+    # ------------------------------------------------------------------
+    def _open_transport(self, host: str, port: int) -> None:
+        # Bound synchronously so `server.port` works before start(),
+        # exactly like the threaded server's constructor.
+        self._socket = socket.create_server((host, port), backlog=512)
+        self._socket.setblocking(False)
+
+    @property
+    def host(self) -> str:
+        return self._socket.getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        return self._socket.getsockname()[1]
+
+    def serve_forever(self) -> None:
+        """Run the event loop until :meth:`shutdown` (or Ctrl-C)."""
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._coalescer = (
+            _Coalescer(self) if self.coalesce_window > 0.0 else None
+        )
+        server = await asyncio.start_server(
+            self._handle_connection, sock=self._socket
+        )
+        self._serving.set()
+        try:
+            await self._stop.wait()
+        finally:
+            self._serving.clear()
+            self._loop = None
+            server.close()
+            await server.wait_closed()
+
+    def shutdown(self) -> None:
+        """Stop the loop, join the background thread, close the socket."""
+        loop = self._loop
+        if self._serving.is_set() and loop is not None:
+            try:
+                loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already torn down
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.close()
+
+    def close(self) -> None:
+        """Release the listening socket (idempotent)."""
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    # ------------------------------------------------------------------
+    # Transport introspection
+    # ------------------------------------------------------------------
+    def _saturation(self) -> float:
+        # The probing request is itself in flight; saturation reports
+        # the pressure *beyond* it so an idle server answers 0.0 on
+        # either transport.
+        return min(
+            1.0, max(0, self._in_flight - 1) / self.max_in_flight
+        )
+
+    def _transport_stats(self) -> Dict[str, Any]:
+        with self._counter_lock:
+            sheds = self._sheds
+        return {
+            "mode": "async",
+            "in_flight": self._in_flight,
+            "max_in_flight": self.max_in_flight,
+            "load_shed": sheds,
+            "coalesce_window": self.coalesce_window,
+            "coalesced_batches": self._coalesced_batches,
+            "coalesced_queries": self._coalesced_queries,
+        }
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                # Same rationale as the threaded handler: responses go
+                # out as one buffer here, but disable Nagle anyway so
+                # pipelined trickles never stall behind delayed ACKs.
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - platform-specific
+                pass
+        buf = bytearray()
+        out: List[bytes] = []
+        try:
+            while True:
+                # Drain every complete request already buffered before
+                # touching the socket again: this is what makes a
+                # pipelined segment of N requests cost one read, one
+                # write, and zero intermediate round trips.
+                closing = False
+                while True:
+                    try:
+                        parsed = self._parse_request(buf)
+                    except _ProtocolError as error:
+                        self._count_request()
+                        out.append(self._render(
+                            error.status, {"error": error.message},
+                            None, close=True,
+                        ))
+                        closing = True
+                        break
+                    if parsed is None:
+                        break  # incomplete request: need more bytes
+                    method, target, headers, body, keep_alive = parsed
+                    accept = headers.get("accept")
+                    if self._in_flight >= self.max_in_flight:
+                        self._count_shed()
+                        out.append(self._render(
+                            503,
+                            {"error": "server overloaded; retry later"},
+                            accept, close=True,
+                        ))
+                        closing = True
+                        break
+                    self._in_flight += 1
+                    try:
+                        if method not in ("GET", "POST"):
+                            self._count_request()
+                            status: int = 501
+                            payload: Dict[str, Any] = {
+                                "error": f"method {method} is not supported"
+                            }
+                        else:
+                            coalesced = (
+                                self._try_coalesce(target)
+                                if self._coalescer is not None
+                                and method == "GET" else None
+                            )
+                            if coalesced is not None:
+                                status, payload = await coalesced
+                            else:
+                                status, payload = self.handle_request(
+                                    method, target, body,
+                                    content_type=headers.get("content-type"),
+                                )
+                    finally:
+                        self._in_flight -= 1
+                    out.append(self._render(
+                        status, payload, accept, close=not keep_alive
+                    ))
+                    if not keep_alive:
+                        closing = True
+                        break
+                if out:
+                    writer.write(b"".join(out))
+                    out.clear()
+                    await writer.drain()
+                if closing:
+                    return
+                chunk = await asyncio.wait_for(
+                    reader.read(_READ_CHUNK), timeout=self.idle_timeout
+                )
+                if not chunk:
+                    # EOF: clean between requests, or a truncated
+                    # request mid-flight -- either way, drop quietly.
+                    return
+                buf += chunk
+        except (asyncio.TimeoutError, TimeoutError):
+            return  # idle connection: drop quietly
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            return  # client went away; nothing to salvage
+        except asyncio.CancelledError:
+            # Loop shutdown cancels live connection handlers; finishing
+            # normally (rather than ending cancelled) keeps the stream
+            # protocol's done-callback from logging the cancellation.
+            return
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    @staticmethod
+    def _parse_request(
+        buf: bytearray,
+    ) -> Optional[Tuple[str, str, Dict[str, str], Optional[bytes], bool]]:
+        """Parse (and consume) one request from the front of ``buf``.
+
+        Returns ``None`` when the buffer holds only a prefix of a
+        request (the caller reads more bytes), raises
+        :class:`_ProtocolError` for requests that must be refused, and
+        otherwise deletes the parsed bytes from ``buf`` and returns
+        ``(method, target, headers, body, keep_alive)``.
+        """
+        head_end = buf.find(b"\r\n\r\n")
+        sep_len = 4
+        if head_end == -1:
+            # Tolerate bare-LF framing, as the readline-based threaded
+            # parser does.
+            head_end = buf.find(b"\n\n")
+            sep_len = 2
+        if head_end == -1:
+            if buf and b"\n" not in buf and len(buf) > _MAX_HEAD_BYTES:
+                raise _ProtocolError(400, "request line too long")
+            if len(buf) > 2 * _MAX_HEAD_BYTES:
+                raise _ProtocolError(400, "request head too large")
+            return None
+        lines = bytes(buf[:head_end]).split(b"\n")
+        if len(lines[0]) > _MAX_HEAD_BYTES:
+            raise _ProtocolError(400, "request line too long")
+        line = lines[0].rstrip(b"\r").decode("latin-1")
+        parts = line.split()
+        if len(parts) != 3:
+            raise _ProtocolError(400, "malformed request line")
+        method, target, version = parts
+        if not version.startswith("HTTP/1."):
+            raise _ProtocolError(400, f"unsupported protocol {version}")
+        if len(lines) - 1 > _MAX_HEADER_COUNT:
+            raise _ProtocolError(400, "too many headers")
+        headers: Dict[str, str] = {}
+        for raw_header in lines[1:]:
+            stripped = raw_header.rstrip(b"\r")
+            name, sep, value = stripped.partition(b":")
+            if not sep:
+                raise _ProtocolError(400, "malformed header line")
+            headers[name.strip().lower().decode("latin-1")] = (
+                value.strip().decode("latin-1")
+            )
+        connection = headers.get("connection", "").lower()
+        if version == "HTTP/1.0":
+            keep_alive = connection == "keep-alive"
+        else:
+            keep_alive = connection != "close"
+        body: Optional[bytes] = None
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise _ProtocolError(400, "invalid Content-Length")
+            if length < 0:
+                raise _ProtocolError(400, "invalid Content-Length")
+            if length > _MAX_BODY_BYTES:
+                raise _ProtocolError(400, "request body too large")
+            body_start = head_end + sep_len
+            if len(buf) - body_start < length:
+                return None  # body still in flight
+            # Consumed for ANY method (a GET body left unread would be
+            # parsed as the next pipelined request); only POST uses it.
+            raw_body = bytes(buf[body_start:body_start + length])
+            del buf[:body_start + length]
+            if method == "POST":
+                body = raw_body
+        elif method == "POST":
+            # No Content-Length: a chunked (or absent) body we will
+            # not read, so the connection cannot be kept alive.
+            raise _ProtocolError(400, "POST requires Content-Length")
+        else:
+            del buf[:head_end + sep_len]
+        return method, target, headers, body, keep_alive
+
+    def _try_coalesce(self, target: str):
+        """The coalesced path for ``GET /cardinality?node=...``, or
+        ``None`` when the request is not a single-node cardinality
+        query (the shared ``handle_request`` serves it instead)."""
+        try:
+            split = urlsplit(target)
+            if unquote(split.path) != "/cardinality":
+                return None
+            params = {
+                name: values[-1]
+                for name, values in parse_qs(
+                    split.query, keep_blank_values=True
+                ).items()
+            }
+        except ValueError:
+            return None
+        if "node" not in params:
+            return None
+        return self._coalesced_cardinality(params)
+
+    async def _coalesced_cardinality(
+        self, params: Dict[str, str]
+    ) -> Tuple[int, Dict[str, Any]]:
+        self._count_request()
+        try:
+            d = parse_float(params, "d", math.inf)
+            label = resolve_node(self.index, params["node"])
+        except WireError as error:
+            return error.status, {"error": error.message}
+        try:
+            value = await self._coalescer.submit(label, d)
+        except ReproError as error:
+            self._count_internal_error()
+            return 500, {"error": str(error)}
+        except Exception:  # pragma: no cover - defensive
+            self._count_internal_error()
+            return 500, {"error": "internal server error"}
+        # Key order matches AdsServer._cardinality exactly, so the
+        # JSON bytes are identical with coalescing on or off.
+        return 200, {
+            "node": label,
+            "d": json_safe_number(d),
+            "value": value,
+        }
+
+    def _render(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        accept: Optional[str],
+        close: bool,
+    ) -> bytes:
+        data, content_type = wire.encode_response(
+            payload, accept, self.wire_mode
+        )
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(data)}\r\n"
+        )
+        if status == 503:
+            head += "Retry-After: 1\r\n"
+        if close:
+            head += "Connection: close\r\n"
+        head += "\r\n"
+        return head.encode("latin-1") + data
+
+
+__all__ = ["AsyncAdsServer"]

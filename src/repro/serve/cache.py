@@ -7,11 +7,19 @@ entries) to recompute but are identical for every caller.
 and exposes hit/miss/eviction counters that the server surfaces at
 ``/stats``.
 
-Invalidation story: an :class:`~repro.ads.index.AdsIndex` is immutable
-once built, so cached results can never go stale for the lifetime of a
-server process.  Refreshing an index on disk (``write_shard``, a
-rebuild) means starting a new server -- or calling :meth:`LruCache.clear`
-from an embedding application that swapped the index object.
+Invalidation story: a served index is *mostly* static but no longer
+immutable -- ``POST /update`` splices live edge batches into it (under
+the exclusive side of the server's
+:class:`~repro.serve.locks.ReadWriteLock`), after which every cached
+whole-graph sweep is stale by definition.  The server therefore calls
+:meth:`LruCache.clear` as part of each applied batch, *before* the
+write lock is released, so no reader can observe a pre-update cached
+result against a post-update index.  A read-only server (mmap-loaded,
+or started without its graph) never updates, and its entries really
+are valid for the process lifetime.  Refreshing an index on disk
+(``write_shard``, a rebuild) still means starting a new server -- or
+an embedding application swapping the index object and calling
+:meth:`LruCache.clear` itself.
 """
 
 from __future__ import annotations

@@ -13,9 +13,27 @@ Example::
     client.cardinality_batch([1, 2, 3])   # many nodes, one round trip
     client.top_central(count=10, kind="harmonic")
 
+The client speaks to either transport (the threaded ``AdsServer`` or
+the asyncio ``AsyncAdsServer``) identically, and can opt into the
+compact binary codec with ``wire_mode="binary"`` -- same payloads,
+negotiated via ``Accept``/``Content-Type``, no API change.
+
+Retries are idempotency-aware.  A kept-alive connection the server has
+since closed fails on its next use, so reads (every ``GET``, plus the
+read-only ``POST /cardinality`` and ``POST /closeness`` batches) are
+replayed once on a fresh socket.  Writes (``/update``, ``/compact``)
+are replayed **only** when the send itself failed -- a request whose
+bytes were fully handed to the transport may already have been applied
+before the connection died, and replaying it would double-apply the
+edge batch.  That case surfaces as a transport-level
+:class:`ServeClientError` instead; the caller decides whether to
+re-issue after checking ``/stats``.
+
 Server-side refusals (unknown node, malformed parameter) raise
 :class:`ServeClientError` carrying the HTTP status and the server's
 ``error`` message; transport failures raise it with ``status=None``.
+A ``503`` shed also carries the server's ``Retry-After`` hint as
+``error.retry_after`` seconds.
 """
 
 from __future__ import annotations
@@ -28,26 +46,48 @@ from typing import Any, Dict, Hashable, Optional, Sequence
 from urllib.parse import quote, urlencode, urlsplit
 
 from repro.errors import ReproError
+from repro.serve import wire
 
 
 class ServeClientError(ReproError):
-    """An HTTP query failed; ``status`` is None for transport faults."""
+    """An HTTP query failed; ``status`` is None for transport faults.
 
-    def __init__(self, message: str, status: Optional[int] = None):
+    ``retry_after`` carries the server's ``Retry-After`` hint in
+    seconds when present (load-shedding 503s send it), else ``None``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 class QueryClient:
-    """Keep-alive JSON client for one :class:`~repro.serve.AdsServer`.
+    """Keep-alive client for one ``AdsServer`` / ``AsyncAdsServer``.
 
     Args:
         base_url: Server root, e.g. ``"http://127.0.0.1:8080"``.
         timeout: Per-request socket timeout in seconds.
+        wire_mode: ``"json"`` (default) speaks the JSON API unchanged;
+            ``"binary"`` negotiates the compact wire codec
+            (:mod:`repro.serve.wire`) for request and response bodies.
+            Results are identical either way.
     """
 
-    def __init__(self, base_url: str, timeout: float = 10.0):
+    # POST endpoints that are pure reads: replaying one can never
+    # change server state, so they retry like GETs do.
+    _IDEMPOTENT_POST_PATHS = frozenset({"/cardinality", "/closeness"})
+
+    def __init__(
+        self, base_url: str, timeout: float = 10.0,
+        wire_mode: str = "json",
+    ):
         if "://" not in base_url:
             # "localhost:8080" would otherwise urlsplit as scheme
             # "localhost"; scheme-less inputs are always host[:port].
@@ -55,10 +95,15 @@ class QueryClient:
         split = urlsplit(base_url)
         if split.scheme != "http" or not split.netloc:
             raise ServeClientError(f"unsupported server URL {base_url!r}")
+        if wire_mode not in ("json", "binary"):
+            raise ServeClientError(
+                f"wire_mode must be 'json' or 'binary', got {wire_mode!r}"
+            )
         host, _, port = split.netloc.partition(":")
         self.host = host
         self.port = int(port) if port else 80
         self.timeout = timeout
+        self.wire_mode = wire_mode
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
@@ -71,16 +116,27 @@ class QueryClient:
         params: Optional[Dict[str, Any]] = None,
         payload: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
-        if params:
-            path = f"{path}?{urlencode(params)}"
+        full_path = f"{path}?{urlencode(params)}" if params else path
         body = None
         headers = {}
+        if self.wire_mode == "binary":
+            headers["Accept"] = wire.WIRE_CONTENT_TYPE
         if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            if self.wire_mode == "binary":
+                body = wire.encode(payload)
+                headers["Content-Type"] = wire.WIRE_CONTENT_TYPE
+            else:
+                body = json.dumps(payload).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+        idempotent = (
+            method == "GET" or path in self._IDEMPOTENT_POST_PATHS
+        )
         last_error: Optional[Exception] = None
         # One retry on a fresh socket: a kept-alive connection the
-        # server has since closed fails only on its next use.
+        # server has since closed fails only on its next use.  Writes
+        # replay ONLY when the send itself failed -- a fully-sent
+        # /update the connection died on may already be applied, and
+        # replaying it would double-apply the edge batch.
         for attempt in range(2):
             conn = self._conn
             if conn is None:
@@ -97,16 +153,48 @@ class QueryClient:
                     raise ServeClientError(
                         f"cannot reach server ({error})"
                     )
+            sent = False
             try:
-                conn.request(method, path, body=body, headers=headers)
+                conn.request(
+                    method, full_path, body=body, headers=headers
+                )
+                # request() returning means every byte was handed to
+                # the transport; a send-phase exception means the body
+                # never fully reached the server (its Content-Length
+                # read comes up short), so the request cannot have
+                # been applied and is safe to replay.
+                sent = True
                 response = conn.getresponse()
                 raw = response.read()
             except (http.client.HTTPException, OSError) as error:
                 conn.close()
                 self._conn = None
                 last_error = error
-                continue
+                if attempt == 0 and (idempotent or not sent):
+                    continue
+                raise ServeClientError(
+                    f"request failed mid-flight ({error}); not "
+                    f"replayed -- {path} may already be applied"
+                    if not idempotent else
+                    f"cannot reach server ({error})"
+                )
             self._conn = conn
+            return self._parse_response(response, raw)
+        raise ServeClientError(f"cannot reach server ({last_error})")
+
+    def _parse_response(self, response, raw: bytes) -> Dict[str, Any]:
+        """Decode a response body per its Content-Type; raise on >=400."""
+        if wire.is_binary_content_type(
+            response.getheader("Content-Type")
+        ):
+            try:
+                data = wire.decode(raw)
+            except wire.WireFormatError as error:
+                raise ServeClientError(
+                    f"malformed binary response ({error})",
+                    status=response.status,
+                )
+        else:
             try:
                 data = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError):
@@ -114,14 +202,22 @@ class QueryClient:
                     f"non-JSON response ({response.status})",
                     status=response.status,
                 )
-            if response.status >= 400:
-                message = (
-                    data.get("error", "request failed")
-                    if isinstance(data, dict) else "request failed"
-                )
-                raise ServeClientError(message, status=response.status)
-            return data
-        raise ServeClientError(f"cannot reach server ({last_error})")
+        if response.status >= 400:
+            message = (
+                data.get("error", "request failed")
+                if isinstance(data, dict) else "request failed"
+            )
+            retry_after: Optional[float] = None
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass  # HTTP-date form; callers just back off
+            raise ServeClientError(
+                message, status=response.status, retry_after=retry_after
+            )
+        return data
 
     def close(self) -> None:
         if self._conn is not None:

@@ -30,6 +30,20 @@ HTTP/1.1 with explicit ``Content-Length``, so clients can keep
 connections alive and batch thousands of queries per second over one
 socket (``benchmarks/bench_serve.py`` measures exactly that).
 
+Routing, caching, locking, and the endpoint handlers are
+transport-agnostic: :meth:`AdsServer.handle_request` maps ``(method,
+target, raw body)`` to ``(status, payload)`` without touching a
+socket, which is how the asyncio transport
+(:class:`repro.serve.aio.AsyncAdsServer`) serves the byte-identical
+API over a pipelined parser.  Responses are negotiated per request:
+clients that send ``Accept: application/x-repro-wire`` get the compact
+binary codec (:mod:`repro.serve.wire`), everyone else the unchanged
+JSON.  When every worker is busy and the connection backlog is full,
+new connections are shed with an explicit ``503`` + ``Retry-After``
+(counted under ``transport.load_shed`` in ``/stats``) rather than a
+bare reset -- a reset reads as a transport fault and sends
+well-behaved clients straight back into the overload.
+
 Writes are optional: ``/update`` needs the server started with the
 index's *graph* (``repro serve --graph``) and an eagerly loaded
 (non-mmap) index, and answers 409 otherwise.  A
@@ -57,6 +71,7 @@ from typing import Union
 from repro._util import require
 from repro.ads.index import AdsIndex
 from repro.errors import ReproError
+from repro.serve import wire
 from repro.serve.cache import LruCache
 from repro.serve.locks import ReadWriteLock
 from repro.serve.schemas import (
@@ -78,6 +93,18 @@ from repro.serve.schemas import (
 )
 
 _MAX_BODY_BYTES = 8 << 20  # refuse absurd batch payloads outright
+
+_SHED_BODY = b'{"error": "server overloaded; retry later"}'
+# Pre-rendered: the shed path runs on the accept thread under overload,
+# where formatting a response per connection is exactly the wrong idea.
+_SHED_RESPONSE = (
+    b"HTTP/1.1 503 Service Unavailable\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Content-Length: " + str(len(_SHED_BODY)).encode("ascii") + b"\r\n"
+    b"Retry-After: 1\r\n"
+    b"Connection: close\r\n"
+    b"\r\n" + _SHED_BODY
+)
 
 
 class _PooledHTTPServer(HTTPServer):
@@ -117,7 +144,16 @@ class _PooledHTTPServer(HTTPServer):
         try:
             self._work.put_nowait((request, client_address))
         except queue.Full:
-            self.shutdown_request(request)  # shed load under overload
+            # Shed load with an explicit 503 + Retry-After instead of a
+            # bare connection reset: a reset is indistinguishable from
+            # a transport fault, so clients would retry straight back
+            # into the overloaded server.
+            self.app._count_shed()
+            try:
+                request.sendall(_SHED_RESPONSE)
+            except OSError:
+                pass  # client already gone; shedding anyway
+            self.shutdown_request(request)
 
     def _worker(self):
         while True:
@@ -189,6 +225,10 @@ class AdsServer:
             pinned), so a restarted server loads a graph that matches
             -- a stale edge list would make post-restart updates
             silently diverge from a rebuild.
+        wire_mode: ``"auto"`` (default) answers binary to clients that
+            send ``Accept: application/x-repro-wire`` and JSON to
+            everyone else; ``"json"`` pins every response to JSON
+            regardless of the Accept header.
 
     Example:
         >>> from repro.graph import path_graph
@@ -219,8 +259,13 @@ class AdsServer:
         graph=None,
         index_path: Optional[Union[str, Path]] = None,
         graph_path: Optional[Union[str, Path]] = None,
+        wire_mode: str = "auto",
     ):
         require(threads >= 1, f"threads must be >= 1, got {threads}")
+        require(
+            wire_mode in ("auto", "json"),
+            f"wire_mode must be 'auto' or 'json', got {wire_mode!r}",
+        )
         if graph is not None and graph.nodes() != index.nodes():
             raise ReproError(
                 "graph/index mismatch: the attached graph must carry "
@@ -241,11 +286,15 @@ class AdsServer:
         self._label_type = index.label_type()
         self.cache = LruCache(cache_size)
         self.threads = int(threads)
+        self.wire_mode = wire_mode
         self.kernel_workers = self._cap_kernel_workers()
-        self.started_at = time.time()
+        # Monotonic, not wall-clock: /stats uptime must survive a
+        # wall-clock step (NTP correction, DST) without going negative.
+        self.started_at = time.monotonic()
         self._requests = 0
         self._internal_errors = 0
         self._updates_applied = 0
+        self._sheds = 0
         self._counter_lock = threading.Lock()
         self._rw_lock = ReadWriteLock()
         self._thread: Optional[threading.Thread] = None
@@ -260,8 +309,12 @@ class AdsServer:
             "/update": (self._update, ("POST",)),
             "/compact": (self._compact, ("POST",)),
         }
+        self._open_transport(host, port)
+
+    def _open_transport(self, host: str, port: int) -> None:
+        """Bind the transport; the asyncio subclass overrides this."""
         self._httpd = _PooledHTTPServer(
-            (host, port), _AdsRequestHandler, self, threads
+            (host, port), _AdsRequestHandler, self, self.threads
         )
 
     def _cap_kernel_workers(self) -> int:
@@ -353,12 +406,58 @@ class AdsServer:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def dispatch(self, handler: _AdsRequestHandler, method: str) -> None:
-        """Route one HTTP request and write its JSON response."""
+    def _count_request(self) -> None:
         with self._counter_lock:
             self._requests += 1
+
+    def _count_internal_error(self) -> None:
+        with self._counter_lock:
+            self._internal_errors += 1
+
+    def _count_shed(self) -> None:
+        with self._counter_lock:
+            self._sheds += 1
+
+    def dispatch(self, handler: _AdsRequestHandler, method: str) -> None:
+        """Route one threaded-transport request and write its response."""
+        accept = handler.headers.get("Accept")
         try:
-            split = urlsplit(handler.path)
+            raw = self._read_body(handler) if method == "POST" else None
+        except WireError as error:
+            self._count_request()
+            self._write_response(
+                handler, error.status, {"error": error.message}, accept
+            )
+            return
+        status, payload = self.handle_request(
+            method,
+            handler.path,
+            raw,
+            content_type=handler.headers.get("Content-Type"),
+        )
+        self._write_response(handler, status, payload, accept)
+
+    def handle_request(
+        self,
+        method: str,
+        target: str,
+        body: Optional[bytes],
+        content_type: Optional[str] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Transport-agnostic request handling: ``(status, payload)``.
+
+        *target* is the request target as it appeared on the request
+        line (path plus optional query string); *body* is the raw POST
+        body, decoded as JSON or as the binary wire codec depending on
+        *content_type*.  Never raises -- refusals and faults come back
+        as their HTTP status with an ``{"error": ...}`` payload, and
+        every call counts toward ``/stats``.  Both the threaded and
+        the asyncio transports funnel through here, which is what
+        keeps their payloads byte-identical.
+        """
+        self._count_request()
+        try:
+            split = urlsplit(target)
             path = unquote(split.path)
             # keep_blank_values: "?node=" must reach resolve_node (404)
             # rather than silently becoming an all-nodes sweep.
@@ -368,35 +467,58 @@ class AdsServer:
                     split.query, keep_blank_values=True
                 ).items()
             }
-            body = self._read_body(handler) if method == "POST" else None
+        except ValueError:
+            return 400, {"error": "malformed request target"}
+        try:
+            parsed = (
+                self._parse_body(body, content_type)
+                if method == "POST" else None
+            )
             # Reads share the lock (queries stay fully concurrent);
             # the update/compact endpoints take the exclusive side so
             # no query ever observes a half-spliced index.
             if path in self._WRITE_PATHS:
                 with self._rw_lock.write_locked():
-                    status, payload = self._route(method, path, params, body)
-            else:
-                with self._rw_lock.read_locked():
-                    status, payload = self._route(method, path, params, body)
+                    return self._route(method, path, params, parsed)
+            with self._rw_lock.read_locked():
+                return self._route(method, path, params, parsed)
         except WireError as error:
-            status, payload = error.status, {"error": error.message}
+            return error.status, {"error": error.message}
         except ReproError as error:
             # Request validation all happens in the schemas layer
             # (WireError above); a library error surfacing here means
             # the *served index* failed mid-query -- a vanished shard
             # file, a truncated layout -- which is a server fault, not
             # a malformed request.
-            with self._counter_lock:
-                self._internal_errors += 1
-            status, payload = 500, {"error": str(error)}
+            self._count_internal_error()
+            return 500, {"error": str(error)}
         except Exception:  # pragma: no cover - defensive
-            with self._counter_lock:
-                self._internal_errors += 1
-            status, payload = 500, {"error": "internal server error"}
-        self._write_json(handler, status, payload)
+            self._count_internal_error()
+            return 500, {"error": "internal server error"}
 
     @staticmethod
-    def _read_body(handler: _AdsRequestHandler) -> Any:
+    def _parse_body(
+        raw: Optional[bytes], content_type: Optional[str]
+    ) -> Dict[str, Any]:
+        """Decode a POST body per its Content-Type (JSON or binary)."""
+        if not raw:
+            raise bad_request("POST requires a request body")
+        if wire.is_binary_content_type(content_type):
+            try:
+                body = wire.decode(raw)
+            except wire.WireFormatError as error:
+                raise bad_request(f"malformed binary body ({error})")
+        else:
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise bad_request(f"malformed JSON body ({error})")
+        if not isinstance(body, dict):
+            raise bad_request("request body must be an object")
+        return body
+
+    @staticmethod
+    def _read_body(handler: _AdsRequestHandler) -> bytes:
         # Refusals raised BEFORE the body is fully consumed must also
         # drop the connection: otherwise the unread body bytes would be
         # parsed as the next request on this keep-alive socket.
@@ -415,24 +537,25 @@ class AdsServer:
         if not raw:
             # Covers chunked posts too (no Content-Length, body unread).
             handler.close_connection = True
-            raise bad_request("POST requires a JSON body")
-        try:
-            body = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise bad_request(f"malformed JSON body ({error})")
-        if not isinstance(body, dict):
-            raise bad_request("JSON body must be an object")
-        return body
+            raise bad_request("POST requires a request body")
+        return raw
 
-    @staticmethod
-    def _write_json(
-        handler: _AdsRequestHandler, status: int, payload: Dict[str, Any]
+    def _write_response(
+        self,
+        handler: _AdsRequestHandler,
+        status: int,
+        payload: Dict[str, Any],
+        accept: Optional[str],
     ) -> None:
-        data = json.dumps(payload).encode("utf-8")
+        data, content_type = wire.encode_response(
+            payload, accept, self.wire_mode
+        )
         try:
             handler.send_response(status)
-            handler.send_header("Content-Type", "application/json")
+            handler.send_header("Content-Type", content_type)
             handler.send_header("Content-Length", str(len(data)))
+            if status == 503:
+                handler.send_header("Retry-After", "1")
             if handler.close_connection:
                 # Tell the client, don't just drop the socket (set when
                 # a refused request left body bytes unread).
@@ -467,7 +590,32 @@ class AdsServer:
     # Endpoints
     # ------------------------------------------------------------------
     def _healthz(self, params, body) -> Dict[str, Any]:
-        return {"status": "ok", "nodes": self.index.num_nodes}
+        # saturation: 0.0 idle .. 1.0 fully backed up -- the signal a
+        # load balancer reads to steer traffic before sheds start.
+        return {
+            "status": "ok",
+            "nodes": self.index.num_nodes,
+            "saturation": round(self._saturation(), 6),
+        }
+
+    def _saturation(self) -> float:
+        """Queued-work fill fraction (transport-specific)."""
+        work = self._httpd._work
+        if work.maxsize <= 0:
+            return 0.0
+        return min(1.0, work.qsize() / work.maxsize)
+
+    def _transport_stats(self) -> Dict[str, Any]:
+        with self._counter_lock:
+            sheds = self._sheds
+        work = self._httpd._work
+        return {
+            "mode": "threaded",
+            "threads": self.threads,
+            "load_shed": sheds,
+            "queue_depth": work.qsize(),
+            "queue_capacity": work.maxsize,
+        }
 
     def _stats(self, params, body) -> Dict[str, Any]:
         index = self.index
@@ -477,8 +625,9 @@ class AdsServer:
         return {
             "requests": requests,
             "internal_errors": internal,
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": time.monotonic() - self.started_at,
             "threads": self.threads,
+            "transport": self._transport_stats(),
             "cache": self.cache.stats(),
             "updates": {
                 "writable": self._writable(),
@@ -588,11 +737,12 @@ class AdsServer:
         if body is not None:
             d = _batch_float(body, "d", math.inf)
             labels = resolve_nodes(self.index, body.get("nodes"))
+            values = self.index.nodes_cardinality_at(labels, d)
             return {
                 "d": json_safe_number(d),
                 "results": [
-                    [label, self.index.node_cardinality_at(label, d)]
-                    for label in labels
+                    [label, value]
+                    for label, value in zip(labels, values)
                 ],
             }
         d = parse_float(params, "d", math.inf)

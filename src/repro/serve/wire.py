@@ -1,0 +1,291 @@
+"""Compact binary wire codec for the serving layer.
+
+JSON dominates the per-request cost of small queries: encoding a
+``{"node": 5, "d": 2.0, "value": 17.0}`` response spends more cycles
+in string formatting than the query spent in the index.  This module
+is the negotiated alternative: a tiny tagged binary format built
+entirely on :mod:`struct` (no third-party dependency, matching the
+repository's stdlib-first rule) that round-trips exactly the value
+space the JSON API uses -- ``None``, bools, ints, IEEE-754 doubles
+(bit-identical: encoded as raw ``>d``), strings, lists, and string- or
+scalar-keyed maps.  Anything JSON can say, the wire codec says in
+fewer bytes and decodes without a parser in the hot path.
+
+Negotiation is plain HTTP content negotiation, handled by
+:func:`encode_response` / the servers' body parsing:
+
+* a client that sends ``Accept: application/x-repro-wire`` gets binary
+  response bodies (``Content-Type: application/x-repro-wire``);
+* a ``POST`` body with ``Content-Type: application/x-repro-wire`` is
+  decoded as binary; anything else is parsed as JSON exactly as
+  before;
+* clients that never mention the wire type see byte-for-byte the JSON
+  API of previous releases.
+
+Format (version tag implied by the content type): every value is one
+tag byte followed by a fixed- or length-prefixed body.  Multi-byte
+integers are big-endian.
+
+======  =======================  =================================
+tag     value                    body
+======  =======================  =================================
+0x00    ``None``                 --
+0x01    ``False``                --
+0x02    ``True``                 --
+0x03    int (64-bit range)       ``>q``
+0x04    int (arbitrary)          ``>I`` byte count + signed bytes
+0x05    float                    ``>d`` (exact IEEE-754 double)
+0x06    str                      ``>I`` byte count + UTF-8
+0x07    list                     ``>I`` item count + items
+0x08    dict                     ``>I`` pair count + key/value items
+======  =======================  =================================
+
+Example:
+    >>> payload = {"node": 5, "d": 2.0, "value": None, "ok": True}
+    >>> decode(encode(payload)) == payload
+    True
+    >>> decode(encode([1, -2.5, "three"]))
+    [1, -2.5, 'three']
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Content type that selects the binary codec in either direction.
+WIRE_CONTENT_TYPE = "application/x-repro-wire"
+JSON_CONTENT_TYPE = "application/json"
+
+_NONE = 0x00
+_FALSE = 0x01
+_TRUE = 0x02
+_INT64 = 0x03
+_BIGINT = 0x04
+_FLOAT = 0x05
+_STR = 0x06
+_LIST = 0x07
+_DICT = 0x08
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+_MAX_DEPTH = 64
+
+_PACK_INT64 = struct.Struct(">q")
+_PACK_FLOAT = struct.Struct(">d")
+_PACK_LEN = struct.Struct(">I")
+
+
+class WireFormatError(ReproError):
+    """A buffer that is not a well-formed wire-codec message."""
+
+
+def encode(value: Any) -> bytes:
+    """Serialise *value* to wire-codec bytes.
+
+    Raises:
+        WireFormatError: for value types the JSON API never produces
+            (and the codec therefore refuses), or nesting deeper than
+            the decoder would accept.
+
+    Example:
+        >>> encode(None)
+        b'\\x00'
+        >>> len(encode(2.0))  # tag + 8-byte double
+        9
+    """
+    out = bytearray()
+    _encode_into(out, value, _MAX_DEPTH)
+    return bytes(out)
+
+
+def _encode_into(out: bytearray, value: Any, depth: int) -> None:
+    if depth <= 0:
+        raise WireFormatError("value nests too deeply for the wire codec")
+    if value is None:
+        out.append(_NONE)
+    elif value is True:
+        out.append(_TRUE)
+    elif value is False:
+        out.append(_FALSE)
+    elif isinstance(value, int):  # bools are handled above
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.append(_INT64)
+            out += _PACK_INT64.pack(value)
+        else:
+            raw = value.to_bytes(
+                (value.bit_length() + 8) // 8, "big", signed=True
+            )
+            out.append(_BIGINT)
+            out += _PACK_LEN.pack(len(raw))
+            out += raw
+    elif isinstance(value, float):
+        out.append(_FLOAT)
+        out += _PACK_FLOAT.pack(value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_STR)
+        out += _PACK_LEN.pack(len(raw))
+        out += raw
+    elif isinstance(value, (list, tuple)):
+        out.append(_LIST)
+        out += _PACK_LEN.pack(len(value))
+        for item in value:
+            _encode_into(out, item, depth - 1)
+    elif isinstance(value, dict):
+        out.append(_DICT)
+        out += _PACK_LEN.pack(len(value))
+        for key, item in value.items():
+            _encode_into(out, key, depth - 1)
+            _encode_into(out, item, depth - 1)
+    else:
+        raise WireFormatError(
+            f"type {type(value).__name__} is not wire-encodable"
+        )
+
+
+def decode(data: bytes) -> Any:
+    """Parse one wire-codec value out of *data* (whole buffer).
+
+    Raises:
+        WireFormatError: on truncated buffers, unknown tags, invalid
+            UTF-8, or trailing bytes after the value.
+
+    Example:
+        >>> decode(encode({"a": [1, 2.5]}))
+        {'a': [1, 2.5]}
+    """
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise WireFormatError("wire payload must be bytes")
+    value, offset = _decode_from(bytes(data), 0, _MAX_DEPTH)
+    if offset != len(data):
+        raise WireFormatError(
+            f"{len(data) - offset} trailing bytes after the value"
+        )
+    return value
+
+
+def _need(data: bytes, offset: int, count: int) -> None:
+    if offset + count > len(data):
+        raise WireFormatError("truncated wire payload")
+
+
+def _read_length(data: bytes, offset: int) -> Tuple[int, int]:
+    _need(data, offset, 4)
+    return _PACK_LEN.unpack_from(data, offset)[0], offset + 4
+
+
+def _decode_from(data: bytes, offset: int, depth: int) -> Tuple[Any, int]:
+    if depth <= 0:
+        raise WireFormatError("wire payload nests too deeply")
+    _need(data, offset, 1)
+    tag = data[offset]
+    offset += 1
+    if tag == _NONE:
+        return None, offset
+    if tag == _TRUE:
+        return True, offset
+    if tag == _FALSE:
+        return False, offset
+    if tag == _INT64:
+        _need(data, offset, 8)
+        return _PACK_INT64.unpack_from(data, offset)[0], offset + 8
+    if tag == _BIGINT:
+        length, offset = _read_length(data, offset)
+        _need(data, offset, length)
+        value = int.from_bytes(
+            data[offset:offset + length], "big", signed=True
+        )
+        return value, offset + length
+    if tag == _FLOAT:
+        _need(data, offset, 8)
+        return _PACK_FLOAT.unpack_from(data, offset)[0], offset + 8
+    if tag == _STR:
+        length, offset = _read_length(data, offset)
+        _need(data, offset, length)
+        try:
+            text = data[offset:offset + length].decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireFormatError(f"invalid UTF-8 in wire string ({error})")
+        return text, offset + length
+    if tag == _LIST:
+        count, offset = _read_length(data, offset)
+        # Each item costs at least one tag byte: a count larger than
+        # the remaining buffer is a lie, refused before allocating.
+        _need(data, offset, count)
+        items = []
+        for _ in range(count):
+            item, offset = _decode_from(data, offset, depth - 1)
+            items.append(item)
+        return items, offset
+    if tag == _DICT:
+        count, offset = _read_length(data, offset)
+        _need(data, offset, 2 * count)
+        pairs: Dict[Any, Any] = {}
+        for _ in range(count):
+            key, offset = _decode_from(data, offset, depth - 1)
+            if isinstance(key, (list, dict)):
+                raise WireFormatError("wire map keys must be scalars")
+            value, offset = _decode_from(data, offset, depth - 1)
+            pairs[key] = value
+        return pairs, offset
+    raise WireFormatError(f"unknown wire tag 0x{tag:02x}")
+
+
+# ----------------------------------------------------------------------
+# HTTP content negotiation
+# ----------------------------------------------------------------------
+def accepts_binary(accept: Optional[str]) -> bool:
+    """Whether an ``Accept`` header opts into binary responses.
+
+    Deliberately a substring test, not a full ``Accept`` q-value
+    parser: the only client that ever names the wire type is one that
+    understands it.
+
+    Example:
+        >>> accepts_binary("application/x-repro-wire")
+        True
+        >>> accepts_binary("application/json"), accepts_binary(None)
+        (False, False)
+    """
+    return bool(accept) and WIRE_CONTENT_TYPE in accept.lower()
+
+
+def is_binary_content_type(content_type: Optional[str]) -> bool:
+    """Whether a request body's ``Content-Type`` selects the codec."""
+    if not content_type:
+        return False
+    return content_type.split(";", 1)[0].strip().lower() == WIRE_CONTENT_TYPE
+
+
+def encode_response(
+    payload: Any, accept: Optional[str], wire_mode: str = "auto"
+) -> Tuple[bytes, str]:
+    """Serialise a response body per the request's ``Accept`` header.
+
+    Returns ``(body_bytes, content_type)``: binary when the client
+    asked for it and the server's *wire_mode* permits (``"auto"``),
+    the unchanged JSON bytes otherwise -- so clients that never send
+    the wire type observe a byte-identical JSON API.
+    """
+    if wire_mode != "json" and accepts_binary(accept):
+        return encode(payload), WIRE_CONTENT_TYPE
+    return (
+        json.dumps(payload).encode("utf-8"),
+        JSON_CONTENT_TYPE,
+    )
+
+
+__all__ = [
+    "JSON_CONTENT_TYPE",
+    "WIRE_CONTENT_TYPE",
+    "WireFormatError",
+    "accepts_binary",
+    "decode",
+    "encode",
+    "encode_response",
+    "is_binary_content_type",
+]

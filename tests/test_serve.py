@@ -1,10 +1,13 @@
 """The ``repro.serve`` layer: server endpoints, cache, client, wiring.
 
-A real ``AdsServer`` is bound to a loopback port once per module and
+A real server is bound to a loopback port once per module *per
+transport* (the module-scoped ``server`` fixture is parametrized over
+the threaded ``AdsServer`` and the asyncio ``AsyncAdsServer``) and
 exercised through :class:`repro.serve.client.QueryClient` -- the same
 wire path production traffic takes.  Estimates returned over HTTP must
 equal the in-process ``AdsIndex`` queries exactly (JSON round-trips
-IEEE doubles losslessly via repr-level serialisation).
+IEEE doubles losslessly via repr-level serialisation), on either
+transport.
 """
 
 import json
@@ -20,7 +23,13 @@ from repro.errors import ParameterError
 from repro.estimators.statistics import harmonic_kernel
 from repro.graph import barabasi_albert_graph
 from repro.rand.hashing import HashFamily
-from repro.serve import AdsServer, LruCache, QueryClient, ServeClientError
+from repro.serve import (
+    AdsServer,
+    AsyncAdsServer,
+    LruCache,
+    QueryClient,
+    ServeClientError,
+)
 from repro.serve.schemas import WireError, centrality_kwargs, resolve_node
 
 
@@ -30,9 +39,16 @@ def index():
     return AdsIndex.build(graph, 8, family=HashFamily(4))
 
 
-@pytest.fixture(scope="module")
-def server(index):
-    with AdsServer(index, port=0, cache_size=16, threads=4) as running:
+@pytest.fixture(scope="module", params=["threaded", "async"])
+def server(index, request):
+    # Every endpoint/error/concurrency test in this module runs against
+    # BOTH transports: they share routing via handle_request, and this
+    # fixture is what holds them to it.
+    if request.param == "async":
+        factory = AsyncAdsServer(index, port=0, cache_size=16)
+    else:
+        factory = AdsServer(index, port=0, cache_size=16, threads=4)
+    with factory as running:
         yield running
 
 
@@ -44,8 +60,10 @@ def client(server):
 
 class TestHappyPath:
     def test_healthz(self, client, index):
+        # saturation is the load-balancer steering signal; idle servers
+        # report 0.0 on either transport.
         assert client.healthz() == {
-            "status": "ok", "nodes": index.num_nodes
+            "status": "ok", "nodes": index.num_nodes, "saturation": 0.0
         }
 
     def test_single_node_cardinality_matches_index(self, client, index):
@@ -138,6 +156,15 @@ class TestHappyPath:
         assert set(stats["cache"]) == {
             "hits", "misses", "evictions", "size", "capacity"
         }
+        assert stats["transport"]["mode"] in ("threaded", "async")
+        assert stats["transport"]["load_shed"] == 0
+
+    def test_uptime_is_monotonic_not_wall_clock(self, client, server):
+        # started_at must come from time.monotonic(): a wall-clock
+        # epoch would make this difference ~1.7 billion seconds (and a
+        # backwards NTP step would make /stats uptime negative).
+        assert 0.0 <= time.monotonic() - server.started_at < 600.0
+        assert client.stats()["uptime_seconds"] >= 0.0
 
 
 class TestErrors:
@@ -434,6 +461,220 @@ class TestServerStateFaults:
                 assert excinfo.value.status == 500
                 assert "vanished" in excinfo.value.message
                 assert client.stats()["internal_errors"] == 1
+
+
+class TestThreadedLoadShedding:
+    def test_full_worker_queue_sheds_with_503_not_reset(self, index):
+        # One worker, queue capacity 1*8+16 = 24.  An idle connection
+        # pins the worker on its read; 24 more fill the queue; the
+        # next connection must get an explicit 503 + Retry-After --
+        # never a bare reset, which clients read as a transport fault
+        # and retry straight back into the overload.
+        with AdsServer(index, port=0, threads=1) as server:
+            held = []
+            try:
+                for _ in range(25):
+                    held.append(socket.create_connection(
+                        (server.host, server.port), timeout=10
+                    ))
+                time.sleep(0.3)  # let the worker dequeue one connection
+                deadline = time.monotonic() + 10
+                head = ""
+                while time.monotonic() < deadline:
+                    shed = socket.create_connection(
+                        (server.host, server.port), timeout=10
+                    )
+                    held.append(shed)
+                    shed.settimeout(5)
+                    try:
+                        head = shed.recv(4096).decode("latin-1")
+                    except (socket.timeout, ConnectionResetError):
+                        head = ""
+                    if head:
+                        break
+                assert " 503 " in head.splitlines()[0]
+                assert "retry-after: 1" in head.lower()
+                assert "overloaded" in head
+            finally:
+                for conn in held:
+                    conn.close()
+            # The queue drains (EOF per closed connection) and the shed
+            # counter survives in /stats.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                try:
+                    with QueryClient(server.url, timeout=5) as client:
+                        if client.stats()["transport"]["load_shed"] >= 1:
+                            return
+                except ServeClientError:
+                    pass
+                time.sleep(0.1)
+            pytest.fail("load_shed never surfaced in /stats")
+
+
+class _ScriptedServer(threading.Thread):
+    """A raw-socket HTTP stand-in that can kill connections on cue.
+
+    ``kill_on`` names request-line prefixes to kill: the server reads
+    the FULL request (headers + Content-Length body) -- as a real
+    server that applied the batch would have -- and then closes the
+    connection without responding, exactly the failure mode that made
+    the old client double-apply `/update` batches.  Each prefix kills
+    only once; later matches are served normally.
+    """
+
+    def __init__(self, kill_on=()):
+        super().__init__(daemon=True)
+        self.sock = socket.create_server(("127.0.0.1", 0))
+        self.port = self.sock.getsockname()[1]
+        self.requests = []
+        self._kill_on = list(kill_on)
+        self._lock = threading.Lock()
+
+    def url(self):
+        return f"http://127.0.0.1:{self.port}"
+
+    def run(self):
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def close(self):
+        self.sock.close()
+
+    def _read_request(self, conn):
+        data = b""
+        while b"\r\n\r\n" not in data:
+            chunk = conn.recv(65536)
+            if not chunk:
+                return None
+            data += chunk
+        head, _, rest = data.partition(b"\r\n\r\n")
+        length = 0
+        for line in head.split(b"\r\n")[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                length = int(value)
+        while len(rest) < length:
+            rest += conn.recv(65536)
+        return head.split(b"\r\n")[0].decode("latin-1")
+
+    def _handle(self, conn):
+        while True:
+            line = self._read_request(conn)
+            if line is None:
+                conn.close()
+                return
+            with self._lock:
+                self.requests.append(line)
+                kill = next(
+                    (p for p in self._kill_on if line.startswith(p)),
+                    None,
+                )
+                if kill is not None:
+                    self._kill_on.remove(kill)
+            if kill is not None:
+                # Fully read, then die before the response line -- the
+                # request may have been applied server-side.
+                conn.close()
+                return
+            body = b'{"status": "ok"}'
+            conn.sendall(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+                b"\r\n" + body
+            )
+
+
+class TestClientRetrySemantics:
+    def test_update_killed_mid_flight_is_not_replayed(self):
+        # THE regression: a fully-sent POST /update whose connection
+        # dies before the response may already be applied; replaying
+        # it would double-apply the edge batch.  The client must raise
+        # instead, and the wire must carry the update exactly once.
+        scripted = _ScriptedServer(kill_on=["POST /update"])
+        scripted.start()
+        try:
+            with QueryClient(scripted.url()) as client:
+                client.healthz()  # establish the keep-alive socket
+                with pytest.raises(ServeClientError) as excinfo:
+                    client.update([[0, 1]])
+                assert excinfo.value.status is None
+                assert "may already be applied" in excinfo.value.message
+            time.sleep(0.2)
+            sent = [r for r in scripted.requests
+                    if r.startswith("POST /update")]
+            assert len(sent) == 1
+        finally:
+            scripted.close()
+
+    def test_compact_killed_mid_flight_is_not_replayed(self):
+        scripted = _ScriptedServer(kill_on=["POST /compact"])
+        scripted.start()
+        try:
+            with QueryClient(scripted.url()) as client:
+                client.healthz()
+                with pytest.raises(ServeClientError):
+                    client.compact()
+            time.sleep(0.2)
+            sent = [r for r in scripted.requests
+                    if r.startswith("POST /compact")]
+            assert len(sent) == 1
+        finally:
+            scripted.close()
+
+    def test_get_killed_mid_flight_is_retried(self):
+        # Reads are idempotent: the same failure mode must transparently
+        # replay on a fresh socket and succeed.
+        scripted = _ScriptedServer(kill_on=["GET /stats"])
+        scripted.start()
+        try:
+            with QueryClient(scripted.url()) as client:
+                client.healthz()
+                assert client.stats() == {"status": "ok"}
+            sent = [r for r in scripted.requests
+                    if r.startswith("GET /stats")]
+            assert len(sent) == 2
+        finally:
+            scripted.close()
+
+    def test_idempotent_post_batch_is_retried(self):
+        # POST /cardinality is a pure read; it retries like a GET.
+        scripted = _ScriptedServer(kill_on=["POST /cardinality"])
+        scripted.start()
+        try:
+            with QueryClient(scripted.url()) as client:
+                client.healthz()
+                assert client.cardinality_batch([1, 2]) == {
+                    "status": "ok"
+                }
+            sent = [r for r in scripted.requests
+                    if r.startswith("POST /cardinality")]
+            assert len(sent) == 2
+        finally:
+            scripted.close()
+
+    def test_update_against_real_server_applies_exactly_once(
+        self, tmp_path
+    ):
+        # End-to-end sanity on the real stack: a clean update applies
+        # once and the pending-batch counter agrees.
+        from repro.graph import path_graph
+
+        graph = path_graph(6).to_csr()
+        built = AdsIndex.build(graph, k=4)
+        with AdsServer(built, port=0, graph=graph) as server:
+            with QueryClient(server.url) as client:
+                before = client.stats()["updates"]["applied_batches"]
+                client.update([[0, 5]])
+                after = client.stats()["updates"]
+                assert after["applied_batches"] == before + 1
 
 
 class TestServingMmapIndex:

@@ -1,0 +1,554 @@
+"""The asyncio transport: pipelining, parser edges, backpressure,
+coalescing, and byte-identity with the threaded server.
+
+The endpoint behaviour itself is covered by ``test_serve.py`` (its
+server fixture is parametrized over both transports); this module
+exercises what only the async transport does -- the hand-rolled
+pipelined parser with hostile and fragmented input, bounded in-flight
+load shedding, micro-batch coalescing -- plus the acceptance contract
+that every endpoint's *payload bytes* are identical across transports
+and across the JSON/binary codecs.
+"""
+
+import concurrent.futures
+import json
+import socket
+import time
+
+import pytest
+
+from repro.ads import AdsIndex
+from repro.errors import ParameterError
+from repro.graph import barabasi_albert_graph, path_graph
+from repro.rand.hashing import HashFamily
+from repro.serve import (
+    AdsServer,
+    AsyncAdsServer,
+    QueryClient,
+    ServeClientError,
+)
+from repro.serve import wire
+
+
+@pytest.fixture(scope="module")
+def index():
+    graph = barabasi_albert_graph(80, 3, seed=13).to_csr()
+    return AdsIndex.build(graph, 8, family=HashFamily(4))
+
+
+@pytest.fixture(scope="module")
+def server(index):
+    with AsyncAdsServer(index, port=0, cache_size=16) as running:
+        yield running
+
+
+def raw_exchange(server, request: bytes, expect: int = 1,
+                 timeout: float = 10.0) -> bytes:
+    """Send raw bytes, read until *expect* responses (or EOF)."""
+    with socket.create_connection(
+        (server.host, server.port), timeout=timeout
+    ) as conn:
+        conn.sendall(request)
+        conn.settimeout(timeout)
+        data = b""
+        while data.count(b"HTTP/1.1 ") < expect:
+            try:
+                chunk = conn.recv(65536)
+            except socket.timeout:
+                break
+            if not chunk:
+                break
+            data += chunk
+        return data
+
+
+def split_responses(data: bytes):
+    """Parse Content-Length-framed responses into (status, body) pairs."""
+    out = []
+    rest = data
+    while rest:
+        head, sep, rest = rest.partition(b"\r\n\r\n")
+        if not sep:
+            break
+        status = int(head.split(b" ", 2)[1])
+        length = 0
+        for line in head.split(b"\r\n")[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                length = int(value)
+        out.append((status, rest[:length]))
+        rest = rest[length:]
+    return out
+
+
+class TestPipelining:
+    def test_many_requests_in_one_segment_answered_in_order(
+        self, server, index
+    ):
+        nodes = list(range(10))
+        request = b"".join(
+            f"GET /cardinality?node={n}&d=2.0 HTTP/1.1\r\n"
+            f"Host: x\r\n\r\n".encode()
+            for n in nodes
+        )
+        responses = split_responses(
+            raw_exchange(server, request, expect=len(nodes))
+        )
+        assert [status for status, _ in responses] == [200] * len(nodes)
+        payloads = [json.loads(body) for _, body in responses]
+        # Ordering is the HTTP/1.1 pipelining contract: response i
+        # answers request i.
+        assert [p["node"] for p in payloads] == nodes
+        assert [p["value"] for p in payloads] == [
+            index.node_cardinality_at(n, 2.0) for n in nodes
+        ]
+
+    def test_pipelined_posts_with_bodies(self, server, index):
+        body = json.dumps({"nodes": [1, 2], "d": 2.0}).encode()
+        one = (
+            b"POST /cardinality HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n"
+            + body
+        )
+        responses = split_responses(raw_exchange(server, one * 3, expect=3))
+        assert [status for status, _ in responses] == [200, 200, 200]
+        expected = [
+            [1, index.node_cardinality_at(1, 2.0)],
+            [2, index.node_cardinality_at(2, 2.0)],
+        ]
+        for _, raw in responses:
+            assert json.loads(raw)["results"] == expected
+
+    def test_request_split_across_many_tcp_segments(self, server, index):
+        # The parser must reassemble a request dribbled byte-group by
+        # byte-group (each send is a separate segment with Nagle off).
+        request = (
+            b"GET /cardinality?node=3&d=2.0 HTTP/1.1\r\n"
+            b"Host: x\r\nConnection: close\r\n\r\n"
+        )
+        with socket.create_connection(
+            (server.host, server.port), timeout=10
+        ) as conn:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            for i in range(0, len(request), 7):
+                conn.sendall(request[i:i + 7])
+                time.sleep(0.002)
+            conn.settimeout(10)
+            data = b""
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        ((status, body),) = split_responses(data)
+        assert status == 200
+        assert json.loads(body)["value"] == (
+            index.node_cardinality_at(3, 2.0)
+        )
+
+    def test_post_body_split_from_headers(self, server, index):
+        payload = json.dumps({"nodes": [5], "d": 1.0}).encode()
+        head = (
+            b"POST /cardinality HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(payload)).encode()
+            + b"\r\nConnection: close\r\n\r\n"
+        )
+        with socket.create_connection(
+            (server.host, server.port), timeout=10
+        ) as conn:
+            conn.sendall(head)
+            time.sleep(0.05)  # body arrives later
+            conn.sendall(payload)
+            conn.settimeout(10)
+            data = b""
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        ((status, body),) = split_responses(data)
+        assert status == 200
+        assert json.loads(body)["results"] == [
+            [5, index.node_cardinality_at(5, 1.0)]
+        ]
+
+
+class TestParserRefusals:
+    @pytest.mark.parametrize("request_bytes,expected_status,needle", [
+        (b"GARBAGE\r\n\r\n", 400, b"malformed request line"),
+        (b"GET /healthz HTTP/2.0\r\n\r\n", 400, b"unsupported protocol"),
+        (b"GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n", 400,
+         b"malformed header"),
+        (b"POST /update HTTP/1.1\r\nHost: x\r\n\r\n", 400,
+         b"POST requires Content-Length"),
+        (b"POST /update HTTP/1.1\r\nContent-Length: zz\r\n\r\n", 400,
+         b"invalid Content-Length"),
+        (b"POST /update HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400,
+         b"invalid Content-Length"),
+        (b"POST /update HTTP/1.1\r\nContent-Length: 9000000\r\n\r\n",
+         400, b"request body too large"),
+    ])
+    def test_hostile_requests_get_explicit_errors(
+        self, server, request_bytes, expected_status, needle
+    ):
+        data = raw_exchange(server, request_bytes)
+        ((status, body),) = split_responses(data)
+        assert status == expected_status
+        assert needle in body
+        # Refusals that may leave stream bytes unread must close.
+        assert b"connection: close" in data.lower()
+
+    def test_unsupported_method_is_501_keep_alive(self, server):
+        # A bodyless DELETE leaves the stream aligned, so the
+        # connection survives the refusal and serves the next request.
+        request = (
+            b"DELETE /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        responses = split_responses(raw_exchange(server, request, expect=2))
+        assert [status for status, _ in responses] == [501, 200]
+        assert b"not supported" in responses[0][1]
+
+    def test_too_many_headers_refused(self, server):
+        request = b"GET /healthz HTTP/1.1\r\n" + b"".join(
+            f"X-H{i}: v\r\n".encode() for i in range(80)
+        ) + b"\r\n"
+        ((status, body),) = split_responses(raw_exchange(server, request))
+        assert status == 400
+        assert b"too many headers" in body
+
+    def test_oversized_request_line_refused(self, server):
+        request = b"GET /" + b"a" * 70000 + b" HTTP/1.1\r\n\r\n"
+        ((status, body),) = split_responses(raw_exchange(server, request))
+        assert status == 400
+        assert b"request line too long" in body
+
+    def test_half_request_then_eof_is_dropped_quietly(self, server):
+        # A truncated request mid-line gets no response and no crash.
+        data = raw_exchange(server, b"GET /healthz HT", expect=1,
+                            timeout=1.0)
+        assert data == b""
+        with QueryClient(server.url) as client:  # server still alive
+            assert client.healthz()["status"] == "ok"
+
+    def test_get_with_body_keeps_the_stream_aligned(self, server):
+        # A GET carrying Content-Length must have its body consumed,
+        # or the body bytes would be parsed as the next request.
+        request = (
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n"
+            b"Content-Length: 5\r\n\r\nxxxxx"
+            b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"
+        )
+        responses = split_responses(raw_exchange(server, request, expect=2))
+        assert [status for status, _ in responses] == [200, 200]
+
+    def test_http10_defaults_to_close(self, server):
+        data = raw_exchange(
+            server, b"GET /healthz HTTP/1.0\r\nHost: x\r\n\r\n"
+        )
+        ((status, _),) = split_responses(data)
+        assert status == 200
+        assert b"connection: close" in data.lower()
+
+
+class TestBackpressure:
+    def test_in_flight_cap_sheds_with_503_and_retry_after(self, index):
+        # max_in_flight=1 with a coalescing window: the first query
+        # parks in flight for the window, so a second concurrent
+        # request must shed -- visibly, with Retry-After.
+        with AsyncAdsServer(
+            index, port=0, max_in_flight=1, coalesce_window=0.4
+        ) as server:
+            with socket.create_connection(
+                (server.host, server.port), timeout=10
+            ) as first:
+                first.sendall(
+                    b"GET /cardinality?node=0&d=2.0 HTTP/1.1\r\n"
+                    b"Host: x\r\n\r\n"
+                )
+                time.sleep(0.1)  # ensure it is mid-window, in flight
+                shed_raw = raw_exchange(
+                    server,
+                    b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+                )
+                ((status, body),) = split_responses(shed_raw)
+                assert status == 503
+                assert b"retry-after: 1" in shed_raw.lower()
+                assert b"overloaded" in body
+                # The parked request still completes correctly.
+                first.settimeout(10)
+                data = b""
+                while data.count(b"HTTP/1.1") < 1:
+                    data += first.recv(65536)
+                ((status, body),) = split_responses(data)
+                assert status == 200
+                assert json.loads(body)["value"] == (
+                    index.node_cardinality_at(0, 2.0)
+                )
+            with QueryClient(server.url) as client:
+                assert client.stats()["transport"]["load_shed"] == 1
+
+    def test_client_surfaces_retry_after(self, index):
+        with AsyncAdsServer(
+            index, port=0, max_in_flight=1, coalesce_window=0.4
+        ) as server:
+            with socket.create_connection(
+                (server.host, server.port), timeout=10
+            ) as first:
+                first.sendall(
+                    b"GET /cardinality?node=0 HTTP/1.1\r\nHost: x\r\n\r\n"
+                )
+                time.sleep(0.1)
+                with QueryClient(server.url) as client:
+                    with pytest.raises(ServeClientError) as excinfo:
+                        client.healthz()
+                    assert excinfo.value.status == 503
+                    assert excinfo.value.retry_after == 1.0
+
+    def test_saturation_reported_under_load(self, index):
+        with AsyncAdsServer(
+            index, port=0, max_in_flight=4, coalesce_window=0.4
+        ) as server:
+            with socket.create_connection(
+                (server.host, server.port), timeout=10
+            ) as parked:
+                parked.sendall(
+                    b"GET /cardinality?node=0 HTTP/1.1\r\nHost: x\r\n\r\n"
+                )
+                time.sleep(0.1)
+                with QueryClient(server.url) as client:
+                    # One parked + the probe itself; saturation counts
+                    # pressure beyond the probe: 1/4.
+                    assert client.healthz()["saturation"] == 0.25
+
+    def test_invalid_limits_rejected(self, index):
+        with pytest.raises(ParameterError):
+            AsyncAdsServer(index, max_in_flight=0)
+        with pytest.raises(ParameterError):
+            AsyncAdsServer(index, coalesce_window=-0.1)
+        with pytest.raises(ParameterError):
+            AsyncAdsServer(index, coalesce_max_batch=0)
+
+
+class TestCoalescing:
+    def test_coalesced_values_bit_identical_to_uncoalesced(self, index):
+        nodes = list(range(40))
+        with AsyncAdsServer(index, port=0) as plain:
+            def query_plain(n):
+                with QueryClient(plain.url) as client:
+                    return client.cardinality(node=n, d=2.0)
+            with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                baseline = list(pool.map(query_plain, nodes))
+        with AsyncAdsServer(
+            index, port=0, coalesce_window=0.01
+        ) as coalescing:
+            def query_coalesced(n):
+                with QueryClient(coalescing.url) as client:
+                    return client.cardinality(node=n, d=2.0)
+            with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                coalesced = list(pool.map(query_coalesced, nodes))
+            with QueryClient(coalescing.url) as client:
+                transport = client.stats()["transport"]
+        assert coalesced == baseline  # same payloads, field for field
+        assert transport["coalesced_queries"] >= 2
+        assert transport["coalesced_batches"] >= 1
+        assert (
+            transport["coalesced_batches"]
+            < transport["coalesced_queries"]
+        )
+
+    def test_coalescing_groups_by_distinct_d(self, index):
+        # Queries at different d thresholds must never share a kernel
+        # call; each d gets its own bucket and its own exact answer.
+        with AsyncAdsServer(
+            index, port=0, coalesce_window=0.01
+        ) as server:
+            def query(args):
+                node, d = args
+                with QueryClient(server.url) as client:
+                    return client.cardinality(node=node, d=d)["value"]
+            jobs = [(n, float(d)) for n in range(8) for d in (1.0, 2.0)]
+            with concurrent.futures.ThreadPoolExecutor(8) as pool:
+                values = list(pool.map(query, jobs))
+        assert values == [
+            index.node_cardinality_at(n, d) for n, d in jobs
+        ]
+
+    def test_sequential_client_unaffected_by_window(self, index):
+        # A lone client pays the window as latency but must get the
+        # same answers (and errors) as without coalescing.
+        with AsyncAdsServer(
+            index, port=0, coalesce_window=0.005
+        ) as server:
+            with QueryClient(server.url) as client:
+                assert client.cardinality(node=4, d=2.0)["value"] == (
+                    index.node_cardinality_at(4, 2.0)
+                )
+                with pytest.raises(ServeClientError) as excinfo:
+                    client.cardinality(node=99999)
+                assert excinfo.value.status == 404
+                # Non-coalescable shapes route through handle_request.
+                sweep = client.cardinality(d=2.0)
+                assert len(sweep["results"]) == index.num_nodes
+
+    def test_coalesce_max_batch_flushes_early(self, index):
+        with AsyncAdsServer(
+            index, port=0, coalesce_window=5.0, coalesce_max_batch=2
+        ) as server:
+            # Window is absurdly long: only the max-batch flush can
+            # answer within the timeout.
+            def query(n):
+                with QueryClient(server.url, timeout=10) as client:
+                    return client.cardinality(node=n, d=2.0)["value"]
+            with concurrent.futures.ThreadPoolExecutor(2) as pool:
+                start = time.monotonic()
+                values = list(pool.map(query, [0, 1]))
+                elapsed = time.monotonic() - start
+            assert elapsed < 4.0
+            assert values == [
+                index.node_cardinality_at(n, 2.0) for n in (0, 1)
+            ]
+
+
+class TestTransportByteIdentity:
+    # The acceptance contract: every endpoint's payload bytes identical
+    # between transports, and binary == JSON after decoding.
+    TARGETS = [
+        ("GET", "/healthz", None),
+        ("GET", "/cardinality?d=2.0", None),
+        ("GET", "/cardinality?node=5&d=2.0", None),
+        ("GET", "/cardinality?node=5", None),
+        ("POST", "/cardinality", {"nodes": [0, 3, 79], "d": 1.5}),
+        ("GET", "/closeness?kind=harmonic", None),
+        ("GET", "/closeness?node=7", None),
+        ("POST", "/closeness", {"nodes": [1, 2], "kind": "classic"}),
+        ("GET", "/neighborhood?node=9", None),
+        ("GET", "/neighborhood", None),
+        ("GET", "/top-central?count=5", None),
+        ("GET", "/node/11", None),
+        ("GET", "/cardinality?node=99999", None),       # 404
+        ("GET", "/cardinality?d=bogus", None),          # 400
+        ("GET", "/no-such-endpoint", None),             # 404
+        ("POST", "/update", {"edges": [[0, 1]]}),       # 409 read-only
+    ]
+
+    @staticmethod
+    def fetch(server, method, target, payload, accept=None):
+        request_line = f"{method} {target} HTTP/1.1\r\n"
+        headers = "Host: x\r\nConnection: close\r\n"
+        if accept:
+            headers += f"Accept: {accept}\r\n"
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers += (
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+            )
+        raw = (request_line + headers + "\r\n").encode() + body
+        with socket.create_connection(
+            (server.host, server.port), timeout=10
+        ) as conn:
+            conn.sendall(raw)
+            conn.settimeout(10)
+            data = b""
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        ((status, response_body),) = split_responses(data)
+        return status, response_body
+
+    def test_payload_bytes_identical_across_transports(self, index):
+        # cache_size=0 so "cached" flags cannot drift between servers.
+        with AdsServer(index, port=0, cache_size=0) as threaded:
+            with AsyncAdsServer(index, port=0, cache_size=0) as aio:
+                for method, target, payload in self.TARGETS:
+                    t_status, t_body = self.fetch(
+                        threaded, method, target, payload
+                    )
+                    a_status, a_body = self.fetch(
+                        aio, method, target, payload
+                    )
+                    assert (t_status, t_body) == (a_status, a_body), (
+                        f"{method} {target} diverged between transports"
+                    )
+
+    def test_binary_payloads_decode_to_json_payloads(self, index):
+        with AsyncAdsServer(index, port=0, cache_size=0) as server:
+            for method, target, payload in self.TARGETS:
+                j_status, j_body = self.fetch(
+                    server, method, target, payload
+                )
+                b_status, b_body = self.fetch(
+                    server, method, target, payload,
+                    accept=wire.WIRE_CONTENT_TYPE,
+                )
+                assert j_status == b_status
+                assert json.loads(j_body) == wire.decode(b_body), (
+                    f"{method} {target} diverged between codecs"
+                )
+
+
+class TestAsyncLifecycle:
+    def test_start_then_immediate_shutdown(self, index):
+        start = time.perf_counter()
+        with AsyncAdsServer(index, port=0):
+            pass
+        assert time.perf_counter() - start < 4.0
+
+    def test_shutdown_before_start_returns_promptly(self, index):
+        server = AsyncAdsServer(index, port=0)
+        server.shutdown()
+
+    def test_close_is_idempotent(self, index):
+        server = AsyncAdsServer(index, port=0)
+        server.close()
+        server.close()
+
+    def test_port_reusable_after_shutdown(self, index):
+        first = AsyncAdsServer(index, port=0)
+        port = first.port
+        first.shutdown()
+        second = AsyncAdsServer(index, port=port)
+        second.shutdown()
+
+    def test_clean_shutdown_with_live_keepalive_connection(self, index):
+        # A client holding a keep-alive socket open must not hang or
+        # crash shutdown (its handler task is cancelled cleanly).
+        server = AsyncAdsServer(index, port=0)
+        server.start()
+        client = QueryClient(server.url)
+        assert client.healthz()["status"] == "ok"
+        start = time.perf_counter()
+        server.shutdown()
+        assert time.perf_counter() - start < 5.0
+        client.close()
+
+
+class TestAsyncUpdates:
+    def test_update_and_compact_through_async_transport(self, tmp_path):
+        # Writes take the same writer lock on the async path; a full
+        # update -> query -> compact -> reload cycle must agree with a
+        # from-scratch rebuild.
+        graph = path_graph(8).to_csr()
+        built = AdsIndex.build(graph, k=4)
+        index_path = tmp_path / "g.adsidx"
+        built.save(index_path)
+        with AsyncAdsServer(
+            built, port=0, graph=graph, index_path=index_path
+        ) as server:
+            with QueryClient(server.url) as client:
+                result = client.update([[0, 7]])
+                assert result["applied_arcs"] == 2  # undirected edge
+                updated = client.cardinality(node=0, d=1.0)["value"]
+                client.compact()
+        rebuilt_graph = path_graph(8)
+        rebuilt_graph.add_edge(0, 7)
+        rebuilt = AdsIndex.build(rebuilt_graph.to_csr(), k=4)
+        assert updated == rebuilt.node_cardinality_at(0, 1.0)
+        reloaded = AdsIndex.load(index_path)
+        assert reloaded.node_cardinality_at(0, 1.0) == updated

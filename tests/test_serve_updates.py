@@ -15,8 +15,8 @@ import pytest
 from repro.ads import AdsIndex
 from repro.errors import ReproError
 from repro.graph.csr import CSRGraph
-from repro.serve import AdsServer, QueryClient, ReadWriteLock, \
-    ServeClientError
+from repro.serve import AdsServer, AsyncAdsServer, QueryClient, \
+    ReadWriteLock, ServeClientError
 
 
 def _chain_graph(n):
@@ -25,15 +25,22 @@ def _chain_graph(n):
     )
 
 
-@pytest.fixture
-def writable_server(tmp_path):
+@pytest.fixture(params=["threaded", "async"])
+def writable_server(tmp_path, request):
+    # Write semantics must hold on both transports: the async path
+    # takes the same writer lock through the shared handle_request.
     graph = _chain_graph(24)
     index = AdsIndex.build(graph, 4)
     path = tmp_path / "ix.adsidx"
     index.save(path)
-    server = AdsServer(
-        index, graph=graph, index_path=path, cache_size=64, threads=4
-    )
+    if request.param == "async":
+        server = AsyncAdsServer(
+            index, graph=graph, index_path=path, cache_size=64
+        )
+    else:
+        server = AdsServer(
+            index, graph=graph, index_path=path, cache_size=64, threads=4
+        )
     with server:
         yield server
 

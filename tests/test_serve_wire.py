@@ -1,0 +1,306 @@
+"""The binary wire codec: round-trips, strictness, negotiation.
+
+The codec's contract is exact equivalence with the JSON value space:
+anything a server payload can say in JSON must round-trip through
+``repro.serve.wire`` unchanged -- same types, same float bits -- and
+malformed buffers must be refused loudly, never half-decoded.  The
+end-to-end half drives a real server in both codecs and requires
+identical decoded payloads.
+"""
+
+import json
+import math
+import struct
+
+import pytest
+
+from repro.ads import AdsIndex
+from repro.graph import barabasi_albert_graph
+from repro.rand.hashing import HashFamily
+from repro.serve import AdsServer, QueryClient, ServeClientError
+from repro.serve import wire
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", [
+        None,
+        True,
+        False,
+        0,
+        -1,
+        2 ** 62,
+        -(2 ** 63),           # INT64_MIN boundary
+        2 ** 63 - 1,          # INT64_MAX boundary
+        2 ** 63,              # first bigint
+        -(2 ** 63) - 1,       # first negative bigint
+        10 ** 40,
+        -(10 ** 40),
+        0.0,
+        -0.0,
+        2.5,
+        math.inf,
+        -math.inf,
+        "",
+        "hello",
+        "näïve ünicode ✓",
+        [],
+        [1, 2.0, "three", None, True],
+        {},
+        {"node": 5, "d": 2.0, "value": 17.25},
+        {"nested": {"results": [[1, 0.5], [2, 0.25]], "cached": False}},
+        {1: "int key", 2.5: "float key", "s": "str key"},
+    ])
+    def test_value_round_trips_exactly(self, value):
+        assert wire.decode(wire.encode(value)) == value
+
+    def test_type_identity_is_preserved(self):
+        # JSON cannot tell 1 from 1.0 after a round trip through some
+        # decoders; the wire codec must.
+        decoded = wire.decode(wire.encode([1, 1.0, True, False, None]))
+        assert [type(item) for item in decoded] == [
+            int, float, bool, bool, type(None)
+        ]
+
+    def test_float_bits_are_exact(self):
+        for value in (0.1, 1 / 3, 1e-300, 1.7976931348623157e308):
+            (roundtripped,) = struct.unpack(
+                ">d", struct.pack(">d", value)
+            )
+            assert wire.decode(wire.encode(value)) == roundtripped
+
+    def test_nan_round_trips(self):
+        decoded = wire.decode(wire.encode(float("nan")))
+        assert math.isnan(decoded)
+
+    def test_negative_zero_sign_survives(self):
+        assert math.copysign(1.0, wire.decode(wire.encode(-0.0))) == -1.0
+
+    def test_tuple_encodes_as_list(self):
+        assert wire.decode(wire.encode((1, 2))) == [1, 2]
+
+    def test_compactness_on_float_heavy_payloads(self):
+        # Where the codec pays off in bytes: full-precision doubles
+        # cost 9 bytes each vs ~18-19 JSON characters, which is what
+        # whole-graph sweeps and batch results are made of.
+        payload = {
+            "d": 2.0,
+            "results": [[i, i * 0.1234567890123] for i in range(200)],
+        }
+        assert len(wire.encode(payload)) < len(json.dumps(payload))
+
+
+class TestStrictDecoding:
+    def test_truncated_buffers_raise(self):
+        data = wire.encode({"a": [1, 2.5, "three"]})
+        for cut in range(len(data)):
+            with pytest.raises(wire.WireFormatError):
+                wire.decode(data[:cut])
+
+    def test_trailing_bytes_raise(self):
+        with pytest.raises(wire.WireFormatError) as excinfo:
+            wire.decode(wire.encode(1) + b"\x00")
+        assert "trailing" in str(excinfo.value)
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(wire.WireFormatError):
+            wire.decode(b"\xff")
+
+    def test_invalid_utf8_raises(self):
+        with pytest.raises(wire.WireFormatError):
+            wire.decode(bytes([0x06]) + struct.pack(">I", 2) + b"\xff\xfe")
+
+    def test_lying_list_count_is_refused_before_allocation(self):
+        # A 4-billion-item list header on a 10-byte buffer must be
+        # rejected up front, not by looping until exhaustion.
+        with pytest.raises(wire.WireFormatError):
+            wire.decode(bytes([0x07]) + struct.pack(">I", 2 ** 32 - 1))
+
+    def test_container_keys_must_be_scalars(self):
+        data = bytes([0x08]) + struct.pack(">I", 1)
+        data += wire.encode([1])  # a list key
+        data += wire.encode(2)
+        with pytest.raises(wire.WireFormatError):
+            wire.decode(data)
+
+    def test_excessive_nesting_refused_both_ways(self):
+        deep = 0
+        for _ in range(100):
+            deep = [deep]
+        with pytest.raises(wire.WireFormatError):
+            wire.encode(deep)
+        raw = bytes([0x07]) + struct.pack(">I", 1)
+        with pytest.raises(wire.WireFormatError):
+            wire.decode(raw * 100 + wire.encode(0))
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(wire.WireFormatError):
+            wire.encode(object())
+        with pytest.raises(wire.WireFormatError):
+            wire.encode({1, 2})
+
+    def test_non_bytes_input_raises(self):
+        with pytest.raises(wire.WireFormatError):
+            wire.decode("not bytes")
+
+
+if HAVE_HYPOTHESIS:
+    json_values = st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers()
+        | st.floats(allow_nan=False)
+        | st.text(),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(), children, max_size=4),
+        max_leaves=20,
+    )
+
+    class TestPropertyRoundTrip:
+        @settings(max_examples=200, deadline=None)
+        @given(json_values)
+        def test_arbitrary_json_value_round_trips(self, value):
+            assert wire.decode(wire.encode(value)) == value
+
+
+class TestNegotiation:
+    def test_accepts_binary(self):
+        assert wire.accepts_binary("application/x-repro-wire")
+        assert wire.accepts_binary(
+            "application/json, application/x-repro-wire"
+        )
+        assert wire.accepts_binary("APPLICATION/X-REPRO-WIRE")
+        assert not wire.accepts_binary("application/json")
+        assert not wire.accepts_binary("*/*")
+        assert not wire.accepts_binary(None)
+        assert not wire.accepts_binary("")
+
+    def test_is_binary_content_type(self):
+        assert wire.is_binary_content_type("application/x-repro-wire")
+        assert wire.is_binary_content_type(
+            "application/x-repro-wire; charset=binary"
+        )
+        assert not wire.is_binary_content_type("application/json")
+        assert not wire.is_binary_content_type(None)
+
+    def test_encode_response_auto_negotiates(self):
+        payload = {"value": 2.0}
+        data, content_type = wire.encode_response(
+            payload, "application/x-repro-wire", "auto"
+        )
+        assert content_type == wire.WIRE_CONTENT_TYPE
+        assert wire.decode(data) == payload
+        data, content_type = wire.encode_response(payload, None, "auto")
+        assert content_type == wire.JSON_CONTENT_TYPE
+        assert json.loads(data) == payload
+
+    def test_wire_mode_json_pins_json(self):
+        data, content_type = wire.encode_response(
+            {"a": 1}, "application/x-repro-wire", "json"
+        )
+        assert content_type == wire.JSON_CONTENT_TYPE
+        assert json.loads(data) == {"a": 1}
+
+
+@pytest.fixture(scope="module")
+def index():
+    graph = barabasi_albert_graph(60, 3, seed=7).to_csr()
+    return AdsIndex.build(graph, 8, family=HashFamily(4))
+
+
+class TestEndToEnd:
+    def test_binary_client_payloads_equal_json(self, index):
+        with AdsServer(index, port=0, cache_size=0) as server:
+            with QueryClient(server.url) as js, QueryClient(
+                server.url, wire_mode="binary"
+            ) as bs:
+                calls = [
+                    lambda c: c.healthz(),
+                    lambda c: c.cardinality(node=3, d=2.0),
+                    lambda c: c.cardinality(d=2.0),
+                    lambda c: c.cardinality_batch([0, 1, 59], d=1.5),
+                    lambda c: c.closeness(node=3, kind="harmonic"),
+                    lambda c: c.closeness_batch([2, 4]),
+                    lambda c: c.neighborhood(node=5),
+                    lambda c: c.top_central(count=4),
+                    lambda c: c.node(7),
+                ]
+                for call in calls:
+                    assert call(js) == call(bs)
+
+    def test_binary_post_body_is_accepted(self, index):
+        # Request-direction negotiation: Content-Type selects the
+        # decoder, independent of the response codec.
+        with AdsServer(index, port=0) as server:
+            with QueryClient(server.url, wire_mode="binary") as client:
+                response = client.cardinality_batch([0, 2], d=2.0)
+                assert response["results"] == [
+                    [0, index.node_cardinality_at(0, 2.0)],
+                    [2, index.node_cardinality_at(2, 2.0)],
+                ]
+
+    def test_malformed_binary_body_is_400(self, index):
+        with AdsServer(index, port=0) as server:
+            with QueryClient(server.url, wire_mode="binary") as client:
+                import http.client
+
+                conn = http.client.HTTPConnection(
+                    server.host, server.port, timeout=10
+                )
+                conn.request(
+                    "POST", "/cardinality", body=b"\xff\xff",
+                    headers={"Content-Type": wire.WIRE_CONTENT_TYPE},
+                )
+                response = conn.getresponse()
+                body = json.loads(response.read())
+                conn.close()
+                assert response.status == 400
+                assert "malformed binary body" in body["error"]
+
+    def test_wire_mode_json_server_ignores_accept(self, index):
+        # --wire json pins responses to JSON even for binary clients;
+        # the client transparently parses either, so results agree.
+        with AdsServer(index, port=0, wire_mode="json") as server:
+            with QueryClient(server.url, wire_mode="binary") as client:
+                assert client.healthz()["status"] == "ok"
+                import urllib.request
+
+                request = urllib.request.Request(
+                    server.url + "/healthz",
+                    headers={"Accept": wire.WIRE_CONTENT_TYPE},
+                )
+                with urllib.request.urlopen(request) as response:
+                    assert response.headers["Content-Type"] == (
+                        wire.JSON_CONTENT_TYPE
+                    )
+
+    def test_error_payloads_speak_binary_too(self, index):
+        with AdsServer(index, port=0) as server:
+            with QueryClient(server.url, wire_mode="binary") as client:
+                with pytest.raises(ServeClientError) as excinfo:
+                    client.cardinality(node=99999)
+                assert excinfo.value.status == 404
+
+    def test_json_clients_see_unchanged_api(self, index):
+        # The compat guarantee: a client that never mentions the wire
+        # type gets exactly the JSON bytes of previous releases.
+        with AdsServer(index, port=0) as server:
+            import urllib.request
+
+            with urllib.request.urlopen(
+                server.url + "/cardinality?node=1&d=2.0"
+            ) as response:
+                assert response.headers["Content-Type"] == (
+                    "application/json"
+                )
+                payload = json.loads(response.read())
+                assert payload["value"] == (
+                    index.node_cardinality_at(1, 2.0)
+                )
