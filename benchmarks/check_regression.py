@@ -54,6 +54,10 @@ TRACKED = [
     # threaded request-response baseline (ISSUE 7 acceptance).
     ("BENCH_serve.json", "async_vs_threaded.single_query_speedup",
      "higher"),
+    # Cluster fan-out: batch throughput over 2 worker processes must
+    # not collapse relative to 1 (ISSUE 8 acceptance; real subprocess
+    # workers, so the ratio needs real cores).
+    ("BENCH_cluster.json", "scaling.batch_speedup_2w_vs_1w", "higher"),
 ]
 
 # Metrics that only mean anything with real cores: skipped (with a
@@ -62,6 +66,7 @@ TRACKED = [
 # gate there would only punish the hardware, not the code.
 SKIP_ON_SINGLE_CPU = {
     ("BENCH_kernels.json", "parallel.peak_speedup_vs_serial"),
+    ("BENCH_cluster.json", "scaling.batch_speedup_2w_vs_1w"),
 }
 
 _STEP = re.compile(r"([^.\[\]]+)(?:\[(\d+)\])?")

@@ -752,6 +752,56 @@ class AdsIndex:
         """
         return self._kernel.neighborhood_series(self._kernel_views())
 
+    def accumulate_neighborhood_jumps(
+        self,
+        jumps: Dict[float, float],
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> Dict[float, float]:
+        """Fold node rows ``[start, stop)`` into per-distance HIP sums.
+
+        This is the accumulation half of :meth:`neighborhood_function`,
+        exposed so a cluster router can *chain* it across node-sharded
+        workers: each worker folds its own rows, in slot order, into
+        the running ``{distance: weight_sum}`` dict seeded by the
+        previous worker.  Because the per-distance sums are built by
+        the exact left-to-right fold the reference kernel uses
+        (``jumps[d] = jumps.get(d, 0.0) + weight``, zero distances
+        skipped), chaining contiguous ranges in node order replays the
+        single-index float-op sequence addition-for-addition -- the
+        merged series is bit-identical, not merely close.
+
+        Args:
+            jumps: Running per-distance sums; mutated in place (pass
+                ``{}`` for the first range) and also returned.
+            start / stop: Node-row range to fold; ``stop=None`` means
+                through the last row.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> jumps = index.accumulate_neighborhood_jumps({}, 0, 2)
+            >>> jumps = index.accumulate_neighborhood_jumps(jumps, 2)
+            >>> series, running = [], 0.0
+            >>> for d in sorted(jumps):
+            ...     running += jumps[d]
+            ...     series.append((d, running))
+            >>> series == index.neighborhood_function()
+            True
+        """
+        n = self.num_nodes
+        stop = n if stop is None else stop
+        require(
+            0 <= start <= stop <= n,
+            f"node range [{start}, {stop}) must lie within [0, {n})",
+        )
+        lo, hi = self._offsets[start], self._offsets[stop]
+        for d, weight in zip(self._dist[lo:hi], self._hip[lo:hi]):
+            if d <= 0.0:
+                continue
+            jumps[d] = jumps.get(d, 0.0) + weight
+        return jumps
+
     def node_neighborhood_function(
         self, label: Hashable
     ) -> List[Tuple[float, float]]:

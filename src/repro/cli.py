@@ -499,6 +499,13 @@ def cmd_serve(args) -> int:
         # load is read-only by construction.
         print("--graph (live updates) requires --no-mmap", file=sys.stderr)
         return 2
+    node_range = None
+    if args.cluster is not None:
+        try:
+            node_range = _parse_node_range(args.cluster)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
     index_path = Path(args.index)
     if not index_path.exists():
         # An unloadable index is a load failure (1), matching `query`;
@@ -525,6 +532,7 @@ def cmd_serve(args) -> int:
                 coalesce_window=args.coalesce_window,
                 wire_mode=args.wire,
                 graph=graph, index_path=index_path, graph_path=args.graph,
+                node_range=node_range,
             )
             transport = (
                 f"asyncio transport (max_in_flight={args.max_in_flight}, "
@@ -536,6 +544,7 @@ def cmd_serve(args) -> int:
                 cache_size=args.cache_size, threads=args.threads,
                 wire_mode=args.wire,
                 graph=graph, index_path=index_path, graph_path=args.graph,
+                node_range=node_range,
             )
             transport = f"{args.threads} threads"
     except (ReproError, OSError) as error:
@@ -543,6 +552,12 @@ def cmd_serve(args) -> int:
         return 1
     mode = "mmap" if index.mmap_backed else "eager"
     writable = ", updates enabled" if graph is not None else ""
+    if node_range is not None:
+        start, stop = node_range
+        writable += (
+            f", shard worker for nodes [{start}, "
+            f"{index.num_nodes if stop is None else stop})"
+        )
     print(
         f"# serving {index.num_nodes} nodes ({index.num_entries} entries, "
         f"flavor={index.flavor}, k={index.k}, {mode} load, "
@@ -558,6 +573,138 @@ def cmd_serve(args) -> int:
         print("# shutting down", file=sys.stderr)
     finally:
         server.close()
+    return 0
+
+
+def _parse_node_range(spec: str):
+    """``"START:STOP"`` (empty STOP = open-ended) -> ``(start, stop)``."""
+    head, sep, tail = spec.partition(":")
+    if not sep or not head:
+        raise ValueError(
+            f"--cluster expects START:STOP (STOP may be empty for "
+            f"open-ended), got {spec!r}"
+        )
+    try:
+        start = int(head)
+        stop = int(tail) if tail else None
+    except ValueError:
+        raise ValueError(
+            f"--cluster bounds must be integers, got {spec!r}"
+        ) from None
+    return start, stop
+
+
+def _parse_group(spec: str):
+    """One ``--group`` value -> ``(range_or_None, [url, ...])``.
+
+    ``"http://h1:8080,http://h2:8080"`` lists one shard group's
+    replicas; prefix ``"START:STOP="`` pins its node range explicitly
+    (otherwise every group must be unprefixed and the router splits
+    ``[0, n)`` into balanced contiguous ranges, the same tiling
+    ``shard_ranges`` gives the sharded save layout).
+    """
+    node_range = None
+    head, sep, tail = spec.partition("=")
+    if sep and "://" not in head:
+        node_range = _parse_node_range(head)
+        spec = tail
+    urls = [url.strip() for url in spec.split(",") if url.strip()]
+    if not urls:
+        raise ValueError(f"--group needs at least one URL, got {spec!r}")
+    return node_range, urls
+
+
+def cmd_route(args) -> int:
+    """Front a sharded worker cluster (the ``route`` subcommand).
+
+    Loads ``--index`` (memory-mapped: only the node labels are needed,
+    sketches stay on disk) and serves the full single-server API by
+    fanning out to the ``repro serve --cluster`` workers named by the
+    ``--group`` flags -- one flag per shard group, each listing that
+    range's replicas.  Queries merge exactly (concatenation / k-way
+    rank merge / seeded ANF chaining), replicas fail over on transport
+    faults, and whole-shard outages shed with a structured 503 naming
+    the unavailable node range.
+
+    Returns:
+        0 after a clean shutdown (Ctrl-C), 1 when the index cannot be
+        loaded, 2 for invalid parameters.
+
+    Example:
+        >>> from repro.cli import main
+        >>> main(["route", "--index", "/nonexistent.adsidx",
+        ...       "--group", "http://127.0.0.1:9"])
+        1
+    """
+    from repro.ads.index import shard_ranges
+    from repro.serve import RouterServer
+
+    if args.cache_size < 0:
+        print(f"--cache-size must be >= 0, got {args.cache_size}",
+              file=sys.stderr)
+        return 2
+    if args.threads < 1:
+        print(f"--threads must be >= 1, got {args.threads}",
+              file=sys.stderr)
+        return 2
+    if args.rpc_timeout <= 0:
+        print(f"--rpc-timeout must be > 0, got {args.rpc_timeout}",
+              file=sys.stderr)
+        return 2
+    try:
+        parsed = [_parse_group(spec) for spec in args.group]
+    except ValueError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    pinned = sum(1 for node_range, _ in parsed if node_range is not None)
+    if pinned not in (0, len(parsed)):
+        print("--group ranges must be given for all groups or none",
+              file=sys.stderr)
+        return 2
+    index_path = Path(args.index)
+    if not index_path.exists():
+        print(f"index {args.index!r} does not exist", file=sys.stderr)
+        return 1
+    try:
+        index = AdsIndex.load(index_path, mmap=True)
+        labels = index.nodes()
+        if pinned:
+            groups = [(node_range, urls) for node_range, urls in parsed]
+        else:
+            ranges = shard_ranges(len(labels), len(parsed))
+            groups = [
+                (node_range, urls)
+                for node_range, (_, urls) in zip(ranges, parsed)
+            ]
+        router = RouterServer(
+            labels, groups,
+            host=args.host, port=args.port,
+            cache_size=args.cache_size, threads=args.threads,
+            wire_mode=args.wire,
+            rpc_timeout=args.rpc_timeout, rpc_wire=args.rpc_wire,
+            probe_interval=args.probe_interval,
+            writable=args.writable,
+        )
+    except (ReproError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    replicas = sum(len(urls) for _, urls in groups)
+    writable = ", updates enabled" if args.writable else ""
+    print(
+        f"# routing {len(labels)} nodes over {len(groups)} shard "
+        f"group{'s' if len(groups) != 1 else ''} ({replicas} "
+        f"replica{'s' if replicas != 1 else ''}) on {router.url} with "
+        f"{args.threads} threads, rpc={args.rpc_wire}/"
+        f"{args.rpc_timeout}s, probes every {args.probe_interval}s, "
+        f"cache={args.cache_size}{writable}",
+        file=sys.stderr,
+    )
+    try:
+        router.serve_forever()
+    except KeyboardInterrupt:
+        print("# shutting down", file=sys.stderr)
+    finally:
+        router.close()
     return 0
 
 
@@ -827,9 +974,83 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="force directed interpretation of --graph",
     )
+    p.add_argument(
+        "--cluster",
+        default=None,
+        metavar="START:STOP",
+        help="serve as a shard worker owning global node ids "
+        "[START, STOP) (empty STOP = open-ended); sweeps cover only "
+        "this range so a `repro route` router can concatenate shards "
+        "exactly",
+    )
     _add_backend_arg(p)
     _add_kernel_workers_arg(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "route",
+        help="front sharded `serve --cluster` workers with a fan-out "
+        "router serving the identical single-server API",
+    )
+    p.add_argument(
+        "--index",
+        required=True,
+        help="index file or sharded layout the workers serve (only "
+        "node labels are read; sketches stay on disk)",
+    )
+    p.add_argument(
+        "--group",
+        action="append",
+        required=True,
+        metavar="[START:STOP=]URL[,URL...]",
+        help="one shard group: that range's replica URLs, "
+        "comma-separated; repeat per group in shard order.  Without "
+        "START:STOP= prefixes the node-id space is split into "
+        "balanced contiguous ranges (give the same ranges to the "
+        "workers via serve --cluster)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (0 picks a free port)",
+    )
+    p.add_argument(
+        "--cache-size", type=int, default=256,
+        help="LRU capacity for merged whole-graph results (0 disables)",
+    )
+    p.add_argument(
+        "--threads", type=int, default=8,
+        help="router worker threads handling client requests",
+    )
+    p.add_argument(
+        "--wire",
+        choices=("auto", "json"),
+        default="auto",
+        help="client-facing codec policy (same semantics as serve)",
+    )
+    p.add_argument(
+        "--rpc-wire",
+        choices=("binary", "json"),
+        default="binary",
+        help="worker RPC codec; both round-trip floats exactly",
+    )
+    p.add_argument(
+        "--rpc-timeout", type=float, default=10.0,
+        help="per-worker RPC socket timeout in seconds (bounds how "
+        "long a hung worker can stall a query before failover)",
+    )
+    p.add_argument(
+        "--probe-interval", type=float, default=5.0,
+        help="seconds between background /healthz probes of every "
+        "replica (0 disables; per-RPC outcomes still update health)",
+    )
+    p.add_argument(
+        "--writable",
+        action="store_true",
+        help="accept POST /update and /compact, fanning each batch to "
+        "every replica (workers must run with --graph)",
+    )
+    p.set_defaults(func=cmd_route)
 
     p = sub.add_parser(
         "update-index",

@@ -11,6 +11,10 @@ disk; this package is the layer that takes traffic against it:
   optional micro-batch coalescing (:mod:`repro.serve.aio`);
 * :class:`QueryClient` -- keep-alive stdlib client, JSON or binary
   wire mode (:mod:`repro.serve.client`);
+* :class:`RouterServer` / :class:`AsyncRouterServer` -- the sharded
+  cluster tier: fan-out over node-range workers, exact merges, replica
+  failover (:mod:`repro.serve.cluster`,
+  :mod:`repro.serve.membership`);
 * :mod:`repro.serve.wire` -- the compact binary codec both transports
   negotiate via ``Accept``/``Content-Type``;
 * :class:`LruCache` -- the cache primitive (:mod:`repro.serve.cache`);
@@ -18,14 +22,18 @@ disk; this package is the layer that takes traffic against it:
   (:mod:`repro.serve.locks`);
 * :mod:`repro.serve.schemas` -- wire-format parsing and shaping.
 
-Shell entry point: ``python -m repro serve --index graph.adsidx``
-(add ``--graph graph.txt`` to accept ``POST /update``, and
-``--async-loop`` to serve on the asyncio transport).
+Shell entry points: ``python -m repro serve --index graph.adsidx``
+(add ``--graph graph.txt`` to accept ``POST /update``,
+``--async-loop`` for the asyncio transport, ``--cluster START:STOP``
+to serve one node-range shard) and ``python -m repro route --index
+graph.adsidx --group URL[,URL...] ...`` for the cluster router.
 """
 
 from repro.serve.cache import LruCache
 from repro.serve.client import QueryClient, ServeClientError
+from repro.serve.cluster import AsyncRouterServer, RouterServer
 from repro.serve.locks import ReadWriteLock
+from repro.serve.membership import ClusterMembership, Replica, ShardGroup
 from repro.serve.schemas import WireError
 from repro.serve.server import AdsServer
 from repro.serve.aio import AsyncAdsServer
@@ -34,10 +42,14 @@ from repro.serve.wire import WireFormatError
 __all__ = [
     "AdsServer",
     "AsyncAdsServer",
+    "AsyncRouterServer",
+    "ClusterMembership",
     "LruCache",
     "QueryClient",
-    "ReadWriteLock",
+    "Replica",
+    "RouterServer",
     "ServeClientError",
+    "ShardGroup",
     "WireError",
     "WireFormatError",
 ]

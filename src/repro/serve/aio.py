@@ -65,7 +65,7 @@ from repro.serve.schemas import (
     parse_float,
     resolve_node,
 )
-from repro.serve.server import _MAX_BODY_BYTES, AdsServer
+from repro.serve.server import _MAX_BODY_BYTES, AdsServer, ServerBase
 
 _MAX_HEADER_COUNT = 64
 #: A request head (request line + headers) must fit in this many
@@ -151,38 +151,22 @@ class _Coalescer:
                 future.set_result(value)
 
 
-class AsyncAdsServer(AdsServer):
-    """The asyncio serving daemon: same API, pipelined transport.
+class AsyncTransport(ServerBase):
+    """The asyncio pipelined transport as a mixin over :class:`ServerBase`.
 
-    Args:
-        index: The sketch index to serve.
-        host / port: Bind address; ``port=0`` picks a free port, read
-            it back from :attr:`port` (available immediately -- the
-            listening socket binds at construction, like the threaded
-            server).
-        cache_size: LRU capacity for whole-graph results.
-        max_in_flight: Bound on concurrently dispatching requests;
-            beyond it new requests are shed with ``503`` +
-            ``Retry-After``.
-        coalesce_window: Seconds to hold a single-node cardinality
-            query open for micro-batching (``0`` disables coalescing).
-        coalesce_max_batch: Flush a coalescing bucket early once it
-            holds this many queries.
-        wire_mode: ``"auto"`` negotiates the binary codec per request,
-            ``"json"`` pins responses to JSON.
-        graph / index_path / graph_path: As on
-            :class:`~repro.serve.server.AdsServer` (enable
-            ``POST /update`` / ``/compact``).
-
-    Example:
-        >>> from repro.graph import path_graph
-        >>> from repro.ads import AdsIndex
-        >>> server = AsyncAdsServer(
-        ...     AdsIndex.build(path_graph(4).to_csr(), k=4))
-        >>> with server:  # event loop on a background thread
-        ...     from repro.serve.client import QueryClient
-        ...     QueryClient(server.url).cardinality(node=0, d=1.0)["value"]
-        2.0
+    Holds everything event-loop shaped -- the non-blocking listening
+    socket, the drain-all-buffered-requests connection handler, the
+    hand-rolled HTTP/1.1 parser, backpressure shedding, and the
+    one-write-per-wave renderer -- with no opinion about what
+    :meth:`~repro.serve.server.ServerBase.handle_request` actually
+    serves.  :class:`AsyncAdsServer` mixes it over
+    :class:`~repro.serve.server.AdsServer`, and
+    :class:`repro.serve.cluster.AsyncRouterServer` mixes the same
+    transport over the cluster fan-out router.  Subclasses call
+    :meth:`_init_async_transport` *before* the chassis ``__init__``
+    (which opens the transport), and may override
+    :meth:`_make_coalescer` / :meth:`_try_coalesce` to micro-batch
+    specific GET targets.
     """
 
     #: Idle keep-alive connections are dropped after this many seconds
@@ -190,20 +174,12 @@ class AsyncAdsServer(AdsServer):
     #: handler's ``timeout``).
     idle_timeout = 30.0
 
-    def __init__(
+    def _init_async_transport(
         self,
-        index: AdsIndex,
-        host: str = "127.0.0.1",
-        port: int = 0,
-        cache_size: int = 256,
-        max_in_flight: int = 256,
+        max_in_flight: int,
         coalesce_window: float = 0.0,
         coalesce_max_batch: int = 512,
-        wire_mode: str = "auto",
-        graph=None,
-        index_path=None,
-        graph_path=None,
-    ):
+    ) -> None:
         require(
             max_in_flight >= 1,
             f"max_in_flight must be >= 1, got {max_in_flight}",
@@ -225,20 +201,14 @@ class AsyncAdsServer(AdsServer):
         self._coalescer: Optional[_Coalescer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
-        # threads=1: the event loop is the single request "worker", so
-        # the kernel-oversubscription cap leaves the index its full
-        # fan-out budget.
-        super().__init__(
-            index,
-            host=host,
-            port=port,
-            cache_size=cache_size,
-            threads=1,
-            graph=graph,
-            index_path=index_path,
-            graph_path=graph_path,
-            wire_mode=wire_mode,
-        )
+
+    def _make_coalescer(self) -> Optional[_Coalescer]:
+        """Built when the loop starts; ``None`` disables coalescing."""
+        return None
+
+    def _try_coalesce(self, target: str):
+        """Coalescable GET targets return an awaitable; default: none."""
+        return None
 
     # ------------------------------------------------------------------
     # Transport lifecycle (overrides the _PooledHTTPServer plumbing)
@@ -264,9 +234,7 @@ class AsyncAdsServer(AdsServer):
     async def _serve(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
-        self._coalescer = (
-            _Coalescer(self) if self.coalesce_window > 0.0 else None
-        )
+        self._coalescer = self._make_coalescer()
         server = await asyncio.start_server(
             self._handle_connection, sock=self._socket
         )
@@ -507,6 +475,101 @@ class AsyncAdsServer(AdsServer):
             del buf[:head_end + sep_len]
         return method, target, headers, body, keep_alive
 
+    def _render(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        accept: Optional[str],
+        close: bool,
+    ) -> bytes:
+        data, content_type = wire.encode_response(
+            payload, accept, self.wire_mode
+        )
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(data)}\r\n"
+        )
+        if status == 503:
+            head += "Retry-After: 1\r\n"
+        if close:
+            head += "Connection: close\r\n"
+        head += "\r\n"
+        return head.encode("latin-1") + data
+
+
+class AsyncAdsServer(AsyncTransport, AdsServer):
+    """The asyncio serving daemon: same API, pipelined transport.
+
+    Args:
+        index: The sketch index to serve.
+        host / port: Bind address; ``port=0`` picks a free port, read
+            it back from :attr:`port` (available immediately -- the
+            listening socket binds at construction, like the threaded
+            server).
+        cache_size: LRU capacity for whole-graph results.
+        max_in_flight: Bound on concurrently dispatching requests;
+            beyond it new requests are shed with ``503`` +
+            ``Retry-After``.
+        coalesce_window: Seconds to hold a single-node cardinality
+            query open for micro-batching (``0`` disables coalescing).
+        coalesce_max_batch: Flush a coalescing bucket early once it
+            holds this many queries.
+        wire_mode: ``"auto"`` negotiates the binary codec per request,
+            ``"json"`` pins responses to JSON.
+        graph / index_path / graph_path / node_range: As on
+            :class:`~repro.serve.server.AdsServer` (writes and the
+            cluster shard-worker mode work identically on this
+            transport).
+
+    Example:
+        >>> from repro.graph import path_graph
+        >>> from repro.ads import AdsIndex
+        >>> server = AsyncAdsServer(
+        ...     AdsIndex.build(path_graph(4).to_csr(), k=4))
+        >>> with server:  # event loop on a background thread
+        ...     from repro.serve.client import QueryClient
+        ...     QueryClient(server.url).cardinality(node=0, d=1.0)["value"]
+        2.0
+    """
+
+    def __init__(
+        self,
+        index: AdsIndex,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 256,
+        max_in_flight: int = 256,
+        coalesce_window: float = 0.0,
+        coalesce_max_batch: int = 512,
+        wire_mode: str = "auto",
+        graph=None,
+        index_path=None,
+        graph_path=None,
+        node_range=None,
+    ):
+        self._init_async_transport(
+            max_in_flight, coalesce_window, coalesce_max_batch
+        )
+        # threads=1: the event loop is the single request "worker", so
+        # the kernel-oversubscription cap leaves the index its full
+        # fan-out budget.
+        super().__init__(
+            index,
+            host=host,
+            port=port,
+            cache_size=cache_size,
+            threads=1,
+            graph=graph,
+            index_path=index_path,
+            graph_path=graph_path,
+            wire_mode=wire_mode,
+            node_range=node_range,
+        )
+
+    def _make_coalescer(self) -> Optional[_Coalescer]:
+        return _Coalescer(self) if self.coalesce_window > 0.0 else None
+
     def _try_coalesce(self, target: str):
         """The coalesced path for ``GET /cardinality?node=...``, or
         ``None`` when the request is not a single-node cardinality
@@ -552,27 +615,5 @@ class AsyncAdsServer(AdsServer):
             "value": value,
         }
 
-    def _render(
-        self,
-        status: int,
-        payload: Dict[str, Any],
-        accept: Optional[str],
-        close: bool,
-    ) -> bytes:
-        data, content_type = wire.encode_response(
-            payload, accept, self.wire_mode
-        )
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(data)}\r\n"
-        )
-        if status == 503:
-            head += "Retry-After: 1\r\n"
-        if close:
-            head += "Connection: close\r\n"
-        head += "\r\n"
-        return head.encode("latin-1") + data
 
-
-__all__ = ["AsyncAdsServer"]
+__all__ = ["AsyncAdsServer", "AsyncTransport"]

@@ -42,6 +42,7 @@ import http.client
 import json
 import math
 import socket
+import time
 from typing import Any, Dict, Hashable, Optional, Sequence
 from urllib.parse import quote, urlencode, urlsplit
 
@@ -78,15 +79,29 @@ class QueryClient:
             ``"binary"`` negotiates the compact wire codec
             (:mod:`repro.serve.wire`) for request and response bodies.
             Results are identical either way.
+        retries_on_shed: Opt-in 503 handling.  ``0`` (default) raises
+            the shed straight to the caller, as always.  ``N > 0``
+            sleeps for the server's ``Retry-After`` hint (capped at
+            ``max_retry_after``) and re-issues the request up to N
+            times before raising.  Safe for every endpoint: a 503 is
+            sent *instead of* dispatching, so nothing was applied.
+        max_retry_after: Ceiling in seconds on any single shed sleep --
+            a server advertising a pathological ``Retry-After`` must
+            not wedge the client.
     """
 
     # POST endpoints that are pure reads: replaying one can never
     # change server state, so they retry like GETs do.
     _IDEMPOTENT_POST_PATHS = frozenset({"/cardinality", "/closeness"})
 
+    #: Shed responses without a (parseable) Retry-After back off this
+    #: many seconds.
+    DEFAULT_RETRY_AFTER = 0.05
+
     def __init__(
         self, base_url: str, timeout: float = 10.0,
-        wire_mode: str = "json",
+        wire_mode: str = "json", retries_on_shed: int = 0,
+        max_retry_after: float = 5.0,
     ):
         if "://" not in base_url:
             # "localhost:8080" would otherwise urlsplit as scheme
@@ -104,12 +119,46 @@ class QueryClient:
         self.port = int(port) if port else 80
         self.timeout = timeout
         self.wire_mode = wire_mode
+        self.retries_on_shed = int(retries_on_shed)
+        self.max_retry_after = float(max_retry_after)
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
     def _request(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Dict[str, Any]] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """One logical request, with opt-in sleep-and-retry on 503.
+
+        A shed (503) is answered *instead of* dispatching the request,
+        so re-issuing after the server's ``Retry-After`` hint can
+        never double-apply anything -- which is why the shed retry,
+        unlike the mid-flight replay below, applies to writes too.
+        """
+        shed_attempts = 0
+        while True:
+            try:
+                return self._request_once(method, path, params, payload)
+            except ServeClientError as error:
+                if (
+                    error.status != 503
+                    or shed_attempts >= self.retries_on_shed
+                ):
+                    raise
+                shed_attempts += 1
+                delay = (
+                    error.retry_after
+                    if error.retry_after is not None
+                    else self.DEFAULT_RETRY_AFTER
+                )
+                time.sleep(min(max(delay, 0.0), self.max_retry_after))
+
+    def _request_once(
         self,
         method: str,
         path: str,

@@ -1,0 +1,803 @@
+"""``RouterServer``: the sharded-cluster fan-out router.
+
+The deployment shape the paper's scale story implies: the ADSSHD01
+sharded layout is split by *global node-id range*, N ``repro serve``
+workers each serve one range (``AdsServer(node_range=...)`` -- a
+worker over a sharded mmap layout only ever maps its own shard
+files), and this router answers the single-server API by fanning out
+over the binary wire codec and merging exactly:
+
+* **Single-node queries** (``?node=``, ``/node/<label>``) route to the
+  owning shard group and pass the worker's payload through untouched.
+* **Sweeps** (``/cardinality``, ``/closeness``) fan to every group in
+  shard order and concatenate: each node lives on exactly one shard
+  and workers emit rows in global id order, so concatenation *is* the
+  single-index row order, value-for-value bit-identical.
+* **``/top-central``** k-way merges the per-group top-``count`` rows
+  by re-ranking the union with the same
+  :func:`~repro.centrality.closeness.top_k_central_nodes` comparator
+  (value, then node ``repr`` -- the documented tie-break).  The global
+  top-count is always a subset of the union of per-group top-counts,
+  so the merge is exact, not approximate (:func:`merge_top_central`).
+* **``/neighborhood``** chains the seeded ``POST /nf-chain``
+  accumulation through the groups in shard order, then prefix-sums --
+  replaying the single-index float-op sequence exactly (see
+  :meth:`~repro.ads.index.AdsIndex.accumulate_neighborhood_jumps`).
+* **``POST /update``** is two-phase: validate at the router, refuse
+  unless every non-stale replica of every group is up, apply the
+  batch to *every* replica (full-index workers apply deterministically
+  and stay converged; a replica that misses a committed batch is
+  quarantined ``stale``), and only then grow the router's label
+  directory and invalidate its cache.  The fan-out runs under the
+  router's exclusive write lock, so no concurrent read ever observes
+  a torn cross-shard view.
+
+Failover: replicas are health-checked (periodic ``/healthz`` probes
+plus per-RPC outcomes -- see :mod:`repro.serve.membership`).  A
+transport fault, 5xx, or malformed wire frame marks the replica down
+and the call retries the next candidate; a 4xx is a *worker answer*
+and propagates to the client verbatim.  When a whole group is
+unreachable the router sheds with a structured
+``503 shard [start, stop) unavailable: ...`` -- never a hang, never a
+partial merge.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import quote
+
+from repro._util import require
+from repro.centrality.closeness import top_k_central_nodes
+from repro.serve.aio import AsyncTransport
+from repro.serve.client import ServeClientError
+from repro.serve.membership import (
+    STATE_DOWN,
+    STATE_UP,
+    ClusterMembership,
+    Replica,
+    ShardGroup,
+)
+from repro.serve.schemas import (
+    WireError,
+    bad_request,
+    centrality_kwargs,
+    coerce_edge_labels,
+    conflict,
+    json_safe_number,
+    parse_bool,
+    parse_edges,
+    parse_float,
+    parse_int,
+    resolve_node,
+    resolve_nodes,
+)
+from repro.serve.server import ServerBase, _batch_float
+
+#: ``((start, stop_or_None), [replica_url, ...])`` -- one shard group.
+GroupSpec = Tuple[Tuple[int, Optional[int]], Sequence[str]]
+
+
+class LabelDirectory:
+    """The router's label -> global-node-id map.
+
+    Duck-types the slice of the index surface the schemas layer needs
+    (``__contains__`` for :func:`~repro.serve.schemas.resolve_node`,
+    :meth:`label_type` for edge coercion), so the router validates
+    requests with *exactly* the worker's code paths -- refusals stay
+    byte-identical to a single server's.  Grown in worker interning
+    order when updates append nodes (first occurrence of each new
+    endpoint label, u before v, edge by edge).
+    """
+
+    def __init__(self, labels: Sequence[Any]):
+        self._labels: List[Any] = list(labels)
+        self._ids: Dict[Any, int] = {
+            label: i for i, label in enumerate(self._labels)
+        }
+        require(
+            len(self._ids) == len(self._labels),
+            "node labels must be unique",
+        )
+        require(len(self._labels) >= 1, "a cluster needs >= 1 node")
+
+    def __contains__(self, label: Any) -> bool:
+        return label in self._ids
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def id_of(self, label: Any) -> int:
+        return self._ids[label]
+
+    def label_type(self) -> Optional[type]:
+        """Same uniformity rule as ``AdsIndex.label_type``: ``int`` if
+        every label is a non-bool int, ``str`` if every label is a
+        str, else ``None`` (mixed -- no coercion)."""
+        if all(
+            isinstance(label, int) and not isinstance(label, bool)
+            for label in self._labels
+        ):
+            return int
+        if all(isinstance(label, str) for label in self._labels):
+            return str
+        return None
+
+    def append(self, label: Any) -> bool:
+        """Intern *label* if unseen; True when it was new."""
+        if label in self._ids:
+            return False
+        self._ids[label] = len(self._labels)
+        self._labels.append(label)
+        return True
+
+
+def merge_top_central(
+    group_results: Sequence[Sequence[Sequence[Any]]],
+    count: int,
+    largest: bool = True,
+) -> List[List[Any]]:
+    """Exact k-way merge of per-shard ``/top-central`` rows.
+
+    Each group submits its own top-``count`` ``[label, value]`` rows.
+    Every node lives on exactly one shard, so any node in the global
+    top-``count`` is necessarily in its own shard's top-``count`` --
+    the union of the per-group rows always contains the global answer.
+    Re-selecting from that union with
+    :func:`~repro.centrality.closeness.top_k_central_nodes` applies
+    the *same* comparator a single index uses (value first, node
+    ``repr`` as the tie-break), so the merged ranking -- order
+    included -- is bit-identical to the single-index result.
+
+    Example:
+        >>> merge_top_central(
+        ...     [[["a", 0.5], ["b", 0.25]], [["c", 0.5], ["d", 0.75]]],
+        ...     count=3,
+        ... )
+        [['d', 0.75], ['a', 0.5], ['c', 0.5]]
+    """
+    candidates: Dict[Any, float] = {}
+    for rows in group_results:
+        for label, value in rows:
+            candidates[label] = value
+    return [
+        [label, value]
+        for label, value in top_k_central_nodes(
+            candidates, count, largest=largest
+        )
+    ]
+
+
+class RouterServer(ServerBase):
+    """Fan-out router over a sharded worker cluster.
+
+    Serves the exact single-server API (same endpoints, same payload
+    bytes, same refusal messages) by delegating to shard workers; see
+    the module docstring for merge and failover semantics.
+
+    Args:
+        labels: Every node label in global id order (``index.nodes()``
+            of the full index; ``repro route`` reads them from the
+            index header without materialising sketches).
+        groups: Shard groups as ``((start, stop), [url, ...])`` pairs.
+            Ranges must tile ``[0, len(labels))`` contiguously in
+            order; the last group's stop is treated as open-ended so
+            it also owns nodes appended by updates.  Every URL in a
+            group is a replica serving that same range.
+        host / port / cache_size / threads / wire_mode: As on
+            :class:`~repro.serve.server.AdsServer` (the router carries
+            its own LRU for merged sweep results, keyed identically).
+        rpc_timeout: Socket timeout per worker RPC -- the bound that
+            turns a hung worker into a failover.
+        rpc_wire: ``"binary"`` (default) or ``"json"`` worker RPCs;
+            both round-trip floats exactly.
+        probe_interval: Seconds between background ``/healthz`` probes
+            of every non-stale replica (``0`` disables; per-RPC
+            outcomes still mark replicas down/up).
+        writable: Accept ``POST /update`` / ``/compact`` and fan them
+            to every replica.  Requires workers started with their
+            graphs (eager indexes); leave False for mmap deployments.
+        fanout_workers: Thread-pool size for parallel group RPCs.
+
+    Example:
+        >>> from repro.graph import path_graph
+        >>> from repro.ads import AdsIndex
+        >>> from repro.serve import AdsServer, QueryClient
+        >>> index = AdsIndex.build(path_graph(6).to_csr(), k=4)
+        >>> w0 = AdsServer(index, node_range=(0, 3)).start()
+        >>> w1 = AdsServer(index, node_range=(3, None)).start()
+        >>> router = RouterServer(
+        ...     index.nodes(),
+        ...     [((0, 3), [w0.url]), ((3, None), [w1.url])],
+        ... )
+        >>> with router:
+        ...     QueryClient(router.url).cardinality(node=0, d=1.0)["value"]
+        2.0
+        >>> w0.shutdown(); w1.shutdown()
+    """
+
+    def __init__(
+        self,
+        labels: Sequence[Any],
+        groups: Sequence[GroupSpec],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 256,
+        threads: int = 8,
+        wire_mode: str = "auto",
+        rpc_timeout: float = 10.0,
+        rpc_wire: str = "binary",
+        probe_interval: float = 0.0,
+        writable: bool = False,
+        fanout_workers: Optional[int] = None,
+    ):
+        require(
+            rpc_wire in ("binary", "json"),
+            f"rpc_wire must be 'binary' or 'json', got {rpc_wire!r}",
+        )
+        require(
+            rpc_timeout > 0, f"rpc_timeout must be > 0, got {rpc_timeout}"
+        )
+        self._directory = LabelDirectory(labels)
+        self.rpc_timeout = float(rpc_timeout)
+        self.rpc_wire = rpc_wire
+        self.probe_interval = float(probe_interval)
+        self.writable = bool(writable)
+        built = []
+        for position, ((start, stop), urls) in enumerate(groups):
+            if position == len(groups) - 1:
+                # Open-ended: the last group also owns appended nodes.
+                require(
+                    stop is None or stop == len(self._directory),
+                    f"last shard range must end at {len(self._directory)}"
+                    f" (or None), got {stop}",
+                )
+                stop = None
+            built.append(ShardGroup(start, stop, [
+                Replica(url, timeout=self.rpc_timeout, wire_mode=rpc_wire)
+                for url in urls
+            ]))
+        self._membership = ClusterMembership(built)
+        self._groups = self._membership.groups
+        self._fan_outs = 0
+        self._failovers = 0
+        if fanout_workers is None:
+            fanout_workers = max(4, min(32, int(threads) * len(built)))
+        self._fanout_pool = ThreadPoolExecutor(
+            max_workers=fanout_workers,
+            thread_name_prefix="repro-route-fanout",
+        )
+        super().__init__(
+            host=host, port=port, cache_size=cache_size,
+            threads=threads, wire_mode=wire_mode,
+        )
+        self._membership.start_probes(self.probe_interval)
+
+    def _build_routes(self):
+        return {
+            "/healthz": (self._healthz, ("GET",)),
+            "/stats": (self._stats, ("GET",)),
+            "/cardinality": (self._cardinality, ("GET", "POST")),
+            "/closeness": (self._closeness, ("GET", "POST")),
+            "/neighborhood": (self._neighborhood, ("GET",)),
+            "/top-central": (self._top_central, ("GET",)),
+            "/update": (self._update, ("POST",)),
+            "/compact": (self._compact, ("POST",)),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._membership.close()
+        self._fanout_pool.shutdown(wait=False)
+        super().close()
+
+    # Test/operator hook: pin every group's next candidate to replica 0.
+    def reset_round_robin(self) -> None:
+        self._membership.reset_round_robin()
+
+    # ------------------------------------------------------------------
+    # RPC core: failover + fan-out
+    # ------------------------------------------------------------------
+    def _call_group(
+        self,
+        group: ShardGroup,
+        method: str,
+        path: str,
+        params: Optional[Dict[str, Any]] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """One shard-group RPC with replica failover.
+
+        * 4xx from a worker: the worker *answered* -- a refusal, not a
+          fault.  Re-raised as the same status/message, so the client
+          sees bytes identical to a single server's refusal.
+        * Transport fault, 5xx, or a malformed wire frame (a 200 whose
+          body does not decode -- e.g. truncated mid-frame): the
+          replica is marked down and the next candidate is tried.
+        * All candidates exhausted: a structured 503 naming the shard
+          range, so callers know *which* rows are unavailable.
+        """
+        last_error: Any = "no replica configured"
+        for replica in group.candidates():
+            try:
+                result = replica.call(
+                    method, path, params=params, payload=payload
+                )
+            except ServeClientError as error:
+                status = error.status
+                if status is not None and 400 <= status < 500:
+                    raise WireError(status, error.message)
+                replica.mark_down(error)
+                with self._counter_lock:
+                    self._failovers += 1
+                last_error = error
+                continue
+            if replica.state != STATE_UP:
+                # A marked-down replica answered: passive recovery.
+                replica.mark_up()
+            return result
+        raise WireError(
+            503,
+            f"shard {group.describe_range(len(self._directory))} "
+            f"unavailable: no replica answered ({last_error})",
+        )
+
+    def _fan_out(
+        self, requests: Sequence[Tuple]
+    ) -> List[Dict[str, Any]]:
+        """Run ``(group, method, path, params, payload)`` RPCs in
+        parallel; raises (preferring a worker refusal over a shard
+        outage) unless every group answered -- a partial merge is
+        never returned."""
+        with self._counter_lock:
+            self._fan_outs += 1
+        if len(requests) == 1:
+            return [self._call_group(*requests[0])]
+        futures = [
+            self._fanout_pool.submit(self._call_group, *request)
+            for request in requests
+        ]
+        results: List[Dict[str, Any]] = []
+        errors: List[BaseException] = []
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as error:
+                errors.append(error)
+        if errors:
+            for error in errors:
+                if (
+                    isinstance(error, WireError)
+                    and 400 <= error.status < 500
+                ):
+                    raise error
+            raise errors[0]
+        return results
+
+    def _owner_group(self, label: Any) -> ShardGroup:
+        return self._membership.group_for(
+            self._directory.id_of(label), len(self._directory)
+        )
+
+    def _gather(
+        self, path: str, params: Dict[str, str]
+    ) -> List[List[Any]]:
+        """Fan a sweep to every group in shard order and concatenate
+        the row lists (global node-id order by construction)."""
+        payloads = self._fan_out([
+            (group, "GET", path, params, None) for group in self._groups
+        ])
+        merged: List[List[Any]] = []
+        for payload in payloads:
+            merged.extend(payload["results"])
+        return merged
+
+    def _scatter_batch(
+        self,
+        path: str,
+        labels: Sequence[Any],
+        make_payload,
+    ) -> List[Any]:
+        """Batch POST: split *labels* by owning group, query groups in
+        parallel, reassemble values in request order."""
+        per_group: Dict[int, Tuple[ShardGroup, List[int]]] = {}
+        for position, label in enumerate(labels):
+            group = self._owner_group(label)
+            per_group.setdefault(id(group), (group, []))[1].append(
+                position
+            )
+        requests, slots = [], []
+        for group, positions in per_group.values():
+            requests.append((
+                group, "POST", path, None,
+                make_payload([labels[p] for p in positions]),
+            ))
+            slots.append(positions)
+        responses = self._fan_out(requests)
+        values: List[Any] = [None] * len(labels)
+        for positions, payload in zip(slots, responses):
+            for position, row in zip(positions, payload["results"]):
+                values[position] = row[1]
+        return values
+
+    # ------------------------------------------------------------------
+    # Read endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self, params, body) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "nodes": len(self._directory),
+            "saturation": round(self._saturation(), 6),
+        }
+
+    def _stats(self, params, body) -> Dict[str, Any]:
+        with self._counter_lock:
+            requests, internal = self._requests, self._internal_errors
+            updates = self._updates_applied
+            fan_outs, failovers = self._fan_outs, self._failovers
+        index_stats, pending = self._probe_index_stats()
+        return {
+            "requests": requests,
+            "internal_errors": internal,
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "threads": self.threads,
+            "transport": self._transport_stats(),
+            "cache": self.cache.stats(),
+            "updates": {
+                "writable": self.writable,
+                "applied_batches": updates,
+                "pending_batches": pending,
+            },
+            "index": index_stats,
+            "cluster": {
+                "groups": self._membership.snapshot(
+                    len(self._directory)
+                ),
+                "rpc": {
+                    "wire": self.rpc_wire,
+                    "timeout_seconds": self.rpc_timeout,
+                    "probe_interval": self.probe_interval,
+                    "fan_outs": fan_outs,
+                    "failovers": failovers,
+                },
+            },
+        }
+
+    def _probe_index_stats(self) -> Tuple[Dict[str, Any], int]:
+        """Index metadata passthrough from group 0 (every worker holds
+        the full index, so its totals are the cluster's); degraded
+        shape rather than an error when no replica answers."""
+        try:
+            stats = self._call_group(self._groups[0], "GET", "/stats")
+        except WireError as error:
+            return (
+                {"nodes": len(self._directory),
+                 "unavailable": error.message},
+                0,
+            )
+        index_stats = dict(stats.get("index") or {})
+        index_stats.pop("node_range", None)
+        pending = stats.get("updates", {}).get("pending_batches", 0)
+        return index_stats, pending
+
+    def _node_summary(self, raw: str) -> Dict[str, Any]:
+        if not raw:
+            raise bad_request("/node/<label> requires a label")
+        label = resolve_node(self._directory, raw)
+        return self._call_group(
+            self._owner_group(label),
+            "GET",
+            f"/node/{quote(str(label), safe='')}",
+        )
+
+    def _cardinality(self, params, body) -> Dict[str, Any]:
+        if body is not None:
+            d = _batch_float(body, "d", math.inf)
+            labels = resolve_nodes(self._directory, body.get("nodes"))
+            values = self._scatter_batch(
+                "/cardinality", labels,
+                lambda group_labels: {"nodes": group_labels, "d": d},
+            )
+            return {
+                "d": json_safe_number(d),
+                "results": [
+                    [label, value]
+                    for label, value in zip(labels, values)
+                ],
+            }
+        d = parse_float(params, "d", math.inf)
+        if "node" in params:
+            label = resolve_node(self._directory, params["node"])
+            return self._call_group(
+                self._owner_group(label),
+                "GET", "/cardinality", params=params,
+            )
+        if d == math.inf:
+            results, cached = self._cached(
+                ("/cardinality", d),
+                lambda: self._gather("/cardinality", params),
+            )
+        else:
+            results = self._gather("/cardinality", params)
+            cached = False
+        return {"d": json_safe_number(d), "results": results,
+                "cached": cached}
+
+    def _closeness(self, params, body) -> Dict[str, Any]:
+        if body is not None:
+            string_params = {
+                name: str(body[name])
+                for name in ("kind", "half_life") if name in body
+            }
+            centrality_kwargs(string_params)  # refusal parity
+            labels = resolve_nodes(self._directory, body.get("nodes"))
+
+            def make_payload(group_labels):
+                payload: Dict[str, Any] = {"nodes": group_labels}
+                for name in ("kind", "half_life"):
+                    if name in body:
+                        payload[name] = body[name]
+                return payload
+
+            values = self._scatter_batch(
+                "/closeness", labels, make_payload
+            )
+            return {
+                "kind": string_params.get("kind", "classic"),
+                "results": [
+                    [label, value]
+                    for label, value in zip(labels, values)
+                ],
+            }
+        centrality_kwargs(params)  # refusal parity before any RPC
+        if "node" in params:
+            label = resolve_node(self._directory, params["node"])
+            return self._call_group(
+                self._owner_group(label),
+                "GET", "/closeness", params=params,
+            )
+        results, cached = self._cached(
+            ("/closeness",) + self._centrality_key(params),
+            lambda: self._gather("/closeness", params),
+        )
+        return {"kind": params.get("kind", "classic"),
+                "results": results, "cached": cached}
+
+    def _neighborhood(self, params, body) -> Dict[str, Any]:
+        if "node" in params:
+            label = resolve_node(self._directory, params["node"])
+            return self._call_group(
+                self._owner_group(label),
+                "GET", "/neighborhood", params=params,
+            )
+        series, cached = self._cached(
+            ("/neighborhood",), self._chain_neighborhood
+        )
+        return {"series": series, "cached": cached}
+
+    def _chain_neighborhood(self) -> List[List[float]]:
+        """Sequential seeded accumulation through the groups in shard
+        order, then one prefix sum -- the single-index ANF float-op
+        sequence, replayed distributedly (see module docstring)."""
+        jumps: List[List[float]] = []
+        for group in self._groups:
+            jumps = self._call_group(
+                group, "POST", "/nf-chain", payload={"seed": jumps}
+            )["jumps"]
+        series: List[List[float]] = []
+        running = 0.0
+        for distance, weight in jumps:
+            running += weight
+            series.append([distance, running])
+        return series
+
+    def _top_central(self, params, body) -> Dict[str, Any]:
+        count = parse_int(params, "count", 10, minimum=1)
+        largest = parse_bool(params, "largest", True)
+        centrality_kwargs(params)  # refusal parity before any RPC
+        results, cached = self._cached(
+            ("/top-central", count, largest)
+            + self._centrality_key(params),
+            lambda: merge_top_central(
+                [
+                    payload["results"]
+                    for payload in self._fan_out([
+                        (group, "GET", "/top-central", params, None)
+                        for group in self._groups
+                    ])
+                ],
+                count,
+                largest=largest,
+            ),
+        )
+        return {
+            "kind": params.get("kind", "classic"),
+            "count": count,
+            "largest": largest,
+            "results": results,
+            "cached": cached,
+        }
+
+    # ------------------------------------------------------------------
+    # Write endpoints (two-phase, under the router's exclusive lock)
+    # ------------------------------------------------------------------
+    def _require_writable(self) -> None:
+        if not self.writable:
+            raise conflict(
+                "cluster is read-only: start the router with --writable "
+                "(and the workers with their graphs) to accept updates"
+            )
+
+    def _require_full_membership(self, action: str) -> None:
+        """Writes need every non-stale replica reachable: a replica
+        that misses a batch diverges permanently (it would be
+        quarantined), so refusing up front is the cheaper failure."""
+        for group in self._groups:
+            # Down replicas block writes; stale ones are already
+            # quarantined out of the cluster and don't count.
+            absent = [
+                r for r in group.replicas if r.state == STATE_DOWN
+            ]
+            if absent:
+                raise WireError(
+                    503,
+                    f"cluster {action} requires full membership; shard "
+                    f"{group.describe_range(len(self._directory))} has "
+                    f"{len(absent)} unavailable replica(s)",
+                )
+
+    def _fan_write(
+        self,
+        path: str,
+        payload: Dict[str, Any],
+        action: str,
+        compare_results: bool = True,
+    ) -> Dict[str, Any]:
+        """Apply a write to every replica of every group, in shard
+        order (phase one of two -- the caller commits router state
+        only after this returns).
+
+        Failure rules:
+
+        * The very first call fails: nothing has been applied
+          anywhere, the cluster is unchanged -- propagate (worker
+          refusals keep their status/message verbatim).
+        * A later call fails: that replica missed a batch its peers
+          committed -- quarantine it ``stale`` and continue.
+        * A group ends with zero successful replicas: 500; that shard
+          range lost every copy of this batch.
+        """
+        first_result: Optional[Dict[str, Any]] = None
+        for group in self._groups:
+            applied = 0
+            for replica in group.replicas:
+                if replica.state != STATE_UP:
+                    continue
+                try:
+                    result = replica.call("POST", path, payload=payload)
+                except ServeClientError as error:
+                    if first_result is None:
+                        # A refusal (>=400) propagates verbatim; a
+                        # transport fault or torn 200 frame is an
+                        # outage, not an answer.
+                        if (
+                            error.status is not None
+                            and error.status >= 400
+                        ):
+                            raise WireError(error.status, error.message)
+                        replica.mark_down(error)
+                        raise WireError(
+                            503,
+                            f"cluster {action} failed before any apply "
+                            f"({error}); cluster unchanged",
+                        )
+                    replica.mark_stale(f"missed {action} ({error})")
+                    with self._counter_lock:
+                        self._failovers += 1
+                    continue
+                if first_result is None:
+                    first_result = result
+                elif compare_results and result != first_result:
+                    # Deterministic apply means identical payloads; a
+                    # divergent answer is a divergent index.  (Compact
+                    # replies legitimately differ -- each worker
+                    # reports its own flush path -- so that fan sets
+                    # compare_results=False.)
+                    replica.mark_stale(
+                        f"divergent {action} result"
+                    )
+                    continue
+                applied += 1
+            if applied == 0:
+                raise WireError(
+                    500,
+                    "cluster degraded: shard "
+                    f"{group.describe_range(len(self._directory))} "
+                    f"lost every replica during {action}; restart its "
+                    "workers from a compacted index",
+                )
+        assert first_result is not None
+        return first_result
+
+    def _update(self, params, body) -> Dict[str, Any]:
+        self._require_writable()
+        # Validate with the worker's own schema layer (byte-identical
+        # refusals) before touching any replica.
+        edges = coerce_edge_labels(
+            self._directory, parse_edges(body),
+            label_type=self._directory.label_type(),
+        )
+        self._require_full_membership("update")
+        result = self._fan_write(
+            "/update",
+            {"edges": [list(edge) for edge in edges]},
+            "update",
+        )
+        # Phase two: every replica holds the batch -- commit the
+        # router's view.  New labels intern exactly as CSRGraph
+        # interns them (first occurrence, u before v, edge order), so
+        # directory ids keep matching worker node ids.
+        for edge in edges:
+            self._directory.append(edge[0])
+            self._directory.append(edge[1])
+        self.cache.clear()
+        with self._counter_lock:
+            self._updates_applied += 1
+        return result
+
+    def _compact(self, params, body) -> Dict[str, Any]:
+        self._require_writable()
+        if body and "path" in body:
+            raise bad_request(
+                "compact always flushes to the server's own index path; "
+                "a client-writable destination is not accepted"
+            )
+        self._require_full_membership("compact")
+        # Every worker flushes to its *own* index path; the first
+        # group's first replica speaks for the cluster in the reply.
+        return self._fan_write(
+            "/compact", {}, "compact", compare_results=False
+        )
+
+
+class AsyncRouterServer(AsyncTransport, RouterServer):
+    """The fan-out router on the asyncio pipelined transport.
+
+    Same routing/merge/failover layer as :class:`RouterServer`;
+    worker RPCs dispatch synchronously from the event loop (the
+    router's work per request is merging, not computing), so this
+    flavor trades per-request transport overhead for head-of-line
+    blocking under slow workers -- the threaded router is the default
+    deployment and ``rpc_timeout`` bounds the stall either way.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence[Any],
+        groups: Sequence[GroupSpec],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 256,
+        max_in_flight: int = 256,
+        wire_mode: str = "auto",
+        **kwargs: Any,
+    ):
+        self._init_async_transport(max_in_flight)
+        super().__init__(
+            labels, groups, host=host, port=port,
+            cache_size=cache_size, threads=1, wire_mode=wire_mode,
+            **kwargs,
+        )
+
+
+__all__ = [
+    "AsyncRouterServer",
+    "LabelDirectory",
+    "RouterServer",
+    "merge_top_central",
+]

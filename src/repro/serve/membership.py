@@ -1,0 +1,348 @@
+"""Cluster membership: replicas, shard groups, and health probing.
+
+The cluster router (:mod:`repro.serve.cluster`) answers every query by
+calling workers over HTTP.  This module holds the *who-is-alive*
+bookkeeping that makes those calls resilient:
+
+* :class:`Replica` -- one worker endpoint with a pooled binary-wire
+  client and a three-state health machine::
+
+      up ---(probe/RPC failure)---> down ---(probe success)---> up
+      up/down --(missed a committed update batch)--> stale  [terminal]
+
+  ``stale`` is a quarantine, not an outage: the replica answered (or
+  may answer) but its index *content* diverged from the cluster --
+  serving it would return confidently wrong floats.  Health probes
+  never revive a stale replica; an operator restarts it from a
+  compacted index.
+
+* :class:`ShardGroup` -- the replica set owning one contiguous global
+  node-id range ``[start, stop)`` (``stop=None`` leaves the last group
+  open-ended so it also owns nodes appended by updates).  Healthy
+  replicas are tried round-robin; marked-down replicas are kept as a
+  last resort, which doubles as a passive recovery probe.
+
+* :class:`ClusterMembership` -- the ordered, contiguity-checked list
+  of groups, owner lookup by global node id, and the periodic
+  ``/healthz`` prober.
+
+Example:
+    >>> replica = Replica("http://127.0.0.1:1")
+    >>> replica.state
+    'up'
+    >>> replica.mark_down("connect refused")
+    >>> replica.mark_up()
+    >>> replica.state
+    'up'
+    >>> replica.mark_stale("missed update batch")
+    >>> replica.mark_up()  # stale is terminal
+    >>> replica.state
+    'stale'
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro._util import require
+from repro.serve.client import QueryClient, ServeClientError
+
+STATE_UP = "up"
+STATE_DOWN = "down"
+STATE_STALE = "stale"
+
+
+class Replica:
+    """One worker endpoint: pooled wire client + health state machine.
+
+    Args:
+        url: The worker's base URL.
+        timeout: Per-RPC socket timeout in seconds; this is what turns
+            a hung worker into a failover instead of a stuck router.
+        wire_mode: RPC encoding -- ``"binary"`` (default) round-trips
+            floats exactly over :mod:`repro.serve.wire`; ``"json"``
+            is exact too (repr round-trip) but slower.
+        pool_size: Keep-alive clients retained between calls.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 10.0,
+        wire_mode: str = "binary",
+        pool_size: int = 16,
+    ):
+        self.url = url
+        self.timeout = float(timeout)
+        self.wire_mode = wire_mode
+        self.state = STATE_UP
+        self.failures = 0
+        self.last_error: Optional[str] = None
+        self._lock = threading.Lock()
+        self._pool: "queue.LifoQueue[QueryClient]" = queue.LifoQueue(
+            maxsize=pool_size
+        )
+
+    # -- RPC -----------------------------------------------------------
+    def call(
+        self,
+        method: str,
+        path: str,
+        params: Optional[Dict[str, Any]] = None,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """One RPC through a pooled keep-alive client.
+
+        Raises :class:`~repro.serve.client.ServeClientError` exactly as
+        :class:`~repro.serve.client.QueryClient` does; the caller (the
+        router) decides which errors mean *failover* and which mean
+        *propagate*.
+        """
+        client = self._acquire()
+        try:
+            result = client._request(method, path, params=params,
+                                     payload=payload)
+        except ServeClientError as error:
+            if error.status is not None and error.status >= 400:
+                # The worker answered an HTTP refusal; the connection
+                # itself is fine, keep it pooled.
+                self._release(client)
+            else:
+                # Transport fault or a malformed 200: the connection is
+                # suspect, drop it.
+                client.close()
+            raise
+        except BaseException:
+            client.close()
+            raise
+        self._release(client)
+        return result
+
+    def _acquire(self) -> QueryClient:
+        try:
+            return self._pool.get_nowait()
+        except queue.Empty:
+            return QueryClient(
+                self.url, timeout=self.timeout, wire_mode=self.wire_mode
+            )
+
+    def _release(self, client: QueryClient) -> None:
+        try:
+            self._pool.put_nowait(client)
+        except queue.Full:
+            client.close()
+
+    # -- health state machine ------------------------------------------
+    def mark_down(self, error: Any) -> None:
+        with self._lock:
+            if self.state == STATE_UP:
+                self.state = STATE_DOWN
+            self.failures += 1
+            self.last_error = str(error)
+
+    def mark_up(self) -> None:
+        """Recover ``down -> up``; ``stale`` is terminal (see module
+        docstring) and never revived here."""
+        with self._lock:
+            if self.state == STATE_DOWN:
+                self.state = STATE_UP
+
+    def mark_stale(self, reason: Any) -> None:
+        with self._lock:
+            self.state = STATE_STALE
+            self.last_error = str(reason)
+
+    def probe(self) -> bool:
+        """One ``/healthz`` round trip; updates the health state.
+
+        Any HTTP answer -- even a refusal -- proves the worker is
+        alive and routable; only transport faults and 5xx count as
+        down.
+        """
+        try:
+            self.call("GET", "/healthz")
+        except ServeClientError as error:
+            if error.status is not None and 400 <= error.status < 500:
+                self.mark_up()
+                return True
+            self.mark_down(error)
+            return False
+        except Exception as error:  # pragma: no cover - defensive
+            self.mark_down(error)
+            return False
+        self.mark_up()
+        return True
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "url": self.url,
+                "state": self.state,
+                "failures": self.failures,
+                "last_error": self.last_error,
+            }
+
+    def close(self) -> None:
+        while True:
+            try:
+                self._pool.get_nowait().close()
+            except queue.Empty:
+                return
+
+
+class ShardGroup:
+    """The replica set owning global node-id range ``[start, stop)``."""
+
+    def __init__(
+        self,
+        start: int,
+        stop: Optional[int],
+        replicas: Sequence[Replica],
+    ):
+        require(start >= 0, f"shard start must be >= 0, got {start}")
+        if stop is not None:
+            require(
+                stop > start,
+                f"shard stop must exceed start, got [{start}, {stop})",
+            )
+        require(len(replicas) >= 1, "a shard group needs >= 1 replica")
+        self.start = int(start)
+        self.stop = None if stop is None else int(stop)
+        self.replicas: List[Replica] = list(replicas)
+        self._rr = 0
+        self._lock = threading.Lock()
+
+    def describe_range(self, total: int) -> str:
+        stop = total if self.stop is None else self.stop
+        return f"[{self.start}, {stop})"
+
+    def owns(self, node_id: int, total: int) -> bool:
+        stop = total if self.stop is None else self.stop
+        return self.start <= node_id < stop
+
+    def candidates(self) -> List[Replica]:
+        """Replicas in try order for one request.
+
+        Healthy replicas first, rotated round-robin so read load
+        spreads; marked-down replicas follow as a last resort (if one
+        answers, the router marks it back up -- a passive recovery
+        probe).  Stale replicas never appear: their content diverged.
+        """
+        with self._lock:
+            offset = self._rr
+            self._rr += 1
+        up = [r for r in self.replicas if r.state == STATE_UP]
+        down = [r for r in self.replicas if r.state == STATE_DOWN]
+        if up:
+            pivot = offset % len(up)
+            up = up[pivot:] + up[:pivot]
+        return up + down
+
+    def all_up(self) -> bool:
+        return all(r.state == STATE_UP for r in self.replicas)
+
+    def reset_round_robin(self) -> None:
+        """Pin the next candidate order to replica 0 (test determinism)."""
+        with self._lock:
+            self._rr = 0
+
+    def snapshot(self, total: int) -> Dict[str, Any]:
+        return {
+            "start": self.start,
+            "stop": self.stop,
+            "range": self.describe_range(total),
+            "replicas": [r.snapshot() for r in self.replicas],
+        }
+
+    def close(self) -> None:
+        for replica in self.replicas:
+            replica.close()
+
+
+class ClusterMembership:
+    """Ordered shard groups + owner lookup + the health prober."""
+
+    def __init__(self, groups: Sequence[ShardGroup]):
+        require(len(groups) >= 1, "a cluster needs >= 1 shard group")
+        expected = 0
+        for position, group in enumerate(groups):
+            require(
+                group.start == expected,
+                "shard groups must tile the node-id space contiguously: "
+                f"group {position} starts at {group.start}, "
+                f"expected {expected}",
+            )
+            last = position == len(groups) - 1
+            require(
+                last or group.stop is not None,
+                "only the last shard group may be open-ended",
+            )
+            if group.stop is not None:
+                expected = group.stop
+        self.groups: List[ShardGroup] = list(groups)
+        self._starts = [group.start for group in self.groups]
+        self._probe_stop = threading.Event()
+        self._probe_thread: Optional[threading.Thread] = None
+
+    def group_for(self, node_id: int, total: int) -> ShardGroup:
+        group = self.groups[bisect_right(self._starts, node_id) - 1]
+        require(
+            group.owns(node_id, total),
+            f"node id {node_id} outside every shard range",
+        )
+        return group
+
+    def all_up(self) -> bool:
+        return all(group.all_up() for group in self.groups)
+
+    def reset_round_robin(self) -> None:
+        for group in self.groups:
+            group.reset_round_robin()
+
+    def probe_all(self) -> None:
+        for group in self.groups:
+            for replica in group.replicas:
+                if replica.state != STATE_STALE:
+                    replica.probe()
+
+    def start_probes(self, interval: float) -> None:
+        """Probe every non-stale replica each ``interval`` seconds on a
+        daemon thread (``interval <= 0`` disables probing)."""
+        if interval <= 0 or self._probe_thread is not None:
+            return
+
+        def loop() -> None:
+            while not self._probe_stop.wait(interval):
+                self.probe_all()
+
+        self._probe_thread = threading.Thread(
+            target=loop, name="repro-route-probe", daemon=True
+        )
+        self._probe_thread.start()
+
+    def stop_probes(self) -> None:
+        self._probe_stop.set()
+        if self._probe_thread is not None:
+            self._probe_thread.join(timeout=5.0)
+            self._probe_thread = None
+
+    def snapshot(self, total: int) -> List[Dict[str, Any]]:
+        return [group.snapshot(total) for group in self.groups]
+
+    def close(self) -> None:
+        self.stop_probes()
+        for group in self.groups:
+            group.close()
+
+
+__all__ = [
+    "STATE_DOWN",
+    "STATE_STALE",
+    "STATE_UP",
+    "ClusterMembership",
+    "Replica",
+    "ShardGroup",
+]

@@ -70,6 +70,7 @@ from typing import Union
 
 from repro._util import require
 from repro.ads.index import AdsIndex
+from repro.centrality.closeness import top_k_central_nodes
 from repro.errors import ReproError
 from repro.serve import wire
 from repro.serve.cache import LruCache
@@ -197,68 +198,31 @@ class _AdsRequestHandler(BaseHTTPRequestHandler):
         """Silence per-request stderr chatter; /stats has the counters."""
 
 
-class AdsServer:
-    """The serving daemon: routing, caching, and counters over an index.
+class ServerBase:
+    """Transport, dispatch, caching, and counter chassis for servers.
 
-    Args:
-        index: The sketch index to serve.
-        host / port: Bind address; ``port=0`` picks a free port, read it
-            back from :attr:`port`.
-        cache_size: LRU capacity for whole-graph query results
-            (``0`` disables caching).
-        threads: Worker-thread pool size.  Each request thread may
-            itself fan a batch query out across the index's kernel
-            workers, so the server caps the product at
-            ``KERNEL_BUDGET_FACTOR x cpu_count`` concurrent kernel
-            tasks -- an index wired for more workers than
-            ``(KERNEL_BUDGET_FACTOR * cpu_count) // threads`` is
-            re-wired down at construction (results are bit-identical;
-            only the fan-out changes).  The effective count is reported
-            as ``index.kernel_workers`` in ``/stats``.
-        graph: The index's :class:`~repro.graph.csr.CSRGraph` (same
-            labels, same id order).  Enables ``POST /update``; without
-            it the index is served read-only and updates answer 409.
-        index_path: Where the served index lives on disk; the
-            ``POST /compact`` destination.
-        graph_path: Where the graph's edge list lives; ``POST
-            /compact`` rewrites it alongside the index (node order
-            pinned), so a restarted server loads a graph that matches
-            -- a stale edge list would make post-restart updates
-            silently diverge from a rebuild.
-        wire_mode: ``"auto"`` (default) answers binary to clients that
-            send ``Accept: application/x-repro-wire`` and JSON to
-            everyone else; ``"json"`` pins every response to JSON
-            regardless of the Accept header.
-
-    Example:
-        >>> from repro.graph import path_graph
-        >>> from repro.ads import AdsIndex
-        >>> server = AdsServer(AdsIndex.build(path_graph(4).to_csr(), k=4))
-        >>> with server:  # starts a background thread, shuts down on exit
-        ...     from repro.serve.client import QueryClient
-        ...     QueryClient(server.url).cardinality(node=0, d=1.0)["value"]
-        2.0
+    Everything about *serving HTTP* -- the pooled threaded transport,
+    the transport-agnostic :meth:`handle_request` funnel, the
+    read/write lock discipline around ``/update`` and ``/compact``,
+    the LRU result cache, and the request/error/shed counters -- lives
+    here, independent of *what* is being served.  Two daemons build on
+    it: :class:`AdsServer` answers queries from a local
+    :class:`~repro.ads.index.AdsIndex`, and
+    :class:`repro.serve.cluster.RouterServer` answers the same API by
+    fanning out to a sharded cluster of workers.  Subclasses implement
+    :meth:`_build_routes` (path -> handler table) and
+    :meth:`_node_summary`.
     """
 
     # Paths that take the exclusive side of the read/write lock.
     _WRITE_PATHS = frozenset({"/update", "/compact"})
 
-    # Oversubscription budget: at most this many concurrent kernel
-    # tasks per CPU across all request threads (2 keeps cores busy
-    # while one task waits on page faults without thrashing the
-    # scheduler; see ARCHITECTURE.md "Parallel kernel execution").
-    KERNEL_BUDGET_FACTOR = 2
-
     def __init__(
         self,
-        index: AdsIndex,
         host: str = "127.0.0.1",
         port: int = 0,
         cache_size: int = 256,
         threads: int = 8,
-        graph=None,
-        index_path: Optional[Union[str, Path]] = None,
-        graph_path: Optional[Union[str, Path]] = None,
         wire_mode: str = "auto",
     ):
         require(threads >= 1, f"threads must be >= 1, got {threads}")
@@ -266,28 +230,9 @@ class AdsServer:
             wire_mode in ("auto", "json"),
             f"wire_mode must be 'auto' or 'json', got {wire_mode!r}",
         )
-        if graph is not None and graph.nodes() != index.nodes():
-            raise ReproError(
-                "graph/index mismatch: the attached graph must carry "
-                "exactly the index's node labels in id order"
-            )
-        self.index = index
-        self.graph = graph
-        self.index_path = (
-            Path(index_path) if index_path is not None else None
-        )
-        self.graph_path = (
-            Path(graph_path) if graph_path is not None else None
-        )
-        # Computed once: coerce_edge_labels would otherwise scan every
-        # label per update, under the exclusive lock.  Sound to cache
-        # because coercion rejects any label that would break type
-        # uniformity, so the type can never change over updates.
-        self._label_type = index.label_type()
         self.cache = LruCache(cache_size)
         self.threads = int(threads)
         self.wire_mode = wire_mode
-        self.kernel_workers = self._cap_kernel_workers()
         # Monotonic, not wall-clock: /stats uptime must survive a
         # wall-clock step (NTP correction, DST) without going negative.
         self.started_at = time.monotonic()
@@ -299,43 +244,18 @@ class AdsServer:
         self._rw_lock = ReadWriteLock()
         self._thread: Optional[threading.Thread] = None
         self._serving = threading.Event()
-        self._routes = {
-            "/healthz": (self._healthz, ("GET",)),
-            "/stats": (self._stats, ("GET",)),
-            "/cardinality": (self._cardinality, ("GET", "POST")),
-            "/closeness": (self._closeness, ("GET", "POST")),
-            "/neighborhood": (self._neighborhood, ("GET",)),
-            "/top-central": (self._top_central, ("GET",)),
-            "/update": (self._update, ("POST",)),
-            "/compact": (self._compact, ("POST",)),
-        }
+        self._routes = self._build_routes()
         self._open_transport(host, port)
 
+    def _build_routes(self):
+        """Path -> ``(handler, allowed_methods)`` table; per subclass."""
+        raise NotImplementedError
+
     def _open_transport(self, host: str, port: int) -> None:
-        """Bind the transport; the asyncio subclass overrides this."""
+        """Bind the transport; the asyncio mixin overrides this."""
         self._httpd = _PooledHTTPServer(
             (host, port), _AdsRequestHandler, self, self.threads
         )
-
-    def _cap_kernel_workers(self) -> int:
-        """Cap request-threads x kernel-workers oversubscription.
-
-        The product of concurrently running request threads and each
-        one's kernel fan-out must not exceed
-        ``KERNEL_BUDGET_FACTOR * cpu_count``; an index wired hotter
-        than the per-thread budget is re-wired down (same floats,
-        smaller fan-out).  Returns the effective kernel worker count.
-        """
-        workers = getattr(self.index, "kernel_workers", 1)
-        cap = max(
-            1,
-            (self.KERNEL_BUDGET_FACTOR * (os.cpu_count() or 1))
-            // self.threads,
-        )
-        if workers > cap:
-            self.index.set_kernel_workers(cap)
-            workers = self.index.kernel_workers
-        return workers
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -360,7 +280,7 @@ class AdsServer:
         finally:
             self._serving.clear()
 
-    def start(self) -> "AdsServer":
+    def start(self) -> "ServerBase":
         """Serve on a daemon background thread (tests, examples, embeds)."""
         if self._thread is None:
             self._thread = threading.Thread(
@@ -397,7 +317,7 @@ class AdsServer:
         """
         self._httpd.server_close()
 
-    def __enter__(self) -> "AdsServer":
+    def __enter__(self) -> "ServerBase":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
@@ -586,18 +506,6 @@ class AdsServer:
             return 200, target(params, body)
         return 200, target(params, None)
 
-    # ------------------------------------------------------------------
-    # Endpoints
-    # ------------------------------------------------------------------
-    def _healthz(self, params, body) -> Dict[str, Any]:
-        # saturation: 0.0 idle .. 1.0 fully backed up -- the signal a
-        # load balancer reads to steer traffic before sheds start.
-        return {
-            "status": "ok",
-            "nodes": self.index.num_nodes,
-            "saturation": round(self._saturation(), 6),
-        }
-
     def _saturation(self) -> float:
         """Queued-work fill fraction (transport-specific)."""
         work = self._httpd._work
@@ -617,11 +525,218 @@ class AdsServer:
             "queue_capacity": work.maxsize,
         }
 
+    def _cached(self, key: Tuple, compute) -> Tuple[Any, bool]:
+        """Memoise a whole-graph result under a *parsed*-value key, so
+        ``?d=2`` and ``?d=2.0`` (or spelled-out defaults) share one
+        entry instead of fragmenting the LRU."""
+        return self.cache.get_or_compute(key, compute)
+
+    @staticmethod
+    def _centrality_key(params: Dict[str, str]) -> Tuple[str, Any]:
+        """Canonical (kind, half_life) pair: half_life only matters for
+        the decay kernel, so other kinds collapse it to None."""
+        kind = params.get("kind", "classic")
+        half_life = (
+            parse_float(params, "half_life", 1.0)
+            if kind == "decay" else None
+        )
+        return kind, half_life
+
+    def _node_summary(self, raw: str) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class AdsServer(ServerBase):
+    """The serving daemon: routing, caching, and counters over an index.
+
+    Args:
+        index: The sketch index to serve.
+        host / port: Bind address; ``port=0`` picks a free port, read it
+            back from :attr:`port`.
+        cache_size: LRU capacity for whole-graph query results
+            (``0`` disables caching).
+        threads: Worker-thread pool size.  Each request thread may
+            itself fan a batch query out across the index's kernel
+            workers, so the server caps the product at
+            ``KERNEL_BUDGET_FACTOR x cpu_count`` concurrent kernel
+            tasks -- an index wired for more workers than
+            ``(KERNEL_BUDGET_FACTOR * cpu_count) // threads`` is
+            re-wired down at construction (results are bit-identical;
+            only the fan-out changes).  The effective count is reported
+            as ``index.kernel_workers`` in ``/stats``.
+        graph: The index's :class:`~repro.graph.csr.CSRGraph` (same
+            labels, same id order).  Enables ``POST /update``; without
+            it the index is served read-only and updates answer 409.
+        index_path: Where the served index lives on disk; the
+            ``POST /compact`` destination.
+        graph_path: Where the graph's edge list lives; ``POST
+            /compact`` rewrites it alongside the index (node order
+            pinned), so a restarted server loads a graph that matches
+            -- a stale edge list would make post-restart updates
+            silently diverge from a rebuild.
+        wire_mode: ``"auto"`` (default) answers binary to clients that
+            send ``Accept: application/x-repro-wire`` and JSON to
+            everyone else; ``"json"`` pins every response to JSON
+            regardless of the Accept header.
+        node_range: ``(start, stop)`` global node-id range this worker
+            *sweeps* -- the cluster shard-worker mode.  Single-node
+            lookups still answer for any label (the router only sends
+            a worker its own nodes, but a stray query is answered, not
+            wrong), while the all-nodes endpoints (``/cardinality``,
+            ``/closeness``, ``/top-central``, ``/neighborhood``,
+            ``POST /nf-chain``) cover exactly rows ``[start, stop)``.
+            ``stop=None`` leaves the range open-ended so the last shard
+            group also owns nodes appended by later updates.  A worker
+            over a sharded mmap layout only ever touches (and thus
+            only ever maps) the shard files its range intersects.
+
+    Example:
+        >>> from repro.graph import path_graph
+        >>> from repro.ads import AdsIndex
+        >>> server = AdsServer(AdsIndex.build(path_graph(4).to_csr(), k=4))
+        >>> with server:  # starts a background thread, shuts down on exit
+        ...     from repro.serve.client import QueryClient
+        ...     QueryClient(server.url).cardinality(node=0, d=1.0)["value"]
+        2.0
+    """
+
+    # Oversubscription budget: at most this many concurrent kernel
+    # tasks per CPU across all request threads (2 keeps cores busy
+    # while one task waits on page faults without thrashing the
+    # scheduler; see ARCHITECTURE.md "Parallel kernel execution").
+    KERNEL_BUDGET_FACTOR = 2
+
+    def __init__(
+        self,
+        index: AdsIndex,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 256,
+        threads: int = 8,
+        graph=None,
+        index_path: Optional[Union[str, Path]] = None,
+        graph_path: Optional[Union[str, Path]] = None,
+        wire_mode: str = "auto",
+        node_range: Optional[Tuple[int, Optional[int]]] = None,
+    ):
+        if graph is not None and graph.nodes() != index.nodes():
+            raise ReproError(
+                "graph/index mismatch: the attached graph must carry "
+                "exactly the index's node labels in id order"
+            )
+        self.index = index
+        self.graph = graph
+        self.index_path = (
+            Path(index_path) if index_path is not None else None
+        )
+        self.graph_path = (
+            Path(graph_path) if graph_path is not None else None
+        )
+        # Computed once: coerce_edge_labels would otherwise scan every
+        # label per update, under the exclusive lock.  Sound to cache
+        # because coercion rejects any label that would break type
+        # uniformity, so the type can never change over updates.
+        self._label_type = index.label_type()
+        self.node_range = self._validate_node_range(node_range)
+        super().__init__(
+            host=host, port=port, cache_size=cache_size,
+            threads=threads, wire_mode=wire_mode,
+        )
+        # After super().__init__: the cap needs self.threads, and no
+        # request can arrive before start()/serve_forever anyway.
+        self.kernel_workers = self._cap_kernel_workers()
+
+    def _build_routes(self):
+        return {
+            "/healthz": (self._healthz, ("GET",)),
+            "/stats": (self._stats, ("GET",)),
+            "/cardinality": (self._cardinality, ("GET", "POST")),
+            "/closeness": (self._closeness, ("GET", "POST")),
+            "/neighborhood": (self._neighborhood, ("GET",)),
+            "/top-central": (self._top_central, ("GET",)),
+            "/nf-chain": (self._nf_chain, ("POST",)),
+            "/update": (self._update, ("POST",)),
+            "/compact": (self._compact, ("POST",)),
+        }
+
+    def _validate_node_range(
+        self, value: Optional[Tuple[int, Optional[int]]]
+    ) -> Optional[Tuple[int, Optional[int]]]:
+        if value is None:
+            return None
+        start, stop = value
+        start = int(start)
+        n = self.index.num_nodes
+        require(
+            0 <= start < n,
+            f"node_range start must be in [0, {n}), got {start}",
+        )
+        if stop is not None:
+            stop = int(stop)
+            require(
+                start < stop <= n,
+                f"node_range stop must be in ({start}, {n}], got {stop}",
+            )
+        return (start, stop)
+
+    def _range_bounds(self) -> Tuple[int, int]:
+        """The node-id rows this worker sweeps, as concrete bounds."""
+        if self.node_range is None:
+            return 0, self.index.num_nodes
+        start, stop = self.node_range
+        return start, (self.index.num_nodes if stop is None else stop)
+
+    def _cap_kernel_workers(self) -> int:
+        """Cap request-threads x kernel-workers oversubscription.
+
+        The product of concurrently running request threads and each
+        one's kernel fan-out must not exceed
+        ``KERNEL_BUDGET_FACTOR * cpu_count``; an index wired hotter
+        than the per-thread budget is re-wired down (same floats,
+        smaller fan-out).  Returns the effective kernel worker count.
+        """
+        workers = getattr(self.index, "kernel_workers", 1)
+        cap = max(
+            1,
+            (self.KERNEL_BUDGET_FACTOR * (os.cpu_count() or 1))
+            // self.threads,
+        )
+        if workers > cap:
+            self.index.set_kernel_workers(cap)
+            workers = self.index.kernel_workers
+        return workers
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _healthz(self, params, body) -> Dict[str, Any]:
+        # saturation: 0.0 idle .. 1.0 fully backed up -- the signal a
+        # load balancer reads to steer traffic before sheds start.
+        return {
+            "status": "ok",
+            "nodes": self.index.num_nodes,
+            "saturation": round(self._saturation(), 6),
+        }
+
     def _stats(self, params, body) -> Dict[str, Any]:
         index = self.index
         with self._counter_lock:
             requests, internal = self._requests, self._internal_errors
             updates = self._updates_applied
+        index_stats = {
+            "flavor": index.flavor,
+            "k": index.k,
+            "nodes": index.num_nodes,
+            "entries": index.num_entries,
+            "mmap": index.mmap_backed,
+            "mapped_shards": index.mapped_shards,
+            "backend": index.backend,
+            "kernel_workers": getattr(index, "kernel_workers", 1),
+        }
+        if self.node_range is not None:
+            # Shard-worker mode: report the sweep range so a router (or
+            # an operator) can see which rows this worker owns.
+            index_stats["node_range"] = list(self.node_range)
         return {
             "requests": requests,
             "internal_errors": internal,
@@ -634,16 +749,7 @@ class AdsServer:
                 "applied_batches": updates,
                 "pending_batches": len(index.delta_log),
             },
-            "index": {
-                "flavor": index.flavor,
-                "k": index.k,
-                "nodes": index.num_nodes,
-                "entries": index.num_entries,
-                "mmap": index.mmap_backed,
-                "mapped_shards": index.mapped_shards,
-                "backend": index.backend,
-                "kernel_workers": getattr(index, "kernel_workers", 1),
-            },
+            "index": index_stats,
         }
 
     # -- write endpoints -----------------------------------------------
@@ -716,22 +822,97 @@ class AdsServer:
             info["graph_path"] = str(self.graph_path)
         return info
 
-    def _cached(self, key: Tuple, compute) -> Tuple[Any, bool]:
-        """Memoise a whole-graph result under a *parsed*-value key, so
-        ``?d=2`` and ``?d=2.0`` (or spelled-out defaults) share one
-        entry instead of fragmenting the LRU."""
-        return self.cache.get_or_compute(key, compute)
+    # -- sweep helpers (node_range-aware) ------------------------------
+    #
+    # A full-index worker uses the batch kernel paths; a shard worker
+    # sweeps its rows through the per-node query methods, which the
+    # index documents as bit-identical to the batch kernels.  Both
+    # produce rows in global node-id order, so a router concatenating
+    # contiguous ranges reproduces the single-index ordering exactly.
+    def _sweep_cardinality(self, d: float):
+        if self.node_range is None:
+            return label_value_pairs(self.index.cardinality_at(d))
+        start, stop = self._range_bounds()
+        labels = self.index.nodes()[start:stop]
+        values = self.index.nodes_cardinality_at(labels, d)
+        return [[label, value] for label, value in zip(labels, values)]
 
-    @staticmethod
-    def _centrality_key(params: Dict[str, str]) -> Tuple[str, Any]:
-        """Canonical (kind, half_life) pair: half_life only matters for
-        the decay kernel, so other kinds collapse it to None."""
-        kind = params.get("kind", "classic")
-        half_life = (
-            parse_float(params, "half_life", 1.0)
-            if kind == "decay" else None
-        )
-        return kind, half_life
+    def _sweep_closeness(self, kwargs):
+        if self.node_range is None:
+            return label_value_pairs(
+                self.index.closeness_centrality(**kwargs)
+            )
+        start, stop = self._range_bounds()
+        return [
+            [label, self.index.node_closeness_centrality(label, **kwargs)]
+            for label in self.index.nodes()[start:stop]
+        ]
+
+    def _sweep_top_central(self, count: int, largest: bool, kwargs):
+        if self.node_range is None:
+            return [
+                [label, value]
+                for label, value in self.index.top_central(
+                    count, largest=largest, **kwargs
+                )
+            ]
+        start, stop = self._range_bounds()
+        values = {
+            label: self.index.node_closeness_centrality(label, **kwargs)
+            for label in self.index.nodes()[start:stop]
+        }
+        return [
+            [label, value]
+            for label, value in top_k_central_nodes(
+                values, count, largest=largest
+            )
+        ]
+
+    def _sweep_neighborhood(self):
+        if self.node_range is None:
+            return series_pairs(self.index.neighborhood_function())
+        start, stop = self._range_bounds()
+        jumps = self.index.accumulate_neighborhood_jumps({}, start, stop)
+        series, running = [], 0.0
+        for d in sorted(jumps):
+            running += jumps[d]
+            series.append([d, running])
+        return series
+
+    def _nf_chain(self, params, body) -> Dict[str, Any]:
+        """Seeded ANF accumulation (``POST /nf-chain``) for routers.
+
+        Body: ``{"seed": [[distance, weight_sum], ...]}`` -- the
+        running per-distance sums from the preceding shard ranges
+        (empty or omitted for the first).  The worker folds its own
+        rows on top (see
+        :meth:`~repro.ads.index.AdsIndex.accumulate_neighborhood_jumps`)
+        and returns the updated sums sorted by distance.  Chaining the
+        groups in shard order and prefix-summing the final jumps
+        replays the single-index ANF float-op sequence exactly.
+        """
+        seed = body.get("seed", [])
+        if not isinstance(seed, list):
+            raise bad_request(
+                "seed must be an array of [distance, weight] pairs"
+            )
+        jumps: Dict[float, float] = {}
+        for pair in seed:
+            if (
+                not isinstance(pair, (list, tuple))
+                or len(pair) != 2
+                or any(
+                    isinstance(x, bool) or not isinstance(x, (int, float))
+                    for x in pair
+                )
+            ):
+                raise bad_request(
+                    "seed must be an array of [distance, weight] pairs"
+                )
+            jumps[float(pair[0])] = float(pair[1])
+        start, stop = self._range_bounds()
+        self.index.accumulate_neighborhood_jumps(jumps, start, stop)
+        return {"jumps": [[d, jumps[d]] for d in sorted(jumps)]}
 
     def _cardinality(self, params, body) -> Dict[str, Any]:
         if body is not None:
@@ -761,10 +942,10 @@ class AdsServer:
             # request off the (once-materialised) prefix sums.
             results, cached = self._cached(
                 ("/cardinality", d),
-                lambda: label_value_pairs(self.index.cardinality_at(d)),
+                lambda: self._sweep_cardinality(d),
             )
         else:
-            results = label_value_pairs(self.index.cardinality_at(d))
+            results = self._sweep_cardinality(d)
             cached = False
         return {"d": json_safe_number(d), "results": results,
                 "cached": cached}
@@ -797,9 +978,7 @@ class AdsServer:
             }
         results, cached = self._cached(
             ("/closeness",) + self._centrality_key(params),
-            lambda: label_value_pairs(
-                self.index.closeness_centrality(**kwargs)
-            ),
+            lambda: self._sweep_closeness(kwargs),
         )
         return {"kind": params.get("kind", "classic"), "results": results,
                 "cached": cached}
@@ -815,7 +994,7 @@ class AdsServer:
             }
         series, cached = self._cached(
             ("/neighborhood",),
-            lambda: series_pairs(self.index.neighborhood_function()),
+            self._sweep_neighborhood,
         )
         return {"series": series, "cached": cached}
 
@@ -825,12 +1004,7 @@ class AdsServer:
         kwargs = centrality_kwargs(params)
         results, cached = self._cached(
             ("/top-central", count, largest) + self._centrality_key(params),
-            lambda: [
-                [label, value]
-                for label, value in self.index.top_central(
-                    count, largest=largest, **kwargs
-                )
-            ],
+            lambda: self._sweep_top_central(count, largest, kwargs),
         )
         return {
             "kind": params.get("kind", "classic"),

@@ -35,6 +35,12 @@ class TestParser:
              "--cache-size", "64", "--threads", "2"],
             ["serve", "--index", "g.adsidx", "--no-mmap",
              "--graph", "g.txt"],
+            ["serve", "--index", "g.adsidx", "--cluster", "0:500"],
+            ["route", "--index", "g.adsidx",
+             "--group", "http://127.0.0.1:8081",
+             "--group", "http://127.0.0.1:8082,http://127.0.0.1:8083",
+             "--rpc-timeout", "2.5", "--probe-interval", "0",
+             "--writable"],
             ["update-index", "g.adsidx", "--graph", "g.txt",
              "--edges", "new.txt"],
             ["update-index", "g.adsidx", "--graph", "g.txt",
@@ -343,6 +349,57 @@ class TestErrorPaths:
             ["serve", "--index", str(target), "--cache-size", "-1"]
         ) == 2
         assert "--cache-size" in capsys.readouterr().err
+
+    def test_serve_rejects_malformed_cluster_range(self, tmp_path,
+                                                   capsys):
+        target = tmp_path / "x.adsidx"
+        target.write_bytes(b"")
+        for spec in ("5", ":10", "a:b"):
+            assert main(
+                ["serve", "--index", str(target), "--cluster", spec]
+            ) == 2
+            assert "--cluster" in capsys.readouterr().err
+
+    def test_route_missing_index(self, tmp_path, capsys):
+        assert main([
+            "route", "--index", str(tmp_path / "missing.adsidx"),
+            "--group", "http://127.0.0.1:1",
+        ]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_route_rejects_bad_parameters(self, tmp_path, capsys):
+        target = tmp_path / "x.adsidx"
+        target.write_bytes(b"")
+        base = ["route", "--index", str(target),
+                "--group", "http://127.0.0.1:1"]
+        assert main(base + ["--threads", "0"]) == 2
+        assert "--threads" in capsys.readouterr().err
+        assert main(base + ["--rpc-timeout", "0"]) == 2
+        assert "--rpc-timeout" in capsys.readouterr().err
+        assert main([
+            "route", "--index", str(target), "--group", ",",
+        ]) == 2
+        assert "at least one URL" in capsys.readouterr().err
+        # Pinning some groups' ranges but not others is ambiguous.
+        assert main([
+            "route", "--index", str(target),
+            "--group", "0:5=http://127.0.0.1:1",
+            "--group", "http://127.0.0.1:2",
+        ]) == 2
+        assert "all groups or none" in capsys.readouterr().err
+
+    def test_route_group_spec_parsing(self):
+        from repro.cli import _parse_group
+
+        assert _parse_group("http://h:1,http://h:2") == (
+            None, ["http://h:1", "http://h:2"]
+        )
+        assert _parse_group("0:500=http://h:1") == (
+            (0, 500), ["http://h:1"]
+        )
+        assert _parse_group("500:=http://h:1,http://h:2") == (
+            (500, None), ["http://h:1", "http://h:2"]
+        )
 
 
 class TestDistinctCount:

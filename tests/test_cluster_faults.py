@@ -1,0 +1,272 @@
+"""Fault injection against the cluster router.
+
+The contract under test (ISSUE 8): when replicas fail, the router
+**degrades or sheds, never lies and never hangs** --
+
+* a replica lost mid-batch fails over to a survivor and the response
+  stays bit-identical to the single-index answer;
+* losing every replica of a shard is a *structured* 503 naming the
+  unavailable node range, returned promptly (bounded by connect
+  failure or ``rpc_timeout``, not a hang);
+* a hung worker costs at most ``rpc_timeout``;
+* a truncated wire frame -- a well-formed HTTP 200 carrying a torn
+  binary payload -- is detected at decode, treated as an outage, and
+  failed over exactly like a crash;
+* health probes bring recovered replicas back (``down -> up``), but
+  never revive a replica that missed a committed update batch
+  (``stale`` is terminal quarantine);
+* writes refuse up front (503) unless every non-stale replica is
+  reachable, so a partial apply can't silently fork the cluster.
+
+Faults are injected through :class:`cluster_harness.FaultProxy`, an
+HTTP-aware relay, so each test controls exactly which RPC fails and
+how.
+"""
+
+import time
+
+import pytest
+
+from cluster_harness import start_cluster
+from repro.ads import AdsIndex
+from repro.graph import barabasi_albert_graph
+from repro.graph.csr import CSRGraph
+from repro.serve import QueryClient, ServeClientError
+from repro.serve.membership import STATE_DOWN, STATE_STALE, STATE_UP
+
+
+@pytest.fixture(scope="module")
+def index():
+    graph = barabasi_albert_graph(90, 3, seed=11).to_csr()
+    return AdsIndex.build(graph, 8)
+
+
+def _replica(cluster, group, position):
+    return cluster.router._membership.groups[group].replicas[position]
+
+
+class TestReplicaFailover:
+    def test_killed_replica_fails_over_bit_identically(self, index):
+        # Two replicas per shard; kill group 0's first replica, then
+        # force the router to try it first.  The fan-out must land on
+        # the survivor and the merged sweep must still equal the
+        # single-index floats exactly.
+        with start_cluster(
+            index, workers=2, replicas=2, proxy=True, cache_size=0,
+            rpc_timeout=5.0,
+        ) as cluster:
+            cluster.proxies[0].kill()
+            cluster.router.reset_round_robin()
+            with cluster.client() as client:
+                response = client.cardinality(d=2.0)
+            assert dict(
+                (label, value) for label, value in response["results"]
+            ) == index.cardinality_at(2.0)
+            assert _replica(cluster, 0, 0).state == STATE_DOWN
+            with cluster.client() as client:
+                stats = client.stats()
+            assert stats["cluster"]["rpc"]["failovers"] >= 1
+
+    def test_connection_dropped_mid_request_fails_over(self, index):
+        # kill_next closes the socket while the RPC is in flight --
+        # the router sees a torn connection, not a refused connect.
+        with start_cluster(
+            index, workers=2, replicas=2, proxy=True, cache_size=0,
+            rpc_timeout=5.0,
+        ) as cluster:
+            cluster.proxies[0].mode = "kill_next"
+            cluster.router.reset_round_robin()
+            with cluster.client() as client:
+                response = client.closeness(kind="classic")
+            assert dict(
+                (label, value) for label, value in response["results"]
+            ) == index.closeness_centrality(classic=True)
+
+    def test_truncated_wire_frame_is_failover_not_garbage(self, index):
+        # The proxy answers 200 OK with the body cut to 10 bytes and a
+        # matching Content-Length: HTTP framing is valid, the binary
+        # payload is torn.  The router must detect it at decode, mark
+        # the replica down, and serve the survivor's exact answer.
+        with start_cluster(
+            index, workers=2, replicas=2, proxy=True, cache_size=0,
+            rpc_timeout=5.0,
+        ) as cluster:
+            cluster.proxies[0].mode = "truncate:10"
+            cluster.router.reset_round_robin()
+            with cluster.client() as client:
+                response = client.cardinality(d=3.0)
+            assert dict(
+                (label, value) for label, value in response["results"]
+            ) == index.cardinality_at(3.0)
+            assert _replica(cluster, 0, 0).state == STATE_DOWN
+
+    def test_hung_worker_costs_at_most_rpc_timeout(self, index):
+        # blackhole reads the request and never answers.  Only the
+        # router's rpc_timeout bounds the stall; the survivor then
+        # answers and the client never sees the fault.
+        with start_cluster(
+            index, workers=2, replicas=2, proxy=True, cache_size=0,
+            rpc_timeout=1.0,
+        ) as cluster:
+            cluster.proxies[0].mode = "blackhole"
+            cluster.router.reset_round_robin()
+            started = time.monotonic()
+            with cluster.client() as client:
+                response = client.cardinality(d=2.0)
+            elapsed = time.monotonic() - started
+            assert dict(
+                (label, value) for label, value in response["results"]
+            ) == index.cardinality_at(2.0)
+            assert elapsed < 5.0
+            assert _replica(cluster, 0, 0).state == STATE_DOWN
+
+
+class TestShardOutage:
+    def test_only_owner_killed_is_structured_503_not_hang(self, index):
+        # One replica per shard: killing group 0's worker makes nodes
+        # [0, 45) unservable.  The router must shed with a 503 that
+        # names the range -- promptly, and without poisoning queries
+        # that only touch the surviving shard.
+        with start_cluster(
+            index, workers=2, replicas=1, proxy=True, cache_size=0,
+            rpc_timeout=2.0,
+        ) as cluster:
+            cluster.proxies[0].kill()
+            started = time.monotonic()
+            with cluster.client() as client:
+                with pytest.raises(ServeClientError) as excinfo:
+                    client.cardinality(d=2.0)
+                assert excinfo.value.status == 503
+                assert "shard [0, 45) unavailable" in str(excinfo.value)
+                assert time.monotonic() - started < 10.0
+                # The surviving shard still answers single-node hits.
+                assert client.cardinality(node=80, d=2.0)[
+                    "value"
+                ] == index.node_cardinality_at(80, 2.0)
+
+    def test_sweep_never_returns_a_partial_merge(self, index):
+        # A dead shard mid-fan-out must never yield a "sweep" missing
+        # 45 nodes: it's the full merge or a 503.
+        with start_cluster(
+            index, workers=3, replicas=1, proxy=True, cache_size=0,
+            rpc_timeout=2.0,
+        ) as cluster:
+            cluster.proxies[1].kill()
+            with cluster.client() as client:
+                with pytest.raises(ServeClientError) as excinfo:
+                    client.closeness()
+                assert excinfo.value.status == 503
+                with pytest.raises(ServeClientError):
+                    client.neighborhood()
+                with pytest.raises(ServeClientError):
+                    client.top_central(count=5)
+
+
+class TestRecovery:
+    def test_probe_marks_recovered_replica_back_up(self, index):
+        with start_cluster(
+            index, workers=1, replicas=2, proxy=True, cache_size=0,
+            rpc_timeout=1.0,
+        ) as cluster:
+            cluster.proxies[0].mode = "refuse"
+            cluster.router.reset_round_robin()
+            with cluster.client() as client:
+                client.cardinality(d=2.0)  # trips the mark-down
+            assert _replica(cluster, 0, 0).state == STATE_DOWN
+            cluster.proxies[0].mode = "pass"
+            cluster.router._membership.probe_all()
+            assert _replica(cluster, 0, 0).state == STATE_UP
+
+    def test_down_replica_serves_as_last_resort(self, index):
+        # Both replicas marked down (e.g. a probe blip): the router
+        # must still *try* them rather than shed -- a down mark is a
+        # hint, not a verdict.
+        with start_cluster(
+            index, workers=1, replicas=2, proxy=True, cache_size=0,
+        ) as cluster:
+            _replica(cluster, 0, 0).mark_down("probe blip")
+            _replica(cluster, 0, 1).mark_down("probe blip")
+            with cluster.client() as client:
+                response = client.cardinality(d=2.0)
+            assert dict(
+                (label, value) for label, value in response["results"]
+            ) == index.cardinality_at(2.0)
+            # Answering marked it back up (passive recovery).
+            states = {
+                _replica(cluster, 0, p).state for p in (0, 1)
+            }
+            assert STATE_UP in states
+
+
+def _chain_graph(n):
+    return CSRGraph.from_edges(
+        [(i, i + 1) for i in range(n - 1)], nodes=range(n)
+    )
+
+
+class TestWriteFaults:
+    def test_update_refuses_without_full_membership(self, tmp_path):
+        graph = _chain_graph(24)
+        index = AdsIndex.build(graph, 4)
+        with start_cluster(
+            index, workers=2, replicas=1, graph=graph,
+            tmp_path=tmp_path, proxy=True, cache_size=0,
+            rpc_timeout=2.0,
+        ) as cluster:
+            cluster.proxies[1].mode = "refuse"
+            with cluster.client() as client:
+                # A read against the broken shard marks it down...
+                with pytest.raises(ServeClientError):
+                    client.cardinality(node=20, d=1.0)
+                # ...and the write then refuses up front: nothing was
+                # applied anywhere, the cluster state is untouched.
+                with pytest.raises(ServeClientError) as excinfo:
+                    client.update([[0, 23]])
+                assert excinfo.value.status == 503
+                assert "full membership" in str(excinfo.value)
+                assert "[12, 24)" in str(excinfo.value)
+                # Heal the shard: the same batch applies cleanly.
+                cluster.proxies[1].mode = "pass"
+                cluster.router._membership.probe_all()
+                result = client.update([[0, 23]])
+                assert result["applied_arcs"] == 2
+
+    def test_replica_missing_a_batch_is_quarantined_stale(
+        self, tmp_path
+    ):
+        graph = _chain_graph(24)
+        index = AdsIndex.build(graph, 4)
+        with start_cluster(
+            index, workers=1, replicas=2, graph=graph,
+            tmp_path=tmp_path, proxy=True, cache_size=0,
+            rpc_timeout=2.0,
+        ) as cluster:
+            with cluster.client() as client:
+                client.update([[0, 23]])
+                # Replica 1 dies between the precheck and its apply:
+                # its peers commit the batch, it doesn't.
+                cluster.proxies[1].mode = "refuse"
+                client.update([[0, 12]])
+            assert _replica(cluster, 0, 1).state == STATE_STALE
+            # Recovery does NOT revive it: its index content diverged.
+            cluster.proxies[1].mode = "pass"
+            cluster.router._membership.probe_all()
+            assert _replica(cluster, 0, 1).state == STATE_STALE
+            # Reads keep flowing from the converged replica, and its
+            # answers reflect both batches.
+            with cluster.client() as client:
+                value = client.cardinality(node=0, d=1.0)["value"]
+            assert value == cluster.index.node_cardinality_at(0, 1.0)
+            snapshot = cluster.router._membership.snapshot(24)
+            states = [
+                replica["state"]
+                for replica in snapshot[0]["replicas"]
+            ]
+            assert states.count(STATE_STALE) == 1
+
+    def test_read_only_cluster_refuses_writes_with_409(self, index):
+        with start_cluster(index, workers=2) as cluster:
+            with cluster.client() as client:
+                with pytest.raises(ServeClientError) as excinfo:
+                    client.update([[0, 1]])
+                assert excinfo.value.status == 409

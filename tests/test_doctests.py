@@ -17,7 +17,9 @@ import repro.ads
 import repro.ads.index
 import repro.cli
 import repro.serve.cache
+import repro.serve.cluster
 import repro.serve.locks
+import repro.serve.membership
 import repro.serve.server
 
 MODULES = (
@@ -26,7 +28,9 @@ MODULES = (
     repro.ads.index,
     repro.cli,
     repro.serve.cache,
+    repro.serve.cluster,
     repro.serve.locks,
+    repro.serve.membership,
     repro.serve.server,
 )
 

@@ -39,11 +39,19 @@ def index():
     return AdsIndex.build(graph, 8, family=HashFamily(4))
 
 
-@pytest.fixture(scope="module", params=["threaded", "async"])
+@pytest.fixture(scope="module", params=["threaded", "async", "cluster"])
 def server(index, request):
     # Every endpoint/error/concurrency test in this module runs against
-    # BOTH transports: they share routing via handle_request, and this
-    # fixture is what holds them to it.
+    # all three deployment flavors: both single-server transports share
+    # routing via handle_request, and the sharded cluster router must
+    # answer the identical API byte-for-byte (exact merges, worker
+    # passthrough) -- this fixture is what holds all of them to it.
+    if request.param == "cluster":
+        from cluster_harness import start_cluster
+
+        with start_cluster(index, workers=2, cache_size=16) as cluster:
+            yield cluster
+        return
     if request.param == "async":
         factory = AsyncAdsServer(index, port=0, cache_size=16)
     else:
@@ -675,6 +683,143 @@ class TestClientRetrySemantics:
                 client.update([[0, 5]])
                 after = client.stats()["updates"]
                 assert after["applied_batches"] == before + 1
+
+
+class _SheddingServer(threading.Thread):
+    """A raw-socket stand-in that sheds the first *sheds* requests.
+
+    Each shed is a full ``503 {"error": "overloaded"}`` response with
+    a ``Retry-After`` header -- exactly what the real server emits
+    when its worker queue is full -- then it recovers and serves 200s.
+    """
+
+    def __init__(self, sheds, retry_after="0.01"):
+        super().__init__(daemon=True)
+        self.sock = socket.create_server(("127.0.0.1", 0))
+        self.port = self.sock.getsockname()[1]
+        self.requests = 0
+        self._sheds = sheds
+        self._retry_after = retry_after
+        self._lock = threading.Lock()
+
+    def url(self):
+        return f"http://127.0.0.1:{self.port}"
+
+    def run(self):
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._handle, args=(conn,), daemon=True
+            ).start()
+
+    def close(self):
+        self.sock.close()
+
+    def _handle(self, conn):
+        with conn:
+            while True:
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        return
+                    data += chunk
+                with self._lock:
+                    self.requests += 1
+                    shed = self.requests <= self._sheds
+                if shed:
+                    body = b'{"error": "overloaded"}'
+                    conn.sendall(
+                        b"HTTP/1.1 503 Service Unavailable\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Retry-After: "
+                        + self._retry_after.encode() + b"\r\n"
+                        b"Content-Length: "
+                        + str(len(body)).encode() + b"\r\n\r\n" + body
+                    )
+                else:
+                    body = b'{"status": "ok"}'
+                    conn.sendall(
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: "
+                        + str(len(body)).encode() + b"\r\n\r\n" + body
+                    )
+
+
+class TestRetriesOnShed:
+    def test_shed_propagates_by_default(self):
+        # Opt-in semantics: without retries_on_shed a 503 surfaces
+        # immediately -- existing callers keep their own backoff.
+        shedding = _SheddingServer(sheds=1)
+        shedding.start()
+        try:
+            with QueryClient(shedding.url()) as client:
+                with pytest.raises(ServeClientError) as excinfo:
+                    client.healthz()
+                assert excinfo.value.status == 503
+                assert excinfo.value.retry_after == 0.01
+            assert shedding.requests == 1
+        finally:
+            shedding.close()
+
+    def test_retries_honor_retry_after_then_succeed(self):
+        shedding = _SheddingServer(sheds=2)
+        shedding.start()
+        try:
+            with QueryClient(
+                shedding.url(), retries_on_shed=3
+            ) as client:
+                assert client.healthz() == {"status": "ok"}
+            assert shedding.requests == 3  # 2 sheds + 1 success
+        finally:
+            shedding.close()
+
+    def test_retry_after_is_capped(self):
+        # A server asking for an hour of backoff must not stall the
+        # client: the sleep is clamped to max_retry_after.
+        shedding = _SheddingServer(sheds=1, retry_after="3600")
+        shedding.start()
+        try:
+            started = time.monotonic()
+            with QueryClient(
+                shedding.url(), retries_on_shed=1, max_retry_after=0.05
+            ) as client:
+                assert client.healthz() == {"status": "ok"}
+            assert time.monotonic() - started < 5.0
+        finally:
+            shedding.close()
+
+    def test_budget_exhausted_raises_the_503(self):
+        shedding = _SheddingServer(sheds=10)
+        shedding.start()
+        try:
+            with QueryClient(
+                shedding.url(), retries_on_shed=2
+            ) as client:
+                with pytest.raises(ServeClientError) as excinfo:
+                    client.healthz()
+                assert excinfo.value.status == 503
+            assert shedding.requests == 3  # initial try + 2 retries
+        finally:
+            shedding.close()
+
+    def test_writes_also_retry_sheds_safely(self):
+        # A shed is sent *instead of* dispatching the request, so
+        # retrying a POST /update after a 503 can never double-apply.
+        shedding = _SheddingServer(sheds=1)
+        shedding.start()
+        try:
+            with QueryClient(
+                shedding.url(), retries_on_shed=2
+            ) as client:
+                assert client.update([[0, 1]]) == {"status": "ok"}
+            assert shedding.requests == 2
+        finally:
+            shedding.close()
 
 
 class TestServingMmapIndex:

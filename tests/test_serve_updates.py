@@ -25,14 +25,25 @@ def _chain_graph(n):
     )
 
 
-@pytest.fixture(params=["threaded", "async"])
+@pytest.fixture(params=["threaded", "async", "cluster"])
 def writable_server(tmp_path, request):
-    # Write semantics must hold on both transports: the async path
-    # takes the same writer lock through the shared handle_request.
+    # Write semantics must hold on every deployment flavor: the async
+    # path takes the same writer lock through the shared
+    # handle_request, and the cluster router's two-phase fan-out must
+    # be observationally identical to a single writable server.
     graph = _chain_graph(24)
     index = AdsIndex.build(graph, 4)
     path = tmp_path / "ix.adsidx"
     index.save(path)
+    if request.param == "cluster":
+        from cluster_harness import start_cluster
+
+        with start_cluster(
+            index, workers=2, graph=graph, tmp_path=tmp_path,
+            cache_size=64,
+        ) as cluster:
+            yield cluster
+        return
     if request.param == "async":
         server = AsyncAdsServer(
             index, graph=graph, index_path=path, cache_size=64
