@@ -1,0 +1,170 @@
+"""Similarity / distance-oracle benchmark (ISSUE 9 acceptance series).
+
+The service tier's pitch is that pairwise queries run on the flat
+index columns -- no per-node sketch objects materialised -- and that
+the NumPy kernel keeps batch pair queries ahead of the pure-Python
+loops.  Both backends answer over the *same built index* and must
+agree bit-for-bit before any timing counts.
+
+Series persisted to ``BENCH_similarity.json``:
+
+* ``throughput`` -- pairs/second per backend for the distance oracle
+  (``pairs_distance_estimate``), the d-neighborhood Jaccard batch
+  (``pairs_neighborhood_jaccard``), and the union-size batch, plus
+  one ``most_similar`` nearest-neighbor scan per backend.
+* ``speedups.distance_pairs`` / ``speedups.jaccard_pairs`` -- the
+  regression-gated ratios: NumPy pairs/second over pure pairs/second.
+  Pair queries touch two ~k*ln(n)-entry slices each, too small to
+  amortise NumPy's per-call overhead, so the honest ratio sits near
+  parity (slightly below 1.0 at k=8) -- the gate exists to catch
+  either backend *collapsing*, not to claim vectorised wins the
+  per-pair shape cannot deliver.  (The order-of-magnitude NumPy wins
+  live in the whole-graph sweeps, gated via ``BENCH_kernels.json``.)
+
+``REPRO_BENCH_SIM_N`` (default 3000) scales the graph,
+``REPRO_BENCH_SIM_PAIRS`` (default 4000) the pair batch;
+``REPRO_BENCH_NO_ASSERT=1`` opts out of hard assertions on loaded
+machines.
+"""
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from conftest import write_output
+from repro.ads import AdsIndex, kernels
+from repro.graph import barabasi_albert_graph
+from repro.rand.hashing import HashFamily
+
+SIM_BENCH_N = int(os.environ.get("REPRO_BENCH_SIM_N", "3000"))
+SIM_BENCH_PAIRS = int(os.environ.get("REPRO_BENCH_SIM_PAIRS", "4000"))
+K = 8
+D = 2.0
+FAMILY = HashFamily(99)
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _pair_batch(n, count):
+    """A deterministic pseudo-random pair batch (no RNG dependency)."""
+    return [
+        ((i * 7919) % n, (i * 104729 + 13) % n) for i in range(count)
+    ]
+
+
+def _best_of(fn, rounds=3):
+    fn()  # warmup: similarity views, sorted columns
+    best = math.inf
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure(index, pairs):
+    runs = {
+        "distance_pairs": lambda: index.pairs_distance_estimate(pairs),
+        "jaccard_pairs": lambda: index.pairs_neighborhood_jaccard(
+            pairs, D
+        ),
+        "union_size_pairs": lambda: index.pairs_union_size_estimate(
+            pairs, D
+        ),
+    }
+    series = {}
+    for metric, run in runs.items():
+        seconds = _best_of(run)
+        series[metric] = {
+            "seconds": seconds,
+            "pairs_per_second": (
+                len(pairs) / seconds if seconds > 0 else float("inf")
+            ),
+        }
+    scan_seconds = _best_of(
+        lambda: index.most_similar(0, count=10, d=D)
+    )
+    series["most_similar_scan"] = {
+        "seconds": scan_seconds,
+        "candidates_per_second": (
+            index.num_nodes / scan_seconds
+            if scan_seconds > 0 else float("inf")
+        ),
+    }
+    return series
+
+
+def test_similarity_throughput(benchmark, tmp_path):
+    if not kernels.numpy_available():
+        pytest.skip("NumPy not installed; nothing to compare against")
+
+    graph = barabasi_albert_graph(SIM_BENCH_N, 3, seed=7).to_csr()
+    built = AdsIndex.build(graph, K, family=FAMILY, backend="python")
+    path = tmp_path / "similarity.adsidx"
+    built.save(path)
+    pairs = _pair_batch(SIM_BENCH_N, SIM_BENCH_PAIRS)
+
+    py = AdsIndex.load(path, backend="python")
+    np_ = AdsIndex.load(path, backend="numpy")
+    # Bit-identity first: timings of divergent answers are meaningless.
+    probe = pairs[:200]
+    assert py.pairs_distance_estimate(probe) == \
+        np_.pairs_distance_estimate(probe)
+    assert py.pairs_neighborhood_jaccard(probe, D) == \
+        np_.pairs_neighborhood_jaccard(probe, D)
+    assert py.most_similar(0, count=10, d=D) == \
+        np_.most_similar(0, count=10, d=D)
+
+    def run():
+        return {
+            "python": _measure(py, pairs),
+            "numpy": _measure(np_, pairs),
+        }
+
+    throughput = benchmark.pedantic(run, rounds=1, iterations=1)
+    speedups = {
+        metric: (
+            throughput["numpy"][metric]["pairs_per_second"]
+            / throughput["python"][metric]["pairs_per_second"]
+        )
+        for metric in ("distance_pairs", "jaccard_pairs",
+                       "union_size_pairs")
+    }
+    series = {
+        "benchmark": (
+            "similarity service tier: batch pair queries, numpy vs "
+            "pure-python kernels"
+        ),
+        "n": SIM_BENCH_N,
+        "m": graph.num_edges,
+        "k": K,
+        "d": D,
+        "pairs": len(pairs),
+        "cpu_count": os.cpu_count() or 1,
+        "graph": f"barabasi_albert_graph({SIM_BENCH_N}, 3, seed=7)",
+        "throughput": throughput,
+        "speedups": speedups,
+        "note": (
+            "steady-state timings (warmed similarity views, best of "
+            "3); both backends share the union-merge core, and "
+            "per-pair slices are too small to amortise NumPy call "
+            "overhead, so near-parity ratios are expected -- the "
+            "gated metrics are collapse guards, not speedup claims"
+        ),
+    }
+    payload = json.dumps(series, indent=2, sort_keys=True) + "\n"
+    (REPO_ROOT / "BENCH_similarity.json").write_text(
+        payload, encoding="utf-8"
+    )
+    write_output("BENCH_similarity.json", payload)
+
+    if os.environ.get("REPRO_BENCH_NO_ASSERT") != "1":
+        # Collapse guard, not a speedup claim: near-parity is the
+        # honest steady state for per-pair work at k=8 (see module
+        # docstring); a backend falling far below it means a fast
+        # path broke.
+        assert speedups["distance_pairs"] >= 0.25, speedups
+        assert speedups["jaccard_pairs"] >= 0.25, speedups

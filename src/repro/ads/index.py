@@ -260,6 +260,7 @@ class AdsIndex:
         self._kernel = self._kernel_base
         self.backend = self._kernel_base.NAME
         self._views_cache: Optional[Any] = None
+        self._sim_views_cache: Optional[Any] = None
         self.flavor = flavor
         self.k = int(k)
         self.seed = int(seed)
@@ -330,6 +331,24 @@ class AdsIndex:
             self._views_cache = views
         return views
 
+    def _similarity_views(self):
+        """The base kernel's prepared view of the similarity columns
+        (entry nodes, distances, ranks).
+
+        Similarity ops are per-pair / per-candidate work dispatched
+        serially on the base kernel -- the partition-parallel wrapper
+        never sees them, so results are trivially worker-count
+        independent.  Cached until a dynamic update splices the
+        columns (same benign-race rules as :meth:`_kernel_views`).
+        """
+        views = self._sim_views_cache
+        if views is None:
+            views = self._kernel_base.prepare_similarity_views(
+                self._offsets, self._node, self._dist, self._rank
+            )
+            self._sim_views_cache = views
+        return views
+
     def _wire_kernel(self, kernel_workers) -> None:
         """Resolve the effective kernel-worker count and (re)wrap the
         base kernel in the partition-parallel dispatcher when > 1.
@@ -354,6 +373,7 @@ class AdsIndex:
         else:
             self._kernel = self._kernel_base
         self._views_cache = None
+        self._sim_views_cache = None
 
     def set_kernel_workers(self, kernel_workers) -> None:
         """Re-wire the kernel worker count on a live index.
@@ -619,10 +639,7 @@ class AdsIndex:
         )
 
     def _slice(self, label: Hashable) -> Tuple[int, int]:
-        try:
-            i = self._ids[label]
-        except KeyError:
-            raise EstimatorError(f"node {label!r} is not in the index")
+        i = self._id_of(label)
         return self._offsets[i], self._offsets[i + 1]
 
     # ------------------------------------------------------------------
@@ -985,6 +1002,219 @@ class AdsIndex:
         return top_k_central_nodes(values, count, largest=largest)
 
     # ------------------------------------------------------------------
+    # Similarity and distance-oracle queries (bottom-k flavor)
+    # ------------------------------------------------------------------
+    def _id_of(self, label: Hashable) -> int:
+        try:
+            return self._ids[label]
+        except KeyError:
+            raise EstimatorError(f"node {label!r} is not in the index")
+
+    def _require_bottomk(self) -> None:
+        if self.flavor != "bottomk":
+            raise EstimatorError(
+                "similarity queries need a bottom-k index (the flavor "
+                "whose extracted MinHash sketches are k-samples without "
+                f"replacement); this index's flavor is {self.flavor!r}"
+            )
+
+    def _pair_ids(
+        self, pairs: Sequence[Sequence[Hashable]]
+    ) -> List[Tuple[int, int]]:
+        resolved: List[Tuple[int, int]] = []
+        for pair in pairs:
+            u, v = pair
+            resolved.append((self._id_of(u), self._id_of(v)))
+        return resolved
+
+    def pairs_distance_estimate(
+        self, pairs: Sequence[Sequence[Hashable]]
+    ) -> List[float]:
+        """Sketch-space distance upper bounds for ``(u, v)`` pairs.
+
+        The ADS columns double as a 2-hop-cover distance oracle: the
+        estimate is the minimum of ``d(u, w) + d(v, w)`` over entries
+        *w* common to both sketches -- an upper bound on the true
+        distance for symmetric metrics, and ``inf`` when the sketches
+        share no entry (e.g. disconnected components).
+
+        Args:
+            pairs: ``(u, v)`` label pairs (order preserved).
+
+        Raises:
+            EstimatorError: non-bottom-k flavor, or an unknown label.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.pairs_distance_estimate([(0, 3), (1, 1)])
+            [3.0, 0.0]
+        """
+        self._require_bottomk()
+        return self._kernel_base.pairs_distance(
+            self._similarity_views(), self._pair_ids(pairs)
+        )
+
+    def pairs_neighborhood_jaccard(
+        self, pairs: Sequence[Sequence[Hashable]], d: float = math.inf
+    ) -> List[float]:
+        """MinHash Jaccard estimates of ``N_d(u)`` vs ``N_d(v)``.
+
+        Same floats as
+        :func:`repro.centrality.similarity.neighborhood_jaccard` over
+        the materialised per-node sketches, computed straight off the
+        flat columns.
+
+        Args:
+            pairs: ``(u, v)`` label pairs (order preserved).
+            d: Neighborhood threshold (default: full reachable sets).
+
+        Raises:
+            EstimatorError: non-bottom-k flavor, or an unknown label.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.pairs_neighborhood_jaccard([(0, 1)], d=1.0)
+            [0.6666666666666666]
+        """
+        self._require_bottomk()
+        return self._kernel_base.pairs_jaccard(
+            self._similarity_views(), self._pair_ids(pairs), d, self.k
+        )
+
+    def pairs_union_size_estimate(
+        self, pairs: Sequence[Sequence[Hashable]], d: float = math.inf
+    ) -> List[float]:
+        """Estimated ``|N_d(u) ∪ N_d(v)|`` from merged bottom-k sketches.
+
+        Same estimator as
+        :func:`repro.sketches.similarity.union_size_estimate`: exact
+        when the union sketch holds fewer than k samples, conditional
+        inverse-probability otherwise.
+
+        Args:
+            pairs: ``(u, v)`` label pairs (order preserved).
+            d: Neighborhood threshold (default: full reachable sets).
+
+        Raises:
+            EstimatorError: non-bottom-k flavor, or an unknown label.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.pairs_union_size_estimate([(0, 1)], d=1.0)
+            [3.0]
+        """
+        self._require_bottomk()
+        return self._kernel_base.pairs_union_size(
+            self._similarity_views(), self._pair_ids(pairs), d, self.k,
+            self.rank_sup,
+        )
+
+    def pairs_closeness_similarity(
+        self, pairs: Sequence[Sequence[Hashable]]
+    ) -> List[float]:
+        """Closeness similarity (Section 5.3) for ``(u, v)`` pairs.
+
+        The uniform-weight average of neighborhood Jaccard over the
+        union of the two sketches' distinct entry distances -- same
+        floats as
+        :func:`repro.centrality.similarity.closeness_similarity` with
+        default distances and weights.
+
+        Args:
+            pairs: ``(u, v)`` label pairs (order preserved).
+
+        Raises:
+            EstimatorError: non-bottom-k flavor, or an unknown label.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.pairs_closeness_similarity([(1, 2), (0, 0)])
+            [0.5, 1.0]
+        """
+        self._require_bottomk()
+        return self._kernel_base.pairs_closeness_similarity(
+            self._similarity_views(), self._pair_ids(pairs), self.k
+        )
+
+    def most_similar(
+        self,
+        label: Hashable,
+        count: int = 10,
+        d: float = math.inf,
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> List[Tuple[Hashable, float]]:
+        """The *count* nodes most similar to *label* by neighborhood
+        Jaccard at threshold *d*.
+
+        One kernel sweep over the candidate id range plus a heap
+        selection -- the batch-layer replacement for
+        ``repro.centrality.similarity.most_similar_nodes`` (same
+        comparator: value descending, ties by node repr).  ``start`` /
+        ``stop`` restrict the *candidate* ids so sharded workers can
+        sweep disjoint ranges whose per-range winners merge exactly.
+
+        Args:
+            label: The query node (never returned as its own match).
+            count: How many matches (fewer when the range is smaller).
+            d: Neighborhood threshold (default: full reachable sets).
+            start / stop: Candidate node-id range; ``stop=None`` means
+                through the last id.
+
+        Raises:
+            EstimatorError: non-bottom-k flavor, unknown *label*,
+                ``count < 1``, or a range outside ``[0, n)``.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.most_similar(0, count=2, d=1.0)
+            [(1, 0.6666666666666666), (2, 0.25)]
+        """
+        require(count >= 1, f"count must be >= 1, got {count}")
+        self._require_bottomk()
+        query = self._id_of(label)
+        n = self.num_nodes
+        stop = n if stop is None else stop
+        require(
+            0 <= start <= stop <= n,
+            f"node range [{start}, {stop}) must lie within [0, {n})",
+        )
+        scores = self._kernel_base.similarity_scan(
+            self._similarity_views(), query, d, self.k, start, stop
+        )
+        # Lazy import: repro.centrality imports repro.ads at module load.
+        from repro.centrality.closeness import top_k_central_nodes
+
+        label_of = self._labels.__getitem__
+        values = {label_of(i): score for i, score in scores}
+        return top_k_central_nodes(values, count, largest=True)
+
+    def distance_distribution(self) -> List[Tuple[float, float, float]]:
+        """The ANF curve: the neighborhood function with each point's
+        fraction of the final (all-distances) pair count.
+
+        Returns:
+            ``[(d, estimated pairs within d, fraction of total), ...]``
+            per distinct positive distance; empty for an edgeless graph.
+
+        Example:
+            >>> from repro.graph import path_graph
+            >>> index = AdsIndex.build(path_graph(4).to_csr(), k=4)
+            >>> index.distance_distribution()
+            [(1.0, 6.0, 0.5), (2.0, 10.0, 0.8333333333333334), (3.0, 12.0, 1.0)]
+        """
+        series = self.neighborhood_function()
+        if not series:
+            return []
+        total = series[-1][1]
+        return [(d, running, running / total) for d, running in series]
+
+    # ------------------------------------------------------------------
     # Backward compatibility: lazy BaseADS materialisation
     # ------------------------------------------------------------------
     def __getitem__(self, label: Hashable) -> BaseADS:
@@ -1279,6 +1509,7 @@ class AdsIndex:
         # The spliced columns are new objects; any kernel views over
         # the old ones are stale.
         self._views_cache = None
+        self._sim_views_cache = None
 
     def compact(
         self, path: Union[str, Path], shards: Optional[int] = None

@@ -17,11 +17,13 @@ shard lookup on every slot.
 
 from __future__ import annotations
 
+import math
 from array import array
 from bisect import bisect_right
 from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.errors import EstimatorError
+from repro.estimators.basic import bottom_k_cardinality
 from repro.estimators.hip import (
     bottom_k_adjusted_weights,
     k_mins_adjusted_weights,
@@ -162,6 +164,214 @@ def neighborhood_series(views: Columns) -> List[Tuple[float, float]]:
         running += jumps[d]
         series.append((d, running))
     return series
+
+
+# ---------------------------------------------------------------------------
+# Similarity / distance-oracle ops (bottom-k flavor only).
+#
+# These operate on a second prepared view (:class:`SimColumns`) that
+# carries the entry-node and rank columns alongside offsets/distances.
+# All callers gate on the bottom-k flavor first: the ops assume each
+# slice lists distinct entry nodes whose extracted MinHash sketches are
+# k-samples without replacement (the coordination property Section 5 of
+# the paper builds on).  Results are exact set arithmetic (integer
+# ratios, order-free minima) plus reference-order float accumulation,
+# so the NumPy mirrors are bit-identical.
+# ---------------------------------------------------------------------------
+
+
+class SimColumns(NamedTuple):
+    """The pure kernel's similarity view: entry columns plus ranks."""
+
+    offsets: Sequence[int]
+    node: Sequence[int]
+    dist: Sequence[float]
+    rank: Sequence[float]
+    n: int
+
+
+def prepare_similarity_views(offsets, node, dist, rank) -> SimColumns:
+    """Wrap the raw similarity columns; nothing is copied."""
+    return SimColumns(offsets, node, dist, rank, len(offsets) - 1)
+
+
+def minhash_for_slice(
+    views: SimColumns, i: int, d: float, k: int
+) -> List[Tuple[float, int]]:
+    """The bottom-k MinHash sketch of N_d(node i): the k smallest
+    ``(rank, node)`` pairs among entries within distance ``d`` --
+    ``BottomKADS.minhash_at`` replayed over the flat columns."""
+    offsets = views.offsets
+    lo, hi = offsets[i], offsets[i + 1]
+    cutoff = bisect_right(views.dist, d, lo, hi)
+    pairs = sorted(zip(views.rank[lo:cutoff], views.node[lo:cutoff]))
+    return pairs[:k]
+
+
+def union_sketch(
+    sketch_a: Sequence[Tuple[float, int]],
+    sketch_b: Sequence[Tuple[float, int]],
+    k: int,
+) -> List[Tuple[float, int]]:
+    """Bottom-k of the union of two coordinated MinHash sketches,
+    deduplicated by node -- the merge at the heart of every similarity
+    estimator (shared with the NumPy backend for bit-identity)."""
+    merged: dict = {}
+    for rank, node in sketch_a:
+        merged[node] = rank
+    for rank, node in sketch_b:
+        merged[node] = rank
+    union = sorted((rank, node) for node, rank in merged.items())
+    return union[:k]
+
+
+def union_jaccard(
+    sketch_a: Sequence[Tuple[float, int]],
+    sketch_b: Sequence[Tuple[float, int]],
+    k: int,
+) -> float:
+    """The MinHash Jaccard estimate from two coordinated sketches: the
+    fraction of the union's bottom-k sampled by both sides.  Exact
+    integer ratio -- identical on every backend."""
+    union = union_sketch(sketch_a, sketch_b, k)
+    if not union:
+        return 0.0
+    members_a = {node for _, node in sketch_a}
+    members_b = {node for _, node in sketch_b}
+    in_both = sum(
+        1 for _, node in union if node in members_a and node in members_b
+    )
+    return in_both / len(union)
+
+
+def union_size_from_sketches(
+    sketch_a: Sequence[Tuple[float, int]],
+    sketch_b: Sequence[Tuple[float, int]],
+    k: int,
+    rank_sup: float,
+) -> float:
+    """|N_d(u) ∪ N_d(v)| estimated from the merged bottom-k sketch --
+    ``repro.sketches.similarity.union_size_estimate`` over columns."""
+    union = union_sketch(sketch_a, sketch_b, k)
+    tau = union[-1][0] if len(union) == k else rank_sup
+    return bottom_k_cardinality(len(union), tau, k, sup=rank_sup)
+
+
+def pairs_jaccard(
+    views: SimColumns, pairs: Sequence[Tuple[int, int]], d: float, k: int
+) -> List[float]:
+    """Neighborhood Jaccard estimates for ``(u, v)`` id pairs at
+    threshold ``d``, in input order."""
+    return [
+        union_jaccard(
+            minhash_for_slice(views, u, d, k),
+            minhash_for_slice(views, v, d, k),
+            k,
+        )
+        for u, v in pairs
+    ]
+
+
+def pairs_union_size(
+    views: SimColumns,
+    pairs: Sequence[Tuple[int, int]],
+    d: float,
+    k: int,
+    rank_sup: float,
+) -> List[float]:
+    """Neighborhood union-size estimates for ``(u, v)`` id pairs at
+    threshold ``d``, in input order."""
+    return [
+        union_size_from_sketches(
+            minhash_for_slice(views, u, d, k),
+            minhash_for_slice(views, v, d, k),
+            k,
+            rank_sup,
+        )
+        for u, v in pairs
+    ]
+
+
+def pairs_closeness_similarity(
+    views: SimColumns, pairs: Sequence[Tuple[int, int]], k: int
+) -> List[float]:
+    """Closeness similarity for ``(u, v)`` id pairs: the uniform-weight
+    average of neighborhood Jaccard over the sorted union of the two
+    slices' distinct entry distances -- exactly
+    ``repro.centrality.similarity.closeness_similarity`` with default
+    weights.  Accumulation order (sorted grid, left to right) is
+    authoritative."""
+    offsets, dist = views.offsets, views.dist
+    values: List[float] = []
+    for u, v in pairs:
+        lo_u, hi_u = offsets[u], offsets[u + 1]
+        lo_v, hi_v = offsets[v], offsets[v + 1]
+        grid = sorted(set(dist[lo_u:hi_u]) | set(dist[lo_v:hi_v]))
+        if not grid:
+            values.append(0.0)
+            continue
+        total = 0.0
+        norm = 0.0
+        for threshold in grid:
+            total += union_jaccard(
+                minhash_for_slice(views, u, threshold, k),
+                minhash_for_slice(views, v, threshold, k),
+                k,
+            )
+            norm += 1.0
+        values.append(total / norm)
+    return values
+
+
+def pairs_distance(
+    views: SimColumns, pairs: Sequence[Tuple[int, int]]
+) -> List[float]:
+    """Sketch-space distance upper bounds for ``(u, v)`` id pairs:
+    min over common sketch entries ``w`` of ``d(u, w) + d(v, w)``
+    (``inf`` when the slices share no entry).  Order-free minimum of
+    exact one-add sums -- bit-identical on every backend."""
+    offsets, node, dist = views.offsets, views.node, views.dist
+    values: List[float] = []
+    for u, v in pairs:
+        lo, hi = offsets[u], offsets[u + 1]
+        through: dict = {}
+        for w, d_uw in zip(node[lo:hi], dist[lo:hi]):
+            current = through.get(w)
+            if current is None or d_uw < current:
+                through[w] = d_uw
+        lo, hi = offsets[v], offsets[v + 1]
+        best = math.inf
+        for w, d_vw in zip(node[lo:hi], dist[lo:hi]):
+            d_uw = through.get(w)
+            if d_uw is not None:
+                candidate = d_uw + d_vw
+                if candidate < best:
+                    best = candidate
+        values.append(best)
+    return values
+
+
+def similarity_scan(
+    views: SimColumns, query: int, d: float, k: int, start: int, stop: int
+) -> List[Tuple[int, float]]:
+    """Neighborhood Jaccard of ``query`` against every candidate id in
+    ``[start, stop)`` (the query itself excluded), in id order.  The
+    caller ranks; this just scans a contiguous id range so sharded
+    workers can sweep their slice of the candidate space."""
+    reference = minhash_for_slice(views, query, d, k)
+    scores: List[Tuple[int, float]] = []
+    for candidate in range(start, stop):
+        if candidate == query:
+            continue
+        scores.append(
+            (
+                candidate,
+                union_jaccard(
+                    reference, minhash_for_slice(views, candidate, d, k), k
+                ),
+            )
+        )
+    return scores
 
 
 def bottom_k_hip_weights(ranks: Sequence[float], k: int) -> List[float]:

@@ -103,8 +103,22 @@ def most_similar_nodes(
     count: int = 10,
 ) -> List[Tuple[Hashable, float]]:
     """Rank all other nodes by estimated d-neighborhood Jaccard with
-    *query* (a sketch-space nearest-neighbor scan)."""
+    *query* (a sketch-space nearest-neighbor scan).
+
+    An :class:`~repro.ads.index.AdsIndex` (anything exposing
+    ``most_similar``) is swept through the batch kernel layer over the
+    flat columns -- same comparator (value descending, ties by node
+    repr), same floats, no per-node sketch materialisation.  A plain
+    ``{label: BottomKADS}`` mapping keeps the legacy object scan.
+    """
     require(count >= 1, "count must be >= 1")
+    batch_scan = getattr(ads_set, "most_similar", None)
+    if batch_scan is not None:
+        if query not in ads_set:
+            raise EstimatorError(
+                f"node {query!r} has no ADS in the given set"
+            )
+        return batch_scan(query, count=count, d=d)
     if query not in ads_set:
         raise EstimatorError(f"node {query!r} has no ADS in the given set")
     reference = ads_set[query]

@@ -5,6 +5,8 @@
     python -m repro neighborhood GRAPH.txt --node 5 --k 16
     python -m repro build-index GRAPH.txt --k 16 --out graph.adsidx
     python -m repro query graph.adsidx --top 10 --kind harmonic
+    python -m repro similarity graph.adsidx --pair 0 5 --d 2
+    python -m repro distance graph.adsidx --pair 0 5 --pair 3 7
     python -m repro serve --index graph.adsidx --port 8080
     python -m repro update-index graph.adsidx --graph GRAPH.txt --edges NEW.txt
     python -m repro distinct-count < one_element_per_line.txt
@@ -26,6 +28,7 @@ over ``POST /update``.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -353,6 +356,174 @@ def cmd_query(args) -> int:
         return 0
     for node, value in index.top_central(args.top, **_centrality_kwargs(args)):
         print(f"{node}\t{value:.6g}")
+    return 0
+
+
+def _resolve_index_node(index, token, int_nodes: bool):
+    """A CLI node token as an index label; None when it misses.
+
+    Mirrors ``cmd_query``: honour --int-nodes first, then retry the
+    other label type so a str token finds an int-labeled index (and
+    vice versa) without flag gymnastics.
+    """
+    node = token
+    if int_nodes:
+        try:
+            node = int(token)
+        except ValueError:
+            return None
+    if node in index:
+        return node
+    if isinstance(node, str):
+        try:
+            coerced = int(node)
+        except ValueError:
+            coerced = None
+    else:
+        coerced = str(node)
+    if coerced is not None and coerced in index:
+        return coerced
+    return None
+
+
+def cmd_similarity(args) -> int:
+    """Pairwise similarity from a saved index (``similarity``).
+
+    With ``--pair U V`` (repeatable): one ``u\\tv\\tvalue`` line per
+    pair under ``--metric`` -- ``jaccard`` (d-neighborhood MinHash
+    Jaccard at ``--d``, default all-reachable) or ``closeness``
+    (distance-profile similarity).  With ``--node X``: the ``--count``
+    nodes most similar to X as ``node\\tvalue`` lines.  Either mode
+    needs a bottom-k index.
+
+    Returns:
+        0 on success, 1 for load failures, unknown nodes, or a
+        non-bottom-k index, 2 for invalid flag combinations.
+
+    Example:
+        >>> import tempfile, os
+        >>> d = tempfile.mkdtemp()
+        >>> graph = os.path.join(d, "g.txt")
+        >>> with open(graph, "w") as fh:
+        ...     _ = fh.write("0 1\\n1 2\\n")
+        >>> index = os.path.join(d, "g.adsidx")
+        >>> main(["build-index", graph, "--int-nodes", "--k", "8",
+        ...       "--out", index])
+        0
+        >>> main(["similarity", index, "--pair", "0", "2",
+        ...       "--d", "1"])  # doctest: +NORMALIZE_WHITESPACE
+        0 2 0.333333
+        0
+        >>> main(["similarity", index, "--node", "1",
+        ...       "--count", "2"])  # doctest: +NORMALIZE_WHITESPACE
+        0 1
+        2 1
+        0
+    """
+    if (args.pair is None) == (args.node is None):
+        print("similarity needs exactly one of --pair and --node",
+              file=sys.stderr)
+        return 2
+    if args.count < 1:
+        print(f"--count must be >= 1, got {args.count}", file=sys.stderr)
+        return 2
+    if args.metric == "closeness" and args.d is not None:
+        print("--d only applies to --metric jaccard", file=sys.stderr)
+        return 2
+    try:
+        index = AdsIndex.load(
+            args.index, backend=args.backend,
+            kernel_workers=args.kernel_workers,
+        )
+    except (ReproError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    d = args.d if args.d is not None else math.inf
+    try:
+        if args.node is not None:
+            node = _resolve_index_node(index, args.node, args.int_nodes)
+            if node is None:
+                print(f"node {args.node!r} not in index", file=sys.stderr)
+                return 1
+            for label, value in index.most_similar(
+                node, count=args.count, d=d
+            ):
+                print(f"{label}\t{value:.6g}")
+            return 0
+        pairs = []
+        for u_token, v_token in args.pair:
+            u = _resolve_index_node(index, u_token, args.int_nodes)
+            v = _resolve_index_node(index, v_token, args.int_nodes)
+            if u is None or v is None:
+                missing = u_token if u is None else v_token
+                print(f"node {missing!r} not in index", file=sys.stderr)
+                return 1
+            pairs.append((u, v))
+        if args.metric == "closeness":
+            values = index.pairs_closeness_similarity(pairs)
+        else:
+            values = index.pairs_neighborhood_jaccard(pairs, d)
+    except ReproError as error:
+        # Typically a non-bottom-k flavor refusing similarity queries.
+        print(str(error), file=sys.stderr)
+        return 1
+    for (u, v), value in zip(pairs, values):
+        print(f"{u}\t{v}\t{value:.6g}")
+    return 0
+
+
+def cmd_distance(args) -> int:
+    """Distance-oracle estimates for node pairs (``distance``).
+
+    Prints one ``u\\tv\\testimate`` line per ``--pair``: the sketch
+    2-hop-cover upper bound ``min_w d(u,w) + d(v,w)`` over the pair's
+    common ADS entries (``inf`` when the sketches share none).  Needs
+    a bottom-k index.
+
+    Returns:
+        0 on success, 1 for load failures, unknown nodes, or a
+        non-bottom-k index, 2 for invalid flags.
+
+    Example:
+        >>> import tempfile, os
+        >>> d = tempfile.mkdtemp()
+        >>> graph = os.path.join(d, "g.txt")
+        >>> with open(graph, "w") as fh:
+        ...     _ = fh.write("0 1\\n1 2\\n")
+        >>> index = os.path.join(d, "g.adsidx")
+        >>> main(["build-index", graph, "--int-nodes", "--k", "8",
+        ...       "--out", index])
+        0
+        >>> main(["distance", index, "--pair", "0", "2",
+        ...       "--pair", "1", "1"])  # doctest: +NORMALIZE_WHITESPACE
+        0 2 2
+        1 1 0
+        0
+    """
+    try:
+        index = AdsIndex.load(
+            args.index, backend=args.backend,
+            kernel_workers=args.kernel_workers,
+        )
+    except (ReproError, OSError) as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    pairs = []
+    for u_token, v_token in args.pair:
+        u = _resolve_index_node(index, u_token, args.int_nodes)
+        v = _resolve_index_node(index, v_token, args.int_nodes)
+        if u is None or v is None:
+            missing = u_token if u is None else v_token
+            print(f"node {missing!r} not in index", file=sys.stderr)
+            return 1
+        pairs.append((u, v))
+    try:
+        values = index.pairs_distance_estimate(pairs)
+    except ReproError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    for (u, v), value in zip(pairs, values):
+        print(f"{u}\t{v}\t{value:.6g}")
     return 0
 
 
@@ -907,6 +1078,78 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_arg(p)
     _add_kernel_workers_arg(p)
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "similarity",
+        help="pairwise similarity (or nearest neighbors) from a saved "
+        "bottom-k index",
+    )
+    p.add_argument(
+        "index",
+        help="index file written by build-index (or a sharded layout "
+        "directory / its manifest.json); must be bottom-k flavor",
+    )
+    p.add_argument(
+        "--pair",
+        nargs=2,
+        action="append",
+        metavar=("U", "V"),
+        help="a node pair to score; repeat for a batch",
+    )
+    p.add_argument(
+        "--node",
+        help="rank the nodes most similar to this one instead of "
+        "scoring pairs",
+    )
+    p.add_argument(
+        "--count", type=int, default=10,
+        help="result size for --node mode",
+    )
+    p.add_argument(
+        "--metric",
+        choices=["jaccard", "closeness"],
+        default="jaccard",
+        help="jaccard: d-neighborhood MinHash Jaccard; closeness: "
+        "distance-profile similarity over the pair's distance grid",
+    )
+    p.add_argument(
+        "--d", type=float, default=None, metavar="D",
+        help="neighborhood radius for the jaccard metric (default: "
+        "all reachable)",
+    )
+    p.add_argument(
+        "--int-nodes", action="store_true",
+        help="parse node tokens as integers",
+    )
+    _add_backend_arg(p)
+    _add_kernel_workers_arg(p)
+    p.set_defaults(func=cmd_similarity)
+
+    p = sub.add_parser(
+        "distance",
+        help="sketch distance-oracle estimates for node pairs from a "
+        "saved bottom-k index",
+    )
+    p.add_argument(
+        "index",
+        help="index file written by build-index (or a sharded layout "
+        "directory / its manifest.json); must be bottom-k flavor",
+    )
+    p.add_argument(
+        "--pair",
+        nargs=2,
+        action="append",
+        required=True,
+        metavar=("U", "V"),
+        help="a node pair to estimate; repeat for a batch",
+    )
+    p.add_argument(
+        "--int-nodes", action="store_true",
+        help="parse node tokens as integers",
+    )
+    _add_backend_arg(p)
+    _add_kernel_workers_arg(p)
+    p.set_defaults(func=cmd_distance)
 
     p = sub.add_parser(
         "serve",

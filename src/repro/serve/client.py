@@ -20,8 +20,8 @@ negotiated via ``Accept``/``Content-Type``, no API change.
 
 Retries are idempotency-aware.  A kept-alive connection the server has
 since closed fails on its next use, so reads (every ``GET``, plus the
-read-only ``POST /cardinality`` and ``POST /closeness`` batches) are
-replayed once on a fresh socket.  Writes (``/update``, ``/compact``)
+read-only ``POST /cardinality`` / ``/closeness`` / ``/similarity`` /
+``/distance`` batches) are replayed once on a fresh socket.  Writes (``/update``, ``/compact``)
 are replayed **only** when the send itself failed -- a request whose
 bytes were fully handed to the transport may already have been applied
 before the connection died, and replaying it would double-apply the
@@ -92,7 +92,9 @@ class QueryClient:
 
     # POST endpoints that are pure reads: replaying one can never
     # change server state, so they retry like GETs do.
-    _IDEMPOTENT_POST_PATHS = frozenset({"/cardinality", "/closeness"})
+    _IDEMPOTENT_POST_PATHS = frozenset(
+        {"/cardinality", "/closeness", "/similarity", "/distance"}
+    )
 
     #: Shed responses without a (parseable) Retry-After back off this
     #: many seconds.
@@ -362,6 +364,60 @@ class QueryClient:
         return self._request(
             "GET", f"/node/{quote(str(label), safe='')}"
         )
+
+    def similarity_batch(
+        self,
+        pairs: Sequence[Sequence[Hashable]],
+        metric: str = "jaccard",
+        d: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Pairwise similarity in one round trip.
+
+        *metric* is ``"jaccard"`` (d-neighborhood MinHash Jaccard;
+        *d* defaults to the full reachability sets) or ``"closeness"``
+        (distance-profile similarity; *d* does not apply).  Needs a
+        bottom-k index; 409 otherwise.
+        """
+        payload: Dict[str, Any] = {
+            "pairs": [list(pair) for pair in pairs],
+            "metric": metric,
+        }
+        if d is not None and d != math.inf:
+            payload["d"] = d
+        return self._request("POST", "/similarity", payload=payload)
+
+    def distance_batch(
+        self, pairs: Sequence[Sequence[Hashable]]
+    ) -> Dict[str, Any]:
+        """Pairwise distance-oracle upper bounds in one round trip.
+
+        Each value is the 2-hop-cover estimate through the pair's
+        common sketch entries; ``None`` (JSON null) when the sketches
+        share no entry.  Needs a bottom-k index; 409 otherwise.
+        """
+        payload = {"pairs": [list(pair) for pair in pairs]}
+        return self._request("POST", "/distance", payload=payload)
+
+    def similar(
+        self,
+        node: Hashable,
+        count: int = 10,
+        d: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """The *count* nodes most similar to *node* (sketch-space
+        nearest neighbors by d-neighborhood Jaccard)."""
+        params: Dict[str, Any] = {"count": count}
+        if d is not None and d != math.inf:
+            params["d"] = d
+        return self._request(
+            "GET", f"/similar/{quote(str(node), safe='')}",
+            params=params,
+        )
+
+    def nf_curve(self) -> Dict[str, Any]:
+        """The cumulative distance distribution: ``[d, pairs_within_d,
+        fraction]`` rows over the whole graph."""
+        return self._request("GET", "/nf-curve")
 
     def update(self, edges: Sequence[Sequence[Any]]) -> Dict[str, Any]:
         """Apply an edge batch: ``[[u, v], [u, v, w], ...]``.

@@ -22,7 +22,18 @@ over the binary wire codec and merging exactly:
 * **``/neighborhood``** chains the seeded ``POST /nf-chain``
   accumulation through the groups in shard order, then prefix-sums --
   replaying the single-index float-op sequence exactly (see
-  :meth:`~repro.ads.index.AdsIndex.accumulate_neighborhood_jumps`).
+  :meth:`~repro.ads.index.AdsIndex.accumulate_neighborhood_jumps`);
+  ``/nf-curve`` shapes that same cached series through the shared
+  :func:`~repro.serve.schemas.nf_curve_points` transform.
+* **Pair batches** (``POST /similarity``, ``POST /distance``) scatter
+  pairs by the group owning each pair's first node (any worker
+  answers any pair identically -- every worker holds the full index)
+  and reassemble values in request order, so the response rows are
+  value-for-value the single server's.
+* **``/similar/<label>``** fans the scan to every group (each worker
+  scans only its own node range) and re-ranks the union of per-range
+  top-``count`` rows with :func:`merge_top_central` -- exact for the
+  same subset argument as ``/top-central``.
 * **``POST /update``** is two-phase: validate at the router, refuse
   unless every non-stale replica of every group is up, apply the
   batch to *every* replica (full-index workers apply deterministically
@@ -68,10 +79,13 @@ from repro.serve.schemas import (
     coerce_edge_labels,
     conflict,
     json_safe_number,
+    nf_curve_points,
     parse_bool,
     parse_edges,
     parse_float,
     parse_int,
+    parse_pairs,
+    parse_similarity_metric,
     resolve_node,
     resolve_nodes,
 )
@@ -276,17 +290,13 @@ class RouterServer(ServerBase):
         )
         self._membership.start_probes(self.probe_interval)
 
-    def _build_routes(self):
-        return {
-            "/healthz": (self._healthz, ("GET",)),
-            "/stats": (self._stats, ("GET",)),
-            "/cardinality": (self._cardinality, ("GET", "POST")),
-            "/closeness": (self._closeness, ("GET", "POST")),
-            "/neighborhood": (self._neighborhood, ("GET",)),
-            "/top-central": (self._top_central, ("GET",)),
-            "/update": (self._update, ("POST",)),
-            "/compact": (self._compact, ("POST",)),
-        }
+    # The router serves the public API only: worker-scoped internals
+    # (``/nf-chain``) stay off its route table, while every ``"all"``
+    # endpoint in :mod:`repro.serve.registry` is required here -- the
+    # chassis binds them at construction, so adding a public endpoint
+    # to the registry without a router handler fails fast, not with a
+    # cluster-only 404.
+    _ROUTE_SCOPES = frozenset({"all"})
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -423,6 +433,38 @@ class RouterServer(ServerBase):
         for positions, payload in zip(slots, responses):
             for position, row in zip(positions, payload["results"]):
                 values[position] = row[1]
+        return values
+
+    def _scatter_pairs(
+        self,
+        path: str,
+        pairs: Sequence[Tuple[Any, Any]],
+        make_payload,
+    ) -> List[Any]:
+        """Pair-batch POST: split *pairs* by the group owning each
+        pair's *first* node (every worker holds the full index, so any
+        worker answers any pair value-for-value identically -- routing
+        by first endpoint just spreads the work), query groups in
+        parallel, reassemble values in request order from the workers'
+        ``[u, v, value]`` rows."""
+        per_group: Dict[int, Tuple[ShardGroup, List[int]]] = {}
+        for position, pair in enumerate(pairs):
+            group = self._owner_group(pair[0])
+            per_group.setdefault(id(group), (group, []))[1].append(
+                position
+            )
+        requests, slots = [], []
+        for group, positions in per_group.values():
+            requests.append((
+                group, "POST", path, None,
+                make_payload([pairs[p] for p in positions]),
+            ))
+            slots.append(positions)
+        responses = self._fan_out(requests)
+        values: List[Any] = [None] * len(pairs)
+        for positions, payload in zip(slots, responses):
+            for position, row in zip(positions, payload["results"]):
+                values[position] = row[2]
         return values
 
     # ------------------------------------------------------------------
@@ -622,6 +664,106 @@ class RouterServer(ServerBase):
             "results": results,
             "cached": cached,
         }
+
+    # ------------------------------------------------------------------
+    # Similarity / distance-oracle endpoints
+    #
+    # Validation order mirrors AdsServer exactly (metric -> pairs -> d
+    # before any RPC), so malformed requests refuse with the same
+    # status and bytes as a single server; the flavor gate (409 on a
+    # non-bottom-k index) is the one check the router cannot run
+    # itself, and _call_group re-raises the worker's 4xx verbatim.
+    # ------------------------------------------------------------------
+    def _similarity(self, params, body) -> Dict[str, Any]:
+        metric = parse_similarity_metric(body)
+        pairs = parse_pairs(self._directory, body)
+        if metric == "jaccard":
+            d = _batch_float(body, "d", math.inf)
+            values = self._scatter_pairs(
+                "/similarity", pairs,
+                lambda group_pairs: {
+                    "metric": metric,
+                    "pairs": [list(pair) for pair in group_pairs],
+                    "d": d,
+                },
+            )
+            return {
+                "metric": metric,
+                "d": json_safe_number(d),
+                "results": [
+                    [u, v, value]
+                    for (u, v), value in zip(pairs, values)
+                ],
+            }
+        if "d" in body:
+            raise bad_request("d only applies to the jaccard metric")
+        values = self._scatter_pairs(
+            "/similarity", pairs,
+            lambda group_pairs: {
+                "metric": metric,
+                "pairs": [list(pair) for pair in group_pairs],
+            },
+        )
+        return {
+            "metric": metric,
+            "results": [
+                [u, v, value] for (u, v), value in zip(pairs, values)
+            ],
+        }
+
+    def _distance(self, params, body) -> Dict[str, Any]:
+        pairs = parse_pairs(self._directory, body)
+        values = self._scatter_pairs(
+            "/distance", pairs,
+            lambda group_pairs: {
+                "pairs": [list(pair) for pair in group_pairs],
+            },
+        )
+        # Workers already emit JSON-safe values (None for unreachable),
+        # so reassembled rows pass through untouched.
+        return {
+            "results": [
+                [u, v, value] for (u, v), value in zip(pairs, values)
+            ],
+        }
+
+    def _similar(self, raw: str, params) -> Dict[str, Any]:
+        if not raw:
+            raise bad_request("/similar/<label> requires a label")
+        count = parse_int(params, "count", 10, minimum=1)
+        d = parse_float(params, "d", math.inf)
+        label = resolve_node(self._directory, raw)
+        # Each worker scans only its own node range, so the global
+        # top-count is a subset of the union of per-range top-counts
+        # (every candidate lives in exactly one range) and the
+        # merge_top_central re-rank -- same comparator as
+        # AdsIndex.most_similar -- is exact.
+        payloads = self._fan_out([
+            (
+                group, "GET",
+                f"/similar/{quote(str(label), safe='')}",
+                params, None,
+            )
+            for group in self._groups
+        ])
+        merged = merge_top_central(
+            [payload["results"] for payload in payloads],
+            count, largest=True,
+        )
+        return {
+            "node": label,
+            "count": count,
+            "d": json_safe_number(d),
+            "results": merged,
+        }
+
+    def _nf_curve(self, params, body) -> Dict[str, Any]:
+        series, cached = self._cached(
+            ("/neighborhood",), self._chain_neighborhood
+        )
+        points, total = nf_curve_points(series)
+        return {"points": points, "total_pairs": total,
+                "cached": cached}
 
     # ------------------------------------------------------------------
     # Write endpoints (two-phase, under the router's exclusive lock)

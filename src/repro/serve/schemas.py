@@ -231,13 +231,68 @@ def resolve_node(index, raw: Hashable) -> Hashable:
     raise not_found(f"node {raw!r} not in index")
 
 
+def parse_labels(
+    index, raw: Any, field: str = "nodes"
+) -> List[Hashable]:
+    """Resolve a JSON array of node labels; malformed shapes are 400s.
+
+    The shared shape-then-resolve path behind every batch label field:
+    the error wording is uniform (``<field> must be a JSON array of
+    node labels`` / ``<field> must not be empty``) whichever endpoint
+    the field belongs to, and each element goes through
+    :func:`resolve_node` (same coercion, 404 on a miss).
+    """
+    if not isinstance(raw, list):
+        raise bad_request(f"{field} must be a JSON array of node labels")
+    if not raw:
+        raise bad_request(f"{field} must not be empty")
+    return [resolve_node(index, item) for item in raw]
+
+
 def resolve_nodes(index, raw_nodes: Any) -> List[Hashable]:
     """Resolve a JSON batch ``nodes`` field; malformed shapes are 400s."""
-    if not isinstance(raw_nodes, list):
-        raise bad_request("nodes must be a JSON array of node labels")
-    if not raw_nodes:
-        raise bad_request("nodes must not be empty")
-    return [resolve_node(index, raw) for raw in raw_nodes]
+    return parse_labels(index, raw_nodes, field="nodes")
+
+
+def parse_pairs(
+    index, body: Dict[str, Any], field: str = "pairs"
+) -> List[Tuple[Hashable, Hashable]]:
+    """The ``pairs`` field of a similarity/distance POST body.
+
+    Accepts ``[[u, v], ...]``; every label resolves through
+    :func:`resolve_node` (same int/str coercion and 404 behaviour as
+    single-node lookups), so the returned tuples carry index-side
+    label types.
+    """
+    raw = body.get(field)
+    if not isinstance(raw, list):
+        raise bad_request(
+            f"{field} must be a JSON array of [u, v] node-label pairs"
+        )
+    if not raw:
+        raise bad_request(f"{field} must not be empty")
+    pairs: List[Tuple[Hashable, Hashable]] = []
+    for row in raw:
+        if not isinstance(row, list) or len(row) != 2:
+            raise bad_request(f"each pair must be [u, v], got {row!r}")
+        pairs.append(
+            (resolve_node(index, row[0]), resolve_node(index, row[1]))
+        )
+    return pairs
+
+
+SIMILARITY_METRICS = ("jaccard", "closeness")
+
+
+def parse_similarity_metric(body: Dict[str, Any]) -> str:
+    """The ``metric`` field of a ``POST /similarity`` body."""
+    metric = body.get("metric", "jaccard")
+    if metric not in SIMILARITY_METRICS:
+        raise bad_request(
+            f"metric must be one of {list(SIMILARITY_METRICS)}, "
+            f"got {metric!r}"
+        )
+    return metric
 
 
 def label_value_pairs(values: Dict[Hashable, float]) -> List[List[Any]]:
@@ -253,3 +308,22 @@ def series_pairs(series: Sequence[Tuple[float, float]]) -> List[List[float]]:
 def json_safe_number(value: float) -> Optional[float]:
     """Finite floats pass through; infinities become None (JSON null)."""
     return value if math.isfinite(value) else None
+
+
+def nf_curve_points(
+    series: Sequence[Sequence[float]],
+) -> Tuple[List[List[float]], float]:
+    """Shape an ANF series into ``GET /nf-curve`` rows.
+
+    Returns ``([[d, pairs_within_d, fraction_of_total], ...], total)``.
+    Both the single server (over its swept series) and the cluster
+    router (over the chained series, which is bit-identical to it)
+    apply this same transform, so the responses match byte for byte.
+    """
+    if not series:
+        return [], 0.0
+    total = series[-1][1]
+    return (
+        [[d, running, running / total] for d, running in series],
+        total,
+    )

@@ -8,21 +8,32 @@ pool of worker threads behind stdlib ``http.server`` plumbing.  Pure
 Python threads suffice here because every query is read-only over flat
 columns and the hot whole-graph results are LRU-cached.
 
-Endpoints (all JSON):
+Endpoints (all JSON; the authoritative table every server flavor
+builds its routes from is :mod:`repro.serve.registry`):
 
-=====================  ====================================================
-``GET  /healthz``      liveness probe
-``GET  /stats``        request/cache counters, index metadata, uptime
-``GET  /cardinality``  all-nodes n_d sweep (``?d=``), or one ``?node=``
-``POST /cardinality``  batch: ``{"nodes": [...], "d": 2.0}``
-``GET  /closeness``    all-nodes C_{alpha,beta} (``?kind=``), or one node
-``POST /closeness``    batch: ``{"nodes": [...], "kind": "harmonic"}``
-``GET  /neighborhood`` whole-graph ANF series, or one ``?node=``
-``GET  /top-central``  ``?count=&kind=&largest=`` ranking
-``GET  /node/<label>`` one node's summary (sketch size, estimates)
-``POST /update``       apply an edge batch: ``{"edges": [[u, v], ...]}``
-``POST /compact``      flush applied updates to the on-disk layout
-=====================  ====================================================
+==========================  ===============================================
+``GET  /healthz``           liveness probe
+``GET  /stats``             request/cache counters, index metadata, uptime
+``GET  /cardinality``       all-nodes n_d sweep (``?d=``), or one ``?node=``
+``POST /cardinality``       batch: ``{"nodes": [...], "d": 2.0}``
+``GET  /closeness``         all-nodes C_{alpha,beta} (``?kind=``), or one
+``POST /closeness``         batch: ``{"nodes": [...], "kind": "harmonic"}``
+``GET  /neighborhood``      whole-graph ANF series, or one ``?node=``
+``GET  /nf-curve``          ANF curve with per-point fractions of the total
+``GET  /top-central``       ``?count=&kind=&largest=`` ranking
+``POST /similarity``        batch pair similarity: ``{"pairs": [[u, v],
+                            ...], "metric": "jaccard"|"closeness", "d": 2}``
+``POST /distance``          batch sketch-space distance estimates:
+                            ``{"pairs": [[u, v], ...]}``
+``GET  /similar/<label>``   most similar nodes (``?count=&d=``)
+``GET  /node/<label>``      one node's summary (sketch size, estimates)
+``POST /update``            apply an edge batch: ``{"edges": [[u, v], ...]}``
+``POST /compact``           flush applied updates to the on-disk layout
+==========================  ===============================================
+
+The similarity/distance endpoints need a bottom-k index (the flavor
+whose extracted MinHash sketches are comparable across nodes); other
+flavors answer 409.
 
 Unknown nodes are 404s, malformed parameters 400s, unexpected faults
 500s -- always with an ``{"error": ...}`` body.  Handlers speak
@@ -72,7 +83,7 @@ from repro._util import require
 from repro.ads.index import AdsIndex
 from repro.centrality.closeness import top_k_central_nodes
 from repro.errors import ReproError
-from repro.serve import wire
+from repro.serve import registry, wire
 from repro.serve.cache import LruCache
 from repro.serve.locks import ReadWriteLock
 from repro.serve.schemas import (
@@ -83,11 +94,14 @@ from repro.serve.schemas import (
     conflict,
     json_safe_number,
     label_value_pairs,
+    nf_curve_points,
     not_found,
     parse_bool,
     parse_edges,
     parse_float,
     parse_int,
+    parse_pairs,
+    parse_similarity_metric,
     resolve_node,
     resolve_nodes,
     series_pairs,
@@ -209,13 +223,22 @@ class ServerBase:
     it: :class:`AdsServer` answers queries from a local
     :class:`~repro.ads.index.AdsIndex`, and
     :class:`repro.serve.cluster.RouterServer` answers the same API by
-    fanning out to a sharded cluster of workers.  Subclasses implement
-    :meth:`_build_routes` (path -> handler table) and
-    :meth:`_node_summary`.
+    fanning out to a sharded cluster of workers.  The route table is
+    *not* per subclass: it is built from the declarative endpoint
+    registry (:mod:`repro.serve.registry`) filtered by the class's
+    ``_ROUTE_SCOPES``, so every flavor serves (and 404s) the same API
+    by construction; subclasses just implement the handler methods the
+    registry names, plus :meth:`_node_summary`.
     """
 
-    # Paths that take the exclusive side of the read/write lock.
-    _WRITE_PATHS = frozenset({"/update", "/compact"})
+    # Paths that take the exclusive side of the read/write lock --
+    # derived from the same registry the dispatch tables come from.
+    _WRITE_PATHS = registry.WRITE_PATHS
+
+    # Which registry scopes this server carries.  Workers (and single
+    # servers) also answer the internal worker-to-worker endpoints; the
+    # cluster router narrows this to {"all"}.
+    _ROUTE_SCOPES = frozenset({"all", "worker"})
 
     def __init__(
         self,
@@ -248,8 +271,15 @@ class ServerBase:
         self._open_transport(host, port)
 
     def _build_routes(self):
-        """Path -> ``(handler, allowed_methods)`` table; per subclass."""
-        raise NotImplementedError
+        """Bind the endpoint registry for this class's scopes.
+
+        Returns the exact-path dispatch table and stores the
+        prefix-route table (``/node/<label>``-style endpoints) on the
+        side; both map path -> ``(bound handler, allowed methods)``.
+        """
+        exact, prefix = registry.route_tables(self, self._ROUTE_SCOPES)
+        self._prefix_routes = prefix
+        return exact
 
     def _open_transport(self, host: str, port: int) -> None:
         """Bind the transport; the asyncio mixin overrides this."""
@@ -492,10 +522,13 @@ class ServerBase:
         params: Dict[str, str],
         body: Optional[Dict[str, Any]],
     ) -> Tuple[int, Dict[str, Any]]:
-        if path.startswith("/node/"):
-            if method != "GET":
-                raise bad_request(f"{path} only supports GET")
-            return 200, self._node_summary(path[len("/node/"):])
+        for route_prefix, (target, methods) in self._prefix_routes.items():
+            if path.startswith(route_prefix):
+                if method not in methods:
+                    raise bad_request(
+                        f"{path} only supports {'/'.join(methods)}"
+                    )
+                return 200, target(path[len(route_prefix):], params)
         entry = self._routes.get(path)
         if entry is None:
             raise not_found(f"no such endpoint: {path}")
@@ -542,6 +575,10 @@ class ServerBase:
         )
         return kind, half_life
 
+    def _node(self, raw: str, params: Dict[str, str]) -> Dict[str, Any]:
+        """``GET /node/<label>`` prefix route -> per-flavor summary."""
+        return self._node_summary(raw)
+
     def _node_summary(self, raw: str) -> Dict[str, Any]:
         raise NotImplementedError
 
@@ -584,7 +621,10 @@ class AdsServer(ServerBase):
             a worker its own nodes, but a stray query is answered, not
             wrong), while the all-nodes endpoints (``/cardinality``,
             ``/closeness``, ``/top-central``, ``/neighborhood``,
-            ``POST /nf-chain``) cover exactly rows ``[start, stop)``.
+            ``/nf-curve``, ``POST /nf-chain``) cover exactly rows
+            ``[start, stop)`` -- and ``/similar/<label>`` restricts
+            its *candidates* to them, so per-shard winners merge
+            exactly at the router.
             ``stop=None`` leaves the range open-ended so the last shard
             group also owns nodes appended by later updates.  A worker
             over a sharded mmap layout only ever touches (and thus
@@ -645,19 +685,6 @@ class AdsServer(ServerBase):
         # After super().__init__: the cap needs self.threads, and no
         # request can arrive before start()/serve_forever anyway.
         self.kernel_workers = self._cap_kernel_workers()
-
-    def _build_routes(self):
-        return {
-            "/healthz": (self._healthz, ("GET",)),
-            "/stats": (self._stats, ("GET",)),
-            "/cardinality": (self._cardinality, ("GET", "POST")),
-            "/closeness": (self._closeness, ("GET", "POST")),
-            "/neighborhood": (self._neighborhood, ("GET",)),
-            "/top-central": (self._top_central, ("GET",)),
-            "/nf-chain": (self._nf_chain, ("POST",)),
-            "/update": (self._update, ("POST",)),
-            "/compact": (self._compact, ("POST",)),
-        }
 
     def _validate_node_range(
         self, value: Optional[Tuple[int, Optional[int]]]
@@ -1013,6 +1040,87 @@ class AdsServer(ServerBase):
             "results": results,
             "cached": cached,
         }
+
+    # -- similarity / distance-oracle endpoints ------------------------
+    #
+    # Validation order is pinned for cluster parity: everything a
+    # router can check without an index (metric, pair shapes, d) is
+    # checked first, in the same order the router checks it; the
+    # flavor refusal comes last because only index-holding servers can
+    # raise it (the router surfaces a worker's 409 verbatim).
+    def _require_bottomk_index(self) -> None:
+        if self.index.flavor != "bottomk":
+            raise conflict(
+                "similarity queries need a bottom-k index; this "
+                f"server's index flavor is {self.index.flavor!r}"
+            )
+
+    def _similarity(self, params, body) -> Dict[str, Any]:
+        metric = parse_similarity_metric(body)
+        pairs = parse_pairs(self.index, body)
+        if metric == "jaccard":
+            d = _batch_float(body, "d", math.inf)
+            self._require_bottomk_index()
+            values = self.index.pairs_neighborhood_jaccard(pairs, d)
+            return {
+                "metric": metric,
+                "d": json_safe_number(d),
+                "results": [
+                    [u, v, value]
+                    for (u, v), value in zip(pairs, values)
+                ],
+            }
+        if "d" in body:
+            raise bad_request("d only applies to the jaccard metric")
+        self._require_bottomk_index()
+        values = self.index.pairs_closeness_similarity(pairs)
+        return {
+            "metric": metric,
+            "results": [
+                [u, v, value] for (u, v), value in zip(pairs, values)
+            ],
+        }
+
+    def _distance(self, params, body) -> Dict[str, Any]:
+        pairs = parse_pairs(self.index, body)
+        self._require_bottomk_index()
+        values = self.index.pairs_distance_estimate(pairs)
+        # Unreachable pairs estimate to inf, which JSON cannot carry:
+        # they come back as null.
+        return {
+            "results": [
+                [u, v, json_safe_number(value)]
+                for (u, v), value in zip(pairs, values)
+            ],
+        }
+
+    def _similar(self, raw: str, params) -> Dict[str, Any]:
+        if not raw:
+            raise bad_request("/similar/<label> requires a label")
+        count = parse_int(params, "count", 10, minimum=1)
+        d = parse_float(params, "d", math.inf)
+        label = resolve_node(self.index, raw)
+        self._require_bottomk_index()
+        start, stop = self._range_bounds()
+        results = self.index.most_similar(
+            label, count=count, d=d, start=start, stop=stop
+        )
+        return {
+            "node": label,
+            "count": count,
+            "d": json_safe_number(d),
+            "results": [[node, value] for node, value in results],
+        }
+
+    def _nf_curve(self, params, body) -> Dict[str, Any]:
+        # Shares the /neighborhood cache entry: the curve is a pure
+        # transform of the same swept series.
+        series, cached = self._cached(
+            ("/neighborhood",),
+            self._sweep_neighborhood,
+        )
+        points, total = nf_curve_points(series)
+        return {"points": points, "total_pairs": total, "cached": cached}
 
     def _node_summary(self, raw: str) -> Dict[str, Any]:
         if not raw:

@@ -20,6 +20,7 @@ import repro.serve.cache
 import repro.serve.cluster
 import repro.serve.locks
 import repro.serve.membership
+import repro.serve.registry
 import repro.serve.server
 
 MODULES = (
@@ -31,6 +32,7 @@ MODULES = (
     repro.serve.cluster,
     repro.serve.locks,
     repro.serve.membership,
+    repro.serve.registry,
     repro.serve.server,
 )
 
