@@ -63,6 +63,11 @@ TRACKED = [
     # guards for either backend's pair path (ISSUE 9 acceptance).
     ("BENCH_similarity.json", "speedups.distance_pairs", "higher"),
     ("BENCH_similarity.json", "speedups.jaccard_pairs", "higher"),
+    # Durability tier: the fsync'd WAL append must stay a small
+    # constant factor on updates, and startup replay must not fall
+    # behind the live apply path (ISSUE 10 acceptance).
+    ("BENCH_recovery.json", "wal.update_overhead", "lower"),
+    ("BENCH_recovery.json", "replay.throughput_vs_apply", "higher"),
 ]
 
 # Metrics that only mean anything with real cores: skipped (with a

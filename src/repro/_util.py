@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Iterable, Sequence
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence, Union
 
 from repro.errors import ParameterError
 
@@ -13,6 +16,46 @@ def require(condition: bool, message: str) -> None:
     """Raise :class:`ParameterError` with *message* unless *condition* holds."""
     if not condition:
         raise ParameterError(message)
+
+
+@contextmanager
+def atomic_output(path: Union[str, Path]) -> Iterator:
+    """Yield a binary handle whose contents replace *path* atomically.
+
+    The bytes land in a temp file in the same directory, are flushed
+    and ``fsync``'d, and only then renamed over *path* (``os.replace``,
+    atomic on POSIX) -- so readers, and a process restarting after a
+    crash, observe either the complete old file or the complete new
+    one, never a torn hybrid.  On failure the temp file is removed and
+    *path* is untouched.  The parent directory is fsync'd afterwards
+    (best effort) so the rename itself survives a power cut.
+    """
+    target = Path(path)
+    tmp = target.parent / f".{target.name}.tmp.{os.getpid()}"
+    handle = open(tmp, "wb")
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+    except BaseException:
+        handle.close()
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    handle.close()
+    os.replace(tmp, target)
+    try:
+        dir_fd = os.open(target.parent or Path("."), os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - directories not fsync-able
+        pass
+    finally:
+        os.close(dir_fd)
 
 
 def harmonic_number(n: int) -> float:

@@ -36,6 +36,7 @@ legacy ``BaseADS`` object for full backward compatibility.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
 import math
 import os
@@ -57,7 +58,7 @@ from typing import (
     Union,
 )
 
-from repro._util import require
+from repro._util import atomic_output, require
 from repro.ads import kernels
 from repro.ads.kernels import parallel as kernel_parallel
 from repro.ads.base import FLAVOR_CLASSES as _FLAVOR_CLASSES, BaseADS
@@ -97,6 +98,13 @@ def _labels_digest(labels: Sequence[Hashable]) -> str:
         list(labels), ensure_ascii=False, separators=(",", ":")
     ).encode("utf-8")
     return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+def _write_manifest(path: Path, manifest: dict) -> None:
+    """Atomically replace a sharded layout's ``manifest.json``."""
+    payload = json.dumps(manifest, ensure_ascii=False, indent=2) + "\n"
+    with atomic_output(path) as handle:
+        handle.write(payload.encode("utf-8"))
 
 
 def shard_ranges(n: int, shards: int) -> List[Tuple[int, int]]:
@@ -1629,6 +1637,15 @@ class AdsIndex:
         if shards is not None:
             self._save_sharded(Path(path), shards)
             return
+        self._guard_mmap_overwrite(Path(path))
+        # Crash-atomic: the bytes land in a same-directory temp file and
+        # replace *path* only once fsync'd, so a crash mid-save can
+        # never leave a torn index behind.
+        with atomic_output(path) as handle:
+            self._write_single(handle)
+
+    def _write_single(self, handle) -> None:
+        """Serialise the single-file layout onto an open binary handle."""
         header = {
             "flavor": self.flavor,
             "k": self.k,
@@ -1640,16 +1657,99 @@ class AdsIndex:
             "labels": self._labels,
         }
         header_bytes = json.dumps(header, ensure_ascii=False).encode("utf-8")
-        self._guard_mmap_overwrite(Path(path))
-        with open(path, "wb") as handle:
-            handle.write(_MAGIC)
-            handle.write(len(header_bytes).to_bytes(8, "little"))
-            handle.write(header_bytes)
-            for column in (
-                self._offsets, self._node, self._dist, self._rank,
-                self._tiebreak, self._aux, self._hip,
-            ):
-                handle.write(column.tobytes())
+        handle.write(_MAGIC)
+        handle.write(len(header_bytes).to_bytes(8, "little"))
+        handle.write(header_bytes)
+        for column in (
+            self._offsets, self._node, self._dist, self._rank,
+            self._tiebreak, self._aux, self._hip,
+        ):
+            handle.write(column.tobytes())
+
+    def to_bytes(self) -> bytes:
+        """The single-file layout as in-memory bytes (what :meth:`save`
+        would write), ready to ship to a resyncing replica."""
+        self._check_saveable_labels()
+        if self.mmap_backed:
+            raise EstimatorError(
+                "to_bytes needs an eagerly loaded index: memory-mapped "
+                "columns are views, reload with mmap=False first"
+            )
+        buffer = io.BytesIO()
+        self._write_single(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(
+        cls, data: bytes, backend: str = "auto", kernel_workers=None
+    ) -> "AdsIndex":
+        """Rebuild an index from :meth:`to_bytes` output (always eager)."""
+        kernels.resolve(backend)
+        kernel_parallel.parse_workers(kernel_workers)
+        origin = "<index bytes>"
+        handle = io.BytesIO(data)
+        header = _read_json_header(handle, origin, _MAGIC, "AdsIndex")
+        try:
+            flavor = header["flavor"]
+            k = header["k"]
+            seed = header["seed"]
+            rank_sup = header["rank_sup"]
+            labels = header["labels"]
+            n = header["n"]
+            entries = header["entries"]
+            swap = header["byteorder"] != sys.byteorder
+        except KeyError as error:
+            raise EstimatorError(f"{origin}: corrupt header ({error})")
+        if not (isinstance(n, int) and isinstance(entries, int)
+                and n >= 0 and entries >= 0):
+            raise EstimatorError(f"{origin}: corrupt header counts")
+        offsets = _read_column(handle, origin, "q", n + 1, swap)
+        columns = [
+            _read_column(handle, origin, typecode, entries, swap)
+            for typecode in _COLUMN_TYPECODES
+        ]
+        try:
+            return cls(
+                flavor, k, seed, labels, offsets, *columns,
+                rank_sup=rank_sup, backend=backend,
+                kernel_workers=kernel_workers,
+            )
+        except (ParameterError, TypeError, ValueError) as error:
+            raise EstimatorError(f"{origin}: corrupt header ({error})")
+
+    def labels_digest(self) -> str:
+        """Fingerprint of the node label list (id order included) --
+        what topology validation compares across router and workers."""
+        return _labels_digest(self._labels)
+
+    def content_digest(self) -> str:
+        """Fingerprint of the full sketch state: parameters, labels,
+        and every column's raw bytes.
+
+        Two indexes agree here iff they answer every query identically,
+        so the resync protocol uses it to prove a re-seeded replica
+        matches its donor bit for bit.  Eager indexes only (a mapped
+        column is a view, and mmap workers never take writes anyway).
+        """
+        if self.mmap_backed:
+            raise EstimatorError(
+                "content_digest needs an eagerly loaded index; reload "
+                "with mmap=False"
+            )
+        digest = hashlib.blake2b(digest_size=16)
+        params = json.dumps(
+            [self.flavor, self.k, self.seed, self.rank_sup,
+             self.num_nodes, self.num_entries, sys.byteorder],
+            ensure_ascii=False, separators=(",", ":"),
+        ).encode("utf-8")
+        digest.update(params)
+        digest.update(_labels_digest(self._labels).encode("ascii"))
+        for column in (
+            self._offsets, self._node, self._dist, self._rank,
+            self._tiebreak, self._aux, self._hip,
+        ):
+            digest.update(column.tobytes())
+        return digest.hexdigest()
 
     def _check_saveable_labels(self) -> None:
         for label in self._labels:
@@ -1708,12 +1808,10 @@ class AdsIndex:
             "labels_digest": digest,
             "shards": manifest_shards,
         }
-        # The manifest lands last: a crashed save leaves shard files but
-        # no manifest, which the loader refuses instead of half-loading.
-        (directory / MANIFEST_NAME).write_text(
-            json.dumps(manifest, ensure_ascii=False, indent=2) + "\n",
-            encoding="utf-8",
-        )
+        # The manifest lands last and atomically: a crashed save leaves
+        # either the old manifest or orphan shard files with none, never
+        # a manifest pointing at torn shards.
+        _write_manifest(directory / MANIFEST_NAME, manifest)
 
     def _write_shard_file(
         self, path: Path, start: int, stop: int, digest: str
@@ -1738,7 +1836,7 @@ class AdsIndex:
         offsets = array("q", (self._offsets[i] - lo
                               for i in range(start, stop + 1)))
         self._guard_mmap_overwrite(path)
-        with open(path, "wb") as handle:
+        with atomic_output(path) as handle:
             handle.write(_SHARD_MAGIC)
             handle.write(len(header_bytes).to_bytes(8, "little"))
             handle.write(header_bytes)
@@ -1785,10 +1883,9 @@ class AdsIndex:
         self._write_shard_file(directory / shard["file"], start, stop, digest)
         shard["entries"] = self._offsets[stop] - self._offsets[start]
         manifest["entries"] = sum(s["entries"] for s in entries)
-        manifest_path.write_text(
-            json.dumps(manifest, ensure_ascii=False, indent=2) + "\n",
-            encoding="utf-8",
-        )
+        # Shard then manifest, both atomic: at every crash point the
+        # manifest on disk describes complete shard files.
+        _write_manifest(manifest_path, manifest)
 
     @classmethod
     def load(

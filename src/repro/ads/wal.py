@@ -1,0 +1,299 @@
+"""Append-only, checksummed write-ahead delta log for update batches.
+
+The serving tier's durability gap (before this module): ``POST
+/update`` splices the in-memory index, but nothing reaches disk until
+``POST /compact`` -- a crashed worker silently loses every batch since
+its last compact.  :class:`WriteAheadLog` closes that gap the standard
+way: the server appends each edge batch here *before* applying it, so
+a restart replays the log over the last compacted layout and recovers
+the exact pre-crash state (``apply_edges`` is deterministic and
+bit-identical to a rebuild, so replay is too).
+
+On-disk format (single file, ``updates.wal`` inside ``--wal-dir``)::
+
+    ADSWAL01 | header_len (8 LE) | header JSON {"version", "base_seq"}
+    record*  : payload_len (4 LE) | crc32(payload) (4 LE) | payload
+
+Each payload is compact JSON ``{"seq": N, "edges": [[u, v], [u, v, w],
+...]}`` -- the *coerced* edge batch, exactly what ``apply_edges``
+receives, so replay needs no request context.  Sequence numbers are
+strictly consecutive from ``base_seq``; :meth:`reset` (called after a
+successful compact) atomically replaces the file with an empty log
+whose ``base_seq`` records where the flushed layout stands.
+
+Durability and torn-write rules:
+
+* every :meth:`append` is flushed and ``fsync``'d before it returns --
+  an acknowledged update is on stable storage;
+* a torn tail (truncated frame, checksum mismatch, malformed or
+  out-of-sequence payload -- anything a mid-write crash can leave) is
+  detected on open, cleanly ignored, and truncated away by the next
+  append, so one crash can never poison later records;
+* :meth:`reset` goes through write-temp/fsync/``os.replace``, so the
+  log is always either the old file or the new one, never a hybrid.
+
+Example:
+    >>> import tempfile
+    >>> wal = WriteAheadLog(tempfile.mkdtemp())
+    >>> wal.append([(0, 1), (1, 2, 2.5)])
+    1
+    >>> reopened = WriteAheadLog(wal.directory)
+    >>> [(record.seq, record.edges) for record in reopened.pending()]
+    [(1, [(0, 1), (1, 2, 2.5)])]
+    >>> reopened.reset(reopened.last_seq)
+    >>> reopened.pending()
+    []
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Union
+
+from repro._util import atomic_output
+from repro.errors import EstimatorError
+
+_WAL_MAGIC = b"ADSWAL01"
+_WAL_VERSION = 1
+_MAX_RECORD_BYTES = 1 << 30  # same implausibility bound as index headers
+
+
+class WalRecord(NamedTuple):
+    """One logged update batch: its sequence number and edge tuples."""
+
+    seq: int
+    edges: List[tuple]
+
+
+def _valid_edge(edge: Any) -> bool:
+    if not isinstance(edge, list) or len(edge) not in (2, 3):
+        return False
+    for label in edge[:2]:
+        if isinstance(label, bool) or not isinstance(label, (int, str)):
+            return False
+    if len(edge) == 3:
+        weight = edge[2]
+        if isinstance(weight, bool) or not isinstance(weight, (int, float)):
+            return False
+    return True
+
+
+class WriteAheadLog:
+    """The append/replay/reset surface over one ``updates.wal`` file.
+
+    Args:
+        directory: The WAL directory (``--wal-dir``); created if
+            missing.  A fresh log (``base_seq=0``) is written when no
+            ``updates.wal`` exists yet.
+        file_name: The log file name inside *directory*.
+
+    Raises:
+        EstimatorError: an existing file that is not a WAL, or whose
+            *header* is corrupt (a torn record tail is tolerated; a
+            torn header means the file was never a valid log).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        file_name: str = "updates.wal",
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / file_name
+        self.base_seq = 0
+        self.last_seq = 0
+        self._pending: List[WalRecord] = []
+        self._good_offset = 0
+        self._tail_torn = False
+        self._prev_offset: Optional[int] = None  # rollback_last window
+        self._handle = None
+        if self.path.exists():
+            self._scan()
+        else:
+            self._write_fresh(0)
+
+    # ------------------------------------------------------------------
+    # Open / scan
+    # ------------------------------------------------------------------
+    def _scan(self) -> None:
+        """Parse the existing log; stop cleanly at the first torn record."""
+        with open(self.path, "rb") as handle:
+            magic = handle.read(len(_WAL_MAGIC))
+            if magic != _WAL_MAGIC:
+                raise EstimatorError(f"{self.path}: not an ADS WAL file")
+            raw_len = handle.read(8)
+            if len(raw_len) != 8:
+                raise EstimatorError(f"{self.path}: truncated WAL header")
+            header_len = int.from_bytes(raw_len, "little")
+            if not 0 < header_len <= _MAX_RECORD_BYTES:
+                raise EstimatorError(
+                    f"{self.path}: implausible WAL header length"
+                )
+            header_bytes = handle.read(header_len)
+            if len(header_bytes) != header_len:
+                raise EstimatorError(f"{self.path}: truncated WAL header")
+            try:
+                header = json.loads(header_bytes.decode("utf-8"))
+                base_seq = header["base_seq"]
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+                    TypeError) as error:
+                raise EstimatorError(
+                    f"{self.path}: corrupt WAL header ({error})"
+                )
+            if isinstance(base_seq, bool) or not isinstance(base_seq, int) \
+                    or base_seq < 0:
+                raise EstimatorError(
+                    f"{self.path}: corrupt WAL base sequence"
+                )
+            self.base_seq = base_seq
+            self.last_seq = base_seq
+            self._good_offset = handle.tell()
+            while True:
+                record = self._read_record(handle)
+                if record is None:
+                    break
+                self._pending.append(record)
+                self.last_seq = record.seq
+                self._good_offset = handle.tell()
+
+    def _read_record(self, handle) -> Optional[WalRecord]:
+        """One framed record, or ``None`` at EOF / the first torn byte."""
+        head = handle.read(8)
+        if len(head) < 8:
+            self._tail_torn = bool(head)
+            return None
+        length = int.from_bytes(head[:4], "little")
+        checksum = int.from_bytes(head[4:], "little")
+        if not 0 < length <= _MAX_RECORD_BYTES:
+            self._tail_torn = True
+            return None
+        payload = handle.read(length)
+        if len(payload) < length or zlib.crc32(payload) != checksum:
+            self._tail_torn = True
+            return None
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+            seq, edges = decoded["seq"], decoded["edges"]
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError,
+                TypeError):
+            self._tail_torn = True
+            return None
+        if seq != self.last_seq + 1 or not isinstance(edges, list) \
+                or not all(_valid_edge(edge) for edge in edges):
+            self._tail_torn = True
+            return None
+        return WalRecord(seq, [tuple(edge) for edge in edges])
+
+    # ------------------------------------------------------------------
+    # Append / replay / reset
+    # ------------------------------------------------------------------
+    def pending(self) -> List[WalRecord]:
+        """Records logged after the last :meth:`reset`, in order --
+        the replay set a restarting server applies."""
+        return list(self._pending)
+
+    @property
+    def pending_records(self) -> int:
+        return len(self._pending)
+
+    def append(self, edges: Sequence) -> int:
+        """Durably log one edge batch; returns its sequence number.
+
+        The frame is flushed and ``fsync``'d before returning, so a
+        crash at any later point replays this batch on restart.  A torn
+        tail left by an earlier crash is truncated away first, keeping
+        the framing self-synchronising.
+        """
+        seq = self.last_seq + 1
+        payload = json.dumps(
+            {"seq": seq, "edges": [list(edge) for edge in edges]},
+            ensure_ascii=False, separators=(",", ":"),
+        ).encode("utf-8")
+        frame = (
+            len(payload).to_bytes(4, "little")
+            + zlib.crc32(payload).to_bytes(4, "little")
+            + payload
+        )
+        handle = self._ensure_handle()
+        if self._tail_torn:
+            handle.truncate(self._good_offset)
+            self._tail_torn = False
+        handle.seek(self._good_offset)
+        handle.write(frame)
+        handle.flush()
+        os.fsync(handle.fileno())
+        self._prev_offset = self._good_offset
+        self._good_offset += len(frame)
+        self.last_seq = seq
+        self._pending.append(
+            WalRecord(seq, [tuple(edge) for edge in edges])
+        )
+        return seq
+
+    def rollback_last(self) -> None:
+        """Withdraw the most recent :meth:`append` (apply failed, so the
+        batch was refused and must not replay).  Only the immediately
+        preceding append can be rolled back."""
+        if self._prev_offset is None:
+            return
+        handle = self._ensure_handle()
+        handle.truncate(self._prev_offset)
+        handle.flush()
+        os.fsync(handle.fileno())
+        self._good_offset = self._prev_offset
+        self._prev_offset = None
+        self.last_seq -= 1
+        self._pending.pop()
+
+    def reset(self, base_seq: int) -> None:
+        """Atomically replace the log with an empty one at *base_seq*
+        (called after a successful compact: the flushed layout now
+        carries every logged batch)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._write_fresh(int(base_seq))
+
+    def _write_fresh(self, base_seq: int) -> None:
+        header = json.dumps(
+            {"format": "ads-wal", "version": _WAL_VERSION,
+             "base_seq": base_seq},
+            ensure_ascii=False, separators=(",", ":"),
+        ).encode("utf-8")
+        with atomic_output(self.path) as handle:
+            handle.write(_WAL_MAGIC)
+            handle.write(len(header).to_bytes(8, "little"))
+            handle.write(header)
+        self.base_seq = base_seq
+        self.last_seq = base_seq
+        self._pending = []
+        self._good_offset = len(_WAL_MAGIC) + 8 + len(header)
+        self._tail_torn = False
+        self._prev_offset = None
+
+    def _ensure_handle(self):
+        if self._handle is None:
+            self._handle = open(self.path, "r+b")
+        return self._handle
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/stats`` sub-dict: where the log lives and how far it
+        has advanced past the last flushed layout."""
+        return {
+            "path": str(self.path),
+            "base_seq": self.base_seq,
+            "last_seq": self.last_seq,
+            "pending_records": len(self._pending),
+        }
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+__all__ = ["WalRecord", "WriteAheadLog"]

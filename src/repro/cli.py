@@ -670,6 +670,10 @@ def cmd_serve(args) -> int:
         # load is read-only by construction.
         print("--graph (live updates) requires --no-mmap", file=sys.stderr)
         return 2
+    if args.wal_dir is not None and args.graph is None:
+        print("--wal-dir (durable updates) requires --graph",
+              file=sys.stderr)
+        return 2
     node_range = None
     if args.cluster is not None:
         try:
@@ -703,7 +707,7 @@ def cmd_serve(args) -> int:
                 coalesce_window=args.coalesce_window,
                 wire_mode=args.wire,
                 graph=graph, index_path=index_path, graph_path=args.graph,
-                node_range=node_range,
+                node_range=node_range, wal_dir=args.wal_dir,
             )
             transport = (
                 f"asyncio transport (max_in_flight={args.max_in_flight}, "
@@ -715,7 +719,7 @@ def cmd_serve(args) -> int:
                 cache_size=args.cache_size, threads=args.threads,
                 wire_mode=args.wire,
                 graph=graph, index_path=index_path, graph_path=args.graph,
-                node_range=node_range,
+                node_range=node_range, wal_dir=args.wal_dir,
             )
             transport = f"{args.threads} threads"
     except (ReproError, OSError) as error:
@@ -723,6 +727,13 @@ def cmd_serve(args) -> int:
         return 1
     mode = "mmap" if index.mmap_backed else "eager"
     writable = ", updates enabled" if graph is not None else ""
+    if server.wal is not None:
+        writable += (
+            f", wal={server.wal.directory}"
+            + (f" (replayed {server.wal_replayed} batch"
+               f"{'es' if server.wal_replayed != 1 else ''})"
+               if server.wal_replayed else "")
+        )
     if node_range is not None:
         start, stop = node_range
         writable += (
@@ -822,6 +833,10 @@ def cmd_route(args) -> int:
         print(f"--rpc-timeout must be > 0, got {args.rpc_timeout}",
               file=sys.stderr)
         return 2
+    if args.resync_interval < 0:
+        print(f"--resync-interval must be >= 0, got "
+              f"{args.resync_interval}", file=sys.stderr)
+        return 2
     try:
         parsed = [_parse_group(spec) for spec in args.group]
     except ValueError as error:
@@ -855,12 +870,16 @@ def cmd_route(args) -> int:
             rpc_timeout=args.rpc_timeout, rpc_wire=args.rpc_wire,
             probe_interval=args.probe_interval,
             writable=args.writable,
+            validate_topology=args.validate_topology,
+            resync_interval=args.resync_interval,
         )
     except (ReproError, OSError) as error:
         print(str(error), file=sys.stderr)
         return 1
     replicas = sum(len(urls) for _, urls in groups)
     writable = ", updates enabled" if args.writable else ""
+    if args.resync_interval > 0:
+        writable += f", resync every {args.resync_interval}s"
     print(
         f"# routing {len(labels)} nodes over {len(groups)} shard "
         f"group{'s' if len(groups) != 1 else ''} ({replicas} "
@@ -1226,6 +1245,15 @@ def build_parser() -> argparse.ArgumentParser:
         "this range so a `repro route` router can concatenate shards "
         "exactly",
     )
+    p.add_argument(
+        "--wal-dir",
+        default=None,
+        metavar="DIR",
+        help="write each POST /update batch to a checksummed "
+        "write-ahead log in DIR before applying it, and replay any "
+        "pending batches on startup (crash recovery; requires "
+        "--graph, truncated on /compact)",
+    )
     _add_backend_arg(p)
     _add_kernel_workers_arg(p)
     p.set_defaults(func=cmd_serve)
@@ -1292,6 +1320,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="accept POST /update and /compact, fanning each batch to "
         "every replica (workers must run with --graph)",
+    )
+    p.add_argument(
+        "--validate-topology",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="probe each worker's actual node range and labels digest "
+        "at startup and refuse to route over mis-ranged or mismatched "
+        "workers",
+    )
+    p.add_argument(
+        "--resync-interval", type=float, default=15.0,
+        help="seconds between automatic resync sweeps that rebuild "
+        "stale replicas from a healthy peer and re-admit them after a "
+        "digest check (0 disables)",
     )
     p.set_defaults(func=cmd_route)
 

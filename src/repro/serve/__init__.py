@@ -13,8 +13,9 @@ disk; this package is the layer that takes traffic against it:
   wire mode (:mod:`repro.serve.client`);
 * :class:`RouterServer` / :class:`AsyncRouterServer` -- the sharded
   cluster tier: fan-out over node-range workers, exact merges, replica
-  failover (:mod:`repro.serve.cluster`,
-  :mod:`repro.serve.membership`);
+  failover, startup topology validation
+  (:class:`ClusterTopologyError`), and automatic stale-replica resync
+  (:mod:`repro.serve.cluster`, :mod:`repro.serve.membership`);
 * :mod:`repro.serve.wire` -- the compact binary codec both transports
   negotiate via ``Accept``/``Content-Type``;
 * :class:`LruCache` -- the cache primitive (:mod:`repro.serve.cache`);
@@ -31,7 +32,11 @@ graph.adsidx --group URL[,URL...] ...`` for the cluster router.
 
 from repro.serve.cache import LruCache
 from repro.serve.client import QueryClient, ServeClientError
-from repro.serve.cluster import AsyncRouterServer, RouterServer
+from repro.serve.cluster import (
+    AsyncRouterServer,
+    ClusterTopologyError,
+    RouterServer,
+)
 from repro.serve.locks import ReadWriteLock
 from repro.serve.membership import ClusterMembership, Replica, ShardGroup
 from repro.serve.schemas import WireError
@@ -44,6 +49,7 @@ __all__ = [
     "AsyncAdsServer",
     "AsyncRouterServer",
     "ClusterMembership",
+    "ClusterTopologyError",
     "LruCache",
     "QueryClient",
     "Replica",

@@ -517,10 +517,10 @@ class AsyncAdsServer(AsyncTransport, AdsServer):
             holds this many queries.
         wire_mode: ``"auto"`` negotiates the binary codec per request,
             ``"json"`` pins responses to JSON.
-        graph / index_path / graph_path / node_range: As on
-            :class:`~repro.serve.server.AdsServer` (writes and the
-            cluster shard-worker mode work identically on this
-            transport).
+        graph / index_path / graph_path / node_range / wal_dir: As on
+            :class:`~repro.serve.server.AdsServer` (writes, the
+            cluster shard-worker mode, and write-ahead logging with
+            startup replay work identically on this transport).
 
     Example:
         >>> from repro.graph import path_graph
@@ -547,6 +547,7 @@ class AsyncAdsServer(AsyncTransport, AdsServer):
         index_path=None,
         graph_path=None,
         node_range=None,
+        wal_dir=None,
     ):
         self._init_async_transport(
             max_in_flight, coalesce_window, coalesce_max_batch
@@ -565,6 +566,7 @@ class AsyncAdsServer(AsyncTransport, AdsServer):
             graph_path=graph_path,
             wire_mode=wire_mode,
             node_range=node_range,
+            wal_dir=wal_dir,
         )
 
     def _make_coalescer(self) -> Optional[_Coalescer]:

@@ -51,18 +51,35 @@ and propagates to the client verbatim.  When a whole group is
 unreachable the router sheds with a structured
 ``503 shard [start, stop) unavailable: ...`` -- never a hang, never a
 partial merge.
+
+Self-healing: a ``stale``-quarantined replica (one that missed a
+committed write or answered divergently) is no longer terminal.  The
+router's resync loop (:meth:`RouterServer.resync_stale`, run every
+``resync_interval`` seconds) re-seeds it from a healthy donor via the
+worker-scope ``/sync/snapshot`` -> ``/sync/install`` protocol and
+re-admits it only after the installed content digest matches the
+donor's -- all under the router's exclusive write lock, so no update
+can slip between the snapshot and the verdict.  And misconfiguration
+is refused up front: at construction the router probes every worker's
+actual ``node_range`` and labels digest and raises
+:class:`ClusterTopologyError` on any mismatch with the declared
+``--cluster`` ranges, instead of silently answering sweeps with the
+wrong rows.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import quote
 
 from repro._util import require
+from repro.ads.index import _labels_digest
 from repro.centrality.closeness import top_k_central_nodes
+from repro.errors import ReproError
 from repro.serve.aio import AsyncTransport
 from repro.serve.client import ServeClientError
 from repro.serve.membership import (
@@ -93,6 +110,13 @@ from repro.serve.server import ServerBase, _batch_float
 
 #: ``((start, stop_or_None), [replica_url, ...])`` -- one shard group.
 GroupSpec = Tuple[Tuple[int, Optional[int]], Sequence[str]]
+
+
+class ClusterTopologyError(ReproError):
+    """Router construction refused: one or more workers' actual served
+    ranges or label sets disagree with the declared ``--cluster``
+    topology.  Routing over them would silently answer sweeps with the
+    wrong rows, so the router fails fast instead."""
 
 
 class LabelDirectory:
@@ -147,6 +171,11 @@ class LabelDirectory:
         self._ids[label] = len(self._labels)
         self._labels.append(label)
         return True
+
+    def labels_digest(self) -> str:
+        """Same fingerprint as ``AdsIndex.labels_digest`` over the same
+        label list -- the equality topology validation checks."""
+        return _labels_digest(self._labels)
 
 
 def merge_top_central(
@@ -215,6 +244,16 @@ class RouterServer(ServerBase):
             to every replica.  Requires workers started with their
             graphs (eager indexes); leave False for mmap deployments.
         fanout_workers: Thread-pool size for parallel group RPCs.
+        validate_topology: Probe every worker's ``/stats`` at
+            construction and refuse (:class:`ClusterTopologyError`)
+            any whose actual ``node_range`` or labels digest disagrees
+            with the declared group ranges.  Workers that are
+            unreachable are marked down and skipped -- an outage is
+            failover's job, not a misconfiguration.
+        resync_interval: Seconds between automatic
+            :meth:`resync_stale` sweeps re-seeding quarantined
+            replicas from healthy donors (``0`` disables the loop;
+            the method can still be called directly).
 
     Example:
         >>> from repro.graph import path_graph
@@ -247,6 +286,8 @@ class RouterServer(ServerBase):
         probe_interval: float = 0.0,
         writable: bool = False,
         fanout_workers: Optional[int] = None,
+        validate_topology: bool = True,
+        resync_interval: float = 0.0,
     ):
         require(
             rpc_wire in ("binary", "json"),
@@ -255,10 +296,15 @@ class RouterServer(ServerBase):
         require(
             rpc_timeout > 0, f"rpc_timeout must be > 0, got {rpc_timeout}"
         )
+        require(
+            resync_interval >= 0,
+            f"resync_interval must be >= 0, got {resync_interval}",
+        )
         self._directory = LabelDirectory(labels)
         self.rpc_timeout = float(rpc_timeout)
         self.rpc_wire = rpc_wire
         self.probe_interval = float(probe_interval)
+        self.resync_interval = float(resync_interval)
         self.writable = bool(writable)
         built = []
         for position, ((start, stop), urls) in enumerate(groups):
@@ -278,6 +324,15 @@ class RouterServer(ServerBase):
         self._groups = self._membership.groups
         self._fan_outs = 0
         self._failovers = 0
+        self._resyncs = 0
+        self._resync_stop = threading.Event()
+        self._resync_thread: Optional[threading.Thread] = None
+        if validate_topology:
+            try:
+                self._validate_topology()
+            except BaseException:
+                self._membership.close()
+                raise
         if fanout_workers is None:
             fanout_workers = max(4, min(32, int(threads) * len(built)))
         self._fanout_pool = ThreadPoolExecutor(
@@ -289,6 +344,7 @@ class RouterServer(ServerBase):
             threads=threads, wire_mode=wire_mode,
         )
         self._membership.start_probes(self.probe_interval)
+        self.start_resync(self.resync_interval)
 
     # The router serves the public API only: worker-scoped internals
     # (``/nf-chain``) stay off its route table, while every ``"all"``
@@ -302,6 +358,10 @@ class RouterServer(ServerBase):
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
+        self._resync_stop.set()
+        if self._resync_thread is not None:
+            self._resync_thread.join(timeout=5.0)
+            self._resync_thread = None
         self._membership.close()
         self._fanout_pool.shutdown(wait=False)
         super().close()
@@ -309,6 +369,103 @@ class RouterServer(ServerBase):
     # Test/operator hook: pin every group's next candidate to replica 0.
     def reset_round_robin(self) -> None:
         self._membership.reset_round_robin()
+
+    # ------------------------------------------------------------------
+    # Startup topology validation
+    # ------------------------------------------------------------------
+    def _validate_topology(self) -> None:
+        """Probe each worker's actual served range and label set.
+
+        Every reachable worker must report the labels digest of the
+        router's node set and exactly its group's declared node range
+        (open-ended stops normalise to the total) -- otherwise sweeps
+        through it would silently cover the wrong rows.  A full-index
+        worker (no ``node_range`` in its ``/stats``) only passes when
+        the cluster has a single group covering everything.
+        Unreachable workers are marked down and skipped: an outage is
+        failover's problem; this check is for *misconfiguration*.  The
+        observed range/digest is stored on each replica and surfaced
+        through ``/stats``.
+        """
+        expected_digest = self._directory.labels_digest()
+        total = len(self._directory)
+        problems: List[str] = []
+        for group in self._groups:
+            for replica in group.replicas:
+                try:
+                    stats = replica.call("GET", "/stats")
+                except ServeClientError as error:
+                    replica.mark_down(error)
+                    continue
+                except Exception as error:  # pragma: no cover
+                    replica.mark_down(error)
+                    continue
+                index_stats = stats.get("index") or {}
+                digest = index_stats.get("labels_digest")
+                reported = index_stats.get("node_range")
+                replica.labels_digest = digest
+                replica.node_range = (
+                    list(reported)
+                    if isinstance(reported, (list, tuple)) else None
+                )
+                if digest != expected_digest:
+                    problems.append(
+                        f"{replica.url}: serves a different node set "
+                        f"(labels digest {digest} != router's "
+                        f"{expected_digest})"
+                    )
+                    continue
+                if reported is None:
+                    if len(self._groups) == 1 and group.start == 0:
+                        continue  # full index == the only group's range
+                    problems.append(
+                        f"{replica.url}: not started as a shard worker "
+                        "(no --cluster range); its sweeps would cover "
+                        "every node, overlapping the other shards"
+                    )
+                    continue
+                if (
+                    not isinstance(reported, (list, tuple))
+                    or len(reported) != 2
+                ):
+                    problems.append(
+                        f"{replica.url}: unparseable node_range "
+                        f"{reported!r}"
+                    )
+                    continue
+                if not self._range_matches(
+                    (group.start, group.stop), tuple(reported), total
+                ):
+                    declared = group.describe_range(total)
+                    actual = self._format_range(tuple(reported), total)
+                    problems.append(
+                        f"{replica.url}: serves node range {actual} but "
+                        f"is declared as shard {declared}"
+                    )
+        if problems:
+            raise ClusterTopologyError(
+                "cluster topology validation failed; refusing to route "
+                "over mis-ranged workers:\n  - " + "\n  - ".join(problems)
+            )
+
+    @staticmethod
+    def _range_matches(declared, reported, total: int) -> bool:
+        """Range equality with open-ended stops normalised to *total*
+        (a worker may say ``[45, None]`` where the group says
+        ``[45, 90)``, and vice versa -- same rows either way)."""
+        try:
+            d_start, d_stop = declared
+            r_start, r_stop = reported
+            d_stop = total if d_stop is None else int(d_stop)
+            r_stop = total if r_stop is None else int(r_stop)
+            return int(d_start) == int(r_start) and d_stop == r_stop
+        except (TypeError, ValueError):
+            return False
+
+    @staticmethod
+    def _format_range(reported, total: int) -> str:
+        start, stop = reported
+        return f"[{start}, {total if stop is None else stop})"
 
     # ------------------------------------------------------------------
     # RPC core: failover + fan-out
@@ -482,6 +639,7 @@ class RouterServer(ServerBase):
             requests, internal = self._requests, self._internal_errors
             updates = self._updates_applied
             fan_outs, failovers = self._fan_outs, self._failovers
+            resyncs = self._resyncs
         index_stats, pending = self._probe_index_stats()
         return {
             "requests": requests,
@@ -504,8 +662,10 @@ class RouterServer(ServerBase):
                     "wire": self.rpc_wire,
                     "timeout_seconds": self.rpc_timeout,
                     "probe_interval": self.probe_interval,
+                    "resync_interval": self.resync_interval,
                     "fan_outs": fan_outs,
                     "failovers": failovers,
+                    "resyncs": resyncs,
                 },
             },
         }
@@ -523,6 +683,9 @@ class RouterServer(ServerBase):
                 0,
             )
         index_stats = dict(stats.get("index") or {})
+        # One worker's sweep range must not masquerade as the
+        # cluster's; per-replica served ranges (and labels digests)
+        # are surfaced under cluster.groups[*].replicas instead.
         index_stats.pop("node_range", None)
         pending = stats.get("updates", {}).get("pending_batches", 0)
         return index_stats, pending
@@ -906,6 +1069,119 @@ class RouterServer(ServerBase):
             "/compact", {}, "compact", compare_results=False
         )
 
+    # ------------------------------------------------------------------
+    # Stale-replica resync (self-healing)
+    # ------------------------------------------------------------------
+    def start_resync(self, interval: float) -> None:
+        """Run :meth:`resync_stale` about every *interval* seconds on a
+        daemon thread (``interval <= 0`` disables the loop)."""
+        if interval <= 0 or self._resync_thread is not None:
+            return
+
+        def loop() -> None:
+            while not self._resync_stop.wait(interval):
+                try:
+                    self.resync_stale()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+
+        self._resync_thread = threading.Thread(
+            target=loop, name="repro-route-resync", daemon=True
+        )
+        self._resync_thread.start()
+
+    def resync_stale(self) -> List[Dict[str, Any]]:
+        """One self-healing sweep: re-seed every stale replica from a
+        healthy donor and re-admit it only after a digest check.
+
+        Each replica's resync runs under the router's exclusive write
+        lock, so no update batch can land between the donor snapshot
+        and the digest verdict -- the comparison is race-free by
+        construction (the same lock ``POST /update`` holds).  A failed
+        resync puts the replica back in ``stale`` for the next sweep.
+        Returns one outcome dict per replica attempted.
+        """
+        outcomes: List[Dict[str, Any]] = []
+        for group in self._groups:
+            for replica in group.replicas:
+                # Atomic stale -> syncing claim; concurrent sweeps
+                # can never both work on the same replica.
+                if not replica.begin_resync():
+                    continue
+                with self._rw_lock.write_locked():
+                    outcomes.append(self._resync_replica(group, replica))
+        return outcomes
+
+    def _find_donor(
+        self, group: ShardGroup, replica: Replica
+    ) -> Optional[Replica]:
+        """A healthy replica to snapshot from: same-group peers first,
+        then any up replica -- every worker holds the full index, so
+        any of them is a valid donor."""
+        for peer in group.replicas:
+            if peer is not replica and peer.state == STATE_UP:
+                return peer
+        for other in self._groups:
+            for peer in other.replicas:
+                if peer is not replica and peer.state == STATE_UP:
+                    return peer
+        return None
+
+    def _resync_replica(
+        self, group: ShardGroup, replica: Replica
+    ) -> Dict[str, Any]:
+        outcome: Dict[str, Any] = {"url": replica.url, "resynced": False}
+        donor = self._find_donor(group, replica)
+        if donor is None:
+            replica.mark_stale("resync: no healthy donor replica")
+            outcome["error"] = "no healthy donor replica"
+            return outcome
+        outcome["donor"] = donor.url
+        try:
+            snapshot = donor.call("GET", "/sync/snapshot")
+            installed = replica.call(
+                "POST", "/sync/install",
+                payload={
+                    "index_b64": snapshot["index_b64"],
+                    "edges": snapshot["edges"],
+                    "directed": snapshot["directed"],
+                    "seq": snapshot.get("seq", 0),
+                    "digest": snapshot.get("digest"),
+                },
+            )
+        except (ServeClientError, KeyError, TypeError) as error:
+            replica.mark_stale(f"resync failed ({error})")
+            outcome["error"] = str(error)
+            return outcome
+        digest = snapshot.get("digest")
+        if not digest or installed.get("digest") != digest:
+            replica.mark_stale(
+                f"resync digest mismatch (donor {digest!r}, installed "
+                f"{installed.get('digest')!r})"
+            )
+            outcome["error"] = "digest mismatch"
+            return outcome
+        replica.mark_synced()
+        self._refresh_replica_topology(replica)
+        with self._counter_lock:
+            self._resyncs += 1
+        outcome.update({"resynced": True, "digest": digest})
+        return outcome
+
+    def _refresh_replica_topology(self, replica: Replica) -> None:
+        """Best-effort refresh of the observed range/digest a resync
+        (or recovery) may have changed -- keeps ``/stats`` honest."""
+        try:
+            stats = replica.call("GET", "/stats")
+        except Exception:
+            return
+        index_stats = stats.get("index") or {}
+        replica.labels_digest = index_stats.get("labels_digest")
+        reported = index_stats.get("node_range")
+        replica.node_range = (
+            list(reported) if isinstance(reported, (list, tuple)) else None
+        )
+
 
 class AsyncRouterServer(AsyncTransport, RouterServer):
     """The fan-out router on the asyncio pipelined transport.
@@ -939,6 +1215,7 @@ class AsyncRouterServer(AsyncTransport, RouterServer):
 
 __all__ = [
     "AsyncRouterServer",
+    "ClusterTopologyError",
     "LabelDirectory",
     "RouterServer",
     "merge_top_central",

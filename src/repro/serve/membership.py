@@ -5,16 +5,22 @@ calling workers over HTTP.  This module holds the *who-is-alive*
 bookkeeping that makes those calls resilient:
 
 * :class:`Replica` -- one worker endpoint with a pooled binary-wire
-  client and a three-state health machine::
+  client and a four-state health machine::
 
       up ---(probe/RPC failure)---> down ---(probe success)---> up
-      up/down --(missed a committed update batch)--> stale  [terminal]
+      up/down --(missed a committed update batch)--> stale
+      stale --(router begins resync)--> syncing
+      syncing --(digest-verified re-seed)--> up
+      syncing --(resync failed)--> stale
 
   ``stale`` is a quarantine, not an outage: the replica answered (or
   may answer) but its index *content* diverged from the cluster --
   serving it would return confidently wrong floats.  Health probes
-  never revive a stale replica; an operator restarts it from a
-  compacted index.
+  never revive a stale replica; only the router's resync loop
+  (:meth:`repro.serve.cluster.RouterServer.resync_stale`) moves it
+  through ``syncing`` by re-seeding it from a healthy donor and
+  re-admitting it after a content-digest check.  ``syncing`` replicas,
+  like stale ones, never serve reads and are skipped by probes.
 
 * :class:`ShardGroup` -- the replica set owning one contiguous global
   node-id range ``[start, stop)`` (``stop=None`` leaves the last group
@@ -35,15 +41,24 @@ Example:
     >>> replica.state
     'up'
     >>> replica.mark_stale("missed update batch")
-    >>> replica.mark_up()  # stale is terminal
+    >>> replica.mark_up()  # probes never revive a stale replica
     >>> replica.state
     'stale'
+    >>> replica.begin_resync()  # only the resync loop moves it on
+    True
+    >>> replica.state
+    'syncing'
+    >>> replica.mark_synced()
+    >>> replica.state
+    'up'
 """
 
 from __future__ import annotations
 
 import queue
+import random
 import threading
+import time
 from bisect import bisect_right
 from typing import Any, Dict, List, Optional, Sequence
 
@@ -53,6 +68,7 @@ from repro.serve.client import QueryClient, ServeClientError
 STATE_UP = "up"
 STATE_DOWN = "down"
 STATE_STALE = "stale"
+STATE_SYNCING = "syncing"
 
 
 class Replica:
@@ -81,6 +97,11 @@ class Replica:
         self.state = STATE_UP
         self.failures = 0
         self.last_error: Optional[str] = None
+        # Observed topology, filled by the router's startup validation
+        # probe (and refreshed after a resync): what this worker
+        # *actually* serves, surfaced through /stats.
+        self.node_range: Optional[List[int]] = None
+        self.labels_digest: Optional[str] = None
         self._lock = threading.Lock()
         self._pool: "queue.LifoQueue[QueryClient]" = queue.LifoQueue(
             maxsize=pool_size
@@ -155,6 +176,27 @@ class Replica:
             self.state = STATE_STALE
             self.last_error = str(reason)
 
+    def begin_resync(self) -> bool:
+        """Claim a stale replica for re-seeding (``stale -> syncing``).
+
+        Returns False unless the replica was stale -- the atomic
+        check-and-set means two resync sweeps can never both work on
+        the same replica.
+        """
+        with self._lock:
+            if self.state != STATE_STALE:
+                return False
+            self.state = STATE_SYNCING
+            return True
+
+    def mark_synced(self) -> None:
+        """Re-admit a re-seeded replica (``syncing -> up``); the caller
+        has already digest-verified its content against the donor."""
+        with self._lock:
+            if self.state == STATE_SYNCING:
+                self.state = STATE_UP
+                self.last_error = None
+
     def probe(self) -> bool:
         """One ``/healthz`` round trip; updates the health state.
 
@@ -183,6 +225,9 @@ class Replica:
                 "state": self.state,
                 "failures": self.failures,
                 "last_error": self.last_error,
+                "node_range": list(self.node_range)
+                if self.node_range is not None else None,
+                "labels_digest": self.labels_digest,
             }
 
     def close(self) -> None:
@@ -229,7 +274,8 @@ class ShardGroup:
         Healthy replicas first, rotated round-robin so read load
         spreads; marked-down replicas follow as a last resort (if one
         answers, the router marks it back up -- a passive recovery
-        probe).  Stale replicas never appear: their content diverged.
+        probe).  Stale and syncing replicas never appear: their
+        content diverged (or is mid-replacement).
         """
         with self._lock:
             offset = self._rr
@@ -305,18 +351,63 @@ class ClusterMembership:
     def probe_all(self) -> None:
         for group in self.groups:
             for replica in group.replicas:
-                if replica.state != STATE_STALE:
+                if replica.state not in (STATE_STALE, STATE_SYNCING):
                     replica.probe()
 
-    def start_probes(self, interval: float) -> None:
-        """Probe every non-stale replica each ``interval`` seconds on a
-        daemon thread (``interval <= 0`` disables probing)."""
+    def start_probes(
+        self,
+        interval: float,
+        jitter: float = 0.2,
+        backoff_cap: float = 8.0,
+    ) -> None:
+        """Probe every non-stale replica about each ``interval`` seconds
+        on a daemon thread (``interval <= 0`` disables probing).
+
+        Two storm-avoidance behaviours, both per-router-local:
+
+        * every sleep is *interval* +- ``jitter`` (a fraction, default
+          20%), so N routers started together against the same workers
+          drift apart instead of probing in lockstep;
+        * a replica that keeps failing its probe backs off
+          exponentially -- its next probe is delayed by 2x, 4x, ... up
+          to ``backoff_cap`` x *interval* per consecutive failure -- so
+          a worker rebuilding its index after a restart is not hammered
+          by every router's full-rate probes at once.  One successful
+          probe resets the backoff.
+        """
         if interval <= 0 or self._probe_thread is not None:
             return
+        rng = random.Random()
+        next_allowed: Dict[int, float] = {}
+        backoff: Dict[int, float] = {}
+
+        def jittered(base: float) -> float:
+            if jitter <= 0:
+                return base
+            return base * (1.0 + jitter * (2.0 * rng.random() - 1.0))
 
         def loop() -> None:
-            while not self._probe_stop.wait(interval):
-                self.probe_all()
+            while not self._probe_stop.wait(jittered(interval)):
+                now = time.monotonic()
+                for group in self.groups:
+                    for replica in group.replicas:
+                        if replica.state in (STATE_STALE, STATE_SYNCING):
+                            continue
+                        key = id(replica)
+                        if now < next_allowed.get(key, 0.0):
+                            continue
+                        if replica.probe():
+                            backoff.pop(key, None)
+                            next_allowed.pop(key, None)
+                        else:
+                            factor = min(
+                                backoff_cap, backoff.get(key, 1.0) * 2.0
+                            )
+                            backoff[key] = factor
+                            next_allowed[key] = (
+                                time.monotonic()
+                                + jittered(interval * factor)
+                            )
 
         self._probe_thread = threading.Thread(
             target=loop, name="repro-route-probe", daemon=True
@@ -341,6 +432,7 @@ class ClusterMembership:
 __all__ = [
     "STATE_DOWN",
     "STATE_STALE",
+    "STATE_SYNCING",
     "STATE_UP",
     "ClusterMembership",
     "Replica",

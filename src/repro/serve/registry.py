@@ -16,14 +16,17 @@ Scopes:
 * ``"all"`` -- served by both a single/worker ``AdsServer`` and the
   cluster ``RouterServer``;
 * ``"worker"`` -- internal endpoints only index-holding workers
-  answer (the router calls them, it does not expose them).
+  answer (the router calls them, it does not expose them): the
+  cluster-sweep chain step plus the resync protocol (``/sync/digest``
+  and ``/sync/snapshot`` read a healthy donor, ``/sync/install``
+  replaces a quarantined replica's state under its write lock).
 
 Example:
     >>> from repro.serve.registry import ENDPOINTS, WRITE_PATHS
     >>> sorted(WRITE_PATHS)
-    ['/compact', '/update']
+    ['/compact', '/sync/install', '/update']
     >>> [spec.path for spec in ENDPOINTS if spec.scope == "worker"]
-    ['/nf-chain']
+    ['/nf-chain', '/sync/digest', '/sync/snapshot', '/sync/install']
     >>> [spec.path for spec in ENDPOINTS if spec.prefix]
     ['/similar/', '/node/']
 """
@@ -65,6 +68,11 @@ ENDPOINTS: Tuple[EndpointSpec, ...] = (
     EndpointSpec("/similar/", ("GET",), "_similar", prefix=True),
     EndpointSpec("/node/", ("GET",), "_node", prefix=True),
     EndpointSpec("/nf-chain", ("POST",), "_nf_chain", scope="worker"),
+    EndpointSpec("/sync/digest", ("GET",), "_sync_digest", scope="worker"),
+    EndpointSpec("/sync/snapshot", ("GET",), "_sync_snapshot",
+                 scope="worker"),
+    EndpointSpec("/sync/install", ("POST",), "_sync_install",
+                 scope="worker", write=True),
     EndpointSpec("/update", ("POST",), "_update", write=True),
     EndpointSpec("/compact", ("POST",), "_compact", write=True),
 )

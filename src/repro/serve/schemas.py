@@ -20,6 +20,7 @@ Conventions:
 
 from __future__ import annotations
 
+import base64
 import math
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -139,6 +140,51 @@ def coerce_edge_labels(
             )
         coerced.append((u, v, *edge[2:]))
     return coerced
+
+
+def parse_sync_install(
+    body: Dict[str, Any]
+) -> Tuple[bytes, List[Tuple], bool, int, Optional[str]]:
+    """The ``POST /sync/install`` body: a donor snapshot to adopt.
+
+    Returns ``(index_bytes, edges, directed, seq, digest)`` --
+    the decoded single-file index payload, the donor graph's edge
+    tuples, its directedness, the donor's WAL sequence floor, and the
+    donor's content digest (``None`` when the donor did not send one).
+    Malformed shapes are 400s; the *semantic* validation (do the bytes
+    parse, do the labels match) happens index-side in the handler.
+    """
+    raw = body.get("index_b64")
+    if not isinstance(raw, str) or not raw:
+        raise bad_request(
+            "install needs index_b64: the donor's base64 index snapshot"
+        )
+    try:
+        blob = base64.b64decode(raw.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as error:
+        raise bad_request(f"malformed index_b64 ({error})")
+    raw_edges = body.get("edges")
+    if not isinstance(raw_edges, list):
+        raise bad_request(
+            "install needs edges: the donor graph as [[u, v(, w)], ...]"
+        )
+    edges: List[Tuple] = []
+    for row in raw_edges:
+        if not isinstance(row, list) or len(row) not in (2, 3):
+            raise bad_request(
+                f"each edge must be [u, v] or [u, v, weight], got {row!r}"
+            )
+        edges.append(tuple(row))
+    directed = body.get("directed")
+    if not isinstance(directed, bool):
+        raise bad_request("install needs the donor graph's directed flag")
+    seq = body.get("seq", 0)
+    if isinstance(seq, bool) or not isinstance(seq, int) or seq < 0:
+        raise bad_request(f"seq must be a non-negative integer, got {seq!r}")
+    digest = body.get("digest")
+    if digest is not None and not isinstance(digest, str):
+        raise bad_request(f"digest must be a string, got {digest!r}")
+    return blob, edges, directed, seq, digest
 
 
 def parse_float(

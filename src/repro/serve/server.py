@@ -66,6 +66,7 @@ cached sweeps are stale by definition).
 
 from __future__ import annotations
 
+import base64
 import json
 import math
 import os
@@ -80,7 +81,8 @@ from pathlib import Path
 from typing import Union
 
 from repro._util import require
-from repro.ads.index import AdsIndex
+from repro.ads.index import MANIFEST_NAME, AdsIndex
+from repro.ads.wal import WriteAheadLog
 from repro.centrality.closeness import top_k_central_nodes
 from repro.errors import ReproError
 from repro.serve import registry, wire
@@ -102,6 +104,7 @@ from repro.serve.schemas import (
     parse_int,
     parse_pairs,
     parse_similarity_metric,
+    parse_sync_install,
     resolve_node,
     resolve_nodes,
     series_pairs,
@@ -629,6 +632,14 @@ class AdsServer(ServerBase):
             group also owns nodes appended by later updates.  A worker
             over a sharded mmap layout only ever touches (and thus
             only ever maps) the shard files its range intersects.
+        wal_dir: Directory for the write-ahead delta log
+            (``--wal-dir``; requires ``graph``).  Every ``POST
+            /update`` batch is checksummed, appended, and fsync'd
+            *before* it is applied, and the log is truncated by ``POST
+            /compact`` -- so a server killed at any point restarts by
+            replaying the unflushed batches over its last compacted
+            layout, bit-identical to a server that never crashed.
+            Replay happens here, during construction.
 
     Example:
         >>> from repro.graph import path_graph
@@ -658,12 +669,8 @@ class AdsServer(ServerBase):
         graph_path: Optional[Union[str, Path]] = None,
         wire_mode: str = "auto",
         node_range: Optional[Tuple[int, Optional[int]]] = None,
+        wal_dir: Optional[Union[str, Path]] = None,
     ):
-        if graph is not None and graph.nodes() != index.nodes():
-            raise ReproError(
-                "graph/index mismatch: the attached graph must carry "
-                "exactly the index's node labels in id order"
-            )
         self.index = index
         self.graph = graph
         self.index_path = (
@@ -672,6 +679,32 @@ class AdsServer(ServerBase):
         self.graph_path = (
             Path(graph_path) if graph_path is not None else None
         )
+        self.wal: Optional[WriteAheadLog] = None
+        self.wal_replayed = 0
+        if wal_dir is not None:
+            if index.mmap_backed:
+                raise ReproError(
+                    "--wal-dir needs an eagerly loaded index "
+                    "(--no-mmap): a memory-mapped index is read-only "
+                    "and never takes the updates a WAL would log"
+                )
+            if graph is None:
+                raise ReproError(
+                    "--wal-dir needs the index's graph (--graph): the "
+                    "WAL logs live /update batches, which only a "
+                    "writable server accepts"
+                )
+            self.wal = WriteAheadLog(wal_dir)
+            # Replay BEFORE the graph/index label check below: a crash
+            # between compact's index flush and its graph flush leaves
+            # the pair misaligned on disk, and replay is what realigns
+            # them (see _replay_wal).
+            self.wal_replayed = self._replay_wal()
+        if graph is not None and graph.nodes() != index.nodes():
+            raise ReproError(
+                "graph/index mismatch: the attached graph must carry "
+                "exactly the index's node labels in id order"
+            )
         # Computed once: coerce_edge_labels would otherwise scan every
         # label per update, under the exclusive lock.  Sound to cache
         # because coercion rejects any label that would break type
@@ -685,6 +718,44 @@ class AdsServer(ServerBase):
         # After super().__init__: the cap needs self.threads, and no
         # request can arrive before start()/serve_forever anyway.
         self.kernel_workers = self._cap_kernel_workers()
+
+    def _replay_wal(self) -> int:
+        """Re-apply WAL batches logged after the last compact.
+
+        Normal crash recovery: the on-disk index and graph are the last
+        compacted pair, and every pending record replays through
+        :meth:`AdsIndex.apply_edges` -- which is deterministic and
+        bit-identical to a rebuild, so the recovered server answers
+        exactly like one that never crashed.
+
+        One torn-compact window needs reconciling first.  Compact
+        flushes the index, then the graph, then truncates the WAL; a
+        crash between the first two steps leaves an index that already
+        carries every logged batch next to a graph that is missing
+        those batches' edges (detected here as a label mismatch).
+        Replaying the *edges only* catches the graph up, and the label
+        check afterwards proves the pair realigned.  A crash after both
+        flushes but before the WAL truncate replays batches whose edges
+        already exist -- ``add_edges`` reports no new arcs, so the
+        replay is a no-op, as required.
+        """
+        records = self.wal.pending()
+        if not records:
+            return 0
+        if self.graph.nodes() != self.index.nodes():
+            for record in records:
+                self.graph.add_edges(record.edges)
+            if self.graph.nodes() != self.index.nodes():
+                raise ReproError(
+                    "WAL replay cannot reconcile this graph/index "
+                    "pair: the logged batches do not bring the graph "
+                    "to the index's node set (wrong --graph file or "
+                    "--wal-dir?)"
+                )
+            return len(records)
+        for record in records:
+            self.index.apply_edges(self.graph, record.edges)
+        return len(records)
 
     def _validate_node_range(
         self, value: Optional[Tuple[int, Optional[int]]]
@@ -759,11 +830,18 @@ class AdsServer(ServerBase):
             "mapped_shards": index.mapped_shards,
             "backend": index.backend,
             "kernel_workers": getattr(index, "kernel_workers", 1),
+            # What this worker actually serves -- the router's startup
+            # topology validation compares this against --cluster.
+            "labels_digest": index.labels_digest(),
         }
         if self.node_range is not None:
             # Shard-worker mode: report the sweep range so a router (or
             # an operator) can see which rows this worker owns.
             index_stats["node_range"] = list(self.node_range)
+        wal_stats: Dict[str, Any] = {"enabled": self.wal is not None}
+        if self.wal is not None:
+            wal_stats.update(self.wal.stats())
+            wal_stats["replayed_on_start"] = self.wal_replayed
         return {
             "requests": requests,
             "internal_errors": internal,
@@ -775,6 +853,7 @@ class AdsServer(ServerBase):
                 "writable": self._writable(),
                 "applied_batches": updates,
                 "pending_batches": len(index.delta_log),
+                "wal": wal_stats,
             },
             "index": index_stats,
         }
@@ -801,7 +880,18 @@ class AdsServer(ServerBase):
         edges = coerce_edge_labels(
             self.index, parse_edges(body), label_type=self._label_type
         )
-        result = self.index.apply_edges(self.graph, edges)
+        if self.wal is not None:
+            # Logged and fsync'd *before* apply: once the client sees
+            # 200, the batch survives any crash.  A batch apply_edges
+            # refuses must not replay either -- withdraw it.
+            self.wal.append(edges)
+            try:
+                result = self.index.apply_edges(self.graph, edges)
+            except BaseException:
+                self.wal.rollback_last()
+                raise
+        else:
+            result = self.index.apply_edges(self.graph, edges)
         # Whole-graph sweeps cached before this batch are stale now.
         self.cache.clear()
         with self._counter_lock:
@@ -847,7 +937,121 @@ class AdsServer(ServerBase):
 
             write_edge_list(self.graph, self.graph_path, all_nodes=True)
             info["graph_path"] = str(self.graph_path)
+        if self.wal is not None:
+            # Truncate last: every crash point inside compact leaves a
+            # log that still covers whatever the flushed files miss
+            # (_replay_wal reconciles the torn-compact orderings).
+            self.wal.reset(self.wal.last_seq)
+            info["wal"] = self.wal.stats()
         return info
+
+    # -- resync protocol (worker scope) --------------------------------
+    #
+    # A router re-seeds a stale-quarantined replica by reading a
+    # /sync/snapshot off a healthy donor and POSTing it to the stale
+    # worker's /sync/install, then compares digests before re-admitting
+    # it.  The snapshot is the donor's *live* state -- by construction
+    # equal to its compacted bytes with the WAL tail applied, without
+    # forcing a disk flush on the donor.  All three endpoints need a
+    # writable worker: read-only (mmap) workers never take the writes
+    # that could make a replica diverge in the first place.
+    def _sync_digest(self, params, body) -> Dict[str, Any]:
+        """``GET /sync/digest``: content fingerprint for divergence
+        checks (two workers agree here iff every query answers
+        identically)."""
+        self._require_writable()
+        return {
+            "digest": self.index.content_digest(),
+            "nodes": self.index.num_nodes,
+            "entries": self.index.num_entries,
+            "pending_batches": len(self.index.delta_log),
+        }
+
+    def _sync_snapshot(self, params, body) -> Dict[str, Any]:
+        """``GET /sync/snapshot``: the full re-seed payload a healthy
+        donor serves (index bytes + graph edges, read lock held)."""
+        self._require_writable()
+        return {
+            "digest": self.index.content_digest(),
+            "index_b64": base64.b64encode(
+                self.index.to_bytes()
+            ).decode("ascii"),
+            "edges": [list(edge) for edge in self.graph.edges()],
+            "directed": bool(self.graph.directed),
+            "seq": self.wal.last_seq if self.wal is not None else 0,
+            "nodes": self.index.num_nodes,
+            "entries": self.index.num_entries,
+        }
+
+    def _sync_install(self, params, body) -> Dict[str, Any]:
+        """``POST /sync/install``: replace this worker's state with a
+        donor snapshot (exclusive lock held -- no query can observe the
+        half-swapped state).
+
+        The installed index is digest-verified against the donor's
+        claim, flushed to this worker's own index/graph paths (so a
+        crash right after resync restarts from the donor's content, not
+        the diverged state), and the WAL is reset at the donor's
+        sequence floor.
+        """
+        self._require_writable()
+        from repro.graph.csr import CSRGraph
+
+        blob, raw_edges, directed, seq, expected = parse_sync_install(body)
+        try:
+            index = AdsIndex.from_bytes(
+                blob, backend=self.index.backend,
+            )
+            graph = CSRGraph.from_edges(
+                raw_edges, directed=directed, nodes=index.nodes()
+            )
+        except ReproError as error:
+            raise bad_request(f"unusable donor snapshot ({error})")
+        digest = index.content_digest()
+        if expected is not None and digest != expected:
+            raise conflict(
+                f"installed snapshot digest {digest} does not match "
+                f"the donor's claimed {expected}"
+            )
+        self.index = index
+        self.graph = graph
+        self._label_type = index.label_type()
+        self.kernel_workers = self._cap_kernel_workers()
+        self.cache.clear()
+        flushed = self._flush_installed_state()
+        if self.wal is not None:
+            self.wal.reset(seq)
+        return {
+            "installed": True,
+            "digest": digest,
+            "nodes": index.num_nodes,
+            "entries": index.num_entries,
+            "flushed": flushed,
+        }
+
+    def _flush_installed_state(self) -> bool:
+        """Persist a freshly installed snapshot to this worker's own
+        paths, preserving an existing sharded layout's shard count."""
+        if self.index_path is None:
+            return False
+        path = self.index_path
+        if path.is_dir() or path.name == MANIFEST_NAME:
+            directory = path if path.is_dir() else path.parent
+            try:
+                manifest = json.loads(
+                    (directory / MANIFEST_NAME).read_text(encoding="utf-8")
+                )
+                shards = max(1, len(manifest.get("shards") or ()))
+            except (OSError, json.JSONDecodeError, AttributeError):
+                shards = 1
+            self.index.save(directory, shards=shards)
+        else:
+            self.index.save(path)
+        if self.graph_path is not None:
+            from repro.graph.io import write_edge_list
+
+            write_edge_list(self.graph, self.graph_path, all_nodes=True)
+        return True
 
     # -- sweep helpers (node_range-aware) ------------------------------
     #

@@ -290,6 +290,7 @@ def start_cluster(
     probe_interval=0.0,
     cache_size=256,
     worker_threads=4,
+    wal=False,
     **router_kwargs,
 ):
     """Spin up a full in-process cluster; returns a :class:`Cluster`.
@@ -303,6 +304,10 @@ def start_cluster(
 
     ``proxy=True`` interposes a :class:`FaultProxy` in front of every
     worker; the router only ever sees the proxy URLs.
+
+    ``wal=True`` (writable mode only) gives each worker its own
+    write-ahead-log directory under *tmp_path*, so update batches are
+    durable and a restarted worker replays them.
     """
     writable = graph is not None
     if writable and tmp_path is None:
@@ -325,9 +330,14 @@ def start_cluster(
                 wpath = tmp_path / f"ix-g{position}r{replica}.adsidx"
                 windex = AdsIndex.load(seed_path)
                 wgraph = clone_graph(graph)
+                wal_dir = (
+                    tmp_path / f"wal-g{position}r{replica}"
+                    if wal else None
+                )
                 server = AdsServer(
                     windex, graph=wgraph, index_path=wpath,
                     node_range=node_range, threads=worker_threads,
+                    wal_dir=wal_dir,
                 )
             else:
                 server = AdsServer(

@@ -15,6 +15,7 @@ import pytest
 import repro
 import repro.ads
 import repro.ads.index
+import repro.ads.wal
 import repro.cli
 import repro.serve.cache
 import repro.serve.cluster
@@ -27,6 +28,7 @@ MODULES = (
     repro,
     repro.ads,
     repro.ads.index,
+    repro.ads.wal,
     repro.cli,
     repro.serve.cache,
     repro.serve.cluster,
